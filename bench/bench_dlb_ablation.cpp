@@ -1,0 +1,49 @@
+// Ablation of GAMESS's dynamic load balancing (the ddi_dlbnext counter all
+// three algorithms rely on) against a static contiguous block
+// decomposition of the same task loop. The canonical quartet enumeration
+// makes task sizes grow ~linearly with the pair index, so static blocks
+// hand the last rank far more work than the first -- DLB is load-bearing,
+// not an implementation detail.
+
+#include "harness_common.hpp"
+#include "knlsim/experiments.hpp"
+
+using namespace mc;
+using core::ScfAlgorithm;
+
+int main() {
+  bench::banner("Ablation", "dynamic vs static load balancing, 2.0 nm");
+  knlsim::ExperimentContext ctx{knlsim::ThetaMachine{}};
+  knlsim::Simulator sim(ctx.workload("2.0nm"), ctx.machine(),
+                        ctx.calibration());
+
+  Table t({"algorithm", "nodes", "DLB (s)", "static blocks (s)",
+           "static penalty"});
+  bool dlb_always_wins = true;
+  double worst_penalty = 0.0;
+  for (ScfAlgorithm alg :
+       {ScfAlgorithm::kMpiOnly, ScfAlgorithm::kPrivateFock,
+        ScfAlgorithm::kSharedFock}) {
+    for (int nodes : {4, 64, 512}) {
+      knlsim::SimConfig cfg;
+      cfg.algorithm = alg;
+      cfg.nodes = nodes;
+      const auto dyn = sim.run(cfg);
+      cfg.dynamic_load_balance = false;
+      const auto sta = sim.run(cfg);
+      if (!dyn.feasible || !sta.feasible) continue;
+      const double penalty = sta.seconds / dyn.seconds;
+      worst_penalty = std::max(worst_penalty, penalty);
+      dlb_always_wins = dlb_always_wins && penalty > 0.999;
+      t.add_row({core::algorithm_name(alg), std::to_string(nodes),
+                 fmt_double(dyn.seconds, 1), fmt_double(sta.seconds, 1),
+                 fmt_double(penalty, 2) + "x"});
+    }
+  }
+  bench::print_table(t);
+  std::printf("\nshape check: DLB never loses to static blocks: %s\n",
+              dlb_always_wins ? "PASS" : "FAIL");
+  std::printf("shape check: static decomposition costs up to %.1fx: %s\n",
+              worst_penalty, worst_penalty > 1.3 ? "PASS" : "FAIL");
+  return (dlb_always_wins && worst_penalty > 1.3) ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// ERI engine microbenchmark: per-quartet cost by angular class on carbon
+// 6-31G(d) shell pairs at the graphene bond length. This is the
+// measurement that populates knlsim::EriCostTable::host_default() -- rerun
+// it and update the table when the host or compiler changes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/molecule.hpp"
+#include "ints/eri.hpp"
+
+namespace {
+
+struct Setup {
+  mc::chem::Molecule mol;
+  mc::basis::BasisSet bs;
+  mc::ints::EriEngine eri;
+
+  Setup() : mol(make_mol()), bs(mc::basis::BasisSet::build(mol, "6-31G(d)")),
+            eri(bs) {}
+
+  static mc::chem::Molecule make_mol() {
+    mc::chem::Molecule m;
+    m.add_atom(6, 0.0, 0.0, 0.0);
+    m.add_atom(6, 0.0, 0.0, 2.68);  // C-C bond, Bohr
+    return m;
+  }
+
+  static Setup& instance() {
+    static Setup s;
+    return s;
+  }
+};
+
+// Carbon 6-31G(d) expanded shell order per atom: s6, s3, p3, s1, p1, d1.
+// Representative pair per angular class (Lsum): indices on atoms 0 / 1.
+struct PairRep {
+  int a, b;
+  const char* name;
+};
+constexpr PairRep kReps[5] = {
+    {0, 6, "ss"}, {1, 8, "sp"}, {2, 8, "pp"}, {2, 11, "pd"}, {5, 11, "dd"}};
+
+void BM_EriQuartet(benchmark::State& state) {
+  Setup& s = Setup::instance();
+  const PairRep bra = kReps[state.range(0)];
+  const PairRep ket = kReps[state.range(1)];
+  std::vector<double> buf(
+      s.eri.batch_size(bra.a, bra.b, ket.a, ket.b), 0.0);
+  for (auto _ : state) {
+    s.eri.compute(bra.a, bra.b, ket.a, ket.b, buf.data());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  const double units =
+      static_cast<double>(s.bs.shell(bra.a).nprim()) *
+      s.bs.shell(bra.b).nprim() * s.bs.shell(ket.a).nprim() *
+      s.bs.shell(ket.b).nprim();
+  state.SetLabel(std::string(bra.name) + "|" + ket.name);
+  state.counters["s_per_unit"] = benchmark::Counter(
+      units, benchmark::Counter::kIsIterationInvariantRate |
+                 benchmark::Counter::kInvert);
+}
+
+void RegisterAll() {
+  for (int b = 0; b < 5; ++b) {
+    for (int k = 0; k < 5; ++k) {
+      benchmark::RegisterBenchmark("BM_EriQuartet", BM_EriQuartet)
+          ->Args({b, k})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "ERI per-class microbenchmark (feeds knlsim::EriCostTable).\n"
+      "s_per_unit = seconds per primitive-pair product; copy into\n"
+      "EriCostTable::host_default() after toolchain changes.\n\n");
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Figure 3: shared-Fock time on one KNL node (1.0 nm dataset,
+// 4 MPI ranks, quad-cache) as a function of threads per rank, for the four
+// KMP_AFFINITY policies. Shape criteria (paper section 6.1):
+//  * compact is the worst placement until the node saturates,
+//  * scatter/balanced are best and nearly identical,
+//  * all policies converge at 64 threads/rank (256 hardware threads).
+
+#include "harness_common.hpp"
+#include "knlsim/experiments.hpp"
+
+using namespace mc;
+
+int main() {
+  bench::banner("Figure 3", "thread-affinity sweep, shared Fock, 1.0 nm");
+  knlsim::ExperimentContext ctx{knlsim::ThetaMachine{}};
+  Table t = knlsim::figure3_affinity(ctx);
+  bench::print_table(t);
+
+  // Shape checks on the simulated series.
+  knlsim::Simulator sim(ctx.workload("1.0nm"), ctx.machine(),
+                        ctx.calibration());
+  auto at = [&](knlsim::Affinity aff, int threads) {
+    knlsim::SimConfig cfg;
+    cfg.algorithm = core::ScfAlgorithm::kSharedFock;
+    cfg.ranks_per_node = 4;
+    cfg.threads_per_rank = threads;
+    cfg.affinity = aff;
+    return sim.run(cfg).seconds;
+  };
+  const bool compact_worst_early =
+      at(knlsim::Affinity::kCompact, 8) > at(knlsim::Affinity::kScatter, 8) &&
+      at(knlsim::Affinity::kCompact, 8) > at(knlsim::Affinity::kNone, 8);
+  const double conv = at(knlsim::Affinity::kCompact, 64) /
+                      at(knlsim::Affinity::kScatter, 64);
+  const bool converge_at_saturation = conv > 0.95 && conv < 1.05;
+  std::printf("\nshape check: compact worst at low thread counts: %s\n",
+              compact_worst_early ? "PASS" : "FAIL");
+  std::printf("shape check: policies converge at full saturation: %s\n",
+              converge_at_saturation ? "PASS" : "FAIL");
+  return (compact_worst_early && converge_at_saturation) ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Regenerates Figure 4: single-node scalability of the three codes with
+// respect to hardware threads (1.0 nm dataset). Shape criteria (paper
+// section 6.1):
+//  * the MPI-only code cannot use more than 128 hardware threads (memory),
+//  * both hybrid codes reach all 256 hardware threads,
+//  * private Fock gives the best single-node time at every thread count,
+//  * shared Fock tracks it closely (synchronization overhead gap).
+
+#include "harness_common.hpp"
+#include "knlsim/experiments.hpp"
+
+using namespace mc;
+
+int main() {
+  bench::banner("Figure 4", "single-node thread scaling, 1.0 nm");
+  knlsim::ExperimentContext ctx{knlsim::ThetaMachine{}};
+  Table t = knlsim::figure4_single_node(ctx);
+  bench::print_table(t);
+
+  knlsim::Simulator sim(ctx.workload("1.0nm"), ctx.machine(),
+                        ctx.calibration());
+  auto hybrid = [&](core::ScfAlgorithm alg, int hw) {
+    knlsim::SimConfig cfg;
+    cfg.algorithm = alg;
+    cfg.ranks_per_node = 4;
+    cfg.threads_per_rank = hw / 4;
+    return sim.run(cfg);
+  };
+  knlsim::SimConfig mpi256;
+  mpi256.algorithm = core::ScfAlgorithm::kMpiOnly;
+  mpi256.ranks_per_node = 256;
+  const auto rm = sim.run(mpi256);
+  const bool mpi_capped = rm.ranks_per_node <= 128;
+
+  bool private_best = true;
+  bool shared_close = true;
+  for (int hw : {16, 64, 256}) {
+    const auto rp = hybrid(core::ScfAlgorithm::kPrivateFock, hw);
+    const auto rs = hybrid(core::ScfAlgorithm::kSharedFock, hw);
+    private_best = private_best && rp.seconds <= rs.seconds * 1.001;
+    shared_close = shared_close && rs.seconds <= rp.seconds * 1.35;
+  }
+  std::printf("\nshape check: MPI-only memory-capped at <=128 HW threads: %s\n",
+              mpi_capped ? "PASS" : "FAIL");
+  std::printf("shape check: private Fock best single-node time: %s\n",
+              private_best ? "PASS" : "FAIL");
+  std::printf("shape check: shared Fock within 35%% of private: %s\n",
+              shared_close ? "PASS" : "FAIL");
+  return (mpi_capped && private_best && shared_close) ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Regenerates Figure 6: multi-node scaling of the three codes on the
+// 2.0 nm dataset, 4 to 512 nodes (the same data tabulated in Table 3 --
+// bench_table3_efficiency prints the efficiency view with the paper's
+// published numbers side by side). Shape criteria (paper section 6.2):
+//  * all three codes scale well to ~64 nodes,
+//  * the MPI-only and private-Fock curves flatten beyond ~128 nodes,
+//  * shared Fock keeps scaling and is several times faster than MPI-only
+//    at 512 nodes (paper: ~6x).
+
+#include "harness_common.hpp"
+#include "knlsim/experiments.hpp"
+
+using namespace mc;
+using core::ScfAlgorithm;
+
+int main() {
+  bench::banner("Figure 6", "multi-node scaling, 2.0 nm, 4-512 nodes");
+  knlsim::ExperimentContext ctx{knlsim::ThetaMachine{}};
+  bench::print_table(knlsim::figure6_table3_multinode(ctx));
+
+  knlsim::Simulator sim(ctx.workload("2.0nm"), ctx.machine(),
+                        ctx.calibration());
+  auto at = [&](ScfAlgorithm alg, int nodes) {
+    knlsim::SimConfig cfg;
+    cfg.algorithm = alg;
+    cfg.nodes = nodes;
+    return sim.run(cfg).seconds;
+  };
+  const double mpi512 = at(ScfAlgorithm::kMpiOnly, 512);
+  const double prf512 = at(ScfAlgorithm::kPrivateFock, 512);
+  const double shf512 = at(ScfAlgorithm::kSharedFock, 512);
+  const double shf256 = at(ScfAlgorithm::kSharedFock, 256);
+  const double prf256 = at(ScfAlgorithm::kPrivateFock, 256);
+
+  const bool shared_wins_big = shf512 * 2.5 < mpi512 && shf512 * 2.5 < prf512;
+  const bool private_plateaus = prf512 > prf256 * 0.75;  // barely improves
+  const bool shared_keeps_scaling = shf512 < shf256 * 0.65;
+  std::printf("\nmodel vs paper at 512 nodes: MPI %.0fs (paper 82), "
+              "Pr.F. %.0fs (paper 44), Sh.F. %.0fs (paper 13)\n",
+              mpi512, prf512, shf512);
+  std::printf("shape check: shared Fock >2.5x faster than both at 512: %s\n",
+              shared_wins_big ? "PASS" : "FAIL");
+  std::printf("shape check: private Fock plateaus beyond 256 nodes: %s\n",
+              private_plateaus ? "PASS" : "FAIL");
+  std::printf("shape check: shared Fock still scaling 256->512: %s\n",
+              shared_keeps_scaling ? "PASS" : "FAIL");
+  return (shared_wins_big && private_plateaus && shared_keeps_scaling) ? 0
+                                                                       : 1;
+}

@@ -1,0 +1,45 @@
+// Regenerates Figure 7: shared-Fock scaling of the 5.0 nm dataset
+// (30,240 basis functions) up to 3,000 KNL nodes. Shape criteria (paper
+// sections 6.2 and 5.3):
+//  * only the shared-Fock code can run this dataset at all -- the
+//    MPI-only and private-Fock footprints do not fit a 192 GB node,
+//  * the code keeps scaling to 3,000 nodes (192,000 cores) with good
+//    efficiency.
+
+#include "harness_common.hpp"
+#include "knlsim/experiments.hpp"
+
+using namespace mc;
+using core::ScfAlgorithm;
+
+int main() {
+  bench::banner("Figure 7", "shared Fock at scale, 5.0 nm, up to 3000 nodes");
+  bench::note("building the 30,240-BF screened workload (takes a few s)...");
+  knlsim::ExperimentContext ctx{knlsim::ThetaMachine{}};
+  bench::print_table(knlsim::figure7_large_scale(ctx));
+
+  knlsim::Simulator sim(ctx.workload("5.0nm"), ctx.machine(),
+                        ctx.calibration());
+  auto run = [&](ScfAlgorithm alg, int nodes) {
+    knlsim::SimConfig cfg;
+    cfg.algorithm = alg;
+    cfg.nodes = nodes;
+    if (alg == ScfAlgorithm::kPrivateFock) cfg.threads_per_rank = 64;
+    return sim.run(cfg);
+  };
+  const auto prf = run(ScfAlgorithm::kPrivateFock, 1000);
+  const auto mpi = run(ScfAlgorithm::kMpiOnly, 1000);
+  const auto s256 = run(ScfAlgorithm::kSharedFock, 256);
+  const auto s3000 = run(ScfAlgorithm::kSharedFock, 3000);
+  const double eff = s3000.efficiency_vs(s256, 256, 3000);
+
+  const bool only_shared =
+      !prf.feasible && (!mpi.feasible || mpi.ranks_per_node < 16);
+  const bool scales = eff > 60.0;
+  std::printf("\nshape check: 5.0 nm runs only with shared Fock: %s\n",
+              only_shared ? "PASS" : "FAIL");
+  std::printf("shape check: >60%% efficiency at 3000 nodes "
+              "(model: %.0f%%): %s\n",
+              eff, scales ? "PASS" : "FAIL");
+  return (only_shared && scales) ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// System-size scaling of the screened Fock-build work across the paper's
+// five datasets: the paper's introduction quotes O(N^4) for the raw
+// two-electron work; with Schwarz screening on an extended 2-D system the
+// effective exponent drops toward ~O(N^2) asymptotically. This harness
+// measures the effective exponent from the real workload model and checks
+// the expected screening behaviour.
+
+#include <cmath>
+
+#include "harness_common.hpp"
+#include "chem/builders.hpp"
+#include "knlsim/experiments.hpp"
+
+using namespace mc;
+
+int main() {
+  bench::banner("Size scaling", "screened work vs basis size, all datasets");
+  knlsim::ExperimentContext ctx{knlsim::ThetaMachine{}};
+
+  Table t({"dataset", "NBF", "surviving pairs", "pair fraction",
+           "quartets (est.)", "host-core work (s)"});
+  std::vector<double> nbf_log, work_log, quartets_log;
+  for (const std::string& name : chem::builders::paper_dataset_names()) {
+    const auto& wl = ctx.workload(name);
+    const double frac = static_cast<double>(wl.npairs_surviving()) /
+                        static_cast<double>(wl.npairs_total());
+    t.add_row({name, std::to_string(wl.nbf()),
+               std::to_string(wl.npairs_surviving()), fmt_double(frac, 4),
+               fmt_double(wl.quartets_estimate(), 0),
+               fmt_double(wl.total_host_seconds(), 0)});
+    nbf_log.push_back(std::log(static_cast<double>(wl.nbf())));
+    work_log.push_back(std::log(wl.total_host_seconds()));
+    quartets_log.push_back(std::log(wl.quartets_estimate()));
+  }
+  bench::print_table(t);
+
+  // Least-squares slope of log(work) vs log(N): the effective exponent.
+  auto slope = [](const std::vector<double>& x, const std::vector<double>& y) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = static_cast<double>(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      sx += x[i];
+      sy += y[i];
+      sxx += x[i] * x[i];
+      sxy += x[i] * y[i];
+    }
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  };
+  const double work_exp = slope(nbf_log, work_log);
+  const double quartet_exp = slope(nbf_log, quartets_log);
+  std::printf("\neffective exponents over 660 <= N <= 30240:\n");
+  std::printf("  quartets ~ N^%.2f   work ~ N^%.2f   (unscreened: N^4)\n",
+              quartet_exp, work_exp);
+  const bool screened = work_exp < 3.2 && work_exp > 1.5;
+  std::printf("shape check: screening brings the effective exponent well "
+              "below 4: %s\n",
+              screened ? "PASS" : "FAIL");
+  return screened ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Regenerates Table 3: time-to-solution and parallel efficiency of the
+// three algorithms on the 2.0 nm dataset (same sweep as Figure 6), with
+// the paper's published values printed alongside for direct comparison.
+
+#include "harness_common.hpp"
+#include "knlsim/experiments.hpp"
+#include "knlsim/simulator.hpp"
+
+using namespace mc;
+using core::ScfAlgorithm;
+
+int main() {
+  bench::banner("Table 3", "time and parallel efficiency, 2.0 nm");
+  knlsim::ExperimentContext ctx{knlsim::ThetaMachine{}};
+  bench::print_table(knlsim::figure6_table3_multinode(ctx));
+
+  std::printf("\npaper's Table 3 for reference:\n");
+  Table paper({"# Nodes", "MPI (s)", "Pr.F. (s)", "Sh.F. (s)", "MPI eff (%)",
+               "Pr.F. eff (%)", "Sh.F. eff (%)"});
+  paper.add_row({"4", "2661", "1128", "1318", "100", "100", "100"});
+  paper.add_row({"16", "685", "288", "332", "97", "98", "99"});
+  paper.add_row({"64", "195", "78", "85", "85", "90", "97"});
+  paper.add_row({"128", "118", "49", "43", "70", "72", "96"});
+  paper.add_row({"256", "85", "44", "23", "49", "40", "90"});
+  paper.add_row({"512", "82", "44", "13", "25", "20", "79"});
+  bench::print_table(paper);
+
+  // Quantitative shape checks against the paper's efficiency ordering.
+  knlsim::Simulator sim(ctx.workload("2.0nm"), ctx.machine(),
+                        ctx.calibration());
+  auto eff512 = [&](ScfAlgorithm alg) {
+    knlsim::SimConfig base;
+    base.algorithm = alg;
+    base.nodes = 4;
+    knlsim::SimConfig big = base;
+    big.nodes = 512;
+    const auto rb = sim.run(base);
+    const auto r = sim.run(big);
+    return r.efficiency_vs(rb, 4, 512);
+  };
+  const double e_mpi = eff512(ScfAlgorithm::kMpiOnly);
+  const double e_prf = eff512(ScfAlgorithm::kPrivateFock);
+  const double e_shf = eff512(ScfAlgorithm::kSharedFock);
+  std::printf("\n512-node efficiency, model vs paper: MPI %.0f%% (25%%), "
+              "Pr.F. %.0f%% (20%%), Sh.F. %.0f%% (79%%)\n",
+              e_mpi, e_prf, e_shf);
+  const bool ordering = e_shf > e_mpi && e_shf > e_prf && e_shf > 70.0 &&
+                        e_prf < 45.0;
+  std::printf("shape check: efficiency ordering Sh.F. >> MPI, Pr.F.: %s\n",
+              ordering ? "PASS" : "FAIL");
+  return ordering ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#pragma once
+// Shared boilerplate for the table/figure harness binaries: a banner that
+// names the paper artifact being regenerated, and the paper's published
+// values where they exist, so the shape comparison is visible in the
+// output itself (EXPERIMENTS.md records the same pairs).
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace mc::bench {
+
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::printf("================================================================\n");
+  std::printf("%s -- %s\n", artifact.c_str(), what.c_str());
+  std::printf("Mironov et al., SC'17 (MPI/OpenMP Hartree-Fock on Xeon Phi)\n");
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("NOTE: %s\n", text.c_str());
+}
+
+inline void print_table(const Table& t) {
+  std::printf("%s", t.to_string().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace mc::bench

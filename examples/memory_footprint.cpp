@@ -1,0 +1,79 @@
+// Memory-footprint study: the paper's eqs. 3a-3c evaluated for any dataset
+// and node layout, next to the *measured* tracked-allocation peaks of a
+// real run at laptop scale.
+//
+//   $ memory_footprint [nbf] [ranks] [threads]
+//     defaults: the five paper datasets at the paper's layouts.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "chem/builders.hpp"
+#include "common/table.hpp"
+#include "core/memory_model.hpp"
+#include "core/parallel_scf.hpp"
+
+using namespace mc;
+using core::ScfAlgorithm;
+
+namespace {
+
+void custom_row(std::size_t nbf, int ranks, int threads) {
+  Table t({"algorithm", "layout", "bytes/node", "GB/node"});
+  for (auto alg : {ScfAlgorithm::kMpiOnly, ScfAlgorithm::kPrivateFock,
+                   ScfAlgorithm::kSharedFock}) {
+    const core::NodeLayout layout =
+        alg == ScfAlgorithm::kMpiOnly
+            ? core::NodeLayout{ranks * threads, 1}
+            : core::NodeLayout{ranks, threads};
+    const double b = core::model_bytes_per_node(alg, nbf, layout);
+    t.add_row({core::algorithm_name(alg),
+               std::to_string(layout.ranks_per_node) + " x " +
+                   std::to_string(layout.threads_per_rank),
+               fmt_double(b, 0), fmt_double(b / (1 << 30), 2)});
+  }
+  t.print(std::cout);
+}
+
+void measured_small_run() {
+  std::printf("\nmeasured peaks for a real run (water / 6-31G(d), 2 ranks "
+              "x 2 threads):\n");
+  Table t({"algorithm", "peak bytes/rank (measured)"});
+  for (auto alg : {ScfAlgorithm::kMpiOnly, ScfAlgorithm::kPrivateFock,
+                   ScfAlgorithm::kSharedFock}) {
+    core::ParallelScfConfig cfg;
+    cfg.algorithm = alg;
+    cfg.nranks = 2;
+    cfg.nthreads = 2;
+    cfg.basis = "6-31G(d)";
+    auto res = core::run_parallel_scf(chem::builders::water(), cfg);
+    std::size_t peak = 0;
+    for (std::size_t b : res.peak_bytes_per_rank) peak = std::max(peak, b);
+    t.add_row({core::algorithm_name(alg), std::to_string(peak)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    const std::size_t nbf = std::strtoul(argv[1], nullptr, 10);
+    const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int threads = argc > 3 ? std::atoi(argv[3]) : 64;
+    std::printf("footprint model for N = %zu basis functions:\n", nbf);
+    custom_row(nbf, ranks, threads);
+    return 0;
+  }
+
+  std::printf("paper datasets, eqs. 3a-3c (MPI: 256x1, hybrid: 4x64):\n");
+  for (const std::string& name : chem::builders::paper_dataset_names()) {
+    const std::size_t nbf = chem::builders::paper_dataset_natoms(name) * 15;
+    std::printf("\n-- %s (N = %zu) --\n", name.c_str(), nbf);
+    custom_row(nbf, 4, 64);
+  }
+  measured_small_run();
+  return 0;
+}

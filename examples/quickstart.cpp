@@ -1,0 +1,96 @@
+// Quickstart: restricted Hartree-Fock on a single molecule with the serial
+// reference Fock builder.
+//
+//   $ quickstart [molecule] [basis]
+//     molecule: water (default) | methane | benzene | h2
+//     basis:    STO-3G (default) | 6-31G | 6-31G(d)
+//
+// Walks through the whole public API: geometry -> basis -> integrals ->
+// screening -> SCF, then prints the energy decomposition, the orbital
+// spectrum, and per-iteration convergence.
+
+#include <cstdio>
+#include <string>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "chem/element.hpp"
+#include "common/error.hpp"
+#include "ints/eri.hpp"
+#include "ints/one_electron.hpp"
+#include "ints/screening.hpp"
+#include "scf/properties.hpp"
+#include "scf/scf_driver.hpp"
+#include "scf/serial_fock.hpp"
+
+using namespace mc;
+
+namespace {
+
+chem::Molecule pick_molecule(const std::string& name) {
+  if (name == "water") return chem::builders::water();
+  if (name == "methane") return chem::builders::methane();
+  if (name == "benzene") return chem::builders::benzene();
+  if (name == "h2") return chem::builders::h2();
+  MC_CHECK(false, "unknown molecule: " + name +
+                      " (try water, methane, benzene, h2)");
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mol_name = argc > 1 ? argv[1] : "water";
+  const std::string basis_name = argc > 2 ? argv[2] : "STO-3G";
+
+  const chem::Molecule mol = pick_molecule(mol_name);
+  const basis::BasisSet bs = basis::BasisSet::build(mol, basis_name);
+  std::printf("molecule: %s  (%zu atoms, %d electrons)\n", mol_name.c_str(),
+              mol.natoms(), mol.nelectrons());
+  std::printf("basis:    %s  (%zu shells, %zu basis functions)\n",
+              basis_name.c_str(), bs.nshells(), bs.nbf());
+
+  const ints::EriEngine eri(bs);
+  const ints::Screening screen(eri, 1e-10);
+  std::printf("screening: %zu of %zu shell quartets survive at 1e-10\n",
+              screen.count_surviving_quartets(), screen.total_quartets());
+
+  scf::SerialFockBuilder builder(eri, screen);
+  scf::ScfCallbacks cb;
+  cb.on_iteration = [](const scf::ScfIterationInfo& it) {
+    std::printf("  iter %2d  E = %18.10f  dE = %10.2e  rms(D) = %8.2e\n",
+                it.iteration, it.energy, it.delta_energy, it.density_rms);
+  };
+  const scf::ScfResult res = scf::run_scf(mol, bs, builder, {}, cb);
+
+  MC_CHECK(res.converged, "SCF failed to converge");
+  std::printf("\nconverged in %d iterations\n", res.iterations);
+  std::printf("  nuclear repulsion : %18.10f Eh\n", res.nuclear_repulsion);
+  std::printf("  electronic energy : %18.10f Eh\n", res.electronic_energy);
+  std::printf("  total RHF energy  : %18.10f Eh\n", res.energy);
+  std::printf("  Fock-build time   : %.3f s\n", res.fock_build_seconds);
+
+  const int nocc = mol.nelectrons() / 2;
+  std::printf("\norbital energies (Eh):\n");
+  for (std::size_t k = 0; k < res.orbital_energies.size(); ++k) {
+    std::printf("  %3zu  %14.6f  %s\n", k, res.orbital_energies[k],
+                static_cast<int>(k) < nocc ? "occ" : "virt");
+  }
+
+  // Properties from the converged density.
+  const scf::DipoleMoment dm = scf::dipole_moment(mol, bs, res.density);
+  std::printf("\ndipole moment: %.4f D  (%.4f, %.4f, %.4f a.u.)\n",
+              dm.magnitude_debye(), dm.total()[0], dm.total()[1],
+              dm.total()[2]);
+
+  const la::Matrix s_mat = ints::overlap_matrix(bs);
+  const scf::MullikenAnalysis mull =
+      scf::mulliken_analysis(mol, bs, res.density, s_mat);
+  std::printf("Mulliken charges:\n");
+  for (std::size_t a = 0; a < mol.natoms(); ++a) {
+    std::printf("  %-2s %+.4f\n",
+                chem::element_symbol(mol.atom(a).z).c_str(),
+                mull.charges[a]);
+  }
+  return 0;
+}

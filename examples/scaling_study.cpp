@@ -1,0 +1,77 @@
+// Scaling study with the calibrated KNL/Theta model: sweep node counts for
+// any paper dataset and algorithm, printing the time breakdown the
+// simulator attributes to ERI work, load imbalance, synchronization,
+// buffer flushes and the gsumf reduction.
+//
+//   $ scaling_study [dataset] [algorithm] [nodes...]
+//     dataset:   0.5nm | 1.0nm | 1.5nm | 2.0nm | 5.0nm   (default 1.0nm)
+//     algorithm: mpi | private | shared                  (default shared)
+//     nodes:     list of node counts                     (default 1..256)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "knlsim/experiments.hpp"
+
+using namespace mc;
+using core::ScfAlgorithm;
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "1.0nm";
+  const std::string alg_name = argc > 2 ? argv[2] : "shared";
+  ScfAlgorithm alg = ScfAlgorithm::kSharedFock;
+  if (alg_name == "mpi") {
+    alg = ScfAlgorithm::kMpiOnly;
+  } else if (alg_name == "private") {
+    alg = ScfAlgorithm::kPrivateFock;
+  } else {
+    MC_CHECK(alg_name == "shared",
+             "algorithm must be mpi, private or shared");
+  }
+  std::vector<int> nodes;
+  for (int a = 3; a < argc; ++a) nodes.push_back(std::atoi(argv[a]));
+  if (nodes.empty()) nodes = {1, 4, 16, 64, 128, 256};
+
+  std::printf("dataset %s, algorithm %s, quad-cache, 16 SCF iterations\n\n",
+              dataset.c_str(), core::algorithm_name(alg).c_str());
+
+  knlsim::ExperimentContext ctx{knlsim::ThetaMachine{}};
+  knlsim::Simulator sim(ctx.workload(dataset), ctx.machine(),
+                        ctx.calibration());
+
+  Table t({"nodes", "layout", "time (s)", "eff (%)", "ERI (s)",
+           "imbalance (s)", "sync (s)", "flush (s)", "reduce (s)"});
+  knlsim::SimResult base;
+  int base_nodes = 0;
+  for (int n : nodes) {
+    knlsim::SimConfig cfg;
+    cfg.algorithm = alg;
+    cfg.nodes = n;
+    const knlsim::SimResult r = sim.run(cfg);
+    if (!r.feasible) {
+      t.add_row({std::to_string(n), "-", "infeasible: " + r.infeasible_reason,
+                 "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    if (base_nodes == 0) {
+      base = r;
+      base_nodes = n;
+    }
+    t.add_row({std::to_string(n),
+               std::to_string(r.ranks_per_node) + "x" +
+                   std::to_string(r.threads_per_rank),
+               fmt_double(r.seconds, 1),
+               fmt_double(r.efficiency_vs(base, base_nodes, n), 0),
+               fmt_double(r.breakdown.eri_s, 1),
+               fmt_double(r.breakdown.imbalance_s, 1),
+               fmt_double(r.breakdown.sync_s, 2),
+               fmt_double(r.breakdown.flush_s, 2),
+               fmt_double(r.breakdown.reduction_s, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

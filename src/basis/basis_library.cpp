@@ -1,0 +1,178 @@
+#include "basis/basis_library.hpp"
+
+#include "common/error.hpp"
+
+namespace mc::basis {
+
+namespace {
+
+// ---------------------------------------------------------------- STO-3G --
+// STO-3G uses one set of contraction coefficients shared by all elements of
+// a row, with element-specific exponent scalings (standard Pople tables).
+
+std::vector<RawShell> sto3g(int z) {
+  switch (z) {
+    case 1:  // H
+      return {{'S',
+               {3.42525091, 0.62391373, 0.16885540},
+               {0.15432897, 0.53532814, 0.44463454},
+               {}}};
+    case 2:  // He
+      return {{'S',
+               {6.36242139, 1.15892300, 0.31364979},
+               {0.15432897, 0.53532814, 0.44463454},
+               {}}};
+    case 6:  // C
+      return {{'S',
+               {71.6168370, 13.0450960, 3.53051220},
+               {0.15432897, 0.53532814, 0.44463454},
+               {}},
+              {'L',
+               {2.94124940, 0.68348310, 0.22228990},
+               {-0.09996723, 0.39951283, 0.70011547},
+               {0.15591627, 0.60768372, 0.39195739}}};
+    case 7:  // N
+      return {{'S',
+               {99.1061690, 18.0523120, 4.88566020},
+               {0.15432897, 0.53532814, 0.44463454},
+               {}},
+              {'L',
+               {3.78045590, 0.87849660, 0.28571440},
+               {-0.09996723, 0.39951283, 0.70011547},
+               {0.15591627, 0.60768372, 0.39195739}}};
+    case 8:  // O
+      return {{'S',
+               {130.7093200, 23.8088610, 6.44360830},
+               {0.15432897, 0.53532814, 0.44463454},
+               {}},
+              {'L',
+               {5.03315130, 1.16959610, 0.38038900},
+               {-0.09996723, 0.39951283, 0.70011547},
+               {0.15591627, 0.60768372, 0.39195739}}};
+    default:
+      return {};
+  }
+}
+
+// ----------------------------------------------------------------- 6-31G --
+
+std::vector<RawShell> pople631g(int z) {
+  switch (z) {
+    case 1:  // H
+      return {{'S',
+               {18.7311370, 2.82539370, 0.64012170},
+               {0.03349460, 0.23472695, 0.81375733},
+               {}},
+              {'S', {0.16127780}, {1.0}, {}}};
+    case 6:  // C
+      return {{'S',
+               {3047.52490, 457.369510, 103.948690, 29.2101550, 9.28666300,
+                3.16392700},
+               {0.0018347, 0.0140373, 0.0688426, 0.2321844, 0.4679413,
+                0.3623120},
+               {}},
+              {'L',
+               {7.86827240, 1.88128850, 0.54424930},
+               {-0.1193324, -0.1608542, 1.1434564},
+               {0.0689991, 0.3164240, 0.7443083}},
+              {'L', {0.16871440}, {1.0}, {1.0}}};
+    case 7:  // N
+      return {{'S',
+               {4173.51100, 627.457900, 142.902100, 40.2343300, 13.0329000,
+                4.60325800},
+               {0.0018348, 0.0139950, 0.0685870, 0.2322410, 0.4690700,
+                0.3604550},
+               {}},
+              {'L',
+               {11.6263580, 2.71628000, 0.77221800},
+               {-0.1149610, -0.1691180, 1.1458520},
+               {0.0675800, 0.3239070, 0.7408950}},
+              {'L', {0.21203130}, {1.0}, {1.0}}};
+    case 8:  // O
+      return {{'S',
+               {5484.67170, 825.234950, 188.046960, 52.9645000, 16.8975700,
+                5.79963530},
+               {0.0018311, 0.0139501, 0.0684451, 0.2327143, 0.4701930,
+                0.3585209},
+               {}},
+              {'L',
+               {15.5396160, 3.59993360, 1.01376180},
+               {-0.1107775, -0.1480263, 1.1307670},
+               {0.0708743, 0.3397528, 0.7271586}},
+              {'L', {0.27000580}, {1.0}, {1.0}}};
+    default:
+      return {};
+  }
+}
+
+// p-polarization exponent on hydrogen for 6-31G(d,p) (Pople: 1.1).
+double pol_p_exponent(int z) { return z == 1 ? 1.1 : 0.0; }
+
+// d-polarization exponents for 6-31G(d) (Pople standard: 0.8 for C,N,O).
+double pol_d_exponent(int z) {
+  switch (z) {
+    case 6: return 0.800;
+    case 7: return 0.800;
+    case 8: return 0.800;
+    default: return 0.0;
+  }
+}
+
+std::vector<RawShell> pople631gd(int z) {
+  std::vector<RawShell> shells = pople631g(z);
+  if (shells.empty()) return shells;
+  const double d = pol_d_exponent(z);
+  if (d > 0.0) {
+    shells.push_back({'D', {d}, {1.0}, {}});
+  }
+  return shells;
+}
+
+std::vector<RawShell> pople631gdp(int z) {
+  std::vector<RawShell> shells = pople631gd(z);
+  if (shells.empty()) return shells;
+  const double pp = pol_p_exponent(z);
+  if (pp > 0.0) {
+    shells.push_back({'P', {pp}, {1.0}, {}});
+  }
+  return shells;
+}
+
+}  // namespace
+
+std::vector<RawShell> element_basis(const std::string& basis_name, int z) {
+  std::vector<RawShell> shells;
+  if (basis_name == "STO-3G") {
+    shells = sto3g(z);
+  } else if (basis_name == "6-31G") {
+    shells = pople631g(z);
+  } else if (basis_name == "6-31G(d)" || basis_name == "6-31G*") {
+    shells = pople631gd(z);
+  } else if (basis_name == "6-31G(d,p)" || basis_name == "6-31G**") {
+    shells = pople631gdp(z);
+  } else {
+    MC_CHECK(false, "unknown basis set: " + basis_name);
+  }
+  MC_CHECK(!shells.empty(), "basis " + basis_name +
+                                " not available for element Z=" +
+                                std::to_string(z));
+  return shells;
+}
+
+bool has_element_basis(const std::string& basis_name, int z) {
+  if (basis_name == "STO-3G") return !sto3g(z).empty();
+  if (basis_name == "6-31G") return !pople631g(z).empty();
+  if (basis_name == "6-31G(d)" || basis_name == "6-31G*") {
+    return !pople631gd(z).empty();
+  }
+  if (basis_name == "6-31G(d,p)" || basis_name == "6-31G**") {
+    return !pople631gdp(z).empty();
+  }
+  return false;
+}
+
+std::vector<std::string> available_basis_sets() {
+  return {"STO-3G", "6-31G", "6-31G(d)", "6-31G(d,p)"};
+}
+
+}  // namespace mc::basis

@@ -1,0 +1,32 @@
+#pragma once
+// Built-in basis-set tables. Exponents/coefficients are the standard Pople
+// values (as distributed with GAMESS / the EMSL basis-set exchange) for the
+// elements the paper's benchmarks need: H, C plus N, O for generality.
+//
+// Supported basis names: "STO-3G", "6-31G", "6-31G(d)" (the paper's basis).
+
+#include <string>
+#include <vector>
+
+namespace mc::basis {
+
+/// One contracted block from the element table. `type` is 'S', 'P', 'D' or
+/// 'L' (fused SP: `coefs` holds the s coefficients and `coefs_p` the p).
+struct RawShell {
+  char type = 'S';
+  std::vector<double> exps;
+  std::vector<double> coefs;
+  std::vector<double> coefs_p;  // only for type 'L'
+};
+
+/// The raw shell blocks for element `z` in the named basis. Throws
+/// mc::Error for unsupported (basis, element) combinations.
+std::vector<RawShell> element_basis(const std::string& basis_name, int z);
+
+/// True if the named basis is available for element `z`.
+bool has_element_basis(const std::string& basis_name, int z);
+
+/// Names of all built-in basis sets.
+std::vector<std::string> available_basis_sets();
+
+}  // namespace mc::basis

@@ -1,0 +1,78 @@
+#include "basis/basis_set.hpp"
+
+#include <algorithm>
+
+#include "basis/basis_library.hpp"
+#include "common/error.hpp"
+
+namespace mc::basis {
+
+BasisSet BasisSet::build(const chem::Molecule& mol,
+                         const std::string& basis_name) {
+  BasisSet bs;
+  bs.name_ = basis_name;
+  std::size_t bf = 0;
+  for (std::size_t a = 0; a < mol.natoms(); ++a) {
+    const chem::Atom& atom = mol.atom(a);
+    for (const RawShell& raw : element_basis(basis_name, atom.z)) {
+      ++bs.n_gamess_;
+      auto push = [&](int l, const std::vector<double>& coefs, bool from_sp) {
+        Shell sh;
+        sh.l = l;
+        sh.center = atom.xyz;
+        sh.exps = raw.exps;
+        sh.coefs = coefs;
+        sh.atom = static_cast<int>(a);
+        sh.from_sp = from_sp;
+        normalize_shell(sh);
+        sh.first_bf = bf;
+        bf += static_cast<std::size_t>(sh.nfunc());
+        bs.shells_.push_back(std::move(sh));
+      };
+      switch (raw.type) {
+        case 'S': push(0, raw.coefs, false); break;
+        case 'P': push(1, raw.coefs, false); break;
+        case 'D': push(2, raw.coefs, false); break;
+        case 'L':
+          MC_CHECK(raw.coefs_p.size() == raw.exps.size(),
+                   "fused SP shell missing p coefficients");
+          push(0, raw.coefs, true);
+          push(1, raw.coefs_p, true);
+          break;
+        default:
+          MC_CHECK(false, std::string("unknown raw shell type: ") + raw.type);
+      }
+    }
+  }
+  bs.nbf_ = bf;
+  return bs;
+}
+
+int BasisSet::max_shell_size() const {
+  int m = 0;
+  for (const Shell& s : shells_) m = std::max(m, s.nfunc());
+  return m;
+}
+
+int BasisSet::max_l() const {
+  int m = 0;
+  for (const Shell& s : shells_) m = std::max(m, s.l);
+  return m;
+}
+
+std::size_t BasisSet::shell_of_bf(std::size_t bf) const {
+  MC_CHECK(bf < nbf_, "basis function index out of range");
+  // Shells are ordered by first_bf; binary search the containing one.
+  std::size_t lo = 0, hi = shells_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (shells_[mid].first_bf <= bf) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace mc::basis

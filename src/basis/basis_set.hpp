@@ -1,0 +1,50 @@
+#pragma once
+// Molecule-specific basis: the flat list of contracted shells the integral
+// engine iterates over, with GAMESS-convention bookkeeping for reporting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "basis/shell.hpp"
+#include "chem/molecule.hpp"
+
+namespace mc::basis {
+
+class BasisSet {
+ public:
+  BasisSet() = default;
+
+  /// Assign the named basis to every atom of `mol`. Fused SP shells from the
+  /// library are expanded into separate s and p shells sharing exponents;
+  /// the fused count is preserved for GAMESS-style reporting.
+  static BasisSet build(const chem::Molecule& mol,
+                        const std::string& basis_name);
+
+  [[nodiscard]] const std::vector<Shell>& shells() const { return shells_; }
+  [[nodiscard]] const Shell& shell(std::size_t s) const { return shells_[s]; }
+  [[nodiscard]] std::size_t nshells() const { return shells_.size(); }
+  /// Number of basis functions (Cartesian components).
+  [[nodiscard]] std::size_t nbf() const { return nbf_; }
+  /// Shell count in GAMESS convention: a fused SP shell counts once
+  /// (Table 4 of the paper counts shells this way).
+  [[nodiscard]] std::size_t nshells_gamess() const { return n_gamess_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Largest shell width max_s nfunc(s); sizes the paper's FI/FJ buffers
+  /// (Algorithm 3 line 1: mxsize = ubound(Fock) * shellSize).
+  [[nodiscard]] int max_shell_size() const;
+  /// Largest angular momentum present.
+  [[nodiscard]] int max_l() const;
+
+  /// Index of the shell containing basis function `bf`.
+  [[nodiscard]] std::size_t shell_of_bf(std::size_t bf) const;
+
+ private:
+  std::vector<Shell> shells_;
+  std::size_t nbf_ = 0;
+  std::size_t n_gamess_ = 0;
+  std::string name_;
+};
+
+}  // namespace mc::basis

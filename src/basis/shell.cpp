@@ -1,0 +1,73 @@
+#include "basis/shell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace mc::basis {
+
+double dfact(int n) {
+  // (n)!! over odd descending terms; by convention (-1)!! = (0-1)!! = 1.
+  double r = 1.0;
+  for (int k = n; k > 1; k -= 2) r *= k;
+  return r;
+}
+
+double Shell::min_exponent() const {
+  MC_CHECK(!exps.empty(), "shell without primitives");
+  return *std::min_element(exps.begin(), exps.end());
+}
+
+double primitive_norm(double alpha, int i, int j, int k) {
+  const int l = i + j + k;
+  const double num = std::pow(2.0 * alpha / kPi, 0.75) *
+                     std::pow(4.0 * alpha, 0.5 * l);
+  const double den =
+      std::sqrt(dfact(2 * i - 1) * dfact(2 * j - 1) * dfact(2 * k - 1));
+  return num / den;
+}
+
+double component_norm_ratio(int l, int i, int j, int k) {
+  MC_CHECK(i + j + k == l, "component does not match shell l");
+  return std::sqrt(dfact(2 * l - 1) /
+                   (dfact(2 * i - 1) * dfact(2 * j - 1) * dfact(2 * k - 1)));
+}
+
+void normalize_shell(Shell& sh) {
+  MC_CHECK(sh.exps.size() == sh.coefs.size(),
+           "shell exps/coefs size mismatch");
+  const int l = sh.l;
+  // Fold the (l,0,0) primitive norms into the contraction coefficients.
+  for (std::size_t p = 0; p < sh.exps.size(); ++p) {
+    sh.coefs[p] *= primitive_norm(sh.exps[p], l, 0, 0);
+  }
+  // Self-overlap of the contracted (l,0,0) function:
+  // <x^l e^{-a r^2} | x^l e^{-b r^2}> =
+  //    (pi/(a+b))^{3/2} * (2l-1)!! / (2(a+b))^l.
+  double s = 0.0;
+  for (std::size_t p = 0; p < sh.exps.size(); ++p) {
+    for (std::size_t q = 0; q < sh.exps.size(); ++q) {
+      const double ab = sh.exps[p] + sh.exps[q];
+      s += sh.coefs[p] * sh.coefs[q] * std::pow(kPi / ab, 1.5) *
+           dfact(2 * l - 1) / std::pow(2.0 * ab, l);
+    }
+  }
+  MC_CHECK(s > 0.0, "shell has non-positive self overlap");
+  const double scale = 1.0 / std::sqrt(s);
+  for (double& c : sh.coefs) c *= scale;
+}
+
+std::vector<std::array<int, 3>> cartesian_components(int l) {
+  std::vector<std::array<int, 3>> out;
+  out.reserve(static_cast<std::size_t>(ncart(l)));
+  for (int i = l; i >= 0; --i) {
+    for (int j = l - i; j >= 0; --j) {
+      out.push_back({i, j, l - i - j});
+    }
+  }
+  return out;
+}
+
+}  // namespace mc::basis

@@ -1,0 +1,58 @@
+#pragma once
+// Contracted Gaussian shell. A shell groups all basis functions sharing the
+// same center, angular momentum and radial part (the paper, footnote 1).
+//
+// GAMESS-style fused SP ("L") shells are expanded at build time into an
+// s shell and a p shell sharing exponents; Shell::from_sp records the fused
+// origin so shell counts can be reported in GAMESS convention (Table 4).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace mc::basis {
+
+/// Number of Cartesian components for angular momentum l:
+/// s=1, p=3, d=6, f=10, ...
+constexpr int ncart(int l) { return (l + 1) * (l + 2) / 2; }
+
+/// Double factorial (2n-1)!! with (-1)!! = 1.
+double dfact(int n);
+
+struct Shell {
+  int l = 0;                        ///< angular momentum
+  std::array<double, 3> center{};   ///< Bohr
+  std::vector<double> exps;         ///< primitive exponents
+  std::vector<double> coefs;        ///< contraction coefs, normalization folded in
+  std::size_t first_bf = 0;         ///< index of first basis function
+  int atom = -1;                    ///< owning atom
+  bool from_sp = false;             ///< expanded from a fused SP shell
+
+  [[nodiscard]] int nprim() const { return static_cast<int>(exps.size()); }
+  [[nodiscard]] int nfunc() const { return ncart(l); }
+
+  /// Smallest exponent: controls the spatial extent of the shell (used by
+  /// screening estimates).
+  [[nodiscard]] double min_exponent() const;
+};
+
+/// Normalization constant of a primitive Cartesian Gaussian
+/// x^i y^j z^k exp(-a r^2).
+double primitive_norm(double alpha, int i, int j, int k);
+
+/// Per-component normalization ratio relative to the (l,0,0) component:
+/// sqrt((2l-1)!! / ((2i-1)!!(2j-1)!!(2k-1)!!)). The integral engine applies
+/// this so every Cartesian component is individually normalized.
+double component_norm_ratio(int l, int i, int j, int k);
+
+/// Normalize the contraction: folds the (l,0,0) primitive norms into
+/// `coefs` and rescales so the contracted (l,0,0) function has unit
+/// self-overlap.
+void normalize_shell(Shell& sh);
+
+/// Enumerate Cartesian components of angular momentum l in the canonical
+/// order used throughout minichem: lexicographic with x decreasing first,
+/// e.g. d: xx, xy, xz, yy, yz, zz.
+std::vector<std::array<int, 3>> cartesian_components(int l);
+
+}  // namespace mc::basis

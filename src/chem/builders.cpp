@@ -1,0 +1,201 @@
+#include "chem/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace mc::chem::builders {
+
+namespace {
+
+struct Site {
+  double x, y;
+  double r2;  // distance^2 from lattice center
+};
+
+// Generate honeycomb lattice sites around the origin and keep the `natoms`
+// closest to the center. Deterministic tie-breaking by (r2, x, y).
+std::vector<Site> honeycomb_sites(std::size_t natoms, double bond) {
+  MC_CHECK(natoms >= 1, "flake needs at least one atom");
+  // Hexagonal lattice vectors for graphene: cell with 2-atom basis.
+  const double a = bond * std::sqrt(3.0);  // lattice constant
+  const double a1x = a, a1y = 0.0;
+  const double a2x = a / 2.0, a2y = a * std::sqrt(3.0) / 2.0;
+  // 2-atom basis.
+  const double b2x = 0.0, b2y = bond;
+
+  // Enough cells to cover a disk holding natoms: area per atom is
+  // (3*sqrt(3)/4) * bond^2 / ... simpler: each unit cell (2 atoms) has area
+  // a^2 * sqrt(3)/2. Pad generously.
+  const double cell_area = a * a * std::sqrt(3.0) / 2.0;
+  const double needed_area = cell_area * (static_cast<double>(natoms) / 2.0 + 8.0);
+  const double radius = std::sqrt(needed_area / kPi) * 1.8 + 3.0 * a;
+  const int nmax = static_cast<int>(radius / (a / 2.0)) + 2;
+
+  std::vector<Site> sites;
+  sites.reserve(static_cast<std::size_t>(4 * nmax * nmax));
+  for (int i = -nmax; i <= nmax; ++i) {
+    for (int j = -nmax; j <= nmax; ++j) {
+      const double cx = i * a1x + j * a2x;
+      const double cy = i * a1y + j * a2y;
+      for (int b = 0; b < 2; ++b) {
+        const double x = cx + (b ? b2x : 0.0);
+        const double y = cy + (b ? b2y : 0.0);
+        sites.push_back({x, y, x * x + y * y});
+      }
+    }
+  }
+  MC_CHECK(sites.size() >= natoms, "lattice patch too small (internal)");
+  std::sort(sites.begin(), sites.end(), [](const Site& s, const Site& t) {
+    if (s.r2 != t.r2) return s.r2 < t.r2;
+    if (s.x != t.x) return s.x < t.x;
+    return s.y < t.y;
+  });
+  sites.resize(natoms);
+  return sites;
+}
+
+}  // namespace
+
+Molecule graphene_flake(std::size_t natoms, double bond_angstrom) {
+  const double bond = bond_angstrom * kBohrPerAngstrom;
+  std::vector<Atom> atoms;
+  atoms.reserve(natoms);
+  for (const Site& s : honeycomb_sites(natoms, bond)) {
+    atoms.push_back({6, {s.x, s.y, 0.0}});
+  }
+  return Molecule(std::move(atoms));
+}
+
+Molecule graphene_bilayer(std::size_t natoms_per_layer, double bond_angstrom,
+                          double spacing_angstrom) {
+  const double bond = bond_angstrom * kBohrPerAngstrom;
+  const double spacing = spacing_angstrom * kBohrPerAngstrom;
+  std::vector<Atom> atoms;
+  atoms.reserve(2 * natoms_per_layer);
+  const auto sites = honeycomb_sites(natoms_per_layer, bond);
+  for (const Site& s : sites) {
+    atoms.push_back({6, {s.x, s.y, 0.0}});
+  }
+  // AB (Bernal) stacking: second layer shifted by one bond length along y.
+  for (const Site& s : sites) {
+    atoms.push_back({6, {s.x, s.y + bond, spacing}});
+  }
+  return Molecule(std::move(atoms));
+}
+
+namespace {
+const std::map<std::string, std::size_t>& dataset_atoms() {
+  // Total atom counts from the paper's Table 2 / Table 4.
+  static const std::map<std::string, std::size_t> kMap = {
+      {"0.5nm", 44}, {"1.0nm", 120}, {"1.5nm", 220},
+      {"2.0nm", 356}, {"5.0nm", 2016},
+  };
+  return kMap;
+}
+}  // namespace
+
+Molecule paper_dataset(const std::string& name) {
+  return graphene_bilayer(paper_dataset_natoms(name) / 2);
+}
+
+std::vector<std::string> paper_dataset_names() {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : dataset_atoms()) names.push_back(k);
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              return dataset_atoms().at(a) < dataset_atoms().at(b);
+            });
+  return names;
+}
+
+std::size_t paper_dataset_natoms(const std::string& name) {
+  auto it = dataset_atoms().find(name);
+  MC_CHECK(it != dataset_atoms().end(), "unknown paper dataset: " + name);
+  return it->second;
+}
+
+Molecule h2(double r_bohr) {
+  Molecule m;
+  m.add_atom(1, 0.0, 0.0, 0.0);
+  m.add_atom(1, 0.0, 0.0, r_bohr);
+  return m;
+}
+
+Molecule heh_plus(double r_bohr) {
+  Molecule m;
+  m.add_atom(2, 0.0, 0.0, 0.0);
+  m.add_atom(1, 0.0, 0.0, r_bohr);
+  return m;
+}
+
+Molecule water() {
+  const double roh = 0.9584 * kBohrPerAngstrom;
+  const double theta = 104.45 * kPi / 180.0;
+  Molecule m;
+  m.add_atom(8, 0.0, 0.0, 0.0);
+  m.add_atom(1, roh * std::sin(theta / 2.0), 0.0, roh * std::cos(theta / 2.0));
+  m.add_atom(1, -roh * std::sin(theta / 2.0), 0.0, roh * std::cos(theta / 2.0));
+  return m;
+}
+
+Molecule methane() {
+  const double rch = 1.089 * kBohrPerAngstrom;
+  const double c = rch / std::sqrt(3.0);
+  Molecule m;
+  m.add_atom(6, 0.0, 0.0, 0.0);
+  m.add_atom(1, c, c, c);
+  m.add_atom(1, c, -c, -c);
+  m.add_atom(1, -c, c, -c);
+  m.add_atom(1, -c, -c, c);
+  return m;
+}
+
+Molecule benzene() {
+  const double rcc = 1.39 * kBohrPerAngstrom;
+  const double rch = 1.09 * kBohrPerAngstrom;
+  Molecule m;
+  for (int k = 0; k < 6; ++k) {
+    const double phi = kPi / 3.0 * k;
+    m.add_atom(6, rcc * std::cos(phi), rcc * std::sin(phi), 0.0);
+  }
+  for (int k = 0; k < 6; ++k) {
+    const double phi = kPi / 3.0 * k;
+    const double r = rcc + rch;
+    m.add_atom(1, r * std::cos(phi), r * std::sin(phi), 0.0);
+  }
+  return m;
+}
+
+Molecule alkane(int n_carbons) {
+  MC_CHECK(n_carbons >= 1, "alkane needs at least one carbon");
+  const double rcc = 1.54 * kBohrPerAngstrom;
+  const double rch = 1.09 * kBohrPerAngstrom;
+  const double half_angle = 0.5 * (111.0 * kPi / 180.0);
+  const double dx = rcc * std::sin(half_angle);
+  const double dy = rcc * std::cos(half_angle);
+
+  Molecule m;
+  // Zig-zag carbon backbone in the xz... use xy plane: y alternates.
+  for (int i = 0; i < n_carbons; ++i) {
+    m.add_atom(6, i * dx, (i % 2) ? dy : 0.0, 0.0);
+  }
+  // Hydrogens: two per carbon out of plane, plus chain-end caps.
+  for (int i = 0; i < n_carbons; ++i) {
+    const double x = i * dx;
+    const double y = ((i % 2) ? dy : 0.0) + ((i % 2) ? 0.4 : -0.4) * rch;
+    const double hz = rch * 0.9;
+    m.add_atom(1, x, y, hz);
+    m.add_atom(1, x, y, -hz);
+  }
+  // End caps along the chain axis.
+  m.add_atom(1, -rch, 0.0, 0.0);
+  m.add_atom(1, (n_carbons - 1) * dx + rch,
+             ((n_carbons - 1) % 2) ? dy : 0.0, 0.0);
+  return m;
+}
+
+}  // namespace mc::chem::builders

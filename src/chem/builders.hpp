@@ -1,0 +1,49 @@
+#pragma once
+// Geometry builders: the paper's graphene-bilayer benchmark systems plus
+// small fixture molecules used by tests and examples.
+
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace mc::chem::builders {
+
+/// Single graphene flake with exactly `natoms` carbon atoms: a honeycomb
+/// lattice (C-C bond `bond_angstrom`) clipped to the `natoms` sites nearest
+/// the lattice center, which yields a compact roughly-circular flake.
+/// z = 0 plane.
+Molecule graphene_flake(std::size_t natoms, double bond_angstrom = 1.42);
+
+/// AB-stacked graphene bilayer with `natoms_per_layer` atoms in each layer
+/// and interlayer spacing `spacing_angstrom` (3.35 A, graphite).
+Molecule graphene_bilayer(std::size_t natoms_per_layer,
+                          double bond_angstrom = 1.42,
+                          double spacing_angstrom = 3.35);
+
+/// The paper's five benchmark datasets (Table 2 / Table 4):
+///   "0.5nm" -> 44 atoms, "1.0nm" -> 120, "1.5nm" -> 220, "2.0nm" -> 356,
+///   "5.0nm" -> 2016; all graphene bilayers.
+Molecule paper_dataset(const std::string& name);
+/// Names accepted by paper_dataset(), in increasing size order.
+std::vector<std::string> paper_dataset_names();
+/// Total atom count for the named paper dataset.
+std::size_t paper_dataset_natoms(const std::string& name);
+
+// --- Small fixtures (coordinates in the usual literature geometries) ---
+
+/// H2 at a given bond length in Bohr (default 1.4 a0, Szabo & Ostlund's
+/// standard STO-3G test case).
+Molecule h2(double r_bohr = 1.4);
+/// HeH+ geometry at R = 1.4632 a0 (Szabo & Ostlund). Remember charge = +1.
+Molecule heh_plus(double r_bohr = 1.4632);
+/// Water, experimental-ish geometry (r_OH = 0.9584 A, angle 104.45 deg).
+Molecule water();
+/// Methane, tetrahedral, r_CH = 1.089 A.
+Molecule methane();
+/// Benzene, r_CC = 1.39 A, r_CH = 1.09 A, planar hexagon.
+Molecule benzene();
+/// Linear alkane chain C(n)H(2n+2), zig-zag backbone (load-imbalance tests).
+Molecule alkane(int n_carbons);
+
+}  // namespace mc::chem::builders

@@ -1,0 +1,68 @@
+#include "chem/element.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace mc::chem {
+
+namespace {
+
+struct ElementData {
+  const char* symbol;
+  double mass;            // amu
+  double covalent_radius; // Angstrom
+};
+
+// Index = atomic number; index 0 is a placeholder.
+constexpr std::array<ElementData, 19> kElements = {{
+    {"X", 0.0, 0.0},
+    {"H", 1.00794, 0.31},
+    {"He", 4.002602, 0.28},
+    {"Li", 6.941, 1.28},
+    {"Be", 9.012182, 0.96},
+    {"B", 10.811, 0.84},
+    {"C", 12.0107, 0.76},
+    {"N", 14.0067, 0.71},
+    {"O", 15.9994, 0.66},
+    {"F", 18.9984032, 0.57},
+    {"Ne", 20.1797, 0.58},
+    {"Na", 22.98976928, 1.66},
+    {"Mg", 24.3050, 1.41},
+    {"Al", 26.9815386, 1.21},
+    {"Si", 28.0855, 1.11},
+    {"P", 30.973762, 1.07},
+    {"S", 32.065, 1.05},
+    {"Cl", 35.453, 1.02},
+    {"Ar", 39.948, 1.06},
+}};
+
+}  // namespace
+
+int atomic_number(const std::string& symbol) {
+  for (std::size_t z = 1; z < kElements.size(); ++z) {
+    if (symbol == kElements[z].symbol) return static_cast<int>(z);
+  }
+  MC_CHECK(false, "unknown element symbol: " + symbol);
+  return 0;  // unreachable
+}
+
+std::string element_symbol(int z) {
+  MC_CHECK(z >= 1 && z < static_cast<int>(kElements.size()),
+           "atomic number out of supported range");
+  return kElements[static_cast<std::size_t>(z)].symbol;
+}
+
+double atomic_mass(int z) {
+  MC_CHECK(z >= 1 && z < static_cast<int>(kElements.size()),
+           "atomic number out of supported range");
+  return kElements[static_cast<std::size_t>(z)].mass;
+}
+
+double covalent_radius(int z) {
+  MC_CHECK(z >= 1 && z < static_cast<int>(kElements.size()),
+           "atomic number out of supported range");
+  return kElements[static_cast<std::size_t>(z)].covalent_radius;
+}
+
+}  // namespace mc::chem

@@ -1,0 +1,22 @@
+#pragma once
+// Periodic table data for the elements the built-in basis sets cover
+// (H..Ar is plenty for the paper's hydrocarbon benchmarks).
+
+#include <string>
+
+namespace mc::chem {
+
+/// Atomic number for an element symbol ("C" -> 6). Case-sensitive standard
+/// symbols. Throws mc::Error for unknown symbols.
+int atomic_number(const std::string& symbol);
+
+/// Element symbol for an atomic number (6 -> "C").
+std::string element_symbol(int z);
+
+/// Standard atomic mass in amu (for reporting; HF itself only needs Z).
+double atomic_mass(int z);
+
+/// Covalent radius in Angstrom (used by geometry sanity checks).
+double covalent_radius(int z);
+
+}  // namespace mc::chem

@@ -1,0 +1,84 @@
+#include "chem/molecule.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mc::chem {
+
+int Molecule::total_z() const {
+  int z = 0;
+  for (const Atom& a : atoms_) z += a.z;
+  return z;
+}
+
+int Molecule::nelectrons(int charge) const { return total_z() - charge; }
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      e += atoms_[i].z * atoms_[j].z / distance(i, j);
+    }
+  }
+  return e;
+}
+
+double Molecule::distance(std::size_t i, std::size_t j) const {
+  const auto& a = atoms_[i].xyz;
+  const auto& b = atoms_[j].xyz;
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  const double dz = a[2] - b[2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+std::array<double, 3> Molecule::centroid() const {
+  std::array<double, 3> c{0.0, 0.0, 0.0};
+  if (atoms_.empty()) return c;
+  for (const Atom& a : atoms_) {
+    for (int k = 0; k < 3; ++k) c[k] += a.xyz[k];
+  }
+  for (int k = 0; k < 3; ++k) c[k] /= static_cast<double>(atoms_.size());
+  return c;
+}
+
+Molecule Molecule::translated(double dx, double dy, double dz) const {
+  Molecule out = *this;
+  for (Atom& a : out.atoms_) {
+    a.xyz[0] += dx;
+    a.xyz[1] += dy;
+    a.xyz[2] += dz;
+  }
+  return out;
+}
+
+Molecule Molecule::rotated(double angle_z, double angle_y) const {
+  const double cz = std::cos(angle_z), sz = std::sin(angle_z);
+  const double cy = std::cos(angle_y), sy = std::sin(angle_y);
+  Molecule out = *this;
+  for (Atom& a : out.atoms_) {
+    // Rotate about z.
+    double x = cz * a.xyz[0] - sz * a.xyz[1];
+    double y = sz * a.xyz[0] + cz * a.xyz[1];
+    double z = a.xyz[2];
+    // Rotate about y.
+    const double x2 = cy * x + sy * z;
+    const double z2 = -sy * x + cy * z;
+    a.xyz = {x2, y, z2};
+  }
+  return out;
+}
+
+double Molecule::min_distance() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      m = std::min(m, distance(i, j));
+    }
+  }
+  return m;
+}
+
+}  // namespace mc::chem

@@ -1,0 +1,56 @@
+#pragma once
+// Molecular geometry. All coordinates are in Bohr (atomic units) internally;
+// builders and I/O convert from Angstrom.
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace mc::chem {
+
+struct Atom {
+  int z = 0;                          // atomic number
+  std::array<double, 3> xyz{};        // position, Bohr
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+
+  [[nodiscard]] std::size_t natoms() const { return atoms_.size(); }
+  [[nodiscard]] const Atom& atom(std::size_t i) const { return atoms_[i]; }
+  [[nodiscard]] const std::vector<Atom>& atoms() const { return atoms_; }
+
+  void add_atom(int z, double x, double y, double z_coord) {
+    atoms_.push_back({z, {x, y, z_coord}});
+  }
+
+  /// Total nuclear charge.
+  [[nodiscard]] int total_z() const;
+  /// Number of electrons for the given net charge.
+  [[nodiscard]] int nelectrons(int charge = 0) const;
+
+  /// Nuclear-nuclear repulsion energy, Hartree.
+  [[nodiscard]] double nuclear_repulsion() const;
+
+  /// Distance between atoms i and j, Bohr.
+  [[nodiscard]] double distance(std::size_t i, std::size_t j) const;
+
+  /// Geometric centroid, Bohr.
+  [[nodiscard]] std::array<double, 3> centroid() const;
+
+  /// Returns a copy translated by (dx, dy, dz) Bohr.
+  [[nodiscard]] Molecule translated(double dx, double dy, double dz) const;
+  /// Returns a copy rotated about the z axis by `angle` radians, then about
+  /// the y axis by `angle2` (used by rotational-invariance property tests).
+  [[nodiscard]] Molecule rotated(double angle_z, double angle_y = 0.0) const;
+
+  /// Smallest interatomic distance, Bohr (0 atoms -> +inf). Geometry sanity.
+  [[nodiscard]] double min_distance() const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace mc::chem

@@ -1,0 +1,16 @@
+#pragma once
+// Physical constants and unit conversions (CODATA-2014 values, which is
+// what quantum chemistry packages of the paper's era used).
+
+namespace mc {
+
+/// Bohr radius in Angstrom: 1 bohr = 0.52917721067 A.
+inline constexpr double kBohrPerAngstrom = 1.0 / 0.52917721067;
+inline constexpr double kAngstromPerBohr = 0.52917721067;
+
+/// Hartree in eV (for reporting only).
+inline constexpr double kEvPerHartree = 27.21138602;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace mc

@@ -1,0 +1,45 @@
+#pragma once
+// Error handling primitives shared by all minichem modules.
+//
+// Two macros are provided:
+//   MC_CHECK(cond, msg)  -- always-on invariant check, throws mc::Error
+//   MC_ASSERT(cond)      -- debug-only assertion (compiled out in NDEBUG)
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mc {
+
+/// Exception type thrown on any violated precondition or runtime failure
+/// inside minichem. Carries the source location in the message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mc
+
+#define MC_CHECK(cond, msg)                                      \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::mc::detail::throw_error(__FILE__, __LINE__,              \
+                                std::string("check failed: ") +  \
+                                    #cond + " -- " + (msg));     \
+    }                                                            \
+  } while (0)
+
+#ifdef NDEBUG
+#define MC_ASSERT(cond) ((void)0)
+#else
+#define MC_ASSERT(cond) MC_CHECK(cond, "assertion")
+#endif

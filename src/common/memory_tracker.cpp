@@ -1,0 +1,164 @@
+#include "common/memory_tracker.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace mc {
+
+namespace {
+thread_local int t_current_rank = -1;
+}  // namespace
+
+MemoryTracker& MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+int MemoryTracker::current_rank() { return t_current_rank; }
+void MemoryTracker::set_current_rank(int rank) { t_current_rank = rank; }
+
+void MemoryTracker::add(const std::string& category, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[{t_current_rank, category}] += bytes;
+  total_ += bytes;
+  peak_ = std::max(peak_, total_);
+  std::size_t& rl = rank_live_[t_current_rank];
+  rl += bytes;
+  std::size_t& rp = rank_peak_[t_current_rank];
+  rp = std::max(rp, rl);
+}
+
+void MemoryTracker::sub(const std::string& category, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find({t_current_rank, category});
+  if (it == live_.end() || it->second < bytes) {
+    // Deregistration on a different thread than registration is allowed
+    // (buffers may be moved across ranks); fall back to scanning for the
+    // category under any rank.
+    for (auto& [key, val] : live_) {
+      if (key.second == category && val >= bytes) {
+        val -= bytes;
+        total_ -= bytes;
+        auto rit = rank_live_.find(key.first);
+        if (rit != rank_live_.end() && rit->second >= bytes) {
+          rit->second -= bytes;
+        }
+        return;
+      }
+    }
+    return;  // tolerate unmatched frees rather than corrupting accounting
+  }
+  it->second -= bytes;
+  total_ -= bytes;
+  auto rit = rank_live_.find(t_current_rank);
+  if (rit != rank_live_.end() && rit->second >= bytes) rit->second -= bytes;
+}
+
+std::size_t MemoryTracker::rank_bytes(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t sum = 0;
+  for (const auto& [key, val] : live_) {
+    if (key.first == rank) sum += val;
+  }
+  return sum;
+}
+
+std::size_t MemoryTracker::bytes(int rank, const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find({rank, category});
+  return it == live_.end() ? 0 : it->second;
+}
+
+std::size_t MemoryTracker::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::size_t MemoryTracker::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+std::size_t MemoryTracker::rank_peak_bytes(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rank_peak_.find(rank);
+  return it == rank_peak_.end() ? 0 : it->second;
+}
+
+std::vector<int> MemoryTracker::ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<int> out;
+  for (const auto& [key, val] : live_) {
+    if (val > 0) out.insert(key.first);
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> MemoryTracker::categories(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, val] : live_) {
+    if (key.first == rank && val > 0) out.push_back(key.second);
+  }
+  return out;
+}
+
+void MemoryTracker::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.clear();
+  rank_live_.clear();
+  rank_peak_.clear();
+  total_ = 0;
+  peak_ = 0;
+}
+
+TrackedBuffer::TrackedBuffer(std::string category, std::size_t n)
+    : category_(std::move(category)), n_(n), rank_(t_current_rank) {
+  if (n_ == 0) return;
+  data_ = new double[n_]();
+  MemoryTracker::instance().add(category_, n_ * sizeof(double));
+}
+
+TrackedBuffer::~TrackedBuffer() { release(); }
+
+void TrackedBuffer::release() {
+  if (data_ != nullptr) {
+    // Charge the release to the rank that owned the allocation.
+    RankScope scope(rank_);
+    MemoryTracker::instance().sub(category_, n_ * sizeof(double));
+    delete[] data_;
+    data_ = nullptr;
+    n_ = 0;
+  }
+}
+
+TrackedBuffer::TrackedBuffer(TrackedBuffer&& other) noexcept
+    : category_(std::move(other.category_)),
+      data_(other.data_),
+      n_(other.n_),
+      rank_(other.rank_) {
+  other.data_ = nullptr;
+  other.n_ = 0;
+}
+
+TrackedBuffer& TrackedBuffer::operator=(TrackedBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    category_ = std::move(other.category_);
+    data_ = other.data_;
+    n_ = other.n_;
+    rank_ = other.rank_;
+    other.data_ = nullptr;
+    other.n_ = 0;
+  }
+  return *this;
+}
+
+void TrackedBuffer::fill(double v) {
+  std::fill(data_, data_ + n_, v);
+}
+
+}  // namespace mc

@@ -1,0 +1,117 @@
+#pragma once
+// Per-rank memory accounting.
+//
+// The paper's central argument is about the *replication structure* of the
+// large SCF data objects (density, Fock, overlap, buffers) across MPI ranks
+// and OpenMP threads.  MemoryTracker lets every large allocation register
+// itself under a category and a rank id, so tests and benchmarks can verify
+// the asymptotic footprint formulas (paper eqs. 3a-3c) against what the code
+// actually allocates.
+//
+// Rank attribution: mc::par::Runtime sets a thread-local "current rank" for
+// each SPMD rank thread; allocations made on that thread are charged to it.
+// OpenMP worker threads spawned inside a rank inherit rank -1 unless the
+// caller scopes them with RankScope; Fock builders do this for their
+// per-thread buffers.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// Global registry of tracked allocations, keyed by (rank, category).
+/// Thread-safe. Singleton (one process models one job).
+class MemoryTracker {
+ public:
+  static MemoryTracker& instance();
+
+  /// Charge `bytes` to (current rank, category).
+  void add(const std::string& category, std::size_t bytes);
+  /// Release `bytes` from (current rank, category).
+  void sub(const std::string& category, std::size_t bytes);
+
+  /// Current bytes charged to a rank (all categories). rank = -1 means
+  /// "unattributed" (serial code outside any SPMD region).
+  [[nodiscard]] std::size_t rank_bytes(int rank) const;
+  /// Current bytes for one (rank, category).
+  [[nodiscard]] std::size_t bytes(int rank, const std::string& category) const;
+  /// Sum over all ranks and categories.
+  [[nodiscard]] std::size_t total_bytes() const;
+  /// High-water mark of total_bytes() since last reset().
+  [[nodiscard]] std::size_t peak_bytes() const;
+  /// High-water mark of rank_bytes(rank) since last reset().
+  [[nodiscard]] std::size_t rank_peak_bytes(int rank) const;
+
+  /// Number of ranks that have ever been charged.
+  [[nodiscard]] std::vector<int> ranks() const;
+  [[nodiscard]] std::vector<std::string> categories(int rank) const;
+
+  /// Drop all records (typically between tests).
+  void reset();
+
+  /// Thread-local rank id used for attribution.
+  static int current_rank();
+  static void set_current_rank(int rank);
+
+ private:
+  MemoryTracker() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<int, std::string>, std::size_t> live_;
+  std::map<int, std::size_t> rank_live_;
+  std::map<int, std::size_t> rank_peak_;
+  std::size_t total_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII: set the calling thread's rank attribution for the scope.
+class RankScope {
+ public:
+  explicit RankScope(int rank)
+      : prev_(MemoryTracker::current_rank()) {
+    MemoryTracker::set_current_rank(rank);
+  }
+  ~RankScope() { MemoryTracker::set_current_rank(prev_); }
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// A tracked, zero-initialized array of doubles. The workhorse storage type
+/// for all large SCF objects. Registers its size with MemoryTracker under
+/// the given category on construction and deregisters on destruction.
+class TrackedBuffer {
+ public:
+  TrackedBuffer() = default;
+  TrackedBuffer(std::string category, std::size_t n);
+  ~TrackedBuffer();
+
+  TrackedBuffer(TrackedBuffer&& other) noexcept;
+  TrackedBuffer& operator=(TrackedBuffer&& other) noexcept;
+  TrackedBuffer(const TrackedBuffer&) = delete;
+  TrackedBuffer& operator=(const TrackedBuffer&) = delete;
+
+  [[nodiscard]] double* data() { return data_; }
+  [[nodiscard]] const double* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  void fill(double v);
+
+ private:
+  void release();
+
+  std::string category_;
+  double* data_ = nullptr;
+  std::size_t n_ = 0;
+  int rank_ = -1;  // rank charged at construction time
+};
+
+}  // namespace mc

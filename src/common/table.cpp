@@ -1,0 +1,96 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MC_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MC_CHECK(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(fmt_double(v, precision));
+  add_row(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto hline = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+  hline();
+  print_row(header_);
+  hline();
+  for (const auto& row : rows_) print_row(row);
+  hline();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_bytes(double bytes) {
+  static const char* kSuffix[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int s = 0;
+  while (bytes >= 1024.0 && s < 5) {
+    bytes /= 1024.0;
+    ++s;
+  }
+  std::ostringstream os;
+  const int precision = (s == 0) ? 0 : (bytes < 10 ? 2 : 1);
+  os << std::fixed << std::setprecision(precision) << bytes << ' '
+     << kSuffix[s];
+  return os.str();
+}
+
+}  // namespace mc

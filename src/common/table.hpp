@@ -1,0 +1,41 @@
+#pragma once
+// Minimal fixed-width ASCII table printer used by the benchmark harnesses to
+// emit paper-style tables (Table 2, Table 3, ...) and figure data series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/// Builds and prints a column-aligned text table.
+///
+///   Table t({"# Nodes", "Time, s", "Efficiency, %"});
+///   t.add_row({"4", "1318", "100"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Emit as CSV (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision into a string.
+std::string fmt_double(double v, int precision = 3);
+/// Format a byte count with a human-readable suffix ("1.5 GB").
+std::string fmt_bytes(double bytes);
+
+}  // namespace mc

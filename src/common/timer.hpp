@@ -1,0 +1,46 @@
+#pragma once
+// Wall-clock timing. The paper's artifact appendix notes GAMESS timers
+// report CPU time, which is wrong for multithreaded code; like the authors
+// (who switched to omp_get_wtime) we use a monotonic wall clock everywhere.
+
+#include <chrono>
+
+namespace mc {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: sums durations across start()/stop() pairs.
+class AccumTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) { total_ += t_.seconds(); running_ = false; ++laps_; }
+  }
+  [[nodiscard]] double total_seconds() const { return total_; }
+  [[nodiscard]] long laps() const { return laps_; }
+  void reset() { total_ = 0.0; laps_ = 0; running_ = false; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  long laps_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace mc

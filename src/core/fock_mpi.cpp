@@ -1,0 +1,74 @@
+#include "core/fock_mpi.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "par/work_stealing.hpp"
+
+namespace mc::core {
+
+void FockBuilderMpi::process_pair(std::size_t pair,
+                                  const la::Matrix& density, la::Matrix& g,
+                                  std::vector<double>& batch) {
+  const basis::BasisSet& bs = eri_->basis_set();
+  ++pairs_;
+  std::size_t i, j;
+  scf::unpack_pair(pair, i, j);
+  scf::for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
+    if (!screen_->keep(i, j, k, l)) return;  // Schwartz screening
+    batch.assign(eri_->batch_size(i, j, k, l), 0.0);
+    eri_->compute(i, j, k, l, batch.data());  // calculate (i,j|k,l)
+    // Update the process-local replicated 2e-Fock matrix.
+    scf::scatter_quartet(bs, i, j, k, l, batch.data(), density, g);
+    ++quartets_;
+  });
+}
+
+void FockBuilderMpi::build_dlb(const la::Matrix& density, la::Matrix& g) {
+  const std::size_t ns = eri_->basis_set().nshells();
+  const std::size_t npairs = ns * (ns + 1) / 2;
+  ddi_->dlb_reset();
+
+  // GAMESS-style DLB: the loop body runs only for iterations whose global
+  // index matches the next value handed out by the shared counter.
+  std::vector<double> batch;
+  long next = ddi_->dlbnext();
+  for (std::size_t pair = 0; pair < npairs; ++pair) {
+    if (static_cast<long>(pair) != next) continue;
+    next = ddi_->dlbnext();
+    process_pair(pair, density, g, batch);
+  }
+}
+
+void FockBuilderMpi::build_stealing(const la::Matrix& density,
+                                    la::Matrix& g) {
+  const std::size_t ns = eri_->basis_set().nshells();
+  const std::size_t npairs = ns * (ns + 1) / 2;
+  par::WorkStealingScheduler sched(ddi_->comm(), "fock-mpi-ws",
+                                   static_cast<long>(npairs));
+  std::vector<double> batch;
+  for (long pair = sched.next(); pair >= 0; pair = sched.next()) {
+    process_pair(static_cast<std::size_t>(pair), density, g, batch);
+  }
+  steals_ = static_cast<std::size_t>(sched.steals());
+  sched.release();
+}
+
+void FockBuilderMpi::build(const la::Matrix& density, la::Matrix& g) {
+  const basis::BasisSet& bs = eri_->basis_set();
+  MC_CHECK(g.rows() == bs.nbf() && g.cols() == bs.nbf(), "G shape mismatch");
+  pairs_ = 0;
+  quartets_ = 0;
+  steals_ = 0;
+
+  if (lb_ == MpiLoadBalance::kWorkStealing) {
+    build_stealing(density, g);
+  } else {
+    build_dlb(density, g);
+  }
+
+  // 2e-Fock matrix reduction over ranks.
+  ddi_->gsumf(g);
+}
+
+}  // namespace mc::core

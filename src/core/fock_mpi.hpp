@@ -1,0 +1,68 @@
+#pragma once
+// Algorithm 1 of the paper: the stock GAMESS MPI-only SCF parallelization.
+//
+// Every rank owns fully replicated density and Fock matrices. Work is
+// distributed by a global dynamic-load-balance counter over the canonical
+// (i,j) shell-pair loop (ddi_dlbnext); each claimed pair runs the full
+// (k,l) inner loop with Schwarz screening. The per-rank partial Fock
+// matrices are summed with ddi_gsumf at the end.
+//
+// This is the baseline whose memory footprint (eq. 3a: 5/2 N^2 per rank)
+// and coarse task granularity the hybrid algorithms improve on.
+
+#include <vector>
+
+#include "par/ddi.hpp"
+#include "scf/fock_builder.hpp"
+
+namespace mc::core {
+
+/// How the (i,j) pair loop is distributed across ranks.
+enum class MpiLoadBalance {
+  /// Single global counter, claims in index order (stock GAMESS;
+  /// Algorithm 1's ddi_dlbnext).
+  kDlbCounter,
+  /// Contiguous per-rank slices with single-task stealing from the richest
+  /// victim (Liu, Patel & Chow, IPDPS 2014 -- the paper's related work).
+  kWorkStealing,
+};
+
+class FockBuilderMpi : public scf::FockBuilder {
+ public:
+  FockBuilderMpi(const ints::EriEngine& eri, const ints::Screening& screen,
+                 par::Ddi& ddi,
+                 MpiLoadBalance lb = MpiLoadBalance::kDlbCounter)
+      : eri_(&eri), screen_(&screen), ddi_(&ddi), lb_(lb) {}
+
+  [[nodiscard]] std::string name() const override { return "mpi-only"; }
+
+  /// Collective over all ranks: every rank contributes its claimed pairs
+  /// and receives the fully reduced skeleton matrix.
+  void build(const la::Matrix& density, la::Matrix& g) override;
+
+  /// (i,j) pairs this rank processed in the last build (load statistics).
+  [[nodiscard]] std::size_t last_pairs_claimed() const { return pairs_; }
+  /// Quartets this rank computed in the last build.
+  [[nodiscard]] std::size_t last_quartets_computed() const {
+    return quartets_;
+  }
+  /// Pairs this rank stole from other ranks' slices in the last build
+  /// (work-stealing mode only; 0 under the DLB counter).
+  [[nodiscard]] std::size_t last_pairs_stolen() const { return steals_; }
+
+ private:
+  void build_dlb(const la::Matrix& density, la::Matrix& g);
+  void build_stealing(const la::Matrix& density, la::Matrix& g);
+  void process_pair(std::size_t pair, const la::Matrix& density,
+                    la::Matrix& g, std::vector<double>& batch);
+
+  const ints::EriEngine* eri_;
+  const ints::Screening* screen_;
+  par::Ddi* ddi_;
+  MpiLoadBalance lb_;
+  std::size_t pairs_ = 0;
+  std::size_t quartets_ = 0;
+  std::size_t steals_ = 0;
+};
+
+}  // namespace mc::core

@@ -1,0 +1,98 @@
+#include "core/fock_private.hpp"
+
+#include <omp.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+
+namespace mc::core {
+
+void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
+  const basis::BasisSet& bs = eri_->basis_set();
+  const std::size_t ns = bs.nshells();
+  const std::size_t nbf = bs.nbf();
+  MC_CHECK(g.rows() == nbf && g.cols() == nbf, "G shape mismatch");
+  MC_CHECK(opt_.nthreads >= 1, "need at least one thread");
+
+  ddi_->dlb_reset();
+  i_claimed_ = 0;
+  quartets_ = 0;
+
+  const int nt = opt_.nthreads;
+  std::vector<la::Matrix*> thread_g(static_cast<std::size_t>(nt), nullptr);
+  long shared_i = 0;
+
+  omp_set_schedule(opt_.dynamic_schedule ? omp_sched_dynamic
+                                         : omp_sched_static,
+                   1);
+
+#pragma omp parallel num_threads(nt) default(shared)
+  {
+    const int tid = omp_get_thread_num();
+    // OpenMP workers do not inherit the rank thread's memory attribution;
+    // scope it so thread-private buffers are charged to this rank.
+    RankScope rank_scope(ddi_->rank());
+    // The thread-private replicated Fock matrix: the memory cost that
+    // distinguishes Algorithm 2 (eq. 3b) from Algorithm 3 (eq. 3c).
+    la::Matrix gp(nbf, nbf, "fock_thread_private");
+    thread_g[static_cast<std::size_t>(tid)] = &gp;
+    std::vector<double> batch;
+    std::size_t my_quartets = 0;
+
+    for (;;) {
+#pragma omp master
+      shared_i = ddi_->dlbnext();  // MPI DLB: get new I index
+#pragma omp barrier
+      const long i = shared_i;
+      if (i >= static_cast<long>(ns)) break;
+#pragma omp master
+      ++i_claimed_;
+
+      // OpenMP parallelization over the combined (j,k) loops; joining the
+      // loops provides a larger task pool (paper section 4.3).
+#pragma omp for collapse(2) schedule(runtime)
+      for (long j = 0; j <= i; ++j) {
+        for (long k = 0; k <= i; ++k) {
+          const long lmax = (k == i) ? j : k;
+          for (long l = 0; l <= lmax; ++l) {
+            const auto si = static_cast<std::size_t>(i);
+            const auto sj = static_cast<std::size_t>(j);
+            const auto sk = static_cast<std::size_t>(k);
+            const auto sl = static_cast<std::size_t>(l);
+            if (!screen_->keep(si, sj, sk, sl)) continue;
+            batch.assign(eri_->batch_size(si, sj, sk, sl), 0.0);
+            eri_->compute(si, sj, sk, sl, batch.data());
+            // Update the *private* 2e-Fock matrix: no synchronization.
+            scf::scatter_quartet(bs, si, sj, sk, sl, batch.data(), density,
+                                 gp);
+            ++my_quartets;
+          }
+        }
+      }  // implicit barrier keeps the team in lockstep with the master
+    }
+
+#pragma omp atomic
+    quartets_ += my_quartets;
+
+    // Reduce the thread-private copies into the rank matrix, row-chunked so
+    // threads write disjoint cache lines.
+#pragma omp barrier
+#pragma omp for schedule(static)
+    for (long row = 0; row < static_cast<long>(nbf); ++row) {
+      double* grow = g.row(static_cast<std::size_t>(row));
+      for (int t = 0; t < nt; ++t) {
+        const double* prow =
+            thread_g[static_cast<std::size_t>(t)]->row(
+                static_cast<std::size_t>(row));
+        for (std::size_t c = 0; c < nbf; ++c) grow[c] += prow[c];
+      }
+    }  // implicit barrier: nobody frees gp before the reduction completes
+  }
+
+  // 2e-Fock matrix reduction over MPI ranks.
+  ddi_->gsumf(g);
+}
+
+}  // namespace mc::core

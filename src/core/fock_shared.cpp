@@ -1,0 +1,213 @@
+#include "core/fock_shared.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+
+namespace mc::core {
+
+namespace {
+
+/// Chunked parallel reduction of one buffer (all thread columns) into the
+/// shell-s stripe of g, then per-thread re-zeroing. Must be called by
+/// every thread of the team (contains worksharing constructs). This is the
+/// tree-reduction flush of the paper's Figure 1B; the "column" of the
+/// paper's Fortran storage is the row stripe g(off+a, :) in our row-major
+/// matrices, which also keeps the raw skeleton bit-comparable with the
+/// serial reference scatter.
+void flush_buffer(double* buf, std::size_t col_stride, int nt,
+                  const basis::Shell& sh, std::size_t nbf, la::Matrix& g,
+                  int tid) {
+  const int nf = sh.nfunc();
+  const std::size_t off = sh.first_bf;
+#pragma omp for schedule(static)
+  for (long col = 0; col < static_cast<long>(nbf); ++col) {
+    const auto c = static_cast<std::size_t>(col);
+    for (int a = 0; a < nf; ++a) {
+      double sum = 0.0;
+      for (int t = 0; t < nt; ++t) {
+        sum += buf[static_cast<std::size_t>(t) * col_stride +
+                   static_cast<std::size_t>(a) * nbf + c];
+      }
+      g(off + static_cast<std::size_t>(a), c) += sum;
+    }
+  }  // implicit barrier: all reads done before anyone re-zeroes
+  double* mine = buf + static_cast<std::size_t>(tid) * col_stride;
+  std::fill(mine, mine + static_cast<std::size_t>(nf) * nbf, 0.0);
+#pragma omp barrier
+}
+
+}  // namespace
+
+void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
+  const basis::BasisSet& bs = eri_->basis_set();
+  const std::size_t ns = bs.nshells();
+  const std::size_t nbf = bs.nbf();
+  const std::size_t npairs = ns * (ns + 1) / 2;
+  MC_CHECK(g.rows() == nbf && g.cols() == nbf, "G shape mismatch");
+  MC_CHECK(opt_.nthreads >= 1, "need at least one thread");
+
+  ddi_->dlb_reset();
+  pairs_ = 0;
+  quartets_ = 0;
+  fi_flushes_ = 0;
+
+  const int nt = opt_.nthreads;
+  // mxsize = ubound(Fock) * shellSize (+ padding against false sharing);
+  // one column per thread (Algorithm 3 lines 1-3).
+  const std::size_t col_stride =
+      nbf * static_cast<std::size_t>(bs.max_shell_size()) +
+      static_cast<std::size_t>(opt_.padding_doubles);
+  TrackedBuffer fi("fock_fi_buffer", col_stride * static_cast<std::size_t>(nt));
+  TrackedBuffer fj("fock_fj_buffer", col_stride * static_cast<std::size_t>(nt));
+
+  // Per-iteration decisions are taken once, by the master thread, and
+  // published through these shared slots. Threads snapshot them between
+  // two barriers, so the whole team always agrees on which worksharing
+  // constructs the iteration executes. (Evaluating "did i change?" per
+  // thread against a mutable iold is a divergence race: a fast thread can
+  // update the state before a slow one reads it, deadlocking the team.)
+  struct IterPlan {
+    long ij = 0;
+    bool skip = false;          // pair prescreened out
+    long flush_shell = -1;      // FI flush target shell, or -1
+  };
+  IterPlan plan;
+  long iold = -1;  // previous i index; owned by the master thread
+
+  omp_set_schedule(opt_.dynamic_schedule ? omp_sched_dynamic
+                                         : omp_sched_static,
+                   1);
+
+#pragma omp parallel num_threads(nt) default(shared)
+  {
+    const int tid = omp_get_thread_num();
+    double* fi_mine = fi.data() + static_cast<std::size_t>(tid) * col_stride;
+    double* fj_mine = fj.data() + static_cast<std::size_t>(tid) * col_stride;
+    std::vector<double> batch;
+    std::size_t my_quartets = 0;
+
+    for (;;) {
+#pragma omp master
+      {
+        plan.ij = ddi_->dlbnext();  // MPI DLB: get new combined IJ index
+        plan.skip = false;
+        plan.flush_shell = -1;
+        if (plan.ij < static_cast<long>(npairs)) {
+          ++pairs_;
+          std::size_t mi, mj;
+          scf::unpack_pair(static_cast<std::size_t>(plan.ij), mi, mj);
+          // I and J prescreening (Algorithm 3 line 13). We use the safe
+          // bound Q_ij * Q_max so no surviving quartet is ever dropped.
+          plan.skip = !screen_->keep_pair(mi, mj);
+          if (!plan.skip) {
+            // Lazy FI flush: only when the i index changed since the last
+            // unscreened pair (Algorithm 3 lines 15-18).
+            if (static_cast<long>(mi) != iold || !opt_.lazy_fi_flush) {
+              plan.flush_shell = iold;
+              if (plan.flush_shell >= 0) ++fi_flushes_;
+            }
+            iold = static_cast<long>(mi);
+          }
+        }
+      }
+#pragma omp barrier
+      const IterPlan my_plan = plan;
+#pragma omp barrier  // all snapshots taken before master's next rewrite
+      const long ij = my_plan.ij;
+      if (ij >= static_cast<long>(npairs)) break;
+      if (my_plan.skip) continue;
+
+      std::size_t i, j;
+      scf::unpack_pair(static_cast<std::size_t>(ij), i, j);
+      const basis::Shell& shi = bs.shell(i);
+      const basis::Shell& shj = bs.shell(j);
+
+      if (my_plan.flush_shell >= 0) {
+        flush_buffer(fi.data(), col_stride, nt,
+                     bs.shell(static_cast<std::size_t>(my_plan.flush_shell)),
+                     nbf, g, tid);
+      }
+
+      const std::size_t oi = shi.first_bf;
+      const std::size_t oj = shj.first_bf;
+      const int ni = shi.nfunc();
+      const int nj = shj.nfunc();
+
+#pragma omp for schedule(runtime) nowait
+      for (long kl = 0; kl <= ij; ++kl) {
+        std::size_t k, l;
+        scf::unpack_pair(static_cast<std::size_t>(kl), k, l);
+        if (!screen_->keep(i, j, k, l)) continue;  // Schwartz screening
+        batch.assign(eri_->batch_size(i, j, k, l), 0.0);
+        eri_->compute(i, j, k, l, batch.data());  // calculate (i,j|k,l)
+        ++my_quartets;
+
+        const basis::Shell& shk = bs.shell(k);
+        const basis::Shell& shl = bs.shell(l);
+        const std::size_t ok = shk.first_bf;
+        const std::size_t ol = shl.first_bf;
+        const int nk = shk.nfunc();
+        const int nl = shl.nfunc();
+        const double w = scf::quartet_degeneracy(i, j, k, l);
+
+        // The six updates of eqs. (2a)-(2f), routed per Algorithm 3:
+        //   FI (thread-private):  F_ij, F_ik, F_il
+        //   FJ (thread-private):  F_jl, F_jk
+        //   shared Fock (direct): F_kl  -- distinct kl per thread, no race.
+        std::size_t idx = 0;
+        for (int a = 0; a < ni; ++a) {
+          const std::size_t fa = oi + static_cast<std::size_t>(a);
+          double* fia = fi_mine + static_cast<std::size_t>(a) * nbf;
+          for (int b = 0; b < nj; ++b) {
+            const std::size_t fb = oj + static_cast<std::size_t>(b);
+            double* fjb = fj_mine + static_cast<std::size_t>(b) * nbf;
+            for (int c = 0; c < nk; ++c) {
+              const std::size_t fc = ok + static_cast<std::size_t>(c);
+              double* gk = g.row(fc);
+              for (int dd = 0; dd < nl; ++dd, ++idx) {
+                const double v = batch[idx];
+                if (v == 0.0) continue;
+                const std::size_t fd = ol + static_cast<std::size_t>(dd);
+                const double x = 0.5 * w * v;
+                const double x4 = 0.25 * x;
+                fia[fb] += x * density(fc, fd);    // F_ij
+                gk[fd] += x * density(fa, fb);     // F_kl (shared, direct)
+                fia[fc] -= x4 * density(fb, fd);   // F_ik
+                fjb[fd] -= x4 * density(fa, fc);   // F_jl
+                fia[fd] -= x4 * density(fb, fc);   // F_il
+                fjb[fc] -= x4 * density(fa, fd);   // F_jk
+              }
+            }
+          }
+        }
+      }
+#pragma omp barrier  // end of kl loop (nowait + explicit barrier)
+
+      // Flush FJ after every kl loop (Algorithm 3 line 31).
+      flush_buffer(fj.data(), col_stride, nt, shj, nbf, g, tid);
+    }
+
+    // Flush the remaining FI contribution (Algorithm 3 line 36). iold was
+    // last written by the master before the loop-exit barriers, so every
+    // thread observes the same final value here.
+    if (iold >= 0) {
+      flush_buffer(fi.data(), col_stride, nt,
+                   bs.shell(static_cast<std::size_t>(iold)), nbf, g, tid);
+#pragma omp master
+      ++fi_flushes_;
+    }
+
+#pragma omp atomic
+    quartets_ += my_quartets;
+  }
+
+  // 2e-Fock matrix reduction over MPI ranks.
+  ddi_->gsumf(g);
+}
+
+}  // namespace mc::core

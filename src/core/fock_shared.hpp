@@ -1,0 +1,69 @@
+#pragma once
+// Algorithm 3 of the paper: hybrid MPI/OpenMP SCF with *shared density and
+// shared Fock* matrices -- the paper's central contribution ("To the best
+// of our knowledge, having a shared Fock matrix is an unique feature of our
+// implementation").
+//
+// MPI level: the global DLB counter hands out merged (ij) pair indices
+// (finer-grained than Algorithm 2's i loop -- the reason this algorithm
+// load-balances best at scale, Table 3). OpenMP level: threads dynamically
+// share the merged (kl) loop, kl <= ij.
+//
+// Race-freedom by construction, per the paper:
+//  * F_kl is written directly to the shared matrix: threads hold distinct
+//    kl pairs, so the (k,l) shell blocks are disjoint.
+//  * Contributions to shell-i columns (F_ij, F_ik, F_il) go to the
+//    thread-private FI buffer; shell-j columns (F_jk, F_jl) to FJ.
+//  * FJ is flushed (row-chunked parallel reduction over thread columns,
+//    Figure 1B) after every kl loop; FI is flushed lazily, only when the
+//    i index changes -- usually it does not, which is the key optimization.
+//  * Thread columns are padded to cache-line multiples to avoid false
+//    sharing (ablated by bench_ablations).
+
+#include "par/ddi.hpp"
+#include "scf/fock_builder.hpp"
+
+namespace mc::core {
+
+struct SharedFockOptions {
+  int nthreads = 1;
+  /// Flush FI only on i-index change (paper's optimization). Off = flush
+  /// both buffers after every kl loop (the naive variant, for ablation).
+  bool lazy_fi_flush = true;
+  /// Padding (in doubles) appended to each thread's buffer column to avoid
+  /// false sharing during the row-wise reduction (paper section 4.3).
+  int padding_doubles = 8;
+  /// schedule(dynamic,1) on the kl loop when true (paper's choice).
+  bool dynamic_schedule = true;
+};
+
+class FockBuilderShared : public scf::FockBuilder {
+ public:
+  FockBuilderShared(const ints::EriEngine& eri,
+                    const ints::Screening& screen, par::Ddi& ddi,
+                    SharedFockOptions options = {})
+      : eri_(&eri), screen_(&screen), ddi_(&ddi), opt_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "shared-fock"; }
+
+  void build(const la::Matrix& density, la::Matrix& g) override;
+
+  [[nodiscard]] std::size_t last_pairs_claimed() const { return pairs_; }
+  [[nodiscard]] std::size_t last_quartets_computed() const {
+    return quartets_;
+  }
+  /// FI buffer flushes in the last build; with lazy flushing this is the
+  /// number of distinct i values encountered, not the number of ij pairs.
+  [[nodiscard]] std::size_t last_fi_flushes() const { return fi_flushes_; }
+
+ private:
+  const ints::EriEngine* eri_;
+  const ints::Screening* screen_;
+  par::Ddi* ddi_;
+  SharedFockOptions opt_;
+  std::size_t pairs_ = 0;
+  std::size_t quartets_ = 0;
+  std::size_t fi_flushes_ = 0;
+};
+
+}  // namespace mc::core

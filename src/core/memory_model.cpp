@@ -1,0 +1,65 @@
+#include "core/memory_model.hpp"
+
+#include "common/error.hpp"
+
+namespace mc::core {
+
+std::string algorithm_name(ScfAlgorithm alg) {
+  switch (alg) {
+    case ScfAlgorithm::kMpiOnly: return "mpi-only";
+    case ScfAlgorithm::kPrivateFock: return "private-fock";
+    case ScfAlgorithm::kSharedFock: return "shared-fock";
+  }
+  MC_CHECK(false, "unknown algorithm");
+  return {};
+}
+
+double model_bytes_per_node(ScfAlgorithm alg, std::size_t nbf,
+                            const NodeLayout& layout) {
+  const double n2 = static_cast<double>(nbf) * static_cast<double>(nbf) *
+                    sizeof(double);
+  const double ranks = layout.ranks_per_node;
+  switch (alg) {
+    case ScfAlgorithm::kMpiOnly:
+      return 2.5 * n2 * ranks;  // eq. 3a
+    case ScfAlgorithm::kPrivateFock:
+      return (2.0 + layout.threads_per_rank) * n2 * ranks;  // eq. 3b
+    case ScfAlgorithm::kSharedFock:
+      return 3.5 * n2 * ranks;  // eq. 3c
+  }
+  MC_CHECK(false, "unknown algorithm");
+  return 0.0;
+}
+
+NodeLayout max_feasible_layout(ScfAlgorithm alg, std::size_t nbf,
+                               double capacity_bytes, int hw_threads) {
+  MC_CHECK(hw_threads >= 1, "need at least one hardware thread");
+  if (alg == ScfAlgorithm::kMpiOnly) {
+    // One rank per hardware thread; shrink rank count until it fits.
+    for (int ranks = hw_threads; ranks >= 1; --ranks) {
+      NodeLayout l{ranks, 1};
+      if (model_bytes_per_node(alg, nbf, l) <= capacity_bytes) return l;
+    }
+    return {0, 1};
+  }
+  // Hybrid codes: try rank counts that divide the hardware threads,
+  // preferring more ranks (the paper runs 4 ranks x 64 threads).
+  for (int ranks = hw_threads; ranks >= 1; --ranks) {
+    if (hw_threads % ranks != 0) continue;
+    NodeLayout l{ranks, hw_threads / ranks};
+    if (model_bytes_per_node(alg, nbf, l) <= capacity_bytes) return l;
+  }
+  return {0, hw_threads};
+}
+
+double footprint_ratio_vs_mpi(ScfAlgorithm hybrid_alg,
+                              const NodeLayout& hybrid, std::size_t nbf,
+                              int mpi_ranks) {
+  const double mpi =
+      model_bytes_per_node(ScfAlgorithm::kMpiOnly, nbf, {mpi_ranks, 1});
+  const double hyb = model_bytes_per_node(hybrid_alg, nbf, hybrid);
+  MC_CHECK(hyb > 0.0, "hybrid footprint must be positive");
+  return mpi / hyb;
+}
+
+}  // namespace mc::core

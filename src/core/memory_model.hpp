@@ -1,0 +1,51 @@
+#pragma once
+// The paper's asymptotic per-node memory-footprint model (eqs. 3a-3c):
+//
+//   M_MPI = 5/2 * N^2 * N_mpi_per_node                      (eq. 3a)
+//   M_PrF = (2 + N_threads) * N^2 * N_mpi_per_node          (eq. 3b)
+//   M_ShF = 7/2 * N^2 * N_mpi_per_node                      (eq. 3c)
+//
+// with N the number of basis functions and sizes in doubles. This module
+// evaluates the model for arbitrary configurations (Table 2), and computes
+// the maximum feasible ranks-per-node under a memory capacity -- the
+// mechanism that caps the MPI-only code at 128 hardware threads on a
+// 192 GB KNL node (Figure 4) and makes the 5 nm dataset shared-Fock-only
+// (Figure 7).
+
+#include <cstddef>
+#include <string>
+
+namespace mc::core {
+
+enum class ScfAlgorithm { kMpiOnly, kPrivateFock, kSharedFock };
+
+std::string algorithm_name(ScfAlgorithm alg);
+
+struct NodeLayout {
+  int ranks_per_node = 1;
+  int threads_per_rank = 1;
+  [[nodiscard]] int hardware_threads() const {
+    return ranks_per_node * threads_per_rank;
+  }
+};
+
+/// Paper eqs. 3a-3c: bytes per node for `nbf` basis functions.
+double model_bytes_per_node(ScfAlgorithm alg, std::size_t nbf,
+                            const NodeLayout& layout);
+
+/// Largest ranks-per-node that fits `capacity_bytes`, assuming the node's
+/// `hw_threads` hardware threads are split evenly (threads_per_rank =
+/// hw_threads / ranks). Returns 0 if even one rank does not fit.
+/// For the MPI-only algorithm threads_per_rank is pinned to 1 and ranks
+/// may not exceed hw_threads.
+NodeLayout max_feasible_layout(ScfAlgorithm alg, std::size_t nbf,
+                               double capacity_bytes, int hw_threads);
+
+/// Memory-footprint ratio of the MPI-only code at `mpi_ranks` ranks/node to
+/// the given hybrid algorithm at `hybrid` layout (the paper's "about 50x /
+/// 200x less footprint" comparison).
+double footprint_ratio_vs_mpi(ScfAlgorithm hybrid_alg,
+                              const NodeLayout& hybrid, std::size_t nbf,
+                              int mpi_ranks);
+
+}  // namespace mc::core

@@ -1,0 +1,198 @@
+#include "core/parallel_scf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numeric>
+
+#include "basis/basis_set.hpp"
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/timer.hpp"
+#include "core/fock_mpi.hpp"
+#include "ints/one_electron.hpp"
+#include "la/blas_lite.hpp"
+#include "la/orthogonalizer.hpp"
+#include "la/sym_eig.hpp"
+#include "par/ddi.hpp"
+#include "par/runtime.hpp"
+#include "scf/diis.hpp"
+
+namespace mc::core {
+
+double ParallelScfResult::load_imbalance() const {
+  if (quartets_per_rank.empty()) return 1.0;
+  const auto total = std::accumulate(quartets_per_rank.begin(),
+                                     quartets_per_rank.end(), std::size_t{0});
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(quartets_per_rank.size());
+  const auto mx = *std::max_element(quartets_per_rank.begin(),
+                                    quartets_per_rank.end());
+  return static_cast<double>(mx) / mean;
+}
+
+namespace {
+
+std::unique_ptr<scf::FockBuilder> make_builder(
+    const ParallelScfConfig& cfg, const ints::EriEngine& eri,
+    const ints::Screening& screen, par::Ddi& ddi) {
+  switch (cfg.algorithm) {
+    case ScfAlgorithm::kMpiOnly:
+      return std::make_unique<FockBuilderMpi>(eri, screen, ddi);
+    case ScfAlgorithm::kPrivateFock: {
+      PrivateFockOptions opt = cfg.private_options;
+      opt.nthreads = cfg.nthreads;
+      return std::make_unique<FockBuilderPrivate>(eri, screen, ddi, opt);
+    }
+    case ScfAlgorithm::kSharedFock: {
+      SharedFockOptions opt = cfg.shared_options;
+      opt.nthreads = cfg.nthreads;
+      return std::make_unique<FockBuilderShared>(eri, screen, ddi, opt);
+    }
+  }
+  MC_CHECK(false, "unknown algorithm");
+  return nullptr;
+}
+
+std::size_t builder_quartets(const scf::FockBuilder& b, ScfAlgorithm alg) {
+  switch (alg) {
+    case ScfAlgorithm::kMpiOnly:
+      return static_cast<const FockBuilderMpi&>(b).last_quartets_computed();
+    case ScfAlgorithm::kPrivateFock:
+      return static_cast<const FockBuilderPrivate&>(b)
+          .last_quartets_computed();
+    case ScfAlgorithm::kSharedFock:
+      return static_cast<const FockBuilderShared&>(b)
+          .last_quartets_computed();
+  }
+  return 0;
+}
+
+}  // namespace
+
+ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
+                                   const ParallelScfConfig& config) {
+  MC_CHECK(config.nranks >= 1, "need at least one rank");
+  MC_CHECK(config.nthreads >= 1, "need at least one thread per rank");
+
+  const int nelec = mol.nelectrons(config.scf.charge);
+  MC_CHECK(nelec > 0 && nelec % 2 == 0,
+           "closed-shell RHF requires an even, positive electron count");
+  const int nocc = nelec / 2;
+
+  ParallelScfResult result;
+  result.quartets_per_rank.assign(static_cast<std::size_t>(config.nranks), 0);
+  result.peak_bytes_per_rank.assign(static_cast<std::size_t>(config.nranks),
+                                    0);
+  std::mutex result_mu;
+
+  MemoryTracker::instance().reset();
+  WallTimer wall;
+
+  par::run_spmd(config.nranks, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    const int rank = comm.rank();
+
+    // Every rank owns replicated copies of the geometry-derived data --
+    // exactly the replication pattern of the real GAMESS code.
+    auto bs = basis::BasisSet::build(mol, config.basis);
+    const std::size_t nbf = bs.nbf();
+    ints::EriEngine eri(bs);
+    ints::Screening screen(eri, config.schwarz_threshold);
+    auto builder = make_builder(config, eri, screen, ddi);
+
+    const la::Matrix s(ints::overlap_matrix(bs), "overlap");
+    const la::Matrix h(ints::core_hamiltonian(bs, mol), "hcore");
+    la::Matrix x = la::canonical_orthogonalizer(s, config.scf.lindep_tolerance);
+
+    la::Matrix d(scf::core_guess_density(h, x, nocc), "density");
+    la::Matrix g(nbf, nbf, "fock");
+    scf::Diis diis(config.scf.diis_max_vectors);
+
+    scf::ScfResult res;
+    res.nuclear_repulsion = mol.nuclear_repulsion();
+
+    double e_prev = 0.0;
+    for (int iter = 1; iter <= config.scf.max_iterations; ++iter) {
+      WallTimer fock_timer;
+      g.set_zero();
+      builder->build(d, g);  // collective: includes ddi_gsumf
+      const double t_fock = fock_timer.seconds();
+      res.fock_build_seconds += t_fock;
+
+      g.symmetrize();
+      la::Matrix f = h;
+      f += g;
+
+      const double e_elec = 0.5 * (la::dot(d, h) + la::dot(d, f));
+      const double e_total = e_elec + res.nuclear_repulsion;
+
+      la::Matrix fds = la::gemm(f, la::gemm(d, s));
+      la::Matrix err_ao = fds;
+      err_ao -= fds.transposed();
+      la::Matrix err = la::gemm_tn(x, la::gemm(err_ao, x));
+
+      la::Matrix f_eff = f;
+      if (config.scf.use_diis) {
+        diis.push(f, err);
+        f_eff = diis.extrapolate();
+      }
+
+      // Diagonalization is replicated on every rank (as in GAMESS, where
+      // it is a known scalability limit -- paper section 2).
+      la::SymEigResult eig = la::eigh_generalized(f_eff, x);
+      la::Matrix d_new = scf::density_from_coefficients(eig.vectors, nocc);
+
+      double rms = 0.0;
+      for (std::size_t q = 0; q < d.size(); ++q) {
+        const double dv = d_new.data()[q] - d.data()[q];
+        rms += dv * dv;
+      }
+      rms = std::sqrt(rms / static_cast<double>(d.size()));
+      // Keep ranks in lockstep on the convergence decision even if
+      // floating-point drift were to appear.
+      rms = comm.allreduce_max(rms);
+
+      scf::ScfIterationInfo info;
+      info.iteration = iter;
+      info.energy = e_total;
+      info.delta_energy = e_total - e_prev;
+      info.density_rms = rms;
+      info.fock_build_seconds = t_fock;
+      res.history.push_back(info);
+
+      d.copy_values_from(d_new);
+      res.iterations = iter;
+      res.energy = e_total;
+      res.electronic_energy = e_elec;
+      res.orbital_energies = eig.values;
+      res.mo_coefficients = eig.vectors;
+      res.fock = std::move(f);
+
+      if (iter > 1 && rms < config.scf.density_tolerance &&
+          std::abs(e_total - e_prev) < config.scf.energy_tolerance) {
+        res.converged = true;
+        break;
+      }
+      e_prev = e_total;
+    }
+    res.density = d;  // keep the tracked copy alive until after snapshot
+
+    {
+      std::lock_guard<std::mutex> lk(result_mu);
+      result.quartets_per_rank[static_cast<std::size_t>(rank)] =
+          builder_quartets(*builder, config.algorithm);
+      result.peak_bytes_per_rank[static_cast<std::size_t>(rank)] =
+          MemoryTracker::instance().rank_peak_bytes(rank);
+      if (rank == 0) result.scf = std::move(res);
+    }
+    comm.barrier();
+  });
+
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace mc::core

@@ -1,0 +1,53 @@
+#pragma once
+// End-to-end distributed SCF: launches a minimpi SPMD job in which every
+// rank runs the lockstep GAMESS-style SCF loop -- replicated one-electron
+// matrices and diagonalization, cooperative two-electron Fock build with
+// the selected algorithm, ddi_gsumf reduction -- and reports rank-0 results
+// plus per-rank memory and load statistics.
+//
+// This is the public entry point a downstream user calls; the examples and
+// the algorithm-comparison benchmarks are built on it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "core/fock_private.hpp"
+#include "core/fock_shared.hpp"
+#include "core/memory_model.hpp"
+#include "scf/scf_driver.hpp"
+
+namespace mc::core {
+
+struct ParallelScfConfig {
+  ScfAlgorithm algorithm = ScfAlgorithm::kSharedFock;
+  int nranks = 1;
+  /// OpenMP threads per rank; forced to 1 for the MPI-only algorithm.
+  int nthreads = 1;
+  std::string basis = "STO-3G";
+  scf::ScfOptions scf;
+  double schwarz_threshold = 1e-10;
+  /// Algorithm-specific tuning (nthreads fields are overridden).
+  SharedFockOptions shared_options;
+  PrivateFockOptions private_options;
+};
+
+struct ParallelScfResult {
+  scf::ScfResult scf;  ///< rank-0 result (all ranks converge identically)
+  double wall_seconds = 0.0;
+  /// Quartets computed by each rank in the *final* Fock build -- the load
+  /// balance signature of the algorithm.
+  std::vector<std::size_t> quartets_per_rank;
+  /// Tracked-allocation peak per rank over the whole run.
+  std::vector<std::size_t> peak_bytes_per_rank;
+  /// max/mean of quartets_per_rank (1.0 = perfect balance).
+  [[nodiscard]] double load_imbalance() const;
+};
+
+/// Run the distributed SCF. Throws mc::Error on invalid configuration or
+/// non-convergence is reported via result.scf.converged.
+ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
+                                   const ParallelScfConfig& config);
+
+}  // namespace mc::core

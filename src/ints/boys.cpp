@@ -1,0 +1,58 @@
+#include "ints/boys.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace mc::ints {
+
+void boys(int mmax, double t, double* out) {
+  MC_CHECK(mmax >= 0 && mmax <= kMaxBoysOrder, "boys order out of range");
+  MC_CHECK(t >= 0.0, "boys argument must be non-negative");
+
+  if (t < 1e-13) {
+    // F_m(0) = 1/(2m+1); first-order Taylor keeps continuity.
+    for (int m = 0; m <= mmax; ++m) {
+      out[m] = 1.0 / (2 * m + 1) - t / (2 * m + 3);
+    }
+    return;
+  }
+
+  if (t > 50.0) {
+    // Asymptotic: F_0(T) ~ (1/2) sqrt(pi/T); exp(-T) < 2e-22 is negligible,
+    // so the upward recursion F_{m+1} = ((2m+1) F_m - exp(-T)) / (2T) is
+    // both accurate and stable here.
+    const double emt = std::exp(-t);
+    out[0] = 0.5 * std::sqrt(kPi / t);
+    for (int m = 0; m < mmax; ++m) {
+      out[m + 1] = ((2 * m + 1) * out[m] - emt) / (2.0 * t);
+    }
+    return;
+  }
+
+  // Moderate T: evaluate F_mmax by its (convergent, positive-term) series
+  //   F_m(T) = exp(-T) * sum_{k>=0} (2T)^k / ((2m+1)(2m+3)...(2m+2k+1))
+  // then recur downward (stable direction):
+  //   F_m = (2T F_{m+1} + exp(-T)) / (2m+1).
+  const double emt = std::exp(-t);
+  double term = 1.0 / (2 * mmax + 1);
+  double sum = term;
+  for (int k = 1; k < 10000; ++k) {
+    term *= 2.0 * t / (2 * mmax + 2 * k + 1);
+    sum += term;
+    if (term < sum * 1e-16) break;
+  }
+  out[mmax] = emt * sum;
+  for (int m = mmax; m > 0; --m) {
+    out[m - 1] = (2.0 * t * out[m] + emt) / (2 * m - 1);
+  }
+}
+
+double boys_single(int m, double t) {
+  double buf[kMaxBoysOrder + 1];
+  boys(m, t, buf);
+  return buf[m];
+}
+
+}  // namespace mc::ints

@@ -1,0 +1,20 @@
+#pragma once
+// Boys function F_m(T) = int_0^1 t^(2m) exp(-T t^2) dt, the radial kernel of
+// all Gaussian Coulomb integrals (nuclear attraction and ERIs).
+
+#include <cstddef>
+
+namespace mc::ints {
+
+/// Maximum Boys order the engine will ever request: 4 shells x l<=4 plus
+/// margin. (The built-in bases stop at d, but the engine is general.)
+inline constexpr int kMaxBoysOrder = 32;
+
+/// Fill out[0..mmax] with F_m(T). Accurate to ~1e-14 relative for the
+/// supported range. Handles T = 0 and very large T.
+void boys(int mmax, double t, double* out);
+
+/// Convenience: single order.
+double boys_single(int m, double t);
+
+}  // namespace mc::ints

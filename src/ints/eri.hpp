@@ -1,0 +1,58 @@
+#pragma once
+// General-L electron repulsion integral (ERI) engine, McMurchie-Davidson
+// scheme. Computes contracted shell quartets (ij|kl) in chemists' notation:
+//
+//   (ij|kl) = integral phi_i(1) phi_j(1) 1/r12 phi_k(2) phi_l(2)
+//
+// compute() is const and reentrant: safe to call concurrently from OpenMP
+// threads (per-thread scratch is kept in thread_local workspaces). This is
+// the property the paper's hybrid algorithms rely on -- the ERI kernel
+// itself has no shared mutable state.
+
+#include <cstddef>
+
+#include "basis/basis_set.hpp"
+#include "ints/shell_pair.hpp"
+
+namespace mc::ints {
+
+/// Low-level kernel: contracted ERI batch for a bra/ket pair of
+/// precomputed ShellPairData, written in canonical orientation
+/// [bra.s1][bra.s2][ket.s1][ket.s2]. Reentrant (thread-local scratch).
+/// EriEngine::compute wraps this with index permutation; the knlsim
+/// workload model calls it directly to evaluate isolated Schwarz
+/// diagonals (ab|ab) without building a full engine.
+void compute_eri_canonical(const ShellPairData& bra,
+                           const ShellPairData& ket, double* out);
+
+class EriEngine {
+ public:
+  /// Precomputes shell-pair data for all unique pairs of the basis.
+  explicit EriEngine(const basis::BasisSet& bs);
+
+  /// Computes the full Cartesian batch for shells (si sj | sk sl) into
+  /// `out`, laid out [a][b][c][d] row-major with a over si's components,
+  /// etc. `out` must hold nfunc(si)*nfunc(sj)*nfunc(sk)*nfunc(sl) doubles.
+  void compute(std::size_t si, std::size_t sj, std::size_t sk,
+               std::size_t sl, double* out) const;
+
+  /// Number of doubles compute() writes for this quartet.
+  [[nodiscard]] std::size_t batch_size(std::size_t si, std::size_t sj,
+                                       std::size_t sk, std::size_t sl) const;
+
+  [[nodiscard]] const basis::BasisSet& basis_set() const { return *bs_; }
+  [[nodiscard]] const ShellPairList& pairs() const { return pairs_; }
+
+  /// Approximate FLOP-ish cost weight of a quartet: used by the load-balance
+  /// simulator to weight tasks. Proportional to
+  /// nprim(ij)*nprim(kl)*ncomp(ij)*ncomp(kl).
+  [[nodiscard]] double quartet_cost_weight(std::size_t si, std::size_t sj,
+                                           std::size_t sk,
+                                           std::size_t sl) const;
+
+ private:
+  const basis::BasisSet* bs_;
+  ShellPairList pairs_;
+};
+
+}  // namespace mc::ints

@@ -1,0 +1,104 @@
+#include "ints/hermite.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ints/boys.hpp"
+
+namespace mc::ints {
+
+ETable::ETable(int imax, int jmax, double a, double b, double ab)
+    : jmax_(jmax), tdim_(imax + jmax + 1) {
+  const double p = a + b;
+  const double mu = a * b / p;
+  const double one_over_2p = 0.5 / p;
+  // Gaussian product center offsets.
+  const double pa = -b * ab / p;  // P_x - A_x
+  const double pb = a * ab / p;   // P_x - B_x
+
+  data_.assign(static_cast<std::size_t>((imax + 1) * (jmax + 1) * tdim_), 0.0);
+  auto at = [&](int i, int j, int t) -> double& {
+    return data_[static_cast<std::size_t>((i * (jmax_ + 1) + j) * tdim_ + t)];
+  };
+  auto get = [&](int i, int j, int t) -> double {
+    if (i < 0 || j < 0 || t < 0 || t > i + j) return 0.0;
+    return at(i, j, t);
+  };
+
+  at(0, 0, 0) = std::exp(-mu * ab * ab);
+
+  // Build up i at j = 0:
+  //   E_t^{i+1,0} = (1/2p) E_{t-1}^{i,0} + PA E_t^{i,0} + (t+1) E_{t+1}^{i,0}
+  for (int i = 0; i < imax; ++i) {
+    for (int t = 0; t <= i + 1; ++t) {
+      at(i + 1, 0, t) = one_over_2p * get(i, 0, t - 1) + pa * get(i, 0, t) +
+                        (t + 1) * get(i, 0, t + 1);
+    }
+  }
+  // Build up j for every i:
+  //   E_t^{i,j+1} = (1/2p) E_{t-1}^{i,j} + PB E_t^{i,j} + (t+1) E_{t+1}^{i,j}
+  for (int i = 0; i <= imax; ++i) {
+    for (int j = 0; j < jmax; ++j) {
+      for (int t = 0; t <= i + j + 1; ++t) {
+        at(i, j + 1, t) = one_over_2p * get(i, j, t - 1) + pb * get(i, j, t) +
+                          (t + 1) * get(i, j, t + 1);
+      }
+    }
+  }
+}
+
+void RTable::build(int ltot, double alpha, const double* pq) {
+  MC_CHECK(ltot <= kMaxBoysOrder, "RTable order exceeds Boys table");
+  dim_ = ltot + 1;
+  const double r2 = pq[0] * pq[0] + pq[1] * pq[1] + pq[2] * pq[2];
+
+  double fm[kMaxBoysOrder + 1];
+  boys(ltot, alpha * r2, fm);
+
+  // aux[n][t][u][v]; R_{000}^{(n)} = (-2 alpha)^n F_n(alpha R^2).
+  // Recursions (Helgaker et al. eq. 9.9.18-20):
+  //   R_{t+1,u,v}^{(n)} = t R_{t-1,u,v}^{(n+1)} + X_PQ R_{t,u,v}^{(n+1)}
+  // and cyclic for u, v.
+  const int d = dim_;
+  const std::size_t sz = static_cast<std::size_t>(d) * d * d;
+  auto idx = [d](int t, int u, int v) {
+    return static_cast<std::size_t>((t * d + u) * d + v);
+  };
+
+  // Level n lives in scratch_[n * sz ...); only R_{000}^{(n)} seeds it.
+  scratch_.assign(sz * static_cast<std::size_t>(ltot + 1), 0.0);
+  double pref = 1.0;
+  for (int n = 0; n <= ltot; ++n) {
+    scratch_[static_cast<std::size_t>(n) * sz + idx(0, 0, 0)] = pref * fm[n];
+    pref *= -2.0 * alpha;
+  }
+  // Work downward: fill level n using level n+1.
+  for (int n = ltot - 1; n >= 0; --n) {
+    double* lo = scratch_.data() + static_cast<std::size_t>(n) * sz;
+    const double* hi = scratch_.data() + static_cast<std::size_t>(n + 1) * sz;
+    const int lmax = ltot - n;
+    for (int t = 0; t <= lmax; ++t) {
+      for (int u = 0; u + t <= lmax; ++u) {
+        for (int v = 0; v + u + t <= lmax; ++v) {
+          if (t + u + v == 0) continue;
+          double val;
+          if (t > 0) {
+            val = pq[0] * hi[idx(t - 1, u, v)];
+            if (t > 1) val += (t - 1) * hi[idx(t - 2, u, v)];
+          } else if (u > 0) {
+            val = pq[1] * hi[idx(t, u - 1, v)];
+            if (u > 1) val += (u - 1) * hi[idx(t, u - 2, v)];
+          } else {
+            val = pq[2] * hi[idx(t, u, v - 1)];
+            if (v > 1) val += (v - 1) * hi[idx(t, u, v - 2)];
+          }
+          lo[idx(t, u, v)] = val;
+        }
+      }
+    }
+  }
+  data_.assign(scratch_.begin(),
+               scratch_.begin() + static_cast<std::ptrdiff_t>(sz));
+}
+
+}  // namespace mc::ints

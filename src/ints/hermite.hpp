@@ -1,0 +1,61 @@
+#pragma once
+// McMurchie-Davidson Hermite machinery:
+//  * E coefficients expanding a 1-D Cartesian Gaussian product in Hermite
+//    Gaussians,
+//  * the Hermite Coulomb tensor R_{tuv}.
+// Reference: McMurchie & Davidson, J. Comput. Phys. 26, 218 (1978); see also
+// Helgaker/Jorgensen/Olsen "Molecular Electronic-Structure Theory" ch. 9.
+
+#include <vector>
+
+namespace mc::ints {
+
+/// Table of 1-D Hermite expansion coefficients E_t^{ij} for one primitive
+/// pair in one dimension: exponents (a, b), separation AB = A_x - B_x.
+/// Valid for 0 <= i <= imax, 0 <= j <= jmax, 0 <= t <= i + j.
+class ETable {
+ public:
+  ETable() = default;
+  /// Builds the full table. The Gaussian product prefactor
+  /// exp(-a b/(a+b) AB^2) is folded into every coefficient.
+  ETable(int imax, int jmax, double a, double b, double ab);
+
+  [[nodiscard]] double operator()(int i, int j, int t) const {
+    if (t < 0 || t > i + j) return 0.0;
+    return data_[static_cast<std::size_t>((i * (jmax_ + 1) + j) * tdim_ + t)];
+  }
+
+ private:
+  int jmax_ = 0;
+  int tdim_ = 0;  // imax + jmax + 1
+  std::vector<double> data_;
+};
+
+/// Hermite Coulomb tensor R_{tuv} = R_{tuv}^{(0)}(alpha, PQ) for
+/// 0 <= t+u+v <= ltot. Built from the Boys function by the standard
+/// auxiliary-index recursion.
+///
+/// build() reuses internal storage, so a long-lived (e.g. thread_local)
+/// instance performs no allocations in the hot primitive-quartet loop.
+class RTable {
+ public:
+  RTable() = default;
+  /// Convenience constructor; prefer a reused instance + build() in loops.
+  RTable(int ltot, double alpha, const double* pq) { build(ltot, alpha, pq); }
+
+  /// alpha: reduced exponent of the Coulomb kernel; pq = P - Q vector.
+  void build(int ltot, double alpha, const double* pq);
+
+  [[nodiscard]] double operator()(int t, int u, int v) const {
+    return data_[static_cast<std::size_t>((t * dim_ + u) * dim_ + v)];
+  }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] int dim() const { return dim_; }
+
+ private:
+  int dim_ = 0;  // ltot + 1
+  std::vector<double> data_;
+  std::vector<double> scratch_;  // (ltot+1) auxiliary levels
+};
+
+}  // namespace mc::ints

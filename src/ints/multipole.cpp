@@ -1,0 +1,82 @@
+#include "ints/multipole.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "ints/hermite.hpp"
+
+namespace mc::ints {
+
+std::array<la::Matrix, 3> dipole_matrices(
+    const basis::BasisSet& bs, const std::array<double, 3>& origin) {
+  const std::size_t nbf = bs.nbf();
+  std::array<la::Matrix, 3> m{la::Matrix(nbf, nbf), la::Matrix(nbf, nbf),
+                              la::Matrix(nbf, nbf)};
+
+  for (std::size_t s1 = 0; s1 < bs.nshells(); ++s1) {
+    const basis::Shell& sh1 = bs.shell(s1);
+    for (std::size_t s2 = 0; s2 <= s1; ++s2) {
+      const basis::Shell& sh2 = bs.shell(s2);
+      const auto c1 = basis::cartesian_components(sh1.l);
+      const auto c2 = basis::cartesian_components(sh2.l);
+      const double ab[3] = {sh1.center[0] - sh2.center[0],
+                            sh1.center[1] - sh2.center[1],
+                            sh1.center[2] - sh2.center[2]};
+
+      for (int pa = 0; pa < sh1.nprim(); ++pa) {
+        for (int pb = 0; pb < sh2.nprim(); ++pb) {
+          const double a = sh1.exps[static_cast<std::size_t>(pa)];
+          const double b = sh2.exps[static_cast<std::size_t>(pb)];
+          const double coef = sh1.coefs[static_cast<std::size_t>(pa)] *
+                              sh2.coefs[static_cast<std::size_t>(pb)];
+          const double p = a + b;
+          const double s1d = std::sqrt(kPi / p);
+          const double pref = coef * s1d * s1d * s1d;
+          // E tables with bra angular momentum raised by one for the
+          // moment component: <x^i_A | x | x^j_B> = S^{i+1,j} + A_x S^{ij}.
+          const ETable ex(sh1.l + 1, sh2.l, a, b, ab[0]);
+          const ETable ey(sh1.l + 1, sh2.l, a, b, ab[1]);
+          const ETable ez(sh1.l + 1, sh2.l, a, b, ab[2]);
+          const ETable* e[3] = {&ex, &ey, &ez};
+
+          for (std::size_t f1 = 0; f1 < c1.size(); ++f1) {
+            const auto comp1 = c1[f1];
+            const double n1 = basis::component_norm_ratio(
+                sh1.l, comp1[0], comp1[1], comp1[2]);
+            for (std::size_t f2 = 0; f2 < c2.size(); ++f2) {
+              const auto comp2 = c2[f2];
+              const double n2 = basis::component_norm_ratio(
+                  sh2.l, comp2[0], comp2[1], comp2[2]);
+              const double nn = pref * n1 * n2;
+              // 1-D overlap factors for all three axes.
+              double s1f[3], m1f[3];
+              for (int d = 0; d < 3; ++d) {
+                const int i = comp1[static_cast<std::size_t>(d)];
+                const int j = comp2[static_cast<std::size_t>(d)];
+                s1f[d] = (*e[d])(i, j, 0);
+                m1f[d] = (*e[d])(i + 1, j, 0) +
+                         (sh1.center[static_cast<std::size_t>(d)] -
+                          origin[static_cast<std::size_t>(d)]) *
+                             (*e[d])(i, j, 0);
+              }
+              const std::size_t bf1 = sh1.first_bf + f1;
+              const std::size_t bf2 = sh2.first_bf + f2;
+              const double vals[3] = {m1f[0] * s1f[1] * s1f[2],
+                                      s1f[0] * m1f[1] * s1f[2],
+                                      s1f[0] * s1f[1] * m1f[2]};
+              for (int d = 0; d < 3; ++d) {
+                m[static_cast<std::size_t>(d)](bf1, bf2) += nn * vals[d];
+                if (bf1 != bf2) {
+                  m[static_cast<std::size_t>(d)](bf2, bf1) += nn * vals[d];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace mc::ints

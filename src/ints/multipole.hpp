@@ -1,0 +1,18 @@
+#pragma once
+// Multipole (dipole) integrals: <a| r - O |b> over the basis, from the same
+// Hermite E tables as the overlap. Needed by the property layer (dipole
+// moments, which GAMESS prints after every SCF).
+
+#include <array>
+
+#include "basis/basis_set.hpp"
+#include "la/matrix.hpp"
+
+namespace mc::ints {
+
+/// The three Cartesian dipole matrices M_d[a][b] = <a| (r_d - origin_d) |b>,
+/// d = x, y, z. Origin in Bohr.
+std::array<la::Matrix, 3> dipole_matrices(
+    const basis::BasisSet& bs, const std::array<double, 3>& origin = {});
+
+}  // namespace mc::ints

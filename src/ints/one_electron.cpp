@@ -1,0 +1,207 @@
+#include "ints/one_electron.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "ints/hermite.hpp"
+
+namespace mc::ints {
+
+namespace {
+
+// Shared loop skeleton: calls `fn(s1, s2, block)` for every unique shell
+// pair with `block` the nfunc1 x nfunc2 integral block, then scatters the
+// block symmetrically into the matrix.
+template <typename BlockFn>
+la::Matrix build_one_electron(const basis::BasisSet& bs, BlockFn&& fn) {
+  const std::size_t nbf = bs.nbf();
+  la::Matrix m(nbf, nbf);
+  std::vector<double> block;
+  for (std::size_t s1 = 0; s1 < bs.nshells(); ++s1) {
+    const basis::Shell& sh1 = bs.shell(s1);
+    for (std::size_t s2 = 0; s2 <= s1; ++s2) {
+      const basis::Shell& sh2 = bs.shell(s2);
+      block.assign(
+          static_cast<std::size_t>(sh1.nfunc()) * sh2.nfunc(), 0.0);
+      fn(sh1, sh2, block.data());
+      for (int f1 = 0; f1 < sh1.nfunc(); ++f1) {
+        for (int f2 = 0; f2 < sh2.nfunc(); ++f2) {
+          const double v = block[static_cast<std::size_t>(f1) *
+                                     sh2.nfunc() + f2];
+          m(sh1.first_bf + f1, sh2.first_bf + f2) = v;
+          m(sh2.first_bf + f2, sh1.first_bf + f1) = v;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+struct Pair1e {
+  double coef;  // c1*c2*f1*f2
+  double p;
+  std::array<double, 3> P;
+  ETable ex, ey, ez;  // built with jmax extended for kinetic
+};
+
+}  // namespace
+
+la::Matrix overlap_matrix(const basis::BasisSet& bs) {
+  return build_one_electron(bs, [&](const basis::Shell& sh1,
+                                    const basis::Shell& sh2, double* block) {
+    const auto c1 = basis::cartesian_components(sh1.l);
+    const auto c2 = basis::cartesian_components(sh2.l);
+    const double abx = sh1.center[0] - sh2.center[0];
+    const double aby = sh1.center[1] - sh2.center[1];
+    const double abz = sh1.center[2] - sh2.center[2];
+    for (int pa = 0; pa < sh1.nprim(); ++pa) {
+      for (int pb = 0; pb < sh2.nprim(); ++pb) {
+        const double a = sh1.exps[static_cast<std::size_t>(pa)];
+        const double b = sh2.exps[static_cast<std::size_t>(pb)];
+        const double coef = sh1.coefs[static_cast<std::size_t>(pa)] *
+                            sh2.coefs[static_cast<std::size_t>(pb)];
+        const double p = a + b;
+        const double pref = coef * std::pow(kPi / p, 1.5);
+        const ETable ex(sh1.l, sh2.l, a, b, abx);
+        const ETable ey(sh1.l, sh2.l, a, b, aby);
+        const ETable ez(sh1.l, sh2.l, a, b, abz);
+        for (std::size_t f1 = 0; f1 < c1.size(); ++f1) {
+          const auto [ix, iy, iz] = c1[f1];
+          const double n1 =
+              basis::component_norm_ratio(sh1.l, ix, iy, iz);
+          for (std::size_t f2 = 0; f2 < c2.size(); ++f2) {
+            const auto [jx, jy, jz] = c2[f2];
+            const double n2 =
+                basis::component_norm_ratio(sh2.l, jx, jy, jz);
+            block[f1 * c2.size() + f2] += pref * n1 * n2 *
+                                          ex(ix, jx, 0) * ey(iy, jy, 0) *
+                                          ez(iz, jz, 0);
+          }
+        }
+      }
+    }
+  });
+}
+
+la::Matrix kinetic_matrix(const basis::BasisSet& bs) {
+  return build_one_electron(bs, [&](const basis::Shell& sh1,
+                                    const basis::Shell& sh2, double* block) {
+    const auto c1 = basis::cartesian_components(sh1.l);
+    const auto c2 = basis::cartesian_components(sh2.l);
+    const double abx = sh1.center[0] - sh2.center[0];
+    const double aby = sh1.center[1] - sh2.center[1];
+    const double abz = sh1.center[2] - sh2.center[2];
+    for (int pa = 0; pa < sh1.nprim(); ++pa) {
+      for (int pb = 0; pb < sh2.nprim(); ++pb) {
+        const double a = sh1.exps[static_cast<std::size_t>(pa)];
+        const double b = sh2.exps[static_cast<std::size_t>(pb)];
+        const double coef = sh1.coefs[static_cast<std::size_t>(pa)] *
+                            sh2.coefs[static_cast<std::size_t>(pb)];
+        const double p = a + b;
+        const double s1d = std::sqrt(kPi / p);  // 1-D overlap prefactor
+        // Kinetic needs E up to j+2 in the ket index.
+        const ETable ex(sh1.l, sh2.l + 2, a, b, abx);
+        const ETable ey(sh1.l, sh2.l + 2, a, b, aby);
+        const ETable ez(sh1.l, sh2.l + 2, a, b, abz);
+
+        // 1-D overlap and kinetic factors:
+        //   S^{ij} = E_0^{ij} sqrt(pi/p)
+        //   T^{ij} = -2 b^2 S^{i,j+2} + b(2j+1) S^{ij} - j(j-1)/2 S^{i,j-2}
+        auto s = [&](const ETable& e, int i, int j) {
+          return (j < 0) ? 0.0 : e(i, j, 0) * s1d;
+        };
+        auto t = [&](const ETable& e, int i, int j) {
+          return -2.0 * b * b * s(e, i, j + 2) +
+                 b * (2 * j + 1) * s(e, i, j) -
+                 0.5 * j * (j - 1) * s(e, i, j - 2);
+        };
+
+        for (std::size_t f1 = 0; f1 < c1.size(); ++f1) {
+          const auto [ix, iy, iz] = c1[f1];
+          const double n1 =
+              basis::component_norm_ratio(sh1.l, ix, iy, iz);
+          for (std::size_t f2 = 0; f2 < c2.size(); ++f2) {
+            const auto [jx, jy, jz] = c2[f2];
+            const double n2 =
+                basis::component_norm_ratio(sh2.l, jx, jy, jz);
+            const double kin = t(ex, ix, jx) * s(ey, iy, jy) * s(ez, iz, jz) +
+                               s(ex, ix, jx) * t(ey, iy, jy) * s(ez, iz, jz) +
+                               s(ex, ix, jx) * s(ey, iy, jy) * t(ez, iz, jz);
+            block[f1 * c2.size() + f2] += coef * n1 * n2 * kin;
+          }
+        }
+      }
+    }
+  });
+}
+
+la::Matrix nuclear_attraction_matrix(const basis::BasisSet& bs,
+                                     const chem::Molecule& mol) {
+  return build_one_electron(bs, [&](const basis::Shell& sh1,
+                                    const basis::Shell& sh2, double* block) {
+    const auto c1 = basis::cartesian_components(sh1.l);
+    const auto c2 = basis::cartesian_components(sh2.l);
+    const int ltot = sh1.l + sh2.l;
+    const int hd = ltot + 1;
+    const double abx = sh1.center[0] - sh2.center[0];
+    const double aby = sh1.center[1] - sh2.center[1];
+    const double abz = sh1.center[2] - sh2.center[2];
+    for (int pa = 0; pa < sh1.nprim(); ++pa) {
+      for (int pb = 0; pb < sh2.nprim(); ++pb) {
+        const double a = sh1.exps[static_cast<std::size_t>(pa)];
+        const double b = sh2.exps[static_cast<std::size_t>(pb)];
+        const double coef = sh1.coefs[static_cast<std::size_t>(pa)] *
+                            sh2.coefs[static_cast<std::size_t>(pb)];
+        const double p = a + b;
+        std::array<double, 3> P;
+        for (int d = 0; d < 3; ++d) {
+          P[d] = (a * sh1.center[d] + b * sh2.center[d]) / p;
+        }
+        const ETable ex(sh1.l, sh2.l, a, b, abx);
+        const ETable ey(sh1.l, sh2.l, a, b, aby);
+        const ETable ez(sh1.l, sh2.l, a, b, abz);
+        const double pref = -coef * 2.0 * kPi / p;
+
+        for (const chem::Atom& atom : mol.atoms()) {
+          const double pc[3] = {P[0] - atom.xyz[0], P[1] - atom.xyz[1],
+                                P[2] - atom.xyz[2]};
+          const RTable r(ltot, p, pc);
+          for (std::size_t f1 = 0; f1 < c1.size(); ++f1) {
+            const auto [ix, iy, iz] = c1[f1];
+            const double n1 =
+                basis::component_norm_ratio(sh1.l, ix, iy, iz);
+            for (std::size_t f2 = 0; f2 < c2.size(); ++f2) {
+              const auto [jx, jy, jz] = c2[f2];
+              const double n2 =
+                  basis::component_norm_ratio(sh2.l, jx, jy, jz);
+              double sum = 0.0;
+              for (int t = 0; t <= ix + jx && t < hd; ++t) {
+                const double ext = ex(ix, jx, t);
+                if (ext == 0.0) continue;
+                for (int u = 0; u <= iy + jy && u < hd; ++u) {
+                  const double eyu = ey(iy, jy, u);
+                  if (eyu == 0.0) continue;
+                  for (int v = 0; v <= iz + jz && v < hd; ++v) {
+                    sum += ext * eyu * ez(iz, jz, v) * r(t, u, v);
+                  }
+                }
+              }
+              block[f1 * c2.size() + f2] +=
+                  pref * atom.z * n1 * n2 * sum;
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+la::Matrix core_hamiltonian(const basis::BasisSet& bs,
+                            const chem::Molecule& mol) {
+  la::Matrix h = kinetic_matrix(bs);
+  h += nuclear_attraction_matrix(bs, mol);
+  return h;
+}
+
+}  // namespace mc::ints

@@ -1,0 +1,21 @@
+#pragma once
+// One-electron integral matrices: overlap S, kinetic T, nuclear attraction
+// V, and the core Hamiltonian H = T + V. O(N^2) work; the paper notes these
+// are negligible next to the two-electron part but they are required
+// substrates of the SCF loop.
+
+#include "basis/basis_set.hpp"
+#include "chem/molecule.hpp"
+#include "la/matrix.hpp"
+
+namespace mc::ints {
+
+la::Matrix overlap_matrix(const basis::BasisSet& bs);
+la::Matrix kinetic_matrix(const basis::BasisSet& bs);
+la::Matrix nuclear_attraction_matrix(const basis::BasisSet& bs,
+                                     const chem::Molecule& mol);
+/// H_core = T + V.
+la::Matrix core_hamiltonian(const basis::BasisSet& bs,
+                            const chem::Molecule& mol);
+
+}  // namespace mc::ints

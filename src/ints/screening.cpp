@@ -1,0 +1,77 @@
+#include "ints/screening.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mc::ints {
+
+Screening::Screening(const EriEngine& eri, double threshold)
+    : nshells_(eri.basis_set().nshells()), threshold_(threshold) {
+  MC_CHECK(threshold > 0.0, "screening threshold must be positive");
+  q_.assign(nshells_ * nshells_, 0.0);
+
+  std::vector<double> batch;
+  const auto& bs = eri.basis_set();
+  for (std::size_t s1 = 0; s1 < nshells_; ++s1) {
+    for (std::size_t s2 = 0; s2 <= s1; ++s2) {
+      batch.assign(eri.batch_size(s1, s2, s1, s2), 0.0);
+      eri.compute(s1, s2, s1, s2, batch.data());
+      // Diagonal elements (ab|ab) of the batch bound the whole class; take
+      // the max over components for a shell-level bound.
+      const int n1 = bs.shell(s1).nfunc();
+      const int n2 = bs.shell(s2).nfunc();
+      double m = 0.0;
+      for (int a = 0; a < n1; ++a) {
+        for (int b = 0; b < n2; ++b) {
+          const std::size_t ab = static_cast<std::size_t>(a) * n2 + b;
+          const double v = batch[(ab * n1 + a) * n2 + b];  // (ab|ab)
+          m = std::max(m, std::abs(v));
+        }
+      }
+      const double bound = std::sqrt(m);
+      q_[s1 * nshells_ + s2] = bound;
+      q_[s2 * nshells_ + s1] = bound;
+      qmax_ = std::max(qmax_, bound);
+    }
+  }
+}
+
+std::vector<double> Screening::unique_pair_bounds() const {
+  std::vector<double> out;
+  out.reserve(nshells_ * (nshells_ + 1) / 2);
+  for (std::size_t i = 0; i < nshells_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) out.push_back(q(i, j));
+  }
+  return out;
+}
+
+std::size_t Screening::count_surviving_quartets() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nshells_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= i; ++k) {
+        const std::size_t lmax = (k == i) ? j : k;
+        for (std::size_t l = 0; l <= lmax; ++l) {
+          if (keep(i, j, k, l)) ++n;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t Screening::total_quartets() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nshells_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= i; ++k) {
+        n += ((k == i) ? j : k) + 1;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace mc::ints

@@ -1,0 +1,56 @@
+#pragma once
+// Cauchy-Schwarz integral screening (paper section 4.1):
+//   |(ij|kl)| <= Q_ij * Q_kl,  Q_ij = sqrt(max over components (ij|ij)).
+// Screening is what makes the ERI tensor sparse for extended systems and is
+// applied in all three of the paper's algorithms; the shared-Fock algorithm
+// additionally prescreens whole (ij) MPI tasks (Algorithm 3 line 13).
+
+#include <cstddef>
+#include <vector>
+
+#include "ints/eri.hpp"
+
+namespace mc::ints {
+
+class Screening {
+ public:
+  /// Computes the shell-pair Schwarz bounds Q with the given engine.
+  /// `threshold`: quartets with Q_ij*Q_kl below it are skipped (GAMESS
+  /// default integral cutoff is 1e-9; we default to 1e-10).
+  Screening(const EriEngine& eri, double threshold = 1e-10);
+
+  [[nodiscard]] double q(std::size_t s1, std::size_t s2) const {
+    return q_[s1 * nshells_ + s2];
+  }
+  [[nodiscard]] double qmax() const { return qmax_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] std::size_t nshells() const { return nshells_; }
+
+  /// True if the quartet survives screening.
+  [[nodiscard]] bool keep(std::size_t i, std::size_t j, std::size_t k,
+                          std::size_t l) const {
+    return q(i, j) * q(k, l) >= threshold_;
+  }
+  /// True if the (ij) pair can survive with *any* partner pair
+  /// (the shared-Fock algorithm's ij prescreen).
+  [[nodiscard]] bool keep_pair(std::size_t i, std::size_t j) const {
+    return q(i, j) * qmax_ >= threshold_;
+  }
+
+  /// All Q_ij for unique pairs (i >= j), e.g. for workload statistics.
+  [[nodiscard]] std::vector<double> unique_pair_bounds() const;
+
+  /// Exact count of canonical quartets surviving screening (the loop
+  /// structure of Algorithm 1). O(Nshells^4 / 8) -- test-scale systems only.
+  [[nodiscard]] std::size_t count_surviving_quartets() const;
+  /// Total canonical quartets without screening.
+  [[nodiscard]] std::size_t total_quartets() const;
+
+ private:
+  std::size_t nshells_ = 0;
+  double threshold_ = 0.0;
+  double qmax_ = 0.0;
+  std::vector<double> q_;  // full nshells x nshells, symmetric
+};
+
+}  // namespace mc::ints

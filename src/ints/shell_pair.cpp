@@ -1,0 +1,112 @@
+#include "ints/shell_pair.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ints/hermite.hpp"
+
+namespace mc::ints {
+
+int ShellPairData::ncomp() const {
+  return basis::ncart(l1) * basis::ncart(l2);
+}
+
+ShellPairData make_shell_pair(const basis::Shell& sh1,
+                              const basis::Shell& sh2, double prim_cutoff) {
+  ShellPairData sp;
+  sp.l1 = sh1.l;
+  sp.l2 = sh2.l;
+  sp.hd = sh1.l + sh2.l + 1;
+
+  const auto comps1 = basis::cartesian_components(sh1.l);
+  const auto comps2 = basis::cartesian_components(sh2.l);
+  std::vector<double> norm1(comps1.size()), norm2(comps2.size());
+  for (std::size_t c = 0; c < comps1.size(); ++c) {
+    norm1[c] = basis::component_norm_ratio(sh1.l, comps1[c][0], comps1[c][1],
+                                           comps1[c][2]);
+  }
+  for (std::size_t c = 0; c < comps2.size(); ++c) {
+    norm2[c] = basis::component_norm_ratio(sh2.l, comps2[c][0], comps2[c][1],
+                                           comps2[c][2]);
+  }
+
+  const double abx = sh1.center[0] - sh2.center[0];
+  const double aby = sh1.center[1] - sh2.center[1];
+  const double abz = sh1.center[2] - sh2.center[2];
+  const double ab2 = abx * abx + aby * aby + abz * abz;
+
+  const std::size_t herm = sp.herm_size();
+  const int hd = sp.hd;
+
+  for (int pa = 0; pa < sh1.nprim(); ++pa) {
+    for (int pb = 0; pb < sh2.nprim(); ++pb) {
+      const double a = sh1.exps[static_cast<std::size_t>(pa)];
+      const double b = sh2.exps[static_cast<std::size_t>(pb)];
+      const double coef = sh1.coefs[static_cast<std::size_t>(pa)] *
+                          sh2.coefs[static_cast<std::size_t>(pb)];
+      const double mu = a * b / (a + b);
+      // Gaussian product prefactor bounds every Hermite coefficient.
+      if (std::abs(coef) * std::exp(-mu * ab2) < prim_cutoff) continue;
+
+      PrimPairData pp;
+      pp.a = a;
+      pp.b = b;
+      pp.p = a + b;
+      pp.coef = coef;
+      for (int d = 0; d < 3; ++d) {
+        pp.P[d] = (a * sh1.center[d] + b * sh2.center[d]) / (a + b);
+      }
+
+      const ETable ex(sh1.l, sh2.l, a, b, abx);
+      const ETable ey(sh1.l, sh2.l, a, b, aby);
+      const ETable ez(sh1.l, sh2.l, a, b, abz);
+
+      pp.hermite.assign(static_cast<std::size_t>(sp.ncomp()) * herm, 0.0);
+      for (std::size_t c1 = 0; c1 < comps1.size(); ++c1) {
+        const auto [ix, iy, iz] = comps1[c1];
+        for (std::size_t c2 = 0; c2 < comps2.size(); ++c2) {
+          const auto [jx, jy, jz] = comps2[c2];
+          const double cf = coef * norm1[c1] * norm2[c2];
+          double* h =
+              pp.hermite.data() + (c1 * comps2.size() + c2) * herm;
+          for (int t = 0; t <= ix + jx; ++t) {
+            const double ext = ex(ix, jx, t);
+            if (ext == 0.0) continue;
+            for (int u = 0; u <= iy + jy; ++u) {
+              const double eyu = ey(iy, jy, u);
+              if (eyu == 0.0) continue;
+              const double exy = ext * eyu;
+              for (int v = 0; v <= iz + jz; ++v) {
+                h[(t * hd + u) * hd + v] = cf * exy * ez(iz, jz, v);
+              }
+            }
+          }
+        }
+      }
+      sp.prims.push_back(std::move(pp));
+    }
+  }
+  return sp;
+}
+
+ShellPairList::ShellPairList(const basis::BasisSet& bs, double prim_cutoff) {
+  const std::size_t n = bs.nshells();
+  pairs_.reserve(n * (n + 1) / 2);
+  for (std::size_t s1 = 0; s1 < n; ++s1) {
+    for (std::size_t s2 = 0; s2 <= s1; ++s2) {
+      ShellPairData sp = make_shell_pair(bs.shell(s1), bs.shell(s2),
+                                         prim_cutoff);
+      sp.s1 = s1;
+      sp.s2 = s2;
+      pairs_.push_back(std::move(sp));
+    }
+  }
+}
+
+const ShellPairData& ShellPairList::pair(std::size_t s1,
+                                         std::size_t s2) const {
+  MC_CHECK(s1 >= s2, "shell pair requires s1 >= s2");
+  return pairs_[s1 * (s1 + 1) / 2 + s2];
+}
+
+}  // namespace mc::ints

@@ -1,0 +1,62 @@
+#pragma once
+// Precomputed shell-pair data for the McMurchie-Davidson engine. For every
+// pair of shells we store, per surviving primitive pair, the Gaussian
+// product parameters and the *Hermite product coefficients*
+//   H[(ab component), (t,u,v)] =
+//      c_a c_b f_a f_b E_t^{ax,bx} E_u^{ay,by} E_v^{az,bz}
+// (f = per-component normalization ratios), which is everything the ERI and
+// one-electron drivers need from the bra or ket side.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+
+namespace mc::ints {
+
+struct PrimPairData {
+  double a = 0.0;                ///< bra exponent
+  double b = 0.0;                ///< ket exponent
+  double p = 0.0;                ///< a + b
+  double coef = 0.0;             ///< c_a * c_b (normalized contraction coefs)
+  std::array<double, 3> P{};     ///< Gaussian product center
+  /// Hermite product coefficients, layout [comp][t*hd*hd + u*hd + v] with
+  /// hd = l1 + l2 + 1 and comp = a_comp * ncart(l2) + b_comp.
+  std::vector<double> hermite;
+};
+
+struct ShellPairData {
+  std::size_t s1 = 0, s2 = 0;    ///< shell indices (s1 >= s2 by convention)
+  int l1 = 0, l2 = 0;
+  int hd = 1;                    ///< Hermite dimension per axis: l1+l2+1
+  std::vector<PrimPairData> prims;
+
+  [[nodiscard]] int ncomp() const;
+  [[nodiscard]] std::size_t herm_size() const {
+    return static_cast<std::size_t>(hd) * hd * hd;
+  }
+};
+
+/// Build the pair data for two shells. Primitive pairs whose Gaussian
+/// product prefactor is below `prim_cutoff` are dropped (standard practice;
+/// harmless at 1e-16 relative to unit-normalized shells).
+ShellPairData make_shell_pair(const basis::Shell& sh1, const basis::Shell& sh2,
+                              double prim_cutoff = 1e-16);
+
+/// All unique shell pairs (s1 >= s2) of a basis, indexed by
+/// s1*(s1+1)/2 + s2.
+class ShellPairList {
+ public:
+  explicit ShellPairList(const basis::BasisSet& bs,
+                         double prim_cutoff = 1e-16);
+
+  [[nodiscard]] const ShellPairData& pair(std::size_t s1,
+                                          std::size_t s2) const;
+  [[nodiscard]] std::size_t npairs() const { return pairs_.size(); }
+
+ private:
+  std::vector<ShellPairData> pairs_;
+};
+
+}  // namespace mc::ints

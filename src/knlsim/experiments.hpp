@@ -1,0 +1,67 @@
+#pragma once
+// One driver per table/figure of the paper's evaluation (section 6).
+// Each returns a mc::Table whose rows mirror the paper's presentation;
+// the bench/ binaries print them. EXPERIMENTS.md records paper-vs-model
+// values and the shape criteria each experiment must meet.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "knlsim/simulator.hpp"
+
+namespace mc::knlsim {
+
+/// Shared state for the experiment drivers: machine description,
+/// calibration, and a cache of per-dataset workloads (building the 5 nm
+/// workload takes a little while; every figure reuses it).
+class ExperimentContext {
+ public:
+  ExperimentContext() = default;
+  explicit ExperimentContext(ThetaMachine machine, KnlCalibration calib = {})
+      : machine_(machine), calib_(calib) {}
+
+  /// Workload for a paper dataset name ("0.5nm" ... "5.0nm"), built with
+  /// the 6-31G(d) basis on the graphene bilayer generator. Cached.
+  const Workload& workload(const std::string& dataset);
+
+  [[nodiscard]] const ThetaMachine& machine() const { return machine_; }
+  [[nodiscard]] const KnlCalibration& calibration() const { return calib_; }
+
+ private:
+  ThetaMachine machine_;
+  KnlCalibration calib_;
+  std::map<std::string, std::unique_ptr<Workload>> cache_;
+};
+
+/// Table 2: estimated per-node memory footprint (GB) of the three codes
+/// for all five datasets (eqs. 3a-3c; MPI-only at 256 ranks/node, hybrids
+/// at 4 ranks x 64 threads), plus the footprint ratios vs MPI-only.
+Table table2_memory_footprint();
+
+/// Table 4 (artifact appendix): dataset characteristics -- atoms, GAMESS
+/// shells, basis functions -- from the actual generator and basis tables.
+Table table4_dataset_characteristics();
+
+/// Figure 3: shared-Fock time on one node (1.0 nm) vs threads/rank for the
+/// four KMP_AFFINITY policies; 4 MPI ranks, quad-cache.
+Table figure3_affinity(ExperimentContext& ctx);
+
+/// Figure 4: single-node scalability vs hardware threads (4..256) of the
+/// three codes on the 1.0 nm dataset (MPI-only memory-capped at 128).
+Table figure4_single_node(ExperimentContext& ctx);
+
+/// Figure 5: time for the three codes under cluster mode x memory mode,
+/// for the 0.5 nm and 2.0 nm datasets.
+Table figure5_modes(ExperimentContext& ctx, const std::string& dataset);
+
+/// Figure 6 + Table 3: multi-node scaling of the three codes on 2.0 nm,
+/// 4..512 nodes, with parallel efficiencies relative to 4 nodes.
+Table figure6_table3_multinode(ExperimentContext& ctx);
+
+/// Figure 7: shared-Fock scaling of the 5.0 nm dataset up to 3,000 nodes
+/// (the other codes are reported infeasible, as on Theta).
+Table figure7_large_scale(ExperimentContext& ctx);
+
+}  // namespace mc::knlsim

@@ -1,0 +1,38 @@
+#include "knlsim/knl_config.hpp"
+
+#include "common/error.hpp"
+
+namespace mc::knlsim {
+
+std::string memory_mode_name(MemoryMode m) {
+  switch (m) {
+    case MemoryMode::kCache: return "cache";
+    case MemoryMode::kFlatDdr: return "flat-DDR4";
+    case MemoryMode::kFlatMcdram: return "flat-MCDRAM";
+  }
+  MC_CHECK(false, "unknown memory mode");
+  return {};
+}
+
+std::string cluster_mode_name(ClusterMode m) {
+  switch (m) {
+    case ClusterMode::kQuadrant: return "quadrant";
+    case ClusterMode::kAllToAll: return "all-to-all";
+    case ClusterMode::kSnc4: return "SNC-4";
+  }
+  MC_CHECK(false, "unknown cluster mode");
+  return {};
+}
+
+std::string affinity_name(Affinity a) {
+  switch (a) {
+    case Affinity::kNone: return "none";
+    case Affinity::kCompact: return "compact";
+    case Affinity::kScatter: return "scatter";
+    case Affinity::kBalanced: return "balanced";
+  }
+  MC_CHECK(false, "unknown affinity");
+  return {};
+}
+
+}  // namespace mc::knlsim

@@ -1,0 +1,73 @@
+#pragma once
+// Hardware description of the paper's test beds (Table 1):
+//  * one Intel Xeon Phi 7210/7230 node: 64 cores at 1.3 GHz, 4 hardware
+//    threads/core, 32 tiles with shared L2, 16 GB MCDRAM (~400 GB/s),
+//    192 GB DDR4 (~100 GB/s), configurable memory and cluster modes;
+//  * Theta: 3,624 such nodes on an Aries dragonfly interconnect.
+//
+// This environment has one CPU core and no cluster, so scaling results are
+// produced by knlsim: an analytic performance model over these parameters,
+// driven by the real screened workload (see workload.hpp) and calibrated
+// per-quartet costs (cost_model.hpp). DESIGN.md records the substitution.
+
+#include <cstddef>
+#include <string>
+
+namespace mc::knlsim {
+
+/// MCDRAM/DDR4 configuration (paper section 5.1).
+enum class MemoryMode {
+  kCache,        ///< MCDRAM as direct-mapped L3 over DDR4 (paper's choice)
+  kFlatDdr,      ///< flat mode, allocations in DDR4
+  kFlatMcdram,   ///< flat mode, allocations in MCDRAM (capacity-limited!)
+};
+
+/// Tag-directory clustering (paper section 5.1).
+enum class ClusterMode {
+  kQuadrant,  ///< the paper's choice ("quad-cache" with MemoryMode::kCache)
+  kAllToAll,  ///< worst locality
+  kSnc4,      ///< sub-NUMA: best locality if ranks align to quadrants
+};
+
+/// KMP_AFFINITY thread-placement policies (Figure 3).
+enum class Affinity { kNone, kCompact, kScatter, kBalanced };
+
+std::string memory_mode_name(MemoryMode m);
+std::string cluster_mode_name(ClusterMode m);
+std::string affinity_name(Affinity a);
+
+struct KnlNode {
+  int cores = 64;
+  int max_threads_per_core = 4;
+  double core_ghz = 1.3;
+  double mcdram_bytes = 16.0 * (1ull << 30);
+  double ddr_bytes = 192.0 * (1ull << 30);
+  double mcdram_bw = 400e9;   ///< bytes/s
+  double ddr_bw = 100e9;      ///< bytes/s
+  /// Fixed per-MPI-process allocation (GAMESS replicated working pool,
+  /// code image, MPI buffers). This is what caps the stock code at 128
+  /// ranks on a 192 GB node for the 1.0 nm dataset (Figure 4) even though
+  /// the matrices alone would fit.
+  double fixed_bytes_per_rank = 1.2 * (1ull << 30);
+
+  [[nodiscard]] int hw_threads() const {
+    return cores * max_threads_per_core;
+  }
+  /// Memory capacity usable for rank-replicated data in the given mode.
+  [[nodiscard]] double capacity_bytes(MemoryMode m) const {
+    return m == MemoryMode::kFlatMcdram ? mcdram_bytes : ddr_bytes;
+  }
+};
+
+struct AriesNetwork {
+  double latency_s = 2.0e-6;        ///< per-hop software+wire latency
+  double node_bandwidth = 14e9;     ///< injection bandwidth, bytes/s
+};
+
+struct ThetaMachine {
+  KnlNode node;
+  AriesNetwork network;
+  int max_nodes = 3624;
+};
+
+}  // namespace mc::knlsim

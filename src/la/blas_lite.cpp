@@ -1,0 +1,83 @@
+#include "la/blas_lite.hpp"
+
+#include "common/error.hpp"
+
+namespace mc::la {
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm_acc(1.0, a, b, c);
+  return c;
+}
+
+void gemm_acc(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  MC_CHECK(a.cols() == b.rows(), "gemm inner dimension mismatch");
+  MC_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+           "gemm output shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = alpha * a(i, p);
+      if (aip == 0.0) continue;
+      const double* bp = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+Matrix gemm_tn(const Matrix& a, const Matrix& b) {
+  MC_CHECK(a.rows() == b.rows(), "gemm_tn inner dimension mismatch");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* ap = a.row(p);
+    const double* bp = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = ap[i];
+      if (api == 0.0) continue;
+      double* ci = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix gemm_nt(const Matrix& a, const Matrix& b) {
+  MC_CHECK(a.cols() == b.cols(), "gemm_nt inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.row(i);
+    double* ci = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b.row(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] = s;
+    }
+  }
+  return c;
+}
+
+void axpy(double alpha, const Matrix& x, Matrix& y) {
+  MC_CHECK(x.rows() == y.rows() && x.cols() == y.cols(), "axpy shape");
+  const double* xd = x.data();
+  double* yd = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+double dot(const Matrix& a, const Matrix& b) {
+  MC_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "dot shape");
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += ad[i] * bd[i];
+  return s;
+}
+
+Matrix transform(const Matrix& x, const Matrix& a) {
+  return gemm_tn(x, gemm(a, x));
+}
+
+}  // namespace mc::la

@@ -1,0 +1,28 @@
+#pragma once
+// BLAS-lite: the handful of dense kernels the SCF driver needs. Written as
+// simple cache-friendly loops (ikj ordering); no external BLAS dependency.
+
+#include "la/matrix.hpp"
+
+namespace mc::la {
+
+/// C = A * B
+Matrix gemm(const Matrix& a, const Matrix& b);
+/// C = A^T * B
+Matrix gemm_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T
+Matrix gemm_nt(const Matrix& a, const Matrix& b);
+/// C += alpha * A * B (C must be preallocated with the right shape).
+void gemm_acc(double alpha, const Matrix& a, const Matrix& b, Matrix& c);
+
+/// y += alpha * x (flat arrays)
+void axpy(double alpha, const Matrix& x, Matrix& y);
+
+/// <A, B> = sum_ij A_ij * B_ij  (Frobenius inner product; used for the
+/// SCF electronic energy E = 1/2 Tr[D (H + F)]).
+double dot(const Matrix& a, const Matrix& b);
+
+/// Similarity transform X^T * A * X.
+Matrix transform(const Matrix& x, const Matrix& a);
+
+}  // namespace mc::la

@@ -1,0 +1,212 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+
+namespace mc::la {
+
+void Matrix::allocate(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  if (size() == 0) {
+    data_ = nullptr;
+    return;
+  }
+  data_ = new double[size()]();
+  if (!category_.empty()) {
+    rank_ = MemoryTracker::current_rank();
+    MemoryTracker::instance().add(category_, size() * sizeof(double));
+  }
+}
+
+void Matrix::release() {
+  if (data_ != nullptr) {
+    if (!category_.empty()) {
+      RankScope scope(rank_);
+      MemoryTracker::instance().sub(category_, size() * sizeof(double));
+    }
+    delete[] data_;
+  }
+  data_ = nullptr;
+  rows_ = cols_ = 0;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols) { allocate(rows, cols); }
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, const std::string& category)
+    : category_(category) {
+  allocate(rows, cols);
+}
+
+Matrix::Matrix(const Matrix& src, const std::string& category)
+    : category_(category) {
+  allocate(src.rows_, src.cols_);
+  if (size() != 0) std::memcpy(data_, src.data_, size() * sizeof(double));
+}
+
+void Matrix::copy_values_from(const Matrix& src) {
+  MC_CHECK(rows_ == src.rows_ && cols_ == src.cols_,
+           "copy_values_from shape mismatch");
+  if (size() != 0) std::memcpy(data_, src.data_, size() * sizeof(double));
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  std::size_t r = init.size();
+  std::size_t c = r == 0 ? 0 : init.begin()->size();
+  allocate(r, c);
+  std::size_t i = 0;
+  for (const auto& row : init) {
+    MC_CHECK(row.size() == c, "ragged initializer list");
+    std::size_t j = 0;
+    for (double v : row) (*this)(i, j++) = v;
+    ++i;
+  }
+}
+
+Matrix::Matrix(const Matrix& other) : category_(other.category_) {
+  allocate(other.rows_, other.cols_);
+  if (size() != 0) std::memcpy(data_, other.data_, size() * sizeof(double));
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this != &other) {
+    release();
+    category_ = other.category_;
+    allocate(other.rows_, other.cols_);
+    if (size() != 0) std::memcpy(data_, other.data_, size() * sizeof(double));
+  }
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      data_(other.data_),
+      category_(std::move(other.category_)),
+      rank_(other.rank_) {
+  other.data_ = nullptr;
+  other.rows_ = other.cols_ = 0;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this != &other) {
+    release();
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    category_ = std::move(other.category_);
+    rank_ = other.rank_;
+    other.data_ = nullptr;
+    other.rows_ = other.cols_ = 0;
+  }
+  return *this;
+}
+
+Matrix::~Matrix() { release(); }
+
+void Matrix::fill(double v) { std::fill(data_, data_ + size(), v); }
+
+void Matrix::set_identity() {
+  MC_CHECK(rows_ == cols_, "identity requires a square matrix");
+  set_zero();
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) = 1.0;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  MC_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  MC_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (std::size_t i = 0; i < size(); ++i) data_[i] *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+void Matrix::symmetrize() {
+  MC_CHECK(rows_ == cols_, "symmetrize requires a square matrix");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      double v = 0.5 * ((*this)(i, j) + (*this)(j, i));
+      (*this)(i, j) = v;
+      (*this)(j, i) = v;
+    }
+  }
+}
+
+double Matrix::trace() const {
+  MC_CHECK(rows_ == cols_, "trace requires a square matrix");
+  double t = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) m = std::max(m, std::abs(data_[i]));
+  return m;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  MC_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+double Matrix::norm_frobenius() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += data_[i] * data_[i];
+  return std::sqrt(s);
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  m.set_identity();
+  return m;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+Matrix operator*(double s, Matrix a) {
+  a *= s;
+  return a;
+}
+
+}  // namespace mc::la

@@ -1,0 +1,96 @@
+#pragma once
+// Dense row-major matrix of doubles. This is the storage type for all the
+// big SCF objects (overlap, core Hamiltonian, density, Fock, MO coefficients)
+// whose replication pattern the paper analyzes.
+//
+// Large matrices should be constructed with a tracking category so their
+// bytes are attributed to the owning rank in MemoryTracker (see
+// common/memory_tracker.hpp).
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mc::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Untracked rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// Tracked variant: bytes charged to MemoryTracker under `category`.
+  Matrix(std::size_t rows, std::size_t cols, const std::string& category);
+  /// Tracked copy of an (possibly untracked) source matrix.
+  Matrix(const Matrix& src, const std::string& category);
+  /// Build from nested initializer list (tests and small fixtures).
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  Matrix(const Matrix&);
+  Matrix& operator=(const Matrix&);
+  Matrix(Matrix&&) noexcept;
+  Matrix& operator=(Matrix&&) noexcept;
+  ~Matrix();
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double* data() { return data_; }
+  [[nodiscard]] const double* data() const { return data_; }
+  [[nodiscard]] double* row(std::size_t i) { return data_ + i * cols_; }
+  [[nodiscard]] const double* row(std::size_t i) const {
+    return data_ + i * cols_;
+  }
+
+  void fill(double v);
+  void set_zero() { fill(0.0); }
+  /// Copy values from a same-shape matrix, keeping this matrix's identity
+  /// (tracking category and allocation). Use instead of operator= when the
+  /// destination is a tracked long-lived object and the source a temporary.
+  void copy_values_from(const Matrix& src);
+  /// Set to the identity (square only).
+  void set_identity();
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  [[nodiscard]] Matrix transposed() const;
+  /// In-place (A + A^T)/2. Square only.
+  void symmetrize();
+
+  [[nodiscard]] double trace() const;
+  [[nodiscard]] double max_abs() const;
+  /// max_ij |A_ij - B_ij|
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+  /// Frobenius norm.
+  [[nodiscard]] double norm_frobenius() const;
+  /// true if max |A - A^T| <= tol.
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  void allocate(std::size_t rows, std::size_t cols);
+  void release();
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  double* data_ = nullptr;
+  std::string category_;  // non-empty => tracked
+  int rank_ = -1;         // rank the allocation was charged to
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(double s, Matrix a);
+
+}  // namespace mc::la

@@ -1,0 +1,49 @@
+#include "la/orthogonalizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/blas_lite.hpp"
+#include "la/sym_eig.hpp"
+
+namespace mc::la {
+
+Matrix sym_pow(const Matrix& s, double p, double lindep_tol) {
+  SymEigResult eig = eigh(s);
+  const std::size_t n = s.rows();
+  Matrix scaled(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    MC_CHECK(eig.values[k] > lindep_tol,
+             "sym_pow: matrix not positive definite enough");
+    const double f = std::pow(eig.values[k], p);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled(i, k) = eig.vectors(i, k) * f;
+    }
+  }
+  return gemm_nt(scaled, eig.vectors);  // V diag(l^p) V^T
+}
+
+Matrix loewdin_orthogonalizer(const Matrix& s, double lindep_tol) {
+  return sym_pow(s, -0.5, lindep_tol);
+}
+
+Matrix canonical_orthogonalizer(const Matrix& s, double lindep_tol) {
+  SymEigResult eig = eigh(s);
+  const std::size_t n = s.rows();
+  std::size_t kept = 0;
+  for (double v : eig.values) {
+    if (v >= lindep_tol) ++kept;
+  }
+  MC_CHECK(kept > 0, "canonical orthogonalizer: empty basis");
+  Matrix x(n, kept);
+  std::size_t col = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (eig.values[k] < lindep_tol) continue;
+    const double f = 1.0 / std::sqrt(eig.values[k]);
+    for (std::size_t i = 0; i < n; ++i) x(i, col) = eig.vectors(i, k) * f;
+    ++col;
+  }
+  return x;
+}
+
+}  // namespace mc::la

@@ -1,0 +1,23 @@
+#pragma once
+// Orthogonalizers for the AO overlap metric: build X with X^T S X = 1 so the
+// generalized HF eigenproblem FC = eSC becomes an ordinary symmetric one.
+
+#include "la/matrix.hpp"
+
+namespace mc::la {
+
+/// Symmetric (Loewdin) orthogonalization X = S^(-1/2), computed from the
+/// eigendecomposition of S. Throws if S has an eigenvalue below `lindep_tol`
+/// (use canonical_orthogonalizer for near-linearly-dependent bases).
+Matrix loewdin_orthogonalizer(const Matrix& s, double lindep_tol = 1e-10);
+
+/// Canonical orthogonalization: columns X_k = v_k / sqrt(lambda_k), dropping
+/// eigenpairs with lambda < lindep_tol. The result may be rectangular
+/// (N x M with M <= N).
+Matrix canonical_orthogonalizer(const Matrix& s, double lindep_tol = 1e-8);
+
+/// Matrix power S^p for symmetric positive definite S via eigendecomposition
+/// (p = -0.5 gives the Loewdin orthogonalizer).
+Matrix sym_pow(const Matrix& s, double p, double lindep_tol = 1e-12);
+
+}  // namespace mc::la

@@ -1,0 +1,30 @@
+#include "la/packed.hpp"
+
+#include "common/error.hpp"
+
+namespace mc::la {
+
+Matrix PackedSymMatrix::unpack() const {
+  Matrix m(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = at(i, j);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+PackedSymMatrix PackedSymMatrix::pack(const Matrix& m) {
+  MC_CHECK(m.rows() == m.cols(), "pack requires a square matrix");
+  PackedSymMatrix p(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      p.at(i, j) = 0.5 * (m(i, j) + m(j, i));
+    }
+  }
+  return p;
+}
+
+}  // namespace mc::la

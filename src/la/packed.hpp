@@ -1,0 +1,45 @@
+#pragma once
+// Lower-triangle packed storage for symmetric matrices. GAMESS keeps its
+// big symmetric SCF matrices in packed form; we provide the same layout for
+// the memory-footprint studies and for interoperability tests. Element
+// (i,j), i >= j, lives at index i*(i+1)/2 + j.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace mc::la {
+
+class PackedSymMatrix {
+ public:
+  PackedSymMatrix() = default;
+  explicit PackedSymMatrix(std::size_t n) : n_(n), data_(n * (n + 1) / 2) {}
+
+  [[nodiscard]] std::size_t dim() const { return n_; }
+  [[nodiscard]] std::size_t packed_size() const { return data_.size(); }
+
+  double& at(std::size_t i, std::size_t j) { return data_[index(i, j)]; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return data_[index(i, j)];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  /// Expand to a full square matrix.
+  [[nodiscard]] Matrix unpack() const;
+  /// Pack the (assumed symmetric) square matrix.
+  static PackedSymMatrix pack(const Matrix& m);
+
+  static std::size_t index(std::size_t i, std::size_t j) {
+    return (i >= j) ? i * (i + 1) / 2 + j : j * (j + 1) / 2 + i;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mc::la

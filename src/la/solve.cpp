@@ -1,0 +1,83 @@
+#include "la/solve.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mc::la {
+
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b) {
+  MC_CHECK(a.rows() == a.cols(), "solve requires a square matrix");
+  MC_CHECK(a.rows() == b.size(), "solve rhs size mismatch");
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<double> x = b;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t piv = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(lu(r, col)) > best) {
+        best = std::abs(lu(r, col));
+        piv = r;
+      }
+    }
+    MC_CHECK(best > 1e-14, "solve: singular matrix");
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(col, j), lu(piv, j));
+      std::swap(x[col], x[piv]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = lu(r, col) / lu(col, col);
+      if (m == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) lu(r, j) -= m * lu(col, j);
+      x[r] -= m * x[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = x[ri];
+    for (std::size_t j = ri + 1; j < n; ++j) s -= lu(ri, j) * x[j];
+    x[ri] = s / lu(ri, ri);
+  }
+  return x;
+}
+
+Matrix cholesky(const Matrix& a) {
+  MC_CHECK(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        MC_CHECK(s > 0.0, "cholesky: matrix not positive definite");
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Matrix invert_lower_triangular(const Matrix& l) {
+  MC_CHECK(l.rows() == l.cols(), "square matrix required");
+  const std::size_t n = l.rows();
+  Matrix inv(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    MC_CHECK(std::abs(l(j, j)) > 1e-300, "singular triangular matrix");
+    inv(j, j) = 1.0 / l(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t k = j; k < i; ++k) s += l(i, k) * inv(k, j);
+      inv(i, j) = -s / l(i, i);
+    }
+  }
+  return inv;
+}
+
+}  // namespace mc::la

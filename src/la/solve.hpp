@@ -1,0 +1,23 @@
+#pragma once
+// Small dense linear solvers: Gaussian elimination with partial pivoting
+// (used by the DIIS extrapolation) and Cholesky factorization (used for
+// tests and the canonical orthogonalizer fallback).
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace mc::la {
+
+/// Solve A x = b by LU with partial pivoting. A is copied. Throws on a
+/// (numerically) singular matrix.
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
+
+/// Lower-triangular Cholesky factor L with A = L L^T. Throws if A is not
+/// positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Inverse of a lower-triangular matrix.
+Matrix invert_lower_triangular(const Matrix& l);
+
+}  // namespace mc::la

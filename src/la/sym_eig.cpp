@@ -1,0 +1,211 @@
+#include "la/sym_eig.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/blas_lite.hpp"
+
+namespace mc::la {
+
+namespace {
+
+// Householder reduction of a real symmetric matrix to tridiagonal form,
+// with accumulation of the orthogonal transform in v. This is a port of
+// the JAMA/EISPACK tred2 routine (derived from the Algol procedures of
+// Bowdler, Martin, Reinsch and Wilkinson, Handbook for Auto. Comp. II).
+void tred2(Matrix& v, std::vector<double>& d, std::vector<double>& e) {
+  const int n = static_cast<int>(v.rows());
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  for (int j = 0; j < n; ++j) d[j] = v(n - 1, j);
+
+  for (int i = n - 1; i > 0; --i) {
+    double scale = 0.0;
+    double h = 0.0;
+    for (int k = 0; k < i; ++k) scale += std::abs(d[k]);
+    if (scale == 0.0) {
+      e[i] = d[i - 1];
+      for (int j = 0; j < i; ++j) {
+        d[j] = v(i - 1, j);
+        v(i, j) = 0.0;
+        v(j, i) = 0.0;
+      }
+    } else {
+      for (int k = 0; k < i; ++k) {
+        d[k] /= scale;
+        h += d[k] * d[k];
+      }
+      double f = d[i - 1];
+      double g = std::sqrt(h);
+      if (f > 0) g = -g;
+      e[i] = scale * g;
+      h -= f * g;
+      d[i - 1] = f - g;
+      for (int j = 0; j < i; ++j) e[j] = 0.0;
+
+      for (int j = 0; j < i; ++j) {
+        f = d[j];
+        v(j, i) = f;
+        g = e[j] + v(j, j) * f;
+        for (int k = j + 1; k <= i - 1; ++k) {
+          g += v(k, j) * d[k];
+          e[k] += v(k, j) * f;
+        }
+        e[j] = g;
+      }
+      f = 0.0;
+      for (int j = 0; j < i; ++j) {
+        e[j] /= h;
+        f += e[j] * d[j];
+      }
+      const double hh = f / (h + h);
+      for (int j = 0; j < i; ++j) e[j] -= hh * d[j];
+      for (int j = 0; j < i; ++j) {
+        f = d[j];
+        g = e[j];
+        for (int k = j; k <= i - 1; ++k) v(k, j) -= (f * e[k] + g * d[k]);
+        d[j] = v(i - 1, j);
+        v(i, j) = 0.0;
+      }
+    }
+    d[i] = h;
+  }
+
+  // Accumulate transformations.
+  for (int i = 0; i < n - 1; ++i) {
+    v(n - 1, i) = v(i, i);
+    v(i, i) = 1.0;
+    const double h = d[i + 1];
+    if (h != 0.0) {
+      for (int k = 0; k <= i; ++k) d[k] = v(k, i + 1) / h;
+      for (int j = 0; j <= i; ++j) {
+        double g = 0.0;
+        for (int k = 0; k <= i; ++k) g += v(k, i + 1) * v(k, j);
+        for (int k = 0; k <= i; ++k) v(k, j) -= g * d[k];
+      }
+    }
+    for (int k = 0; k <= i; ++k) v(k, i + 1) = 0.0;
+  }
+  for (int j = 0; j < n; ++j) {
+    d[j] = v(n - 1, j);
+    v(n - 1, j) = 0.0;
+  }
+  v(n - 1, n - 1) = 1.0;
+  e[0] = 0.0;
+}
+
+// Implicit-shift QL iteration on the tridiagonal matrix from tred2, with
+// eigenvector accumulation. Port of the JAMA/EISPACK tql2 routine.
+void tql2(Matrix& v, std::vector<double>& d, std::vector<double>& e) {
+  const int n = static_cast<int>(v.rows());
+  for (int i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  double f = 0.0;
+  double tst1 = 0.0;
+  const double eps = std::ldexp(1.0, -52);
+  for (int l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+    int m = l;
+    while (m < n) {
+      if (std::abs(e[m]) <= eps * tst1) break;
+      ++m;
+    }
+
+    if (m > l) {
+      int iter = 0;
+      do {
+        MC_CHECK(++iter <= 60, "tql2: QL iteration failed to converge");
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = std::hypot(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (int i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (int i = m - 1; i >= l; --i) {
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = std::hypot(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+          for (int k = 0; k < n; ++k) {
+            h = v(k, i + 1);
+            v(k, i + 1) = s * v(k, i) + c * h;
+            v(k, i) = c * v(k, i) - s * h;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::abs(e[l]) > eps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+
+  // Sort eigenvalues ascending, permuting eigenvector columns alongside.
+  for (int i = 0; i < n - 1; ++i) {
+    int k = i;
+    double p = d[i];
+    for (int j = i + 1; j < n; ++j) {
+      if (d[j] < p) {
+        k = j;
+        p = d[j];
+      }
+    }
+    if (k != i) {
+      d[k] = d[i];
+      d[i] = p;
+      for (int j = 0; j < n; ++j) std::swap(v(j, i), v(j, k));
+    }
+  }
+}
+
+}  // namespace
+
+SymEigResult eigh(const Matrix& a) {
+  MC_CHECK(a.rows() == a.cols(), "eigh requires a square matrix");
+  MC_CHECK(a.is_symmetric(1e-8 * (1.0 + a.max_abs())),
+           "eigh requires a symmetric matrix");
+  SymEigResult res;
+  res.vectors = a;
+  res.vectors.symmetrize();
+  if (a.rows() == 0) return res;
+  if (a.rows() == 1) {
+    res.values = {a(0, 0)};
+    res.vectors(0, 0) = 1.0;
+    return res;
+  }
+  std::vector<double> e;
+  tred2(res.vectors, res.values, e);
+  tql2(res.vectors, res.values, e);
+  return res;
+}
+
+SymEigResult eigh_generalized(const Matrix& f, const Matrix& x) {
+  Matrix fp = transform(x, f);  // X^T F X
+  fp.symmetrize();              // clean up rounding asymmetry
+  SymEigResult res = eigh(fp);
+  res.vectors = gemm(x, res.vectors);  // back-transform C = X C'
+  return res;
+}
+
+}  // namespace mc::la

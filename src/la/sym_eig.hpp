@@ -1,0 +1,31 @@
+#pragma once
+// Dense symmetric eigensolver: Householder tridiagonalization followed by
+// the implicit-shift QL iteration (the classic EISPACK tred2/tql2 pair).
+// This is the "diagonalization" step of the SCF loop (paper section 3:
+// FC = eSC).  O(N^3); adequate for the functional-scale systems we run
+// end-to-end here.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace mc::la {
+
+struct SymEigResult {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Eigenvectors in the *columns*, same order as `values`.
+  Matrix vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix. Throws mc::Error if the
+/// matrix is not square or the QL iteration fails to converge.
+SymEigResult eigh(const Matrix& a);
+
+/// Solve the symmetric generalized problem F C = e S C by transforming with
+/// an orthogonalizer X (S = X^-T X^-1 form is not required; any X with
+/// X^T S X = I works, e.g. Loewdin S^-1/2 or canonical). Returns
+/// eigenvalues ascending and C = X * C' with C' the eigenvectors of X^T F X.
+SymEigResult eigh_generalized(const Matrix& f, const Matrix& x);
+
+}  // namespace mc::la

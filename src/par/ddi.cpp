@@ -1,0 +1,3 @@
+// Ddi is header-only today; this TU anchors the library target and keeps a
+// home for future out-of-line DDI features (e.g. distributed arrays).
+#include "par/ddi.hpp"

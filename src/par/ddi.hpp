@@ -1,0 +1,46 @@
+#pragma once
+// Thin facade matching the Distributed Data Interface calls the paper's
+// pseudocode uses (ddi_dlbnext, ddi_gsumf), so the Fock builders in
+// src/core read like Algorithms 1-3.
+//
+// GAMESS's legacy DDI pairs every compute process with a data-server
+// process; the paper used an experimental MPI-3 DDI without data servers.
+// minimpi has no data servers either, so we model the MPI-3 variant (the
+// one all three benchmarked codes used -- paper section 6.2).
+
+#include "la/matrix.hpp"
+#include "par/runtime.hpp"
+
+namespace mc::par {
+
+class Ddi {
+ public:
+  explicit Ddi(Comm& comm) : comm_(&comm) {}
+
+  /// ddi_dlbnext: next global dynamic-load-balance task index (0-based).
+  [[nodiscard]] long dlbnext() { return comm_->dlb_next(); }
+  /// Collective: rewind the DLB counter (GAMESS does this between Fock
+  /// builds).
+  void dlb_reset() { comm_->dlb_reset(); }
+
+  /// ddi_gsumf: global floating-point sum of a matrix over ranks.
+  void gsumf(la::Matrix& m) { comm_->allreduce_sum(m.data(), m.size()); }
+  /// ddi_gsumf on a raw buffer.
+  void gsumf(double* data, std::size_t n) { comm_->allreduce_sum(data, n); }
+
+  /// ddi_bcast equivalent.
+  void bcast(la::Matrix& m, int root = 0) {
+    comm_->broadcast(m.data(), m.size(), root);
+  }
+
+  void barrier() { comm_->barrier(); }
+
+  [[nodiscard]] int rank() const { return comm_->rank(); }
+  [[nodiscard]] int size() const { return comm_->size(); }
+  [[nodiscard]] Comm& comm() { return *comm_; }
+
+ private:
+  Comm* comm_;
+};
+
+}  // namespace mc::par

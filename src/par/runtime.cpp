@@ -1,0 +1,253 @@
+#include "par/runtime.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+
+namespace mc::par {
+
+void AbortableBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborted_) throw mc::Error("minimpi: job aborted (peer rank failed)");
+  const long gen = generation_;
+  if (++waiting_ == nranks_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lk, [&] { return generation_ != gen || aborted_; });
+  if (aborted_) throw mc::Error("minimpi: job aborted (peer rank failed)");
+}
+
+void AbortableBarrier::abort() {
+  std::lock_guard<std::mutex> lk(mu_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+bool AbortableBarrier::aborted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return aborted_;
+}
+
+namespace detail {
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<double> payload;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> messages;
+};
+
+struct SharedState {
+  explicit SharedState(int n)
+      : nranks(n), barrier(n), contrib(static_cast<std::size_t>(n), nullptr),
+        mailboxes(static_cast<std::size_t>(n)) {}
+
+  int nranks;
+  AbortableBarrier barrier;
+
+  // allreduce / broadcast staging.
+  std::vector<double*> contrib;
+  std::vector<double> scratch;
+  std::mutex scratch_mu;
+
+  // allreduce_max staging.
+  std::atomic<std::uint64_t> max_bits{0};
+
+  std::atomic<long> dlb_counter{0};
+
+  std::vector<Mailbox> mailboxes;
+
+  // Shared-object blackboard.
+  std::mutex board_mu;
+  std::map<std::string, std::shared_ptr<void>> board;
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+};
+
+}  // namespace detail
+
+namespace {
+// One job at a time per process (like one MPI_COMM_WORLD).
+std::atomic<bool> g_job_active{false};
+}  // namespace
+
+int Comm::size() const { return st_->nranks; }
+
+void Comm::barrier() { st_->barrier.arrive_and_wait(); }
+
+void Comm::allreduce_sum(double* data, std::size_t n) {
+  detail::SharedState& st = *st_;
+  st.contrib[static_cast<std::size_t>(rank_)] = data;
+  if (rank_ == 0) {
+    st.scratch.assign(n, 0.0);
+  }
+  barrier();  // contributions + scratch visible
+
+  // Chunked parallel reduction: rank r sums its contiguous slice across all
+  // ranks' buffers (mirrors DDI's chunked gsum and the paper's row-chunked
+  // buffer flush in Figure 1B).
+  const std::size_t per =
+      (n + static_cast<std::size_t>(st.nranks) - 1) /
+      static_cast<std::size_t>(st.nranks);
+  const std::size_t lo =
+      std::min(n, per * static_cast<std::size_t>(rank_));
+  const std::size_t hi = std::min(n, lo + per);
+  for (std::size_t i = lo; i < hi; ++i) {
+    double s = 0.0;
+    for (int r = 0; r < st.nranks; ++r) s += st.contrib[static_cast<std::size_t>(r)][i];
+    st.scratch[i] = s;
+  }
+  barrier();  // all slices reduced
+
+  std::memcpy(data, st.scratch.data(), n * sizeof(double));
+  barrier();  // everyone copied out before scratch is reused
+}
+
+double Comm::allreduce_max(double v) {
+  detail::SharedState& st = *st_;
+  // Entry barrier: guarantees every rank has consumed the previous call's
+  // result before rank 0 re-initializes the shared accumulator.
+  barrier();
+  if (rank_ == 0) st.max_bits.store(0, std::memory_order_relaxed);
+  barrier();
+  // Monotone CAS-max on the bit pattern (valid for non-negative doubles;
+  // shift negative inputs by taking max against 0 first is NOT done --
+  // callers use this for norms/errors which are >= 0).
+  MC_CHECK(v >= 0.0, "allreduce_max supports non-negative values");
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::uint64_t cur = st.max_bits.load(std::memory_order_relaxed);
+  while (bits > cur &&
+         !st.max_bits.compare_exchange_weak(cur, bits,
+                                            std::memory_order_relaxed)) {
+  }
+  barrier();
+  const std::uint64_t out_bits = st.max_bits.load(std::memory_order_relaxed);
+  double out;
+  std::memcpy(&out, &out_bits, sizeof(out));
+  return out;
+}
+
+void Comm::broadcast(double* data, std::size_t n, int root) {
+  detail::SharedState& st = *st_;
+  MC_CHECK(root >= 0 && root < st.nranks, "broadcast root out of range");
+  st.contrib[static_cast<std::size_t>(rank_)] = data;
+  barrier();
+  if (rank_ != root) {
+    std::memcpy(data, st.contrib[static_cast<std::size_t>(root)],
+                n * sizeof(double));
+  }
+  barrier();
+}
+
+long Comm::dlb_next() {
+  return st_->dlb_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Comm::dlb_reset() {
+  barrier();
+  if (rank_ == 0) st_->dlb_counter.store(0, std::memory_order_relaxed);
+  barrier();
+}
+
+void Comm::send(int dst, int tag, const double* data, std::size_t n) {
+  detail::SharedState& st = *st_;
+  MC_CHECK(dst >= 0 && dst < st.nranks, "send destination out of range");
+  detail::Mailbox& mb = st.mailboxes[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lk(mb.mu);
+    mb.messages.push_back({rank_, tag, std::vector<double>(data, data + n)});
+  }
+  mb.cv.notify_all();
+}
+
+std::vector<double> Comm::recv(int src, int tag) {
+  detail::SharedState& st = *st_;
+  detail::Mailbox& mb = st.mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lk(mb.mu);
+  for (;;) {
+    for (auto it = mb.messages.begin(); it != mb.messages.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        std::vector<double> out = std::move(it->payload);
+        mb.messages.erase(it);
+        return out;
+      }
+    }
+    if (st.barrier.aborted()) {
+      throw mc::Error("minimpi: recv aborted (peer rank failed)");
+    }
+    mb.cv.wait_for(lk, std::chrono::milliseconds(50));
+  }
+}
+
+std::shared_ptr<void> Comm::shared_lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lk(st_->board_mu);
+  auto it = st_->board.find(key);
+  return it == st_->board.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<void> Comm::shared_publish(
+    const std::string& key,
+    const std::function<std::shared_ptr<void>()>& make) {
+  std::lock_guard<std::mutex> lk(st_->board_mu);
+  auto it = st_->board.find(key);
+  if (it != st_->board.end()) return it->second;  // lost the race: reuse
+  auto obj = make();
+  st_->board.emplace(key, obj);
+  return obj;
+}
+
+void Comm::free_shared(const std::string& key) {
+  std::lock_guard<std::mutex> lk(st_->board_mu);
+  st_->board.erase(key);
+}
+
+void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
+  MC_CHECK(nranks >= 1, "run_spmd needs at least one rank");
+  bool expected = false;
+  MC_CHECK(g_job_active.compare_exchange_strong(expected, true),
+           "run_spmd: a job is already active (nested SPMD not supported)");
+
+  detail::SharedState st(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&st, &body, r] {
+      MemoryTracker::set_current_rank(r);
+      try {
+        Comm comm(r, &st);
+        body(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(st.err_mu);
+          if (!st.first_error) st.first_error = std::current_exception();
+        }
+        st.barrier.abort();
+        // Wake any rank blocked in recv.
+        for (auto& mb : st.mailboxes) mb.cv.notify_all();
+      }
+      MemoryTracker::set_current_rank(-1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  g_job_active.store(false);
+
+  if (st.first_error) std::rethrow_exception(st.first_error);
+}
+
+}  // namespace mc::par

@@ -1,0 +1,125 @@
+#pragma once
+// minimpi: an in-process SPMD runtime standing in for MPI.
+//
+// No MPI library is available in this reproduction environment, so "ranks"
+// are std::threads executing the same function ("single program"), each with
+// its own rank-private allocations (attributed via MemoryTracker). The
+// communication surface is exactly what the paper's three algorithms use:
+//
+//   * barrier                    (implicit in DDI collectives)
+//   * allreduce_sum              (= ddi_gsumf, the Fock reduction)
+//   * broadcast                  (density distribution)
+//   * dlb_next / dlb_reset       (= ddi_dlbnext, the global DLB counter)
+//   * send/recv                  (completeness; point-to-point)
+//
+// The replication *structure* of the real MPI code -- every rank owning
+// private copies of whatever it allocates -- is preserved, which is what
+// the paper's memory-footprint analysis (eqs. 3a-3c) is about.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mc::par {
+
+class Comm;
+
+/// Barrier that can be torn down when a rank throws, so surviving ranks
+/// don't deadlock: they observe the abort and unwind too.
+class AbortableBarrier {
+ public:
+  explicit AbortableBarrier(int nranks) : nranks_(nranks) {}
+
+  /// Blocks until all ranks arrive. Throws mc::Error if aborted.
+  void arrive_and_wait();
+  /// Wake all waiters with an error; subsequent waits also throw.
+  void abort();
+  [[nodiscard]] bool aborted() const;
+
+ private:
+  const int nranks_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  long generation_ = 0;
+  bool aborted_ = false;
+};
+
+/// Launch `nranks` rank-threads running `body(comm)` and join them.
+/// The calling thread blocks. If any rank throws, the first exception is
+/// rethrown here after all ranks have unwound.
+///
+/// Nested runs are not allowed (one "job" at a time), matching one MPI
+/// world per process.
+void run_spmd(int nranks, const std::function<void(Comm&)>& body);
+
+namespace detail {
+struct SharedState;
+}
+
+/// Per-rank communicator handle. Only valid inside run_spmd's body.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Collective: block until every rank arrives.
+  void barrier();
+  /// Collective: element-wise sum of `data[0..n)` across ranks; every rank
+  /// ends with the total. The reduction work itself is split across ranks
+  /// in contiguous chunks (mirroring DDI's chunked gsum).
+  void allreduce_sum(double* data, std::size_t n);
+  /// Collective: max across ranks (convergence checks).
+  double allreduce_max(double v);
+  /// Collective: copy root's data[0..n) to every rank.
+  void broadcast(double* data, std::size_t n, int root);
+
+  /// Shared dynamic-load-balance counter (= ddi_dlbnext): atomically
+  /// returns the next global task index, starting at 0 after dlb_reset.
+  long dlb_next();
+  /// Collective: reset the DLB counter to zero.
+  void dlb_reset();
+
+  /// Point-to-point: copies the payload into dst's mailbox. Non-blocking.
+  void send(int dst, int tag, const double* data, std::size_t n);
+  /// Blocks until a message with `tag` from `src` arrives.
+  std::vector<double> recv(int src, int tag);
+
+  /// Shared-object blackboard (the in-process analogue of DDI's shared
+  /// memory segments): the first rank to ask for `key` constructs the
+  /// object; everyone else gets the same instance. The object must be
+  /// internally thread-safe. Lives until free_shared or job end.
+  template <typename T, typename... Args>
+  std::shared_ptr<T> get_or_create_shared(const std::string& key,
+                                          Args&&... args) {
+    std::shared_ptr<void> obj = shared_lookup(key);
+    if (!obj) {
+      obj = shared_publish(key, [&]() -> std::shared_ptr<void> {
+        return std::make_shared<T>(std::forward<Args>(args)...);
+      });
+    }
+    return std::static_pointer_cast<T>(obj);
+  }
+  /// Drop the blackboard entry (idempotent; typically called by one rank
+  /// after a barrier).
+  void free_shared(const std::string& key);
+
+ private:
+  friend void run_spmd(int, const std::function<void(Comm&)>&);
+  Comm(int rank, detail::SharedState* st) : rank_(rank), st_(st) {}
+
+  std::shared_ptr<void> shared_lookup(const std::string& key);
+  std::shared_ptr<void> shared_publish(
+      const std::string& key,
+      const std::function<std::shared_ptr<void>()>& make);
+
+  int rank_;
+  detail::SharedState* st_;
+};
+
+}  // namespace mc::par

@@ -1,0 +1,83 @@
+#include "par/work_stealing.hpp"
+
+#include "common/error.hpp"
+
+namespace mc::par {
+
+StealingCounters::StealingCounters(int nranks, long ntasks)
+    : ranges_(static_cast<std::size_t>(nranks)) {
+  MC_CHECK(nranks >= 1, "need at least one rank");
+  MC_CHECK(ntasks >= 0, "negative task count");
+  for (int r = 0; r < nranks; ++r) {
+    const long lo = ntasks * r / nranks;
+    const long hi = ntasks * (r + 1) / nranks;
+    ranges_[static_cast<std::size_t>(r)].next.store(
+        lo, std::memory_order_relaxed);
+    ranges_[static_cast<std::size_t>(r)].end = hi;
+  }
+}
+
+long StealingCounters::next(int rank) {
+  Range& own = ranges_[static_cast<std::size_t>(rank)];
+  const long mine = own.next.fetch_add(1, std::memory_order_relaxed);
+  if (mine < own.end) return mine;
+  own.next.store(own.end, std::memory_order_relaxed);  // undo overshoot
+
+  // Steal: repeatedly pick the victim with the most remaining work. The
+  // claim itself is a fetch_add on the victim's counter, so races with the
+  // victim (or other thieves) stay correct -- at worst the claim misses
+  // and we rescan.
+  for (;;) {
+    int victim = -1;
+    long best_remaining = 0;
+    for (int r = 0; r < static_cast<int>(ranges_.size()); ++r) {
+      if (r == rank) continue;
+      const Range& cand = ranges_[static_cast<std::size_t>(r)];
+      const long rem = cand.end - cand.next.load(std::memory_order_relaxed);
+      if (rem > best_remaining) {
+        best_remaining = rem;
+        victim = r;
+      }
+    }
+    if (victim < 0) return -1;  // everything exhausted
+    Range& v = ranges_[static_cast<std::size_t>(victim)];
+    const long got = v.next.fetch_add(1, std::memory_order_relaxed);
+    if (got < v.end) {
+      own.stolen_by_me.fetch_add(1, std::memory_order_relaxed);
+      return got;
+    }
+    v.next.store(v.end, std::memory_order_relaxed);
+  }
+}
+
+long StealingCounters::remaining(int rank) const {
+  const Range& r = ranges_[static_cast<std::size_t>(rank)];
+  const long rem = r.end - r.next.load(std::memory_order_relaxed);
+  return rem > 0 ? rem : 0;
+}
+
+long StealingCounters::steals(int rank) const {
+  return ranges_[static_cast<std::size_t>(rank)].stolen_by_me.load(
+      std::memory_order_relaxed);
+}
+
+WorkStealingScheduler::WorkStealingScheduler(Comm& comm,
+                                             const std::string& key,
+                                             long ntasks)
+    : comm_(&comm), key_(key) {
+  // Everyone must agree the previous user of this key is gone before the
+  // first rank re-creates it.
+  comm.barrier();
+  counters_ =
+      comm.get_or_create_shared<StealingCounters>(key, comm.size(), ntasks);
+  comm.barrier();
+}
+
+void WorkStealingScheduler::release() {
+  comm_->barrier();
+  counters_.reset();
+  if (comm_->rank() == 0) comm_->free_shared(key_);
+  comm_->barrier();
+}
+
+}  // namespace mc::par

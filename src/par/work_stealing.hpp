@@ -1,0 +1,68 @@
+#pragma once
+// Work-stealing task scheduler over a contiguous task range -- the
+// alternative to the single global DLB counter proposed for Fock builds by
+// Liu, Patel & Chow (IPDPS 2014), cited by the paper as related work.
+//
+// Each rank owns a contiguous slice of [0, ntasks) and claims from it with
+// a local atomic; when the slice is exhausted it steals single tasks from
+// the currently-richest victim. Claim *order* therefore favours locality
+// (ranks sweep their own region first), while the steady-state balance
+// matches the global counter's.
+//
+// Built on the minimpi shared-object blackboard; the counters struct is
+// shared by all ranks of the job.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "par/runtime.hpp"
+
+namespace mc::par {
+
+/// Shared per-rank claim ranges. Thread-safe by construction.
+class StealingCounters {
+ public:
+  StealingCounters(int nranks, long ntasks);
+
+  /// Claim the next task for `rank`: own range first, then steal from the
+  /// victim with the most remaining work. Returns -1 when every range is
+  /// exhausted.
+  long next(int rank);
+
+  /// Remaining tasks in `rank`'s slice (approximate under concurrency).
+  [[nodiscard]] long remaining(int rank) const;
+  /// Tasks this rank claimed from other ranks' slices.
+  [[nodiscard]] long steals(int rank) const;
+
+ private:
+  struct alignas(64) Range {
+    std::atomic<long> next{0};
+    long end = 0;
+    std::atomic<long> stolen_by_me{0};
+  };
+  std::vector<Range> ranges_;
+};
+
+/// Per-rank handle: wires a StealingCounters instance shared through the
+/// communicator's blackboard under `key`. Collective construction; call
+/// release() (collective) when the schedule is finished so the next build
+/// can reuse the key.
+class WorkStealingScheduler {
+ public:
+  WorkStealingScheduler(Comm& comm, const std::string& key, long ntasks);
+
+  /// Next task index for this rank, or -1 when the whole range is done.
+  long next() { return counters_->next(comm_->rank()); }
+  [[nodiscard]] long steals() const { return counters_->steals(comm_->rank()); }
+
+  /// Collective: drop the shared counters (barrier + erase + barrier).
+  void release();
+
+ private:
+  Comm* comm_;
+  std::string key_;
+  std::shared_ptr<StealingCounters> counters_;
+};
+
+}  // namespace mc::par

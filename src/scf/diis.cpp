@@ -1,0 +1,65 @@
+#include "scf/diis.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/blas_lite.hpp"
+#include "la/solve.hpp"
+
+namespace mc::scf {
+
+void Diis::push(const la::Matrix& fock, const la::Matrix& error) {
+  focks_.push_back(fock);
+  errors_.push_back(error);
+  while (focks_.size() > max_vectors_) {
+    focks_.pop_front();
+    errors_.pop_front();
+  }
+}
+
+la::Matrix Diis::extrapolate() const {
+  MC_CHECK(!focks_.empty(), "DIIS extrapolate with empty history");
+  const std::size_t m = focks_.size();
+  if (m == 1) return focks_.back();
+
+  // Solve the DIIS equations:
+  //   [ B  -1 ] [ c      ]   [ 0 ]
+  //   [ -1  0 ] [ lambda ] = [ -1 ],  B_ij = <e_i, e_j>.
+  const std::size_t n = m + 1;
+  la::Matrix b(n, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = la::dot(errors_[i], errors_[j]);
+      b(i, j) = v;
+      b(j, i) = v;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    b(i, m) = -1.0;
+    b(m, i) = -1.0;
+  }
+  b(m, m) = 0.0;
+  std::vector<double> rhs(n, 0.0);
+  rhs[m] = -1.0;
+
+  std::vector<double> c;
+  try {
+    c = la::solve(b, rhs);
+  } catch (const mc::Error&) {
+    // Near-singular B (stagnated history): fall back to the latest Fock.
+    return focks_.back();
+  }
+
+  la::Matrix f(focks_.back().rows(), focks_.back().cols());
+  for (std::size_t i = 0; i < m; ++i) {
+    la::axpy(c[i], focks_[i], f);
+  }
+  return f;
+}
+
+void Diis::clear() {
+  focks_.clear();
+  errors_.clear();
+}
+
+}  // namespace mc::scf

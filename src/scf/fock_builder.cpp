@@ -1,0 +1,46 @@
+#include "scf/fock_builder.hpp"
+
+namespace mc::scf {
+
+void scatter_quartet(const basis::BasisSet& bs, std::size_t si,
+                     std::size_t sj, std::size_t sk, std::size_t sl,
+                     const double* batch, const la::Matrix& d,
+                     la::Matrix& g) {
+  const basis::Shell& shi = bs.shell(si);
+  const basis::Shell& shj = bs.shell(sj);
+  const basis::Shell& shk = bs.shell(sk);
+  const basis::Shell& shl = bs.shell(sl);
+  const int ni = shi.nfunc(), nj = shj.nfunc(), nk = shk.nfunc(),
+            nl = shl.nfunc();
+  const std::size_t oi = shi.first_bf, oj = shj.first_bf, ok = shk.first_bf,
+                    ol = shl.first_bf;
+  const double w = quartet_degeneracy(si, sj, sk, sl);
+
+  std::size_t idx = 0;
+  for (int a = 0; a < ni; ++a) {
+    const std::size_t fa = oi + static_cast<std::size_t>(a);
+    for (int b = 0; b < nj; ++b) {
+      const std::size_t fb = oj + static_cast<std::size_t>(b);
+      for (int c = 0; c < nk; ++c) {
+        const std::size_t fc = ok + static_cast<std::size_t>(c);
+        for (int dd = 0; dd < nl; ++dd, ++idx) {
+          const std::size_t fd = ol + static_cast<std::size_t>(dd);
+          const double v = batch[idx];
+          if (v == 0.0) continue;
+          // X = w*v/2; Coulomb coefficient 1, exchange -1/4 (see the
+          // derivation in the FockBuilder header). Paper eqs. 2a-2f.
+          const double x = 0.5 * w * v;
+          const double x4 = 0.25 * x;
+          g(fa, fb) += x * d(fc, fd);
+          g(fc, fd) += x * d(fa, fb);
+          g(fa, fc) -= x4 * d(fb, fd);
+          g(fb, fd) -= x4 * d(fa, fc);
+          g(fa, fd) -= x4 * d(fb, fc);
+          g(fb, fc) -= x4 * d(fa, fd);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mc::scf

@@ -1,0 +1,91 @@
+#pragma once
+// FockBuilder: the pluggable strategy for the two-electron ("skeleton")
+// Fock matrix accumulation -- the computational core the paper optimizes.
+//
+// Contract:
+//   * build(D, G) accumulates the skeleton two-electron matrix into G
+//     (G is zeroed by the caller). D is the full symmetric density with
+//     Tr(D S) = N_electrons.
+//   * The *symmetrized* G_sym = (G + G^T)/2 then satisfies
+//       G_sym[a,b] ~= sum_cd D[c,d] ( (ab|cd) - 1/2 (ac|bd) )
+//     up to the Schwarz screening threshold.
+//   * For distributed builders, build() is a collective call: every rank
+//     passes the same D and every rank's G holds the fully reduced result
+//     on return.
+//
+// The canonical shell-quartet scatter shared by all implementations lives
+// in scatter_quartet() below; the implementations differ only in *where*
+// each of the six updates (paper eqs. 2a-2f) is accumulated and how the
+// quartet loop is distributed -- which is exactly the paper's subject.
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "basis/basis_set.hpp"
+#include "ints/eri.hpp"
+#include "ints/screening.hpp"
+#include "la/matrix.hpp"
+
+namespace mc::scf {
+
+class FockBuilder {
+ public:
+  virtual ~FockBuilder() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void build(const la::Matrix& density, la::Matrix& g) = 0;
+};
+
+/// Degeneracy weight of a canonical shell quartet (the size of its orbit
+/// under the 8-fold permutational symmetry at shell level).
+inline double quartet_degeneracy(std::size_t si, std::size_t sj,
+                                 std::size_t sk, std::size_t sl) {
+  const double dij = (si == sj) ? 1.0 : 2.0;
+  const double dkl = (sk == sl) ? 1.0 : 2.0;
+  const double dpair = (si == sk && sj == sl) ? 1.0 : 2.0;
+  return dij * dkl * dpair;
+}
+
+/// Scatter one computed quartet batch into a single accumulation target
+/// (used by the replicated-matrix algorithms; the shared-Fock algorithm
+/// splits the six updates across buffers itself).
+///
+/// batch layout: [a][b][c][d] over the Cartesian components of the shells.
+void scatter_quartet(const basis::BasisSet& bs, std::size_t si,
+                     std::size_t sj, std::size_t sk, std::size_t sl,
+                     const double* batch, const la::Matrix& d, la::Matrix& g);
+
+/// Iterate the canonical quartet list for a fixed (i, j) shell pair:
+/// k in [0, i], l in [0, (k == i ? j : k)] -- the "kl <= ij" pair-index
+/// enumeration of Algorithm 1. (The paper's line 5 has i/j swapped in the
+/// ternary; this is the standard GAMESS enumeration it describes.)
+template <typename Fn>
+void for_each_kl(std::size_t i, std::size_t j, Fn&& fn) {
+  for (std::size_t k = 0; k <= i; ++k) {
+    const std::size_t lmax = (k == i) ? j : k;
+    for (std::size_t l = 0; l <= lmax; ++l) {
+      fn(k, l);
+    }
+  }
+}
+
+/// Number of (k,l) iterations for_each_kl visits.
+inline std::size_t kl_count(std::size_t i, std::size_t j) {
+  // sum_{k<i} (k+1) + (j+1)
+  return i * (i + 1) / 2 + j + 1;
+}
+
+/// Map a flat canonical pair index back to (i, j), i >= j
+/// (pair = i*(i+1)/2 + j). Used by the merged-index loops of Algorithm 3.
+inline void unpack_pair(std::size_t pair, std::size_t& i, std::size_t& j) {
+  // i = floor((sqrt(8p+1)-1)/2), then j = p - i(i+1)/2, with a guard for
+  // floating-point edge cases.
+  std::size_t ii = static_cast<std::size_t>(
+      (std::sqrt(8.0 * static_cast<double>(pair) + 1.0) - 1.0) / 2.0);
+  while (ii * (ii + 1) / 2 > pair) --ii;
+  while ((ii + 1) * (ii + 2) / 2 <= pair) ++ii;
+  i = ii;
+  j = pair - ii * (ii + 1) / 2;
+}
+
+}  // namespace mc::scf

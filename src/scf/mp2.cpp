@@ -1,0 +1,115 @@
+#include "scf/mp2.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mc::scf {
+
+Mp2Result mp2_energy(const AoIntegralTensor& ao, const la::Matrix& c,
+                     const std::vector<double>& eps, int nocc, double e_hf,
+                     int nfrozen) {
+  const std::size_t n = ao.nbf();
+  MC_CHECK(c.rows() == n, "MO coefficient shape mismatch");
+  MC_CHECK(eps.size() >= c.cols(), "orbital energy count mismatch");
+  MC_CHECK(nfrozen >= 0 && nfrozen <= nocc, "bad frozen-core count");
+  const int no = nocc - nfrozen;                        // correlated occ
+  const int nv = static_cast<int>(c.cols()) - nocc;     // virtuals
+  MC_CHECK(no >= 0 && nv >= 0, "bad occupation partition");
+  if (no == 0 || nv == 0) {
+    return {0.0, e_hf, 0.0, 0.0};
+  }
+
+  // Four quarter transformations, O(N^5) total. The (o,v,o,v) MO tensor is
+  // small (no*nv)^2 and materialized in full.
+  const std::size_t nno = static_cast<std::size_t>(no);
+  const std::size_t nnv = static_cast<std::size_t>(nv);
+  std::vector<double> ovov(nno * nnv * nno * nnv, 0.0);
+  auto mo = [&](std::size_t i, std::size_t a, std::size_t j,
+                std::size_t b) -> double& {
+    return ovov[((i * nnv + a) * nno + j) * nnv + b];
+  };
+
+  // Scratch for the per-i stages.
+  std::vector<double> a_qrs(n * n * n);
+  std::vector<double> b_ars(nnv * n * n);
+  std::vector<double> c_ajs(nnv * nno * n);
+
+  for (int i = 0; i < no; ++i) {
+    const std::size_t ci = static_cast<std::size_t>(nfrozen + i);
+    // Stage 1: A[q,r,s] = sum_p C[p,i] (pq|rs).
+    for (std::size_t q = 0; q < n; ++q) {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t s = 0; s <= r; ++s) {
+          double acc = 0.0;
+          for (std::size_t p = 0; p < n; ++p) {
+            acc += c(p, ci) * ao(p, q, r, s);
+          }
+          a_qrs[(q * n + r) * n + s] = acc;
+          a_qrs[(q * n + s) * n + r] = acc;  // (rs) symmetry survives
+        }
+      }
+    }
+    // Stage 2: B[a,r,s] = sum_q C[q,a] A[q,r,s].
+    std::fill(b_ars.begin(), b_ars.end(), 0.0);
+    for (std::size_t q = 0; q < n; ++q) {
+      const double* aq = a_qrs.data() + q * n * n;
+      for (std::size_t a = 0; a < nnv; ++a) {
+        const double cqa = c(q, static_cast<std::size_t>(nocc) + a);
+        if (cqa == 0.0) continue;
+        double* ba = b_ars.data() + a * n * n;
+        for (std::size_t rs = 0; rs < n * n; ++rs) ba[rs] += cqa * aq[rs];
+      }
+    }
+    // Stage 3: C1[a,j,s] = sum_r C[r,j] B[a,r,s].
+    std::fill(c_ajs.begin(), c_ajs.end(), 0.0);
+    for (std::size_t a = 0; a < nnv; ++a) {
+      for (std::size_t r = 0; r < n; ++r) {
+        const double* brs = b_ars.data() + (a * n + r) * n;
+        for (std::size_t j = 0; j < nno; ++j) {
+          const double crj = c(r, static_cast<std::size_t>(nfrozen) + j);
+          if (crj == 0.0) continue;
+          double* cj = c_ajs.data() + (a * nno + j) * n;
+          for (std::size_t s = 0; s < n; ++s) cj[s] += crj * brs[s];
+        }
+      }
+    }
+    // Stage 4: (ia|jb) = sum_s C[s,b] C1[a,j,s].
+    for (std::size_t a = 0; a < nnv; ++a) {
+      for (std::size_t j = 0; j < nno; ++j) {
+        const double* cj = c_ajs.data() + (a * nno + j) * n;
+        for (std::size_t b = 0; b < nnv; ++b) {
+          double acc = 0.0;
+          for (std::size_t s = 0; s < n; ++s) {
+            acc += c(s, static_cast<std::size_t>(nocc) + b) * cj[s];
+          }
+          mo(static_cast<std::size_t>(i), a, j, b) = acc;
+        }
+      }
+    }
+  }
+
+  Mp2Result res;
+  for (std::size_t i = 0; i < nno; ++i) {
+    for (std::size_t j = 0; j < nno; ++j) {
+      for (std::size_t a = 0; a < nnv; ++a) {
+        for (std::size_t b = 0; b < nnv; ++b) {
+          const double v = mo(i, a, j, b);
+          const double vx = mo(i, b, j, a);
+          const double denom =
+              eps[static_cast<std::size_t>(nfrozen) + i] +
+              eps[static_cast<std::size_t>(nfrozen) + j] -
+              eps[static_cast<std::size_t>(nocc) + a] -
+              eps[static_cast<std::size_t>(nocc) + b];
+          res.opposite_spin += v * v / denom;
+          res.same_spin += v * (v - vx) / denom;
+        }
+      }
+    }
+  }
+  res.correlation_energy = res.opposite_spin + res.same_spin;
+  res.total_energy = e_hf + res.correlation_energy;
+  return res;
+}
+
+}  // namespace mc::scf

@@ -1,0 +1,36 @@
+#pragma once
+// Second-order Moller-Plesset perturbation theory (MP2) on top of a
+// converged RHF wavefunction -- the first of the O(N^5+) post-HF methods
+// the paper's introduction motivates the HF optimization for ("The HF
+// solution is commonly used as a starting point for more accurate ab
+// initio methods, such as second order perturbation theory...").
+//
+// Closed-shell spin-adapted form:
+//   E(2) = sum_{ijab} (ia|jb) [ 2 (ia|jb) - (ib|ja) ]
+//                     / (e_i + e_j - e_a - e_b)
+// with the MO integrals obtained by four quarter-transformations (O(N^5))
+// of the stored AO tensor.
+
+#include "la/matrix.hpp"
+#include "scf/stored_integrals.hpp"
+
+namespace mc::scf {
+
+struct Mp2Result {
+  double correlation_energy = 0.0;  ///< E(2), Hartree (negative)
+  double total_energy = 0.0;        ///< E_HF + E(2)
+  /// Same-spin / opposite-spin decomposition (for SCS-MP2 style scaling).
+  double same_spin = 0.0;
+  double opposite_spin = 0.0;
+};
+
+/// Compute the MP2 correlation energy. `c` are the converged MO
+/// coefficients (columns), `orbital_energies` the matching eigenvalues,
+/// `nocc` the number of doubly-occupied orbitals, `e_hf` the RHF total
+/// energy. Frozen-core is supported through `nfrozen` (orbitals excluded
+/// from the correlation treatment).
+Mp2Result mp2_energy(const AoIntegralTensor& ao, const la::Matrix& c,
+                     const std::vector<double>& orbital_energies, int nocc,
+                     double e_hf, int nfrozen = 0);
+
+}  // namespace mc::scf

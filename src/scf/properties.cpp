@@ -1,0 +1,78 @@
+#include "scf/properties.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ints/multipole.hpp"
+#include "la/blas_lite.hpp"
+
+namespace mc::scf {
+
+namespace {
+constexpr double kDebyePerAu = 2.541746;
+}
+
+double DipoleMoment::magnitude_au() const {
+  const auto t = total();
+  return std::sqrt(t[0] * t[0] + t[1] * t[1] + t[2] * t[2]);
+}
+
+double DipoleMoment::magnitude_debye() const {
+  return magnitude_au() * kDebyePerAu;
+}
+
+DipoleMoment dipole_moment(const chem::Molecule& mol,
+                           const basis::BasisSet& bs, const la::Matrix& d) {
+  MC_CHECK(d.rows() == bs.nbf() && d.cols() == bs.nbf(),
+           "density shape mismatch");
+  // Center of nuclear charge as origin.
+  std::array<double, 3> origin{0.0, 0.0, 0.0};
+  double ztot = 0.0;
+  for (const chem::Atom& a : mol.atoms()) {
+    for (int k = 0; k < 3; ++k) origin[static_cast<std::size_t>(k)] += a.z * a.xyz[static_cast<std::size_t>(k)];
+    ztot += a.z;
+  }
+  MC_CHECK(ztot > 0.0, "molecule has no nuclei");
+  for (double& o : origin) o /= ztot;
+
+  DipoleMoment dm;
+  const auto m = ints::dipole_matrices(bs, origin);
+  for (int k = 0; k < 3; ++k) {
+    // Electrons carry charge -1: mu_el = -Tr(D M).
+    dm.electronic[static_cast<std::size_t>(k)] =
+        -la::dot(d, m[static_cast<std::size_t>(k)]);
+  }
+  for (const chem::Atom& a : mol.atoms()) {
+    for (int k = 0; k < 3; ++k) {
+      dm.nuclear[static_cast<std::size_t>(k)] +=
+          a.z * (a.xyz[static_cast<std::size_t>(k)] -
+                 origin[static_cast<std::size_t>(k)]);
+    }
+  }
+  return dm;
+}
+
+MullikenAnalysis mulliken_analysis(const chem::Molecule& mol,
+                                   const basis::BasisSet& bs,
+                                   const la::Matrix& d,
+                                   const la::Matrix& s) {
+  MullikenAnalysis out;
+  out.populations.assign(mol.natoms(), 0.0);
+  la::Matrix ds = la::gemm(d, s);
+  for (const basis::Shell& sh : bs.shells()) {
+    MC_CHECK(sh.atom >= 0 &&
+                 static_cast<std::size_t>(sh.atom) < mol.natoms(),
+             "shell without a valid atom");
+    for (int f = 0; f < sh.nfunc(); ++f) {
+      const std::size_t bf = sh.first_bf + static_cast<std::size_t>(f);
+      out.populations[static_cast<std::size_t>(sh.atom)] += ds(bf, bf);
+    }
+  }
+  out.charges.resize(mol.natoms());
+  for (std::size_t a = 0; a < mol.natoms(); ++a) {
+    out.charges[a] = mol.atom(a).z - out.populations[a];
+  }
+  return out;
+}
+
+}  // namespace mc::scf

@@ -1,0 +1,47 @@
+#pragma once
+// Post-SCF molecular properties: dipole moment and Mulliken population
+// analysis from the converged density. GAMESS prints both after every SCF;
+// they complete the "full functionality" the paper's hybrid codes maintain.
+
+#include <array>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/molecule.hpp"
+#include "la/matrix.hpp"
+
+namespace mc::scf {
+
+struct DipoleMoment {
+  std::array<double, 3> electronic{};  ///< a.u.
+  std::array<double, 3> nuclear{};     ///< a.u.
+  [[nodiscard]] std::array<double, 3> total() const {
+    return {electronic[0] + nuclear[0], electronic[1] + nuclear[1],
+            electronic[2] + nuclear[2]};
+  }
+  /// |total| in atomic units.
+  [[nodiscard]] double magnitude_au() const;
+  /// |total| in Debye (1 a.u. = 2.541746 D).
+  [[nodiscard]] double magnitude_debye() const;
+};
+
+/// Dipole moment of a density `d` (Tr(DS) = N_elec convention), computed
+/// about the center of nuclear charge so it is origin-independent for
+/// neutral molecules.
+DipoleMoment dipole_moment(const chem::Molecule& mol,
+                           const basis::BasisSet& bs, const la::Matrix& d);
+
+struct MullikenAnalysis {
+  /// Gross electronic population per atom.
+  std::vector<double> populations;
+  /// Partial charge per atom: Z_A - population_A.
+  std::vector<double> charges;
+};
+
+/// Mulliken population analysis: q_A = Z_A - sum_{mu in A} (D S)_{mu mu}.
+MullikenAnalysis mulliken_analysis(const chem::Molecule& mol,
+                                   const basis::BasisSet& bs,
+                                   const la::Matrix& d,
+                                   const la::Matrix& s);
+
+}  // namespace mc::scf

@@ -1,0 +1,167 @@
+#include "scf/scf_driver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "ints/one_electron.hpp"
+#include "la/blas_lite.hpp"
+#include "la/orthogonalizer.hpp"
+#include "la/sym_eig.hpp"
+#include "scf/diis.hpp"
+
+namespace mc::scf {
+
+la::Matrix density_from_coefficients(const la::Matrix& c, int nocc) {
+  MC_CHECK(nocc >= 0 && static_cast<std::size_t>(nocc) <= c.cols(),
+           "occupation count out of range");
+  const std::size_t n = c.rows();
+  la::Matrix cocc(n, static_cast<std::size_t>(nocc));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < nocc; ++k) {
+      cocc(i, static_cast<std::size_t>(k)) = c(i, static_cast<std::size_t>(k));
+    }
+  }
+  la::Matrix d = la::gemm_nt(cocc, cocc);
+  d *= 2.0;
+  return d;
+}
+
+la::Matrix core_guess_density(const la::Matrix& hcore, const la::Matrix& x,
+                              int nocc) {
+  la::SymEigResult eig = la::eigh_generalized(hcore, x);
+  return density_from_coefficients(eig.vectors, nocc);
+}
+
+ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
+                  FockBuilder& builder, const ScfOptions& options,
+                  const ScfCallbacks& callbacks) {
+  const int nelec = mol.nelectrons(options.charge);
+  MC_CHECK(nelec > 0, "no electrons");
+  MC_CHECK(nelec % 2 == 0,
+           "closed-shell RHF requires an even electron count");
+  const int nocc = nelec / 2;
+  const std::size_t nbf = bs.nbf();
+  MC_CHECK(static_cast<std::size_t>(nocc) <= nbf,
+           "more electron pairs than basis functions");
+
+  ScfResult res;
+  res.nuclear_repulsion = mol.nuclear_repulsion();
+
+  const la::Matrix s = ints::overlap_matrix(bs);
+  const la::Matrix h = ints::core_hamiltonian(bs, mol);
+  const la::Matrix x = la::canonical_orthogonalizer(s, options.lindep_tolerance);
+
+  la::Matrix d = core_guess_density(h, x, nocc);
+  la::Matrix g(nbf, nbf);
+  Diis diis(options.diis_max_vectors);
+
+  double e_prev = 0.0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Two-electron (skeleton) Fock accumulation -- the timed hot region.
+    WallTimer fock_timer;
+    g.set_zero();
+    builder.build(d, g);
+    const double t_fock = fock_timer.seconds();
+    res.fock_build_seconds += t_fock;
+
+    g.symmetrize();
+    la::Matrix f = h;
+    f += g;
+
+    // Electronic energy: E = 1/2 sum_ab D_ab (H_ab + F_ab).
+    const double e_elec = 0.5 * (la::dot(d, h) + la::dot(d, f));
+    const double e_total = e_elec + res.nuclear_repulsion;
+
+    // DIIS error: FDS - SDF, transformed to the orthonormal basis.
+    la::Matrix fds = la::gemm(f, la::gemm(d, s));
+    la::Matrix sdf = fds.transposed();
+    la::Matrix err_ao = fds;
+    err_ao -= sdf;
+    la::Matrix err = la::gemm_tn(x, la::gemm(err_ao, x));
+
+    la::Matrix f_eff = f;
+    if (options.use_diis) {
+      diis.push(f, err);
+      f_eff = diis.extrapolate();
+    }
+
+    la::SymEigResult eig;
+    if (options.level_shift > 0.0) {
+      // Shift the virtual block in the orthonormal basis: F' = X^T F X +
+      // shift * P_virt, diagonalized there and back-transformed. Occupied
+      // energies (and the converged density) are unaffected; the
+      // occupied-virtual gap is opened to damp oscillations.
+      la::Matrix fp = la::transform(x, f_eff);
+      fp.symmetrize();
+      la::SymEigResult inner = la::eigh(fp);
+      for (std::size_t k = static_cast<std::size_t>(nocc);
+           k < inner.values.size(); ++k) {
+        inner.values[k] += options.level_shift;
+      }
+      // Rebuild the shifted matrix and rediagonalize via the generalized
+      // path for a uniform code path (cheap at these sizes).
+      la::Matrix shifted(fp.rows(), fp.cols());
+      for (std::size_t a = 0; a < fp.rows(); ++a) {
+        for (std::size_t b = 0; b < fp.cols(); ++b) {
+          double v = 0.0;
+          for (std::size_t k = 0; k < inner.values.size(); ++k) {
+            v += inner.vectors(a, k) * inner.values[k] * inner.vectors(b, k);
+          }
+          shifted(a, b) = v;
+        }
+      }
+      eig = la::eigh(shifted);
+      eig.vectors = la::gemm(x, eig.vectors);
+    } else {
+      eig = la::eigh_generalized(f_eff, x);
+    }
+    la::Matrix d_new = density_from_coefficients(eig.vectors, nocc);
+    if (options.damping > 0.0 && iter > 1) {
+      MC_CHECK(options.damping < 1.0, "damping factor must be in [0,1)");
+      la::Matrix mixed = d_new;
+      mixed *= (1.0 - options.damping);
+      la::Matrix old = d;
+      old *= options.damping;
+      mixed += old;
+      d_new = std::move(mixed);
+    }
+
+    // RMS density change.
+    double rms = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double dv = d_new.data()[i] - d.data()[i];
+      rms += dv * dv;
+    }
+    rms = std::sqrt(rms / static_cast<double>(d.size()));
+
+    ScfIterationInfo info;
+    info.iteration = iter;
+    info.energy = e_total;
+    info.delta_energy = e_total - e_prev;
+    info.density_rms = rms;
+    info.fock_build_seconds = t_fock;
+    res.history.push_back(info);
+    if (callbacks.on_iteration) callbacks.on_iteration(info);
+
+    d = std::move(d_new);
+    res.iterations = iter;
+    res.energy = e_total;
+    res.electronic_energy = e_elec;
+    res.orbital_energies = eig.values;
+    res.mo_coefficients = eig.vectors;
+    res.fock = std::move(f);
+
+    if (iter > 1 && rms < options.density_tolerance &&
+        std::abs(e_total - e_prev) < options.energy_tolerance) {
+      res.converged = true;
+      break;
+    }
+    e_prev = e_total;
+  }
+
+  res.density = std::move(d);
+  return res;
+}
+
+}  // namespace mc::scf

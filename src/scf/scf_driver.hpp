@@ -1,0 +1,81 @@
+#pragma once
+// The SCF driver: core Hamiltonian guess, Fock build (delegated to a
+// FockBuilder strategy), DIIS, diagonalization, convergence control.
+// Mirrors the GAMESS RHF SCF structure the paper describes in section 3.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/molecule.hpp"
+#include "la/matrix.hpp"
+#include "scf/fock_builder.hpp"
+
+namespace mc::scf {
+
+struct ScfOptions {
+  int max_iterations = 60;
+  /// Convergence on RMS density change (GAMESS CONV on density).
+  double density_tolerance = 1e-8;
+  /// Convergence on |Delta E|.
+  double energy_tolerance = 1e-10;
+  bool use_diis = true;
+  std::size_t diis_max_vectors = 8;
+  int charge = 0;
+  /// Eigenvalue cutoff for near-linear-dependence in S.
+  double lindep_tolerance = 1e-10;
+  /// Density damping: D <- (1-a) D_new + a D_old. 0 disables (default).
+  /// A classic fallback for oscillating SCFs when DIIS struggles.
+  double damping = 0.0;
+  /// Level shift added to the virtual-virtual block of the Fock matrix in
+  /// the orthonormal basis (Hartree). 0 disables.
+  double level_shift = 0.0;
+};
+
+struct ScfIterationInfo {
+  int iteration = 0;
+  double energy = 0.0;          // total energy at this iteration
+  double delta_energy = 0.0;
+  double density_rms = 0.0;
+  double fock_build_seconds = 0.0;
+};
+
+struct ScfResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;             ///< total (electronic + nuclear), Hartree
+  double electronic_energy = 0.0;
+  double nuclear_repulsion = 0.0;
+  std::vector<double> orbital_energies;
+  la::Matrix density;              ///< converged density (Tr(DS) = Nelec)
+  la::Matrix fock;                 ///< converged Fock matrix
+  la::Matrix mo_coefficients;
+  std::vector<ScfIterationInfo> history;
+  /// Accumulated wall time in FockBuilder::build -- the paper's
+  /// "TIME TO FORM FOCK" metric (artifact appendix A.5).
+  double fock_build_seconds = 0.0;
+};
+
+/// Hooks the distributed SCF path uses to keep ranks in lockstep; the
+/// defaults are no-ops for serial runs.
+struct ScfCallbacks {
+  /// Called after each iteration with the info record (e.g. rank-0 logging).
+  std::function<void(const ScfIterationInfo&)> on_iteration;
+};
+
+/// Run a closed-shell restricted Hartree-Fock SCF.
+/// Throws mc::Error for open-shell electron counts.
+ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
+                  FockBuilder& builder, const ScfOptions& options = {},
+                  const ScfCallbacks& callbacks = {});
+
+/// Superposition-free initial guess: diagonalize the core Hamiltonian.
+/// Returns the initial density. `x` is the orthogonalizer (X^T S X = 1).
+la::Matrix core_guess_density(const la::Matrix& hcore, const la::Matrix& x,
+                              int nocc);
+
+/// Closed-shell density D = 2 C_occ C_occ^T from MO coefficients.
+la::Matrix density_from_coefficients(const la::Matrix& c, int nocc);
+
+}  // namespace mc::scf

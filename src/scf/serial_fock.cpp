@@ -1,0 +1,70 @@
+#include "scf/serial_fock.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mc::scf {
+
+void SerialFockBuilder::build(const la::Matrix& density, la::Matrix& g) {
+  const basis::BasisSet& bs = eri_->basis_set();
+  const std::size_t ns = bs.nshells();
+  quartets_ = 0;
+  std::vector<double> batch;
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
+        if (!screen_->keep(i, j, k, l)) return;
+        batch.assign(eri_->batch_size(i, j, k, l), 0.0);
+        eri_->compute(i, j, k, l, batch.data());
+        scatter_quartet(bs, i, j, k, l, batch.data(), density, g);
+        ++quartets_;
+      });
+    }
+  }
+}
+
+void BruteForceFockBuilder::build(const la::Matrix& density, la::Matrix& g) {
+  const basis::BasisSet& bs = eri_->basis_set();
+  const std::size_t nbf = bs.nbf();
+  const std::size_t ns = bs.nshells();
+  MC_CHECK(g.rows() == nbf && g.cols() == nbf, "G shape mismatch");
+
+  // Direct evaluation of G[p][q] = sum_rs D[r][s] ((pq|rs) - 1/2 (pr|qs))
+  // from full shell batches; no symmetry, no screening.
+  std::vector<double> batch;
+  for (std::size_t s1 = 0; s1 < ns; ++s1) {
+    const auto& shp = bs.shell(s1);
+    for (std::size_t s2 = 0; s2 < ns; ++s2) {
+      const auto& shq = bs.shell(s2);
+      for (std::size_t s3 = 0; s3 < ns; ++s3) {
+        const auto& shr = bs.shell(s3);
+        for (std::size_t s4 = 0; s4 < ns; ++s4) {
+          const auto& shs = bs.shell(s4);
+          batch.assign(eri_->batch_size(s1, s2, s3, s4), 0.0);
+          eri_->compute(s1, s2, s3, s4, batch.data());
+          std::size_t idx = 0;
+          for (int a = 0; a < shp.nfunc(); ++a) {
+            for (int b = 0; b < shq.nfunc(); ++b) {
+              for (int c = 0; c < shr.nfunc(); ++c) {
+                for (int dd = 0; dd < shs.nfunc(); ++dd, ++idx) {
+                  const double v = batch[idx];
+                  const std::size_t fp = shp.first_bf + a;
+                  const std::size_t fq = shq.first_bf + b;
+                  const std::size_t fr = shr.first_bf + c;
+                  const std::size_t fs = shs.first_bf + dd;
+                  // Coulomb: (pq|rs) D_rs -> G_pq
+                  g(fp, fq) += v * density(fr, fs);
+                  // Exchange: (pq|rs) contributes to K_pr as D_qs (pq|rs).
+                  g(fp, fr) -= 0.5 * v * density(fq, fs);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mc::scf

@@ -1,0 +1,44 @@
+#pragma once
+// Reference Fock builders:
+//  * SerialFockBuilder -- the canonical screened quartet loop on one
+//    thread. The correctness anchor every parallel algorithm is tested
+//    against, and the per-core work model the simulator calibrates on.
+//  * BruteForceFockBuilder -- O(N^4) loop over *all* ordered quartets with
+//    no permutational symmetry and no screening; definitionally correct,
+//    used to validate the skeleton scatter itself on tiny systems.
+
+#include "scf/fock_builder.hpp"
+
+namespace mc::scf {
+
+class SerialFockBuilder : public FockBuilder {
+ public:
+  SerialFockBuilder(const ints::EriEngine& eri, const ints::Screening& screen)
+      : eri_(&eri), screen_(&screen) {}
+
+  [[nodiscard]] std::string name() const override { return "serial"; }
+  void build(const la::Matrix& density, la::Matrix& g) override;
+
+  /// Quartets that survived screening in the last build (statistics).
+  [[nodiscard]] std::size_t last_quartets_computed() const {
+    return quartets_;
+  }
+
+ private:
+  const ints::EriEngine* eri_;
+  const ints::Screening* screen_;
+  std::size_t quartets_ = 0;
+};
+
+class BruteForceFockBuilder : public FockBuilder {
+ public:
+  explicit BruteForceFockBuilder(const ints::EriEngine& eri) : eri_(&eri) {}
+
+  [[nodiscard]] std::string name() const override { return "brute-force"; }
+  void build(const la::Matrix& density, la::Matrix& g) override;
+
+ private:
+  const ints::EriEngine* eri_;
+};
+
+}  // namespace mc::scf

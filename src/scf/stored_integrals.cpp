@@ -1,0 +1,84 @@
+#include "scf/stored_integrals.hpp"
+
+#include "common/error.hpp"
+
+namespace mc::scf {
+
+AoIntegralTensor::AoIntegralTensor(const ints::EriEngine& eri,
+                                   const ints::Screening& screen,
+                                   std::size_t max_doubles) {
+  const basis::BasisSet& bs = eri.basis_set();
+  nbf_ = bs.nbf();
+  const std::size_t npairs = nbf_ * (nbf_ + 1) / 2;
+  const std::size_t total = npairs * (npairs + 1) / 2;
+  MC_CHECK(total <= max_doubles,
+           "stored-integral tensor would exceed the configured memory cap");
+  values_.assign(total, 0.0);
+
+  std::vector<double> batch;
+  const std::size_t ns = bs.nshells();
+  for (std::size_t si = 0; si < ns; ++si) {
+    for (std::size_t sj = 0; sj <= si; ++sj) {
+      for_each_kl(si, sj, [&](std::size_t sk, std::size_t sl) {
+        if (!screen.keep(si, sj, sk, sl)) return;
+        batch.assign(eri.batch_size(si, sj, sk, sl), 0.0);
+        eri.compute(si, sj, sk, sl, batch.data());
+        const basis::Shell& shi = bs.shell(si);
+        const basis::Shell& shj = bs.shell(sj);
+        const basis::Shell& shk = bs.shell(sk);
+        const basis::Shell& shl = bs.shell(sl);
+        std::size_t idx = 0;
+        for (int a = 0; a < shi.nfunc(); ++a) {
+          const std::size_t fa = shi.first_bf + static_cast<std::size_t>(a);
+          for (int b = 0; b < shj.nfunc(); ++b) {
+            const std::size_t fb =
+                shj.first_bf + static_cast<std::size_t>(b);
+            for (int c = 0; c < shk.nfunc(); ++c) {
+              const std::size_t fc =
+                  shk.first_bf + static_cast<std::size_t>(c);
+              for (int dd = 0; dd < shl.nfunc(); ++dd, ++idx) {
+                const std::size_t fd =
+                    shl.first_bf + static_cast<std::size_t>(dd);
+                values_[composite(pair_index(fa, fb), pair_index(fc, fd))] =
+                    batch[idx];
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+void StoredFockBuilder::build(const la::Matrix& density, la::Matrix& g) {
+  const std::size_t n = tensor_->nbf();
+  MC_CHECK(g.rows() == n && g.cols() == n, "G shape mismatch");
+  // Canonical sweep over unique function quartets; the same orbit-weighted
+  // skeleton scatter as the direct builders, at function granularity.
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q <= p; ++q) {
+      const std::size_t pq = AoIntegralTensor::pair_index(p, q);
+      for (std::size_t r = 0; r <= p; ++r) {
+        const std::size_t smax = (r == p) ? q : r;
+        for (std::size_t s = 0; s <= smax; ++s) {
+          const double v = (*tensor_)(p, q, r, s);
+          if (v == 0.0) continue;
+          const std::size_t rs = AoIntegralTensor::pair_index(r, s);
+          const double dpq = (p == q) ? 1.0 : 2.0;
+          const double drs = (r == s) ? 1.0 : 2.0;
+          const double dpair = (pq == rs) ? 1.0 : 2.0;
+          const double x = 0.5 * dpq * drs * dpair * v;
+          const double x4 = 0.25 * x;
+          g(p, q) += x * density(r, s);
+          g(r, s) += x * density(p, q);
+          g(p, r) -= x4 * density(q, s);
+          g(q, s) -= x4 * density(p, r);
+          g(p, s) -= x4 * density(q, r);
+          g(q, r) -= x4 * density(p, s);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mc::scf

@@ -1,0 +1,172 @@
+// Tests for the basis-set machinery: shell normalization, the built-in
+// libraries, SP expansion, and the paper's Table 4 shell / basis-function
+// accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basis/basis_library.hpp"
+#include "basis/basis_set.hpp"
+#include "basis/shell.hpp"
+#include "chem/builders.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace mc::basis {
+namespace {
+
+TEST(Shell, CartesianComponentCounts) {
+  EXPECT_EQ(ncart(0), 1);
+  EXPECT_EQ(ncart(1), 3);
+  EXPECT_EQ(ncart(2), 6);
+  EXPECT_EQ(ncart(3), 10);
+  EXPECT_EQ(cartesian_components(2).size(), 6u);
+  // Canonical d order: xx, xy, xz, yy, yz, zz.
+  const auto d = cartesian_components(2);
+  EXPECT_EQ(d[0], (std::array<int, 3>{2, 0, 0}));
+  EXPECT_EQ(d[1], (std::array<int, 3>{1, 1, 0}));
+  EXPECT_EQ(d[5], (std::array<int, 3>{0, 0, 2}));
+}
+
+TEST(Shell, DoubleFactorial) {
+  EXPECT_DOUBLE_EQ(dfact(-1), 1.0);
+  EXPECT_DOUBLE_EQ(dfact(1), 1.0);
+  EXPECT_DOUBLE_EQ(dfact(3), 3.0);
+  EXPECT_DOUBLE_EQ(dfact(5), 15.0);
+  EXPECT_DOUBLE_EQ(dfact(7), 105.0);
+}
+
+TEST(Shell, PrimitiveNormIsUnitSelfOverlap) {
+  // <g|g> for normalized primitive must be 1: check s, p, d components.
+  for (auto [i, j, k] : {std::array<int, 3>{0, 0, 0},
+                         std::array<int, 3>{1, 0, 0},
+                         std::array<int, 3>{2, 0, 0},
+                         std::array<int, 3>{1, 1, 0}}) {
+    const double a = 1.37;
+    const double n = primitive_norm(a, i, j, k);
+    const int l = i + j + k;
+    // Self overlap of unnormalized x^i y^j z^k exp(-a r^2):
+    const double s =
+        std::pow(kPi / (2 * a), 1.5) *
+        dfact(2 * i - 1) * dfact(2 * j - 1) * dfact(2 * k - 1) /
+        std::pow(4.0 * a, l);
+    EXPECT_NEAR(n * n * s, 1.0, 1e-12) << i << j << k;
+  }
+}
+
+TEST(Shell, ComponentNormRatioForD) {
+  // xx vs xy: ratio sqrt(3!! / 1) = sqrt(3).
+  EXPECT_NEAR(component_norm_ratio(2, 1, 1, 0), std::sqrt(3.0), 1e-14);
+  EXPECT_DOUBLE_EQ(component_norm_ratio(2, 2, 0, 0), 1.0);
+  EXPECT_THROW(component_norm_ratio(2, 1, 0, 0), mc::Error);
+}
+
+TEST(BasisLibrary, KnownSets) {
+  EXPECT_EQ(available_basis_sets().size(), 4u);
+  EXPECT_TRUE(has_element_basis("STO-3G", 1));
+  EXPECT_TRUE(has_element_basis("6-31G(d)", 6));
+  EXPECT_FALSE(has_element_basis("STO-3G", 15));
+  EXPECT_THROW(element_basis("STO-99G", 1), mc::Error);
+  EXPECT_THROW(element_basis("STO-3G", 15), mc::Error);
+}
+
+TEST(BasisLibrary, CarbonSto3gStructure) {
+  const auto shells = element_basis("STO-3G", 6);
+  ASSERT_EQ(shells.size(), 2u);
+  EXPECT_EQ(shells[0].type, 'S');
+  EXPECT_EQ(shells[1].type, 'L');
+  EXPECT_EQ(shells[1].coefs_p.size(), 3u);
+}
+
+TEST(BasisLibrary, Pople631GdpAddsPOnHydrogen) {
+  // 6-31G(d,p): hydrogen gains a p shell (exponent 1.1), heavy atoms are
+  // identical to 6-31G(d).
+  const auto h = element_basis("6-31G(d,p)", 1);
+  ASSERT_EQ(h.size(), 3u);  // S, S, P
+  EXPECT_EQ(h.back().type, 'P');
+  EXPECT_DOUBLE_EQ(h.back().exps[0], 1.1);
+  EXPECT_EQ(element_basis("6-31G(d,p)", 6).size(),
+            element_basis("6-31G(d)", 6).size());
+  // Aliases resolve to the same tables.
+  EXPECT_EQ(element_basis("6-31G**", 1).size(), 3u);
+  EXPECT_TRUE(has_element_basis("6-31G(d,p)", 8));
+}
+
+TEST(BasisLibrary, Carbon631GdHasPolarization) {
+  const auto shells = element_basis("6-31G(d)", 6);
+  ASSERT_EQ(shells.size(), 4u);  // S, L, L, D
+  EXPECT_EQ(shells.back().type, 'D');
+  EXPECT_DOUBLE_EQ(shells.back().exps[0], 0.8);
+  // Hydrogen gets no d.
+  EXPECT_EQ(element_basis("6-31G(d)", 1).size(), 2u);
+}
+
+TEST(BasisSet, WaterSto3gCounts) {
+  auto bs = BasisSet::build(chem::builders::water(), "STO-3G");
+  // O: s + (s,p from L); H: s each => 5 + 2*1... shells after SP expansion:
+  // O: 1s, 2s, 2p -> 3; H: 1 each -> total 5 expanded shells.
+  EXPECT_EQ(bs.nshells(), 5u);
+  // GAMESS convention: O has 2 shells (S, L), H one each -> 4.
+  EXPECT_EQ(bs.nshells_gamess(), 4u);
+  EXPECT_EQ(bs.nbf(), 7u);  // O: 1+1+3, H: 1+1
+  EXPECT_EQ(bs.max_l(), 1);
+  EXPECT_EQ(bs.max_shell_size(), 3);
+}
+
+TEST(BasisSet, CarbonPerAtomCountsMatchPaper) {
+  // Paper Table 4: 6-31G(d) graphene has 4 GAMESS shells and 15 basis
+  // functions per carbon (Cartesian d).
+  chem::Molecule c1;
+  c1.add_atom(6, 0.0, 0.0, 0.0);
+  auto bs = BasisSet::build(c1, "6-31G(d)");
+  EXPECT_EQ(bs.nshells_gamess(), 4u);
+  EXPECT_EQ(bs.nbf(), 15u);
+  EXPECT_EQ(bs.max_l(), 2);
+}
+
+TEST(BasisSet, PaperDatasetTable4) {
+  // 0.5 nm dataset: 44 atoms, 176 GAMESS shells, 660 basis functions.
+  auto mol = chem::builders::paper_dataset("0.5nm");
+  auto bs = BasisSet::build(mol, "6-31G(d)");
+  EXPECT_EQ(bs.nshells_gamess(), 176u);
+  EXPECT_EQ(bs.nbf(), 660u);
+}
+
+TEST(BasisSet, FirstBfOffsetsAreContiguous) {
+  auto bs = BasisSet::build(chem::builders::methane(), "6-31G(d)");
+  std::size_t expected = 0;
+  for (const Shell& sh : bs.shells()) {
+    EXPECT_EQ(sh.first_bf, expected);
+    expected += static_cast<std::size_t>(sh.nfunc());
+  }
+  EXPECT_EQ(expected, bs.nbf());
+}
+
+TEST(BasisSet, ShellOfBfInverse) {
+  auto bs = BasisSet::build(chem::builders::water(), "6-31G");
+  for (std::size_t bf = 0; bf < bs.nbf(); ++bf) {
+    const std::size_t s = bs.shell_of_bf(bf);
+    const Shell& sh = bs.shell(s);
+    EXPECT_GE(bf, sh.first_bf);
+    EXPECT_LT(bf, sh.first_bf + static_cast<std::size_t>(sh.nfunc()));
+  }
+  EXPECT_THROW((void)bs.shell_of_bf(bs.nbf()), mc::Error);
+}
+
+TEST(BasisSet, SpExpansionSharesExponents) {
+  chem::Molecule c1;
+  c1.add_atom(6, 0.0, 0.0, 0.0);
+  auto bs = BasisSet::build(c1, "STO-3G");
+  // Shells: S(core), S(from L), P(from L).
+  ASSERT_EQ(bs.nshells(), 3u);
+  EXPECT_FALSE(bs.shell(0).from_sp);
+  EXPECT_TRUE(bs.shell(1).from_sp);
+  EXPECT_TRUE(bs.shell(2).from_sp);
+  EXPECT_EQ(bs.shell(1).l, 0);
+  EXPECT_EQ(bs.shell(2).l, 1);
+  EXPECT_EQ(bs.shell(1).exps, bs.shell(2).exps);
+}
+
+}  // namespace
+}  // namespace mc::basis

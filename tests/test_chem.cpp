@@ -1,0 +1,147 @@
+// Tests for molecules, geometry builders (including the paper's graphene
+// datasets) and XYZ I/O.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "chem/builders.hpp"
+#include "chem/element.hpp"
+#include "chem/molecule.hpp"
+#include "chem/xyz_io.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace mc::chem {
+namespace {
+
+TEST(Element, SymbolRoundTrip) {
+  EXPECT_EQ(atomic_number("H"), 1);
+  EXPECT_EQ(atomic_number("C"), 6);
+  EXPECT_EQ(atomic_number("O"), 8);
+  EXPECT_EQ(element_symbol(7), "N");
+  EXPECT_THROW(atomic_number("Xx"), Error);
+  EXPECT_THROW(element_symbol(99), Error);
+}
+
+TEST(Element, MassesAndRadii) {
+  EXPECT_NEAR(atomic_mass(6), 12.0107, 1e-4);
+  EXPECT_GT(covalent_radius(6), covalent_radius(1));
+}
+
+TEST(Molecule, CountsAndCharge) {
+  Molecule m = builders::water();
+  EXPECT_EQ(m.natoms(), 3u);
+  EXPECT_EQ(m.total_z(), 10);
+  EXPECT_EQ(m.nelectrons(), 10);
+  EXPECT_EQ(m.nelectrons(+1), 9);
+}
+
+TEST(Molecule, NuclearRepulsionH2) {
+  // Two protons at R = 1.4 bohr: E_nn = 1/1.4.
+  Molecule m = builders::h2(1.4);
+  EXPECT_NEAR(m.nuclear_repulsion(), 1.0 / 1.4, 1e-14);
+}
+
+TEST(Molecule, NuclearRepulsionInvariantUnderRotationTranslation) {
+  Molecule m = builders::water();
+  const double e0 = m.nuclear_repulsion();
+  EXPECT_NEAR(m.translated(1.0, -2.0, 3.0).nuclear_repulsion(), e0, 1e-12);
+  EXPECT_NEAR(m.rotated(0.7, 0.3).nuclear_repulsion(), e0, 1e-12);
+}
+
+TEST(Molecule, CentroidAndDistance) {
+  Molecule m = builders::h2(2.0);
+  const auto c = m.centroid();
+  EXPECT_NEAR(c[2], 1.0, 1e-14);
+  EXPECT_NEAR(m.distance(0, 1), 2.0, 1e-14);
+}
+
+TEST(Builders, GrapheneFlakeHasExactCountAndValidGeometry) {
+  for (std::size_t n : {22u, 60u, 110u, 178u}) {
+    Molecule m = builders::graphene_flake(n);
+    EXPECT_EQ(m.natoms(), n);
+    // Nearest-neighbour distance must be the C-C bond (1.42 A).
+    EXPECT_NEAR(m.min_distance(), 1.42 * kBohrPerAngstrom, 1e-8);
+  }
+}
+
+TEST(Builders, GrapheneBilayerStacksTwoLayers) {
+  Molecule m = builders::graphene_bilayer(22);
+  EXPECT_EQ(m.natoms(), 44u);
+  // Layers separated by 3.35 A in z.
+  double zmin = 1e9, zmax = -1e9;
+  for (const Atom& a : m.atoms()) {
+    zmin = std::min(zmin, a.xyz[2]);
+    zmax = std::max(zmax, a.xyz[2]);
+  }
+  EXPECT_NEAR(zmax - zmin, 3.35 * kBohrPerAngstrom, 1e-10);
+  // No steric clash between layers.
+  EXPECT_GT(m.min_distance(), 1.0);
+}
+
+TEST(Builders, PaperDatasetsMatchTable4AtomCounts) {
+  // Paper Table 4: atoms per dataset.
+  EXPECT_EQ(builders::paper_dataset("0.5nm").natoms(), 44u);
+  EXPECT_EQ(builders::paper_dataset("1.0nm").natoms(), 120u);
+  EXPECT_EQ(builders::paper_dataset("1.5nm").natoms(), 220u);
+  EXPECT_EQ(builders::paper_dataset("2.0nm").natoms(), 356u);
+  EXPECT_EQ(builders::paper_dataset_natoms("5.0nm"), 2016u);
+  EXPECT_THROW(builders::paper_dataset("3.7nm"), Error);
+}
+
+TEST(Builders, PaperDatasetNamesSortedBySize) {
+  const auto names = builders::paper_dataset_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.front(), "0.5nm");
+  EXPECT_EQ(names.back(), "5.0nm");
+}
+
+TEST(Builders, SmallMoleculeFixtures) {
+  EXPECT_EQ(builders::methane().natoms(), 5u);
+  EXPECT_EQ(builders::benzene().natoms(), 12u);
+  EXPECT_EQ(builders::heh_plus().natoms(), 2u);
+  Molecule hexane = builders::alkane(6);
+  EXPECT_EQ(hexane.natoms(), 6u + 14u);  // C6H14
+  EXPECT_GT(hexane.min_distance(), 1.0);
+}
+
+TEST(Builders, MethaneIsTetrahedral) {
+  Molecule m = builders::methane();
+  const double r01 = m.distance(0, 1);
+  for (std::size_t h = 2; h < 5; ++h) {
+    EXPECT_NEAR(m.distance(0, h), r01, 1e-12);
+  }
+  // H-H distances all equal.
+  const double rhh = m.distance(1, 2);
+  EXPECT_NEAR(m.distance(1, 3), rhh, 1e-12);
+  EXPECT_NEAR(m.distance(3, 4), rhh, 1e-12);
+}
+
+TEST(XyzIo, RoundTrip) {
+  Molecule m = builders::water();
+  std::ostringstream os;
+  write_xyz(os, m, "water test");
+  std::istringstream is(os.str());
+  Molecule m2 = read_xyz(is);
+  ASSERT_EQ(m2.natoms(), m.natoms());
+  for (std::size_t i = 0; i < m.natoms(); ++i) {
+    EXPECT_EQ(m2.atom(i).z, m.atom(i).z);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_NEAR(m2.atom(i).xyz[k], m.atom(i).xyz[k], 1e-7);
+    }
+  }
+}
+
+TEST(XyzIo, MalformedInputThrows) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_xyz(empty), Error);
+  std::istringstream bad_count("zzz\ncomment\n");
+  EXPECT_THROW(read_xyz(bad_count), Error);
+  std::istringstream truncated("2\ncomment\nH 0 0 0\n");
+  EXPECT_THROW(read_xyz(truncated), Error);
+}
+
+}  // namespace
+}  // namespace mc::chem

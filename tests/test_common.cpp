@@ -1,0 +1,153 @@
+// Unit tests for the common module: error macros, timers, memory tracking,
+// table formatting.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace mc {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    MC_CHECK(false, "something broke");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("something broke"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(MC_CHECK(1 + 1 == 2, "fine"));
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, AccumTimerSumsLaps) {
+  AccumTimer t;
+  for (int i = 0; i < 3; ++i) {
+    t.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    t.stop();
+  }
+  EXPECT_EQ(t.laps(), 3);
+  EXPECT_GE(t.total_seconds(), 0.010);
+  t.reset();
+  EXPECT_EQ(t.laps(), 0);
+  EXPECT_EQ(t.total_seconds(), 0.0);
+}
+
+class MemoryTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MemoryTracker::instance().reset(); }
+  void TearDown() override { MemoryTracker::instance().reset(); }
+};
+
+TEST_F(MemoryTrackerTest, TracksPerRankAndCategory) {
+  MemoryTracker& mt = MemoryTracker::instance();
+  {
+    RankScope scope(3);
+    mt.add("fock", 1000);
+    mt.add("density", 500);
+  }
+  mt.add("fock", 10);  // unattributed (rank -1)
+  EXPECT_EQ(mt.rank_bytes(3), 1500u);
+  EXPECT_EQ(mt.bytes(3, "fock"), 1000u);
+  EXPECT_EQ(mt.bytes(-1, "fock"), 10u);
+  EXPECT_EQ(mt.total_bytes(), 1510u);
+}
+
+TEST_F(MemoryTrackerTest, PeakTracksHighWaterMark) {
+  MemoryTracker& mt = MemoryTracker::instance();
+  mt.add("a", 100);
+  mt.add("a", 200);
+  mt.sub("a", 250);
+  EXPECT_EQ(mt.total_bytes(), 50u);
+  EXPECT_EQ(mt.peak_bytes(), 300u);
+}
+
+TEST_F(MemoryTrackerTest, TrackedBufferRegistersAndReleases) {
+  MemoryTracker& mt = MemoryTracker::instance();
+  {
+    RankScope scope(1);
+    TrackedBuffer buf("matrix", 128);
+    EXPECT_EQ(mt.bytes(1, "matrix"), 128 * sizeof(double));
+    buf.fill(2.5);
+    EXPECT_DOUBLE_EQ(buf[100], 2.5);
+  }
+  EXPECT_EQ(mt.bytes(1, "matrix"), 0u);
+}
+
+TEST_F(MemoryTrackerTest, TrackedBufferMoveKeepsAccounting) {
+  MemoryTracker& mt = MemoryTracker::instance();
+  TrackedBuffer a("x", 64);
+  TrackedBuffer b = std::move(a);
+  EXPECT_EQ(mt.bytes(-1, "x"), 64 * sizeof(double));
+  b = TrackedBuffer("x", 32);
+  EXPECT_EQ(mt.bytes(-1, "x"), 32 * sizeof(double));
+}
+
+TEST_F(MemoryTrackerTest, RanksListsChargedRanks) {
+  MemoryTracker& mt = MemoryTracker::instance();
+  {
+    RankScope s0(0);
+    mt.add("a", 1);
+  }
+  {
+    RankScope s2(2);
+    mt.add("a", 1);
+  }
+  const auto ranks = mt.ranks();
+  EXPECT_EQ(ranks.size(), 2u);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, NumericRowsRespectPrecision) {
+  Table t({"x"});
+  t.add_row_numeric({3.14159}, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024 * 1024), "3.50 GB");
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,423 @@
+// Tests for the paper's three Fock-build algorithms: cross-algorithm
+// equivalence over rank x thread grids (the central correctness invariant),
+// the shared-Fock buffer machinery and its ablations, the memory model
+// (eqs. 3a-3c), and the end-to-end distributed SCF.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+#include "core/fock_mpi.hpp"
+#include "core/fock_private.hpp"
+#include "core/fock_shared.hpp"
+#include "core/memory_model.hpp"
+#include "core/parallel_scf.hpp"
+#include "ints/one_electron.hpp"
+#include "la/orthogonalizer.hpp"
+#include "par/runtime.hpp"
+#include "scf/scf_driver.hpp"
+#include "scf/serial_fock.hpp"
+
+namespace mc::core {
+namespace {
+
+struct Fixture {
+  chem::Molecule mol;
+  basis::BasisSet bs;
+  ints::EriEngine eri;
+  ints::Screening screen;
+  la::Matrix d;        // plausible symmetric density
+  la::Matrix g_ref;    // serial skeleton result
+
+  explicit Fixture(const chem::Molecule& m, const std::string& basis)
+      : mol(m),
+        bs(basis::BasisSet::build(m, basis)),
+        eri(bs),
+        screen(eri, 1e-11),
+        d(),
+        g_ref(bs.nbf(), bs.nbf()) {
+    la::Matrix h = ints::core_hamiltonian(bs, mol);
+    la::Matrix s = ints::overlap_matrix(bs);
+    la::Matrix x = la::canonical_orthogonalizer(s);
+    d = scf::core_guess_density(h, x, mol.nelectrons() / 2);
+    scf::SerialFockBuilder serial(eri, screen);
+    serial.build(d, g_ref);
+  }
+};
+
+// Build the skeleton G with a given algorithm under (nranks, nthreads) and
+// return rank 0's reduced result.
+template <typename MakeBuilder>
+la::Matrix build_distributed(const Fixture& fx, int nranks,
+                             MakeBuilder&& make) {
+  la::Matrix out(fx.bs.nbf(), fx.bs.nbf());
+  std::mutex mu;
+  par::run_spmd(nranks, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    auto builder = make(ddi);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    builder->build(fx.d, g);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      out = g;
+    }
+    comm.barrier();
+  });
+  return out;
+}
+
+class AlgorithmGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AlgorithmGrid, MpiOnlyMatchesSerial) {
+  const auto [nranks, nthreads] = GetParam();
+  if (nthreads > 1) GTEST_SKIP() << "MPI-only has no thread dimension";
+  Fixture fx(chem::builders::water(), "6-31G");
+  la::Matrix g = build_distributed(fx, nranks, [&](par::Ddi& ddi) {
+    return std::make_unique<FockBuilderMpi>(fx.eri, fx.screen, ddi);
+  });
+  EXPECT_NEAR(g.max_abs_diff(fx.g_ref), 0.0, 1e-10);
+}
+
+TEST_P(AlgorithmGrid, PrivateFockMatchesSerial) {
+  const auto [nranks, nthreads] = GetParam();
+  Fixture fx(chem::builders::water(), "6-31G");
+  la::Matrix g = build_distributed(fx, nranks, [&](par::Ddi& ddi) {
+    PrivateFockOptions opt;
+    opt.nthreads = nthreads;
+    return std::make_unique<FockBuilderPrivate>(fx.eri, fx.screen, ddi, opt);
+  });
+  EXPECT_NEAR(g.max_abs_diff(fx.g_ref), 0.0, 1e-10);
+}
+
+TEST_P(AlgorithmGrid, SharedFockMatchesSerial) {
+  const auto [nranks, nthreads] = GetParam();
+  Fixture fx(chem::builders::water(), "6-31G");
+  la::Matrix g = build_distributed(fx, nranks, [&](par::Ddi& ddi) {
+    SharedFockOptions opt;
+    opt.nthreads = nthreads;
+    return std::make_unique<FockBuilderShared>(fx.eri, fx.screen, ddi, opt);
+  });
+  EXPECT_NEAR(g.max_abs_diff(fx.g_ref), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankThreadGrid, AlgorithmGrid,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 4)));
+
+TEST(AlgorithmEquivalence, DShellSystemAllThreeAgree) {
+  // 6-31G(d) methane exercises d-function quartets through every code path.
+  Fixture fx(chem::builders::methane(), "6-31G(d)");
+  la::Matrix g_mpi = build_distributed(fx, 2, [&](par::Ddi& ddi) {
+    return std::make_unique<FockBuilderMpi>(fx.eri, fx.screen, ddi);
+  });
+  la::Matrix g_priv = build_distributed(fx, 2, [&](par::Ddi& ddi) {
+    PrivateFockOptions opt;
+    opt.nthreads = 2;
+    return std::make_unique<FockBuilderPrivate>(fx.eri, fx.screen, ddi, opt);
+  });
+  la::Matrix g_sh = build_distributed(fx, 2, [&](par::Ddi& ddi) {
+    SharedFockOptions opt;
+    opt.nthreads = 2;
+    return std::make_unique<FockBuilderShared>(fx.eri, fx.screen, ddi, opt);
+  });
+  EXPECT_NEAR(g_mpi.max_abs_diff(fx.g_ref), 0.0, 1e-10);
+  EXPECT_NEAR(g_priv.max_abs_diff(fx.g_ref), 0.0, 1e-10);
+  EXPECT_NEAR(g_sh.max_abs_diff(fx.g_ref), 0.0, 1e-10);
+}
+
+TEST(WorkStealingBuilder, MatchesSerialAndRecordsSteals) {
+  Fixture fx(chem::builders::benzene(), "STO-3G");
+  std::mutex mu;
+  std::size_t total_steals = 0;
+  std::size_t total_pairs = 0;
+  la::Matrix out(fx.bs.nbf(), fx.bs.nbf());
+  par::run_spmd(3, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    FockBuilderMpi b(fx.eri, fx.screen, ddi, MpiLoadBalance::kWorkStealing);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    b.build(fx.d, g);
+    std::lock_guard<std::mutex> lk(mu);
+    total_steals += b.last_pairs_stolen();
+    total_pairs += b.last_pairs_claimed();
+    if (comm.rank() == 0) out = g;
+  });
+  EXPECT_NEAR(out.max_abs_diff(fx.g_ref), 0.0, 1e-10);
+  // Every canonical pair processed exactly once across ranks.
+  EXPECT_EQ(total_pairs, fx.bs.nshells() * (fx.bs.nshells() + 1) / 2);
+  // With triangular task sizes, the rank owning the cheap low-index slice
+  // finishes early and steals (overwhelmingly likely; not strictly
+  // deterministic, so only assert when it happened on >=0 pairs).
+  SUCCEED() << "steals observed: " << total_steals;
+}
+
+TEST(WorkStealingBuilder, RepeatedBuildsStayCorrect) {
+  // The shared counters are keyed per job; two consecutive builds must not
+  // interfere (regression guard for blackboard reuse).
+  Fixture fx(chem::builders::water(), "STO-3G");
+  par::run_spmd(2, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    FockBuilderMpi b(fx.eri, fx.screen, ddi, MpiLoadBalance::kWorkStealing);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    for (int rep = 0; rep < 3; ++rep) {
+      g.set_zero();
+      b.build(fx.d, g);
+      EXPECT_NEAR(g.max_abs_diff(fx.g_ref), 0.0, 1e-10) << "rep " << rep;
+    }
+  });
+}
+
+// ---- Shared-Fock internals and ablations ----
+
+TEST(SharedFockAblation, EagerFiFlushGivesSameResult) {
+  Fixture fx(chem::builders::water(), "STO-3G");
+  for (bool lazy : {true, false}) {
+    la::Matrix g = build_distributed(fx, 1, [&](par::Ddi& ddi) {
+      SharedFockOptions opt;
+      opt.nthreads = 3;
+      opt.lazy_fi_flush = lazy;
+      return std::make_unique<FockBuilderShared>(fx.eri, fx.screen, ddi,
+                                                 opt);
+    });
+    EXPECT_NEAR(g.max_abs_diff(fx.g_ref), 0.0, 1e-10) << "lazy=" << lazy;
+  }
+}
+
+TEST(SharedFockAblation, PaddingAndScheduleDoNotChangeResult) {
+  Fixture fx(chem::builders::water(), "STO-3G");
+  for (int pad : {0, 8, 64}) {
+    for (bool dyn : {true, false}) {
+      la::Matrix g = build_distributed(fx, 1, [&](par::Ddi& ddi) {
+        SharedFockOptions opt;
+        opt.nthreads = 2;
+        opt.padding_doubles = pad;
+        opt.dynamic_schedule = dyn;
+        return std::make_unique<FockBuilderShared>(fx.eri, fx.screen, ddi,
+                                                   opt);
+      });
+      EXPECT_NEAR(g.max_abs_diff(fx.g_ref), 0.0, 1e-10)
+          << "pad=" << pad << " dyn=" << dyn;
+    }
+  }
+}
+
+TEST(SharedFock, LazyFlushingFlushesPerIChangeNotPerPair) {
+  Fixture fx(chem::builders::benzene(), "STO-3G");
+  std::size_t flushes = 0, pairs = 0;
+  par::run_spmd(1, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    SharedFockOptions opt;
+    opt.nthreads = 2;
+    FockBuilderShared b(fx.eri, fx.screen, ddi, opt);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    b.build(fx.d, g);
+    flushes = b.last_fi_flushes();
+    pairs = b.last_pairs_claimed();
+  });
+  EXPECT_GT(pairs, fx.bs.nshells());
+  // With one rank, i changes exactly nshells times across the pair sweep.
+  EXPECT_LE(flushes, fx.bs.nshells());
+  EXPECT_LT(flushes, pairs / 2);
+}
+
+TEST(PrivateFock, StaticScheduleGivesSameResult) {
+  Fixture fx(chem::builders::water(), "6-31G");
+  la::Matrix g = build_distributed(fx, 2, [&](par::Ddi& ddi) {
+    PrivateFockOptions opt;
+    opt.nthreads = 2;
+    opt.dynamic_schedule = false;
+    return std::make_unique<FockBuilderPrivate>(fx.eri, fx.screen, ddi, opt);
+  });
+  EXPECT_NEAR(g.max_abs_diff(fx.g_ref), 0.0, 1e-10);
+}
+
+TEST(LoadStats, QuartetsPartitionAcrossRanks) {
+  // The union of per-rank work must equal the serial quartet count.
+  Fixture fx(chem::builders::benzene(), "STO-3G");
+  scf::SerialFockBuilder serial(fx.eri, fx.screen);
+  la::Matrix gtmp(fx.bs.nbf(), fx.bs.nbf());
+  serial.build(fx.d, gtmp);
+  const std::size_t total = serial.last_quartets_computed();
+
+  std::mutex mu;
+  std::size_t sum = 0;
+  par::run_spmd(3, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    FockBuilderMpi b(fx.eri, fx.screen, ddi);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    b.build(fx.d, g);
+    std::lock_guard<std::mutex> lk(mu);
+    sum += b.last_quartets_computed();
+  });
+  EXPECT_EQ(sum, total);
+}
+
+// ---- Memory model ----
+
+TEST(MemoryModel, FormulasMatchPaperEquations) {
+  const std::size_t n = 1800;  // 1.0 nm dataset
+  const double n2 = 1800.0 * 1800.0 * 8.0;
+  EXPECT_DOUBLE_EQ(
+      model_bytes_per_node(ScfAlgorithm::kMpiOnly, n, {256, 1}),
+      2.5 * n2 * 256);
+  EXPECT_DOUBLE_EQ(
+      model_bytes_per_node(ScfAlgorithm::kPrivateFock, n, {4, 64}),
+      66.0 * n2 * 4);
+  EXPECT_DOUBLE_EQ(
+      model_bytes_per_node(ScfAlgorithm::kSharedFock, n, {4, 64}),
+      3.5 * n2 * 4);
+}
+
+TEST(MemoryModel, PaperHeadlineRatios) {
+  // "256 MPI ranks ... versus 1 MPI rank with 256 threads": the ideal
+  // difference is 256x; the model gives ~183x for shared Fock (the paper
+  // reports 'about 200 times') and the hybrid codes always beat MPI-only.
+  const std::size_t n = 5340;
+  const double shared_ratio =
+      footprint_ratio_vs_mpi(ScfAlgorithm::kSharedFock, {1, 256}, n, 256);
+  EXPECT_NEAR(shared_ratio, 2.5 * 256 / 3.5, 1e-9);
+  EXPECT_GT(shared_ratio, 150.0);
+  EXPECT_LT(shared_ratio, 256.0);
+
+  const double priv_ratio =
+      footprint_ratio_vs_mpi(ScfAlgorithm::kPrivateFock, {4, 64}, n, 256);
+  EXPECT_GT(priv_ratio, 2.0);
+  EXPECT_GT(shared_ratio, priv_ratio);
+}
+
+TEST(MemoryModel, FeasibleLayoutCapsMpiRanks) {
+  // 2.0 nm dataset (N=5340) on a 192 GB node: 256 MPI ranks need
+  // 2.5 * 228 MB * 256 = 146 GB (fits), but the 5.0 nm dataset (N=30240)
+  // needs 2.5 * 7.3 GB per rank -- only a handful of ranks fit.
+  const double gb = 1024.0 * 1024.0 * 1024.0;
+  NodeLayout l2nm =
+      max_feasible_layout(ScfAlgorithm::kMpiOnly, 5340, 192 * gb, 256);
+  EXPECT_EQ(l2nm.ranks_per_node, 256);
+
+  NodeLayout l5nm =
+      max_feasible_layout(ScfAlgorithm::kMpiOnly, 30240, 192 * gb, 256);
+  EXPECT_LT(l5nm.ranks_per_node, 16);
+  EXPECT_GE(l5nm.ranks_per_node, 1);
+
+  // Shared Fock fits the 5 nm system comfortably at 4 ranks/node
+  // (paper: ~208 GB total footprint per node at 4 ranks with data; our
+  // asymptotic model: 3.5 * 7.3 GB * 4 = 102 GB < 192 GB).
+  NodeLayout sh5nm =
+      max_feasible_layout(ScfAlgorithm::kSharedFock, 30240, 192 * gb, 256);
+  EXPECT_GE(sh5nm.ranks_per_node, 4);
+
+  // Infeasible case: tiny capacity.
+  NodeLayout none =
+      max_feasible_layout(ScfAlgorithm::kMpiOnly, 30240, 1 * gb, 256);
+  EXPECT_EQ(none.ranks_per_node, 0);
+}
+
+TEST(MemoryModel, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(ScfAlgorithm::kMpiOnly), "mpi-only");
+  EXPECT_EQ(algorithm_name(ScfAlgorithm::kPrivateFock), "private-fock");
+  EXPECT_EQ(algorithm_name(ScfAlgorithm::kSharedFock), "shared-fock");
+}
+
+// ---- End-to-end distributed SCF ----
+
+class ParallelScfEndToEnd : public ::testing::TestWithParam<ScfAlgorithm> {};
+
+TEST_P(ParallelScfEndToEnd, ConvergesToSerialEnergy) {
+  auto mol = chem::builders::water();
+  auto bs = basis::BasisSet::build(mol, "STO-3G");
+  ints::EriEngine eri(bs);
+  ints::Screening screen(eri, 1e-11);
+  scf::SerialFockBuilder serial(eri, screen);
+  scf::ScfResult ref = scf::run_scf(mol, bs, serial);
+  ASSERT_TRUE(ref.converged);
+
+  ParallelScfConfig cfg;
+  cfg.algorithm = GetParam();
+  cfg.nranks = 2;
+  cfg.nthreads = 2;
+  cfg.basis = "STO-3G";
+  ParallelScfResult res = run_parallel_scf(mol, cfg);
+  EXPECT_TRUE(res.scf.converged);
+  EXPECT_NEAR(res.scf.energy, ref.energy, 1e-8);
+  EXPECT_GT(res.scf.fock_build_seconds, 0.0);
+  EXPECT_EQ(res.quartets_per_rank.size(), 2u);
+  EXPECT_GT(res.load_imbalance(), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ParallelScfEndToEnd,
+                         ::testing::Values(ScfAlgorithm::kMpiOnly,
+                                           ScfAlgorithm::kPrivateFock,
+                                           ScfAlgorithm::kSharedFock));
+
+TEST(ParallelScf, MemoryFootprintOrderingMatchesPaper) {
+  // Measured (tracked) per-rank peaks: private Fock with T threads must
+  // exceed shared Fock (thread-replicated G vs shared G + small buffers),
+  // which is the whole point of Algorithm 3.
+  auto mol = chem::builders::water();
+
+  auto run = [&](ScfAlgorithm alg, int nthreads) {
+    ParallelScfConfig cfg;
+    cfg.algorithm = alg;
+    cfg.nranks = 1;
+    cfg.nthreads = nthreads;
+    cfg.basis = "6-31G";
+    ParallelScfResult r = run_parallel_scf(mol, cfg);
+    EXPECT_TRUE(r.scf.converged);
+    return r.peak_bytes_per_rank[0];
+  };
+
+  const std::size_t priv4 = run(ScfAlgorithm::kPrivateFock, 4);
+  const std::size_t shared4 = run(ScfAlgorithm::kSharedFock, 4);
+  EXPECT_GT(priv4, shared4);
+
+  // Private-Fock footprint grows with thread count; shared-Fock barely.
+  const std::size_t priv1 = run(ScfAlgorithm::kPrivateFock, 1);
+  const std::size_t shared1 = run(ScfAlgorithm::kSharedFock, 1);
+  EXPECT_GT(priv4, priv1 + 2 * (priv4 - shared4) / 4);
+  EXPECT_LT(static_cast<double>(shared4),
+            1.5 * static_cast<double>(shared1));
+}
+
+TEST(ParallelScf, DShellFullScfAcrossAlgorithms) {
+  // Full SCF with d functions through every parallel code path (the grid
+  // tests cover single G builds; this drives whole iterations).
+  auto mol = chem::builders::methane();
+  auto bs = basis::BasisSet::build(mol, "6-31G(d)");
+  ints::EriEngine eri(bs);
+  ints::Screening screen(eri, 1e-11);
+  scf::SerialFockBuilder serial(eri, screen);
+  scf::ScfResult ref = scf::run_scf(mol, bs, serial);
+  ASSERT_TRUE(ref.converged);
+
+  for (auto alg :
+       {ScfAlgorithm::kMpiOnly, ScfAlgorithm::kPrivateFock,
+        ScfAlgorithm::kSharedFock}) {
+    ParallelScfConfig cfg;
+    cfg.algorithm = alg;
+    cfg.nranks = 2;
+    cfg.nthreads = 2;
+    cfg.basis = "6-31G(d)";
+    ParallelScfResult res = run_parallel_scf(mol, cfg);
+    EXPECT_TRUE(res.scf.converged) << algorithm_name(alg);
+    EXPECT_NEAR(res.scf.energy, ref.energy, 1e-8) << algorithm_name(alg);
+  }
+}
+
+TEST(ParallelScf, RejectsInvalidConfigs) {
+  ParallelScfConfig cfg;
+  cfg.nranks = 0;
+  EXPECT_THROW(run_parallel_scf(chem::builders::water(), cfg), mc::Error);
+  cfg.nranks = 1;
+  cfg.nthreads = 0;
+  EXPECT_THROW(run_parallel_scf(chem::builders::water(), cfg), mc::Error);
+  cfg.nthreads = 1;
+  EXPECT_THROW(run_parallel_scf(chem::builders::heh_plus(), cfg),
+               mc::Error);  // odd electron count
+}
+
+}  // namespace
+}  // namespace mc::core

@@ -1,0 +1,487 @@
+// Validation of the integrals engine: Boys function, Hermite tables,
+// one-electron integrals, the ERI engine, and Schwarz screening.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "common/constants.hpp"
+#include "ints/boys.hpp"
+#include "ints/eri.hpp"
+#include "ints/hermite.hpp"
+#include "ints/one_electron.hpp"
+#include "ints/screening.hpp"
+
+namespace mc::ints {
+namespace {
+
+// Slow but definitionally-correct Boys function by composite Simpson.
+double boys_numeric(int m, double t) {
+  const int n = 20000;  // even
+  const double h = 1.0 / n;
+  auto f = [&](double x) { return std::pow(x, 2 * m) * std::exp(-t * x * x); };
+  double s = f(0.0) + f(1.0);
+  for (int i = 1; i < n; ++i) {
+    s += f(i * h) * ((i % 2) ? 4.0 : 2.0);
+  }
+  return s * h / 3.0;
+}
+
+TEST(Boys, ZeroArgument) {
+  double out[9];
+  boys(8, 0.0, out);
+  for (int m = 0; m <= 8; ++m) {
+    EXPECT_NEAR(out[m], 1.0 / (2 * m + 1), 1e-12);
+  }
+}
+
+TEST(Boys, F0MatchesErfClosedForm) {
+  for (double t : {0.01, 0.5, 1.0, 4.0, 17.5, 45.0, 80.0, 300.0}) {
+    const double expected = 0.5 * std::sqrt(kPi / t) * std::erf(std::sqrt(t));
+    EXPECT_NEAR(boys_single(0, t) / expected, 1.0, 1e-13) << "T=" << t;
+  }
+}
+
+class BoysVsQuadrature
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BoysVsQuadrature, MatchesSimpson) {
+  const auto [m, t] = GetParam();
+  const double ref = boys_numeric(m, t);
+  EXPECT_NEAR(boys_single(m, t) / ref, 1.0, 1e-9)
+      << "m=" << m << " T=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoysVsQuadrature,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4, 8, 12),
+                       ::testing::Values(0.05, 0.9, 3.0, 12.0, 30.0, 49.0,
+                                         55.0, 120.0)));
+
+TEST(Boys, DownwardRecursionConsistency) {
+  // F_{m}(T) = (2T F_{m+1} + e^-T) / (2m+1) must hold across the whole
+  // output vector (internal consistency of the table).
+  for (double t : {0.3, 7.0, 49.9, 51.0, 200.0}) {
+    double out[13];
+    boys(12, t, out);
+    for (int m = 0; m < 12; ++m) {
+      EXPECT_NEAR(out[m], (2.0 * t * out[m + 1] + std::exp(-t)) / (2 * m + 1),
+                  1e-13 * std::abs(out[m]) + 1e-16)
+          << "m=" << m << " T=" << t;
+    }
+  }
+}
+
+TEST(Hermite, E000IsGaussianPrefactor) {
+  const double a = 1.1, b = 0.7, ab = 1.3;
+  ETable e(0, 0, a, b, ab);
+  EXPECT_NEAR(e(0, 0, 0), std::exp(-a * b / (a + b) * ab * ab), 1e-14);
+}
+
+TEST(Hermite, OutOfRangeTIsZero) {
+  ETable e(2, 2, 1.0, 1.0, 0.5);
+  EXPECT_EQ(e(1, 1, 3), 0.0);
+  EXPECT_EQ(e(1, 1, -1), 0.0);
+}
+
+TEST(Hermite, RTableTopElementIsBoys) {
+  const double pq[3] = {0.3, -0.2, 0.5};
+  const double alpha = 0.9;
+  const double r2 = pq[0] * pq[0] + pq[1] * pq[1] + pq[2] * pq[2];
+  RTable r(4, alpha, pq);
+  EXPECT_NEAR(r(0, 0, 0), boys_single(0, alpha * r2), 1e-13);
+}
+
+// ---- One-electron integrals ----
+
+TEST(OneElectron, OverlapDiagonalIsOneForAllBases) {
+  for (const char* basis : {"STO-3G", "6-31G", "6-31G(d)"}) {
+    auto bs = basis::BasisSet::build(chem::builders::methane(), basis);
+    la::Matrix s = overlap_matrix(bs);
+    for (std::size_t i = 0; i < bs.nbf(); ++i) {
+      EXPECT_NEAR(s(i, i), 1.0, 1e-10) << basis << " bf " << i;
+    }
+    EXPECT_TRUE(s.is_symmetric(1e-12));
+  }
+}
+
+TEST(OneElectron, TwoCenterSPrimitiveOverlapClosedForm) {
+  // Two normalized s primitives, exponents a, b, distance R:
+  // S = (pi/(a+b))^{3/2} exp(-ab/(a+b) R^2) * Na * Nb.
+  const double a = 0.8, b = 1.6, r = 1.7;
+  chem::Molecule m;
+  m.add_atom(1, 0.0, 0.0, 0.0);
+  m.add_atom(1, 0.0, 0.0, r);
+  // Build a fake one-primitive basis via the Shell API directly.
+  basis::Shell s1, s2;
+  s1.l = 0; s1.exps = {a}; s1.coefs = {1.0}; s1.center = {0, 0, 0};
+  s2.l = 0; s2.exps = {b}; s2.coefs = {1.0}; s2.center = {0, 0, r};
+  basis::normalize_shell(s1);
+  basis::normalize_shell(s2);
+  const double na = basis::primitive_norm(a, 0, 0, 0);
+  const double nb = basis::primitive_norm(b, 0, 0, 0);
+  const double expected = std::pow(kPi / (a + b), 1.5) *
+                          std::exp(-a * b / (a + b) * r * r) * na * nb;
+  // Use the ETable directly (this is what overlap_matrix does internally).
+  ETable ex(0, 0, a, b, 0.0), ey(0, 0, a, b, 0.0), ez(0, 0, a, b, -r);
+  const double got = s1.coefs[0] * s2.coefs[0] / (na * nb) * na * nb *
+                     ex(0, 0, 0) * ey(0, 0, 0) * ez(0, 0, 0) *
+                     std::pow(kPi / (a + b), 1.5);
+  EXPECT_NEAR(got, expected, 1e-12);
+}
+
+TEST(OneElectron, KineticSinglePrimitiveExpectationValues) {
+  // <T> for an individually-normalized Cartesian primitive (x^l, 0, 0):
+  // s -> 3a/2, p_x -> 5a/2, d_xx -> 13a/6 (derived from the 1-D moment
+  // ratios T^{ll}/S^{ll}; note the popular (2l+3)/2 rule fails for the
+  // diagonal d components).
+  const double alpha = 1.23;
+  const double expect_by_l[3] = {1.5 * alpha, 2.5 * alpha,
+                                 13.0 * alpha / 6.0};
+  for (int l : {0, 1, 2}) {
+    chem::Molecule m;
+    m.add_atom(1, 0.0, 0.0, 0.0);
+    // hand-build basis with one shell
+    basis::BasisSet bs;
+    {
+      // Use BasisSet::build on H/STO-3G then overwrite? Cleaner: small local
+      // computation through the public API requires a library entry, so we
+      // validate via the matrix on a custom Shell by calling the kernels
+      // through a 1-shell BasisSet stand-in below.
+    }
+    // Direct check through kinetic_matrix on a manufactured BasisSet is not
+    // possible without a library entry; instead verify with the ETable
+    // kinetic identity in one dimension against the closed form:
+    //   T = l-dependent expectation = alpha (2l+3)/2.
+    // 1-D factors: with i=j=l_x etc. Here we test the x^l 0 0 component.
+    const double s1d = std::sqrt(kPi / (2.0 * alpha));
+    ETable e(l, l + 2, alpha, alpha, 0.0);
+    auto sfac = [&](int i, int j) {
+      return (j < 0) ? 0.0 : e(i, j, 0) * s1d;
+    };
+    auto tfac = [&](int i, int j) {
+      return -2.0 * alpha * alpha * sfac(i, j + 2) +
+             alpha * (2 * j + 1) * sfac(i, j) -
+             0.5 * j * (j - 1) * sfac(i, j - 2);
+    };
+    const double n2 = std::pow(basis::primitive_norm(alpha, l, 0, 0), 2);
+    const double kin = n2 * (tfac(l, l) * sfac(0, 0) * sfac(0, 0) +
+                             sfac(l, l) * tfac(0, 0) * sfac(0, 0) +
+                             sfac(l, l) * sfac(0, 0) * tfac(0, 0));
+    EXPECT_NEAR(kin, expect_by_l[l], 1e-11) << "l=" << l;
+  }
+}
+
+TEST(OneElectron, NuclearAttractionOnCenterSPrimitive) {
+  // Normalized s Gaussian centered on a Z=1 nucleus: V = -2 sqrt(2a/pi).
+  // Exercise through the full matrix path with an H atom and a scaled
+  // STO-3G-like single primitive: use hydrogen STO-3G and compare against
+  // numerically-accumulated primitive contributions.
+  chem::Molecule m;
+  m.add_atom(1, 0.0, 0.0, 0.0);
+  auto bs = basis::BasisSet::build(m, "STO-3G");
+  la::Matrix v = nuclear_attraction_matrix(bs, m);
+  // Sum over normalized primitives: V = -2 sqrt(2/pi) sum_pq c_p c_q
+  //   * S-like cross terms; instead verify against direct formula
+  //   V_11 = -sum_pq c_p c_q 2 pi/(p+q) * boys0(0) ... simpler:
+  // For each primitive pair (a,b): contribution c_a c_b * 2pi/(a+b) *
+  //   F_0(0) with F_0(0)=1 times -Z.
+  const auto& sh = bs.shell(0);
+  double expected = 0.0;
+  for (std::size_t p = 0; p < sh.exps.size(); ++p) {
+    for (std::size_t q = 0; q < sh.exps.size(); ++q) {
+      expected -= sh.coefs[p] * sh.coefs[q] * 2.0 * kPi /
+                  (sh.exps[p] + sh.exps[q]);
+    }
+  }
+  EXPECT_NEAR(v(0, 0), expected, 1e-12);
+  // Known reference: <V> for STO-3G hydrogen 1s in the H atom
+  // is about -1.2266 Hartree? sanity-range check only:
+  EXPECT_LT(v(0, 0), -1.0);
+  EXPECT_GT(v(0, 0), -1.5);
+}
+
+TEST(OneElectron, HydrogenAtomSto3gEnergy) {
+  // One-electron problem: lowest eigenvalue of H_core in the STO-3G basis
+  // for the H atom is the well-known -0.46658 Eh variational value.
+  chem::Molecule m;
+  m.add_atom(1, 0.0, 0.0, 0.0);
+  auto bs = basis::BasisSet::build(m, "STO-3G");
+  la::Matrix h = core_hamiltonian(bs, m);
+  EXPECT_NEAR(h(0, 0), -0.46658185, 1e-6);
+}
+
+TEST(OneElectron, MatricesInvariantUnderTranslation) {
+  auto mol = chem::builders::water();
+  auto mol2 = mol.translated(1.3, -0.4, 2.2);
+  auto bs = basis::BasisSet::build(mol, "6-31G");
+  auto bs2 = basis::BasisSet::build(mol2, "6-31G");
+  EXPECT_NEAR(overlap_matrix(bs).max_abs_diff(overlap_matrix(bs2)), 0.0,
+              1e-11);
+  EXPECT_NEAR(kinetic_matrix(bs).max_abs_diff(kinetic_matrix(bs2)), 0.0,
+              1e-11);
+  EXPECT_NEAR(nuclear_attraction_matrix(bs, mol).max_abs_diff(
+                  nuclear_attraction_matrix(bs2, mol2)),
+              0.0, 1e-10);
+}
+
+// ---- ERIs ----
+
+TEST(Eri, SameCenterSsssClosedForm) {
+  // Four identical normalized s primitives (exponent a) on one center:
+  // (ss|ss) = 2 pi^{5/2} / (p q sqrt(p+q)) N^4 with p = q = 2a.
+  chem::Molecule m;
+  m.add_atom(1, 0.0, 0.0, 0.0);
+  auto bs = basis::BasisSet::build(m, "STO-3G");
+  EriEngine eri(bs);
+  double val = 0.0;
+  eri.compute(0, 0, 0, 0, &val);
+
+  const auto& sh = bs.shell(0);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < sh.exps.size(); ++i) {
+    for (std::size_t j = 0; j < sh.exps.size(); ++j) {
+      for (std::size_t k = 0; k < sh.exps.size(); ++k) {
+        for (std::size_t l = 0; l < sh.exps.size(); ++l) {
+          const double p = sh.exps[i] + sh.exps[j];
+          const double q = sh.exps[k] + sh.exps[l];
+          expected += sh.coefs[i] * sh.coefs[j] * sh.coefs[k] * sh.coefs[l] *
+                      2.0 * std::pow(kPi, 2.5) / (p * q * std::sqrt(p + q));
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(val, expected, 1e-10);
+}
+
+TEST(Eri, TwoCenterSsssMatchesBoysClosedForm) {
+  // One primitive per center: (s_A s_A | s_B s_B) =
+  //   2 pi^{5/2}/(p q sqrt(p+q)) F0(alpha R^2) N^4 with p = 2a, q = 2b.
+  const double a = 0.9, b = 1.4, r = 2.1;
+  basis::Shell sa, sb;
+  sa.l = 0; sa.exps = {a}; sa.coefs = {1.0}; sa.center = {0, 0, 0};
+  sb.l = 0; sb.exps = {b}; sb.coefs = {1.0}; sb.center = {0, 0, r};
+  basis::normalize_shell(sa);
+  basis::normalize_shell(sb);
+
+  ShellPairData bra = make_shell_pair(sa, sa);
+  ShellPairData ket = make_shell_pair(sb, sb);
+  // Go through the low-level path used by EriEngine: single prim pair each.
+  ASSERT_EQ(bra.prims.size(), 1u);
+  const double p = 2 * a, q = 2 * b;
+  const double alpha = p * q / (p + q);
+  const double f0 = boys_single(0, alpha * r * r);
+  const double n4 = bra.prims[0].coef * ket.prims[0].coef;
+  const double expected =
+      2.0 * std::pow(kPi, 2.5) / (p * q * std::sqrt(p + q)) * f0 * n4;
+
+  // Evaluate via a 2-shell engine (H2-like fake molecule, custom basis is
+  // awkward; use the hermite data directly):
+  const double pq[3] = {bra.prims[0].P[0] - ket.prims[0].P[0],
+                        bra.prims[0].P[1] - ket.prims[0].P[1],
+                        bra.prims[0].P[2] - ket.prims[0].P[2]};
+  RTable rt(0, alpha, pq);
+  const double got = 2.0 * std::pow(kPi, 2.5) / (p * q * std::sqrt(p + q)) *
+                     bra.prims[0].hermite[0] * ket.prims[0].hermite[0] *
+                     rt(0, 0, 0);
+  EXPECT_NEAR(got, expected, 1e-12);
+}
+
+class EriPermutation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EriPermutation, EightFoldSymmetry) {
+  auto mol = chem::builders::water();
+  auto bs = basis::BasisSet::build(mol, GetParam());
+  EriEngine eri(bs);
+  const std::size_t ns = bs.nshells();
+
+  // A handful of representative quartets, including d shells for 6-31G(d).
+  std::vector<std::array<std::size_t, 4>> quartets;
+  for (std::size_t i = 0; i < ns; i += 2) {
+    for (std::size_t k = 0; k < ns; k += 3) {
+      quartets.push_back({i, (i + 1) % ns, k, (k + 2) % ns});
+    }
+  }
+
+  std::vector<double> ref, perm;
+  for (const auto& qt : quartets) {
+    const auto [i, j, k, l] = std::tuple{qt[0], qt[1], qt[2], qt[3]};
+    const int ni = bs.shell(i).nfunc(), nj = bs.shell(j).nfunc(),
+              nk = bs.shell(k).nfunc(), nl = bs.shell(l).nfunc();
+    ref.assign(eri.batch_size(i, j, k, l), 0.0);
+    eri.compute(i, j, k, l, ref.data());
+
+    auto at = [&](const std::vector<double>& buf, int a, int b, int c, int d,
+                  int n2, int n3, int n4) {
+      return buf[((static_cast<std::size_t>(a) * n2 + b) * n3 + c) * n4 + d];
+    };
+
+    // (ij|kl) = (ji|kl) = (ij|lk) = (kl|ij) spot checks, full batches.
+    perm.assign(eri.batch_size(j, i, k, l), 0.0);
+    eri.compute(j, i, k, l, perm.data());
+    for (int a = 0; a < ni; ++a)
+      for (int b = 0; b < nj; ++b)
+        for (int c = 0; c < nk; ++c)
+          for (int d = 0; d < nl; ++d)
+            EXPECT_NEAR(at(ref, a, b, c, d, nj, nk, nl),
+                        at(perm, b, a, c, d, ni, nk, nl), 1e-11);
+
+    perm.assign(eri.batch_size(i, j, l, k), 0.0);
+    eri.compute(i, j, l, k, perm.data());
+    for (int a = 0; a < ni; ++a)
+      for (int b = 0; b < nj; ++b)
+        for (int c = 0; c < nk; ++c)
+          for (int d = 0; d < nl; ++d)
+            EXPECT_NEAR(at(ref, a, b, c, d, nj, nk, nl),
+                        at(perm, a, b, d, c, nj, nl, nk), 1e-11);
+
+    perm.assign(eri.batch_size(k, l, i, j), 0.0);
+    eri.compute(k, l, i, j, perm.data());
+    for (int a = 0; a < ni; ++a)
+      for (int b = 0; b < nj; ++b)
+        for (int c = 0; c < nk; ++c)
+          for (int d = 0; d < nl; ++d)
+            EXPECT_NEAR(at(ref, a, b, c, d, nj, nk, nl),
+                        at(perm, c, d, a, b, nl, ni, nj), 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, EriPermutation,
+                         ::testing::Values("STO-3G", "6-31G", "6-31G(d)"));
+
+TEST(Eri, DiagonalElementsNonNegative) {
+  // (ab|ab) >= 0 (it is a self-Coulomb repulsion of a charge distribution).
+  auto bs = basis::BasisSet::build(chem::builders::water(), "6-31G(d)");
+  EriEngine eri(bs);
+  std::vector<double> batch;
+  for (std::size_t i = 0; i < bs.nshells(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      batch.assign(eri.batch_size(i, j, i, j), 0.0);
+      eri.compute(i, j, i, j, batch.data());
+      const int ni = bs.shell(i).nfunc(), nj = bs.shell(j).nfunc();
+      for (int a = 0; a < ni; ++a) {
+        for (int b = 0; b < nj; ++b) {
+          const std::size_t ab = static_cast<std::size_t>(a) * nj + b;
+          EXPECT_GE(batch[(ab * ni + a) * nj + b], -1e-14);
+        }
+      }
+    }
+  }
+}
+
+TEST(Eri, ComputeIsThreadSafe) {
+  // The hybrid Fock builders call compute() concurrently from OpenMP
+  // threads; concurrent batches must match the serial results exactly.
+  auto bs = basis::BasisSet::build(chem::builders::methane(), "6-31G(d)");
+  EriEngine eri(bs);
+  const std::size_t ns = bs.nshells();
+
+  struct Quartet {
+    std::size_t i, j, k, l;
+  };
+  std::vector<Quartet> quartets;
+  for (std::size_t i = 0; i < ns; i += 2) {
+    for (std::size_t k = 0; k < ns; k += 3) {
+      quartets.push_back({i, (i + 3) % ns, k, (k + 1) % ns});
+    }
+  }
+  // Serial reference.
+  std::vector<std::vector<double>> ref(quartets.size());
+  for (std::size_t q = 0; q < quartets.size(); ++q) {
+    const auto& t = quartets[q];
+    ref[q].assign(eri.batch_size(t.i, t.j, t.k, t.l), 0.0);
+    eri.compute(t.i, t.j, t.k, t.l, ref[q].data());
+  }
+  // Concurrent recomputation (each thread loops all quartets so batches
+  // interleave differently per thread).
+  std::atomic<int> mismatches{0};
+#pragma omp parallel num_threads(4)
+  {
+    std::vector<double> buf;
+    for (std::size_t q = 0; q < quartets.size(); ++q) {
+      const auto& t = quartets[q];
+      buf.assign(eri.batch_size(t.i, t.j, t.k, t.l), 0.0);
+      eri.compute(t.i, t.j, t.k, t.l, buf.data());
+      for (std::size_t e = 0; e < buf.size(); ++e) {
+        if (buf[e] != ref[q][e]) ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---- Screening ----
+
+TEST(Screening, SchwarzIsATrueUpperBound) {
+  auto bs = basis::BasisSet::build(chem::builders::water(), "STO-3G");
+  EriEngine eri(bs);
+  Screening sc(eri, 1e-12);
+  std::vector<double> batch;
+  for (std::size_t i = 0; i < bs.nshells(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k < bs.nshells(); ++k) {
+        for (std::size_t l = 0; l <= k; ++l) {
+          batch.assign(eri.batch_size(i, j, k, l), 0.0);
+          eri.compute(i, j, k, l, batch.data());
+          double mx = 0.0;
+          for (double v : batch) mx = std::max(mx, std::abs(v));
+          EXPECT_LE(mx, sc.q(i, j) * sc.q(k, l) * (1.0 + 1e-10) + 1e-14)
+              << i << " " << j << " " << k << " " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(Screening, ThresholdMonotonicity) {
+  auto bs = basis::BasisSet::build(chem::builders::benzene(), "STO-3G");
+  EriEngine eri(bs);
+  Screening loose(eri, 1e-6);
+  Screening tight(eri, 1e-12);
+  EXPECT_LE(loose.count_surviving_quartets(),
+            tight.count_surviving_quartets());
+  EXPECT_LE(tight.count_surviving_quartets(), tight.total_quartets());
+  EXPECT_GT(loose.count_surviving_quartets(), 0u);
+}
+
+TEST(Screening, PairPrescreenIsConsistent) {
+  auto bs = basis::BasisSet::build(chem::builders::benzene(), "STO-3G");
+  EriEngine eri(bs);
+  Screening sc(eri, 1e-8);
+  for (std::size_t i = 0; i < bs.nshells(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (!sc.keep_pair(i, j)) {
+        // If the pair fails against the *best possible* partner, every
+        // quartet containing it must fail too.
+        for (std::size_t k = 0; k < bs.nshells(); ++k) {
+          for (std::size_t l = 0; l <= k; ++l) {
+            EXPECT_FALSE(sc.keep(i, j, k, l));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Screening, DistantPairsAreScreenedOut) {
+  // Two far-apart water molecules: cross pairs must screen to zero.
+  auto m1 = chem::builders::water();
+  auto m2 = m1.translated(50.0, 0.0, 0.0);
+  chem::Molecule big;
+  for (const auto& a : m1.atoms()) big.add_atom(a.z, a.xyz[0], a.xyz[1], a.xyz[2]);
+  for (const auto& a : m2.atoms()) big.add_atom(a.z, a.xyz[0], a.xyz[1], a.xyz[2]);
+  auto bs = basis::BasisSet::build(big, "STO-3G");
+  EriEngine eri(bs);
+  Screening sc(eri, 1e-10);
+  // Shell 0 is on molecule 1, last shell on molecule 2.
+  EXPECT_LT(sc.q(0, bs.nshells() - 1), 1e-12);
+  const std::size_t kept = sc.count_surviving_quartets();
+  EXPECT_LT(kept, sc.total_quartets() / 2);
+}
+
+}  // namespace
+}  // namespace mc::ints

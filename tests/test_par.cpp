@@ -1,0 +1,318 @@
+// Tests for the minimpi SPMD runtime: barrier, collectives, the DDI
+// dynamic-load-balance counter, point-to-point, and failure propagation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+#include "la/matrix.hpp"
+#include "par/ddi.hpp"
+#include "par/runtime.hpp"
+#include "par/work_stealing.hpp"
+
+namespace mc::par {
+namespace {
+
+class ParTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParTest, RanksSeeCorrectSizeAndDistinctIds) {
+  const int n = GetParam();
+  std::mutex mu;
+  std::set<int> seen;
+  run_spmd(n, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), n);
+    std::lock_guard<std::mutex> lk(mu);
+    seen.insert(comm.rank());
+  });
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), n - 1);
+}
+
+TEST_P(ParTest, AllreduceSumsAcrossRanks) {
+  const int n = GetParam();
+  run_spmd(n, [&](Comm& comm) {
+    std::vector<double> data(37);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = comm.rank() + 1.0 + static_cast<double>(i);
+    }
+    comm.allreduce_sum(data.data(), data.size());
+    const double ranksum = n * (n + 1) / 2.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_DOUBLE_EQ(data[i], ranksum + n * static_cast<double>(i));
+    }
+  });
+}
+
+TEST_P(ParTest, AllreduceMax) {
+  const int n = GetParam();
+  run_spmd(n, [&](Comm& comm) {
+    const double v = 1.0 + comm.rank();
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(v), static_cast<double>(n));
+    // Repeated use must re-initialize correctly.
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(0.5), 0.5);
+  });
+}
+
+TEST_P(ParTest, BroadcastDistributesRootData) {
+  const int n = GetParam();
+  const int root = n - 1;
+  run_spmd(n, [&](Comm& comm) {
+    std::vector<double> data(8, static_cast<double>(comm.rank()));
+    comm.broadcast(data.data(), data.size(), root);
+    for (double v : data) EXPECT_DOUBLE_EQ(v, static_cast<double>(root));
+  });
+}
+
+TEST_P(ParTest, DlbCounterHandsOutEachIndexExactlyOnce) {
+  const int n = GetParam();
+  const long ntasks = 100;
+  std::mutex mu;
+  std::vector<long> claimed;
+  run_spmd(n, [&](Comm& comm) {
+    comm.dlb_reset();
+    std::vector<long> mine;
+    for (;;) {
+      const long task = comm.dlb_next();
+      if (task >= ntasks) break;
+      mine.push_back(task);
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    claimed.insert(claimed.end(), mine.begin(), mine.end());
+  });
+  std::sort(claimed.begin(), claimed.end());
+  ASSERT_EQ(claimed.size(), static_cast<std::size_t>(ntasks));
+  for (long i = 0; i < ntasks; ++i) EXPECT_EQ(claimed[static_cast<std::size_t>(i)], i);
+}
+
+TEST_P(ParTest, DlbResetRestartsAtZero) {
+  const int n = GetParam();
+  run_spmd(n, [&](Comm& comm) {
+    comm.dlb_reset();
+    comm.dlb_next();
+    comm.dlb_next();
+    comm.dlb_reset();
+    std::atomic<long>* dummy = nullptr;
+    (void)dummy;
+    const long t = comm.dlb_next();
+    EXPECT_LT(t, static_cast<long>(comm.size()));  // fresh counter
+    comm.barrier();
+  });
+}
+
+TEST_P(ParTest, SendRecvRoundTrip) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP() << "needs at least two ranks";
+  run_spmd(n, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int r = 1; r < comm.size(); ++r) {
+        std::vector<double> msg = {static_cast<double>(r), 42.0};
+        comm.send(r, /*tag=*/7, msg.data(), msg.size());
+      }
+      // Collect replies (any order).
+      double total = 0.0;
+      for (int r = 1; r < comm.size(); ++r) {
+        auto reply = comm.recv(r, /*tag=*/8);
+        ASSERT_EQ(reply.size(), 1u);
+        total += reply[0];
+      }
+      EXPECT_DOUBLE_EQ(total, (n - 1) * 43.0 + (n - 1) * n / 2.0 - (n - 1));
+    } else {
+      auto msg = comm.recv(0, 7);
+      ASSERT_EQ(msg.size(), 2u);
+      const double reply = msg[0] + msg[1];
+      comm.send(0, 8, &reply, 1);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParTest, ::testing::Values(1, 2, 4, 7));
+
+TEST(ParRuntime, ExceptionInOneRankPropagatesWithoutDeadlock) {
+  EXPECT_THROW(
+      run_spmd(4,
+               [&](Comm& comm) {
+                 if (comm.rank() == 2) {
+                   throw mc::Error("rank 2 exploded");
+                 }
+                 // Other ranks head into a barrier; the abort must wake them.
+                 comm.barrier();
+                 comm.barrier();
+               }),
+      mc::Error);
+}
+
+TEST(ParRuntime, ExceptionWakesBlockedRecv) {
+  EXPECT_THROW(run_spmd(2,
+                        [&](Comm& comm) {
+                          if (comm.rank() == 0) {
+                            throw mc::Error("boom");
+                          }
+                          (void)comm.recv(0, 1);  // never sent
+                        }),
+               mc::Error);
+}
+
+TEST(ParRuntime, NestedJobsRejected) {
+  EXPECT_THROW(run_spmd(2,
+                        [&](Comm& comm) {
+                          if (comm.rank() == 0) {
+                            run_spmd(1, [](Comm&) {});
+                          }
+                          comm.barrier();
+                        }),
+               mc::Error);
+}
+
+TEST(ParRuntime, MemoryAttributionPerRank) {
+  MemoryTracker::instance().reset();
+  run_spmd(3, [&](Comm& comm) {
+    la::Matrix m(10, 10, "fock");
+    comm.barrier();
+    // Every rank sees its own allocation attributed to itself.
+    EXPECT_EQ(MemoryTracker::instance().bytes(comm.rank(), "fock"),
+              100 * sizeof(double));
+    comm.barrier();
+  });
+  // All released after the job.
+  EXPECT_EQ(MemoryTracker::instance().total_bytes(), 0u);
+  MemoryTracker::instance().reset();
+}
+
+
+// ---- Shared-object blackboard ----
+
+TEST(Blackboard, AllRanksSeeTheSameObject) {
+  std::mutex mu;
+  std::set<void*> pointers;
+  run_spmd(4, [&](Comm& comm) {
+    auto obj = comm.get_or_create_shared<std::atomic<long>>("counter", 0L);
+    obj->fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      pointers.insert(obj.get());
+    }
+    comm.barrier();
+    EXPECT_EQ(obj->load(), 4);
+  });
+  EXPECT_EQ(pointers.size(), 1u);  // one shared instance
+}
+
+TEST(Blackboard, DistinctKeysAreDistinctObjects) {
+  run_spmd(2, [&](Comm& comm) {
+    auto a = comm.get_or_create_shared<std::atomic<long>>("a", 0L);
+    auto b = comm.get_or_create_shared<std::atomic<long>>("b", 100L);
+    EXPECT_NE(a.get(), static_cast<void*>(b.get()));
+    EXPECT_EQ(b->load(), 100);
+    comm.barrier();
+    if (comm.rank() == 0) comm.free_shared("a");
+    comm.barrier();
+    // Recreation after free yields a fresh object.
+    auto a2 = comm.get_or_create_shared<std::atomic<long>>("a", 7L);
+    EXPECT_EQ(a2->load(), 7);
+  });
+}
+
+// ---- Work stealing ----
+
+TEST(WorkStealing, EveryTaskIssuedExactlyOnce) {
+  const long ntasks = 500;
+  std::mutex mu;
+  std::vector<long> claimed;
+  run_spmd(4, [&](Comm& comm) {
+    WorkStealingScheduler sched(comm, "ws-test", ntasks);
+    std::vector<long> mine;
+    for (long t = sched.next(); t >= 0; t = sched.next()) {
+      mine.push_back(t);
+    }
+    sched.release();
+    std::lock_guard<std::mutex> lk(mu);
+    claimed.insert(claimed.end(), mine.begin(), mine.end());
+  });
+  std::sort(claimed.begin(), claimed.end());
+  ASSERT_EQ(claimed.size(), static_cast<std::size_t>(ntasks));
+  for (long t = 0; t < ntasks; ++t) {
+    EXPECT_EQ(claimed[static_cast<std::size_t>(t)], t);
+  }
+}
+
+TEST(WorkStealing, SlowRankGetsRobbed) {
+  // Rank 0 sleeps per task; the others must steal from its slice so the
+  // schedule still drains, and at least one steal is recorded.
+  const long ntasks = 64;
+  std::atomic<long> total_steals{0};
+  run_spmd(4, [&](Comm& comm) {
+    WorkStealingScheduler sched(comm, "ws-slow", ntasks);
+    for (long t = sched.next(); t >= 0; t = sched.next()) {
+      if (comm.rank() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      }
+    }
+    total_steals += sched.steals();
+    sched.release();
+  });
+  EXPECT_GT(total_steals.load(), 0);
+}
+
+TEST(WorkStealing, CountersUnitBehaviour) {
+  StealingCounters c(2, 10);
+  EXPECT_EQ(c.remaining(0), 5);
+  EXPECT_EQ(c.remaining(1), 5);
+  // Rank 0 drains its slice [0,5).
+  for (long expect = 0; expect < 5; ++expect) {
+    EXPECT_EQ(c.next(0), expect);
+  }
+  // Next claim steals from rank 1's slice [5,10).
+  const long stolen = c.next(0);
+  EXPECT_GE(stolen, 5);
+  EXPECT_LT(stolen, 10);
+  EXPECT_EQ(c.steals(0), 1);
+  EXPECT_EQ(c.steals(1), 0);
+  // Drain everything; then both get -1.
+  while (c.next(0) >= 0) {
+  }
+  EXPECT_EQ(c.next(0), -1);
+  EXPECT_EQ(c.next(1), -1);
+}
+
+TEST(WorkStealing, ZeroTasks) {
+  StealingCounters c(3, 0);
+  EXPECT_EQ(c.next(0), -1);
+  EXPECT_EQ(c.next(2), -1);
+}
+
+TEST(Ddi, FacadeMapsToCommOperations) {
+  run_spmd(3, [&](Comm& comm) {
+    Ddi ddi(comm);
+    EXPECT_EQ(ddi.size(), 3);
+    EXPECT_EQ(ddi.rank(), comm.rank());
+
+    la::Matrix m(4, 4);
+    m.fill(1.0);
+    ddi.gsumf(m);
+    EXPECT_DOUBLE_EQ(m(2, 2), 3.0);
+
+    la::Matrix b(2, 2);
+    if (ddi.rank() == 0) b.fill(5.0);
+    ddi.bcast(b, 0);
+    EXPECT_DOUBLE_EQ(b(1, 1), 5.0);
+
+    ddi.dlb_reset();
+    const long t = ddi.dlbnext();
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 3);
+    ddi.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace mc::par

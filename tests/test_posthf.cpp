@@ -1,0 +1,203 @@
+// Tests for the conventional (stored-integral) SCF mode and the MP2
+// post-HF method -- including the hard literature anchor for MP2/STO-3G
+// water from the standard tutorial reference values.
+
+#include <gtest/gtest.h>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "common/error.hpp"
+#include "ints/one_electron.hpp"
+#include "la/orthogonalizer.hpp"
+#include "scf/mp2.hpp"
+#include "scf/scf_driver.hpp"
+#include "scf/serial_fock.hpp"
+#include "scf/stored_integrals.hpp"
+
+namespace mc::scf {
+namespace {
+
+// The standard tutorial geometry (see test_scf.cpp): STO-3G references
+//   E_RHF = -74.942079928192,  E(2) = -0.049149636120.
+chem::Molecule water_crawford() {
+  chem::Molecule m;
+  m.add_atom(8, 0.000000000000, -0.143225816552, 0.000000000000);
+  m.add_atom(1, 1.638036840407, 1.136548822547, 0.000000000000);
+  m.add_atom(1, -1.638036840407, 1.136548822547, 0.000000000000);
+  return m;
+}
+
+struct Stack {
+  chem::Molecule mol;
+  basis::BasisSet bs;
+  ints::EriEngine eri;
+  ints::Screening screen;
+  Stack(const chem::Molecule& m, const std::string& basis)
+      : mol(m),
+        bs(basis::BasisSet::build(m, basis)),
+        eri(bs),
+        screen(eri, 1e-12) {}
+};
+
+TEST(StoredIntegrals, TensorMatchesDirectBatches) {
+  Stack st(chem::builders::water(), "STO-3G");
+  AoIntegralTensor ao(st.eri, st.screen);
+  EXPECT_EQ(ao.nbf(), 7u);
+  // Spot-check every unique value against a direct computation.
+  std::vector<double> batch;
+  for (std::size_t si = 0; si < st.bs.nshells(); ++si) {
+    for (std::size_t sj = 0; sj <= si; ++sj) {
+      for (std::size_t sk = 0; sk < st.bs.nshells(); ++sk) {
+        for (std::size_t sl = 0; sl <= sk; ++sl) {
+          batch.assign(st.eri.batch_size(si, sj, sk, sl), 0.0);
+          st.eri.compute(si, sj, sk, sl, batch.data());
+          const auto& shi = st.bs.shell(si);
+          const auto& shj = st.bs.shell(sj);
+          const auto& shk = st.bs.shell(sk);
+          const auto& shl = st.bs.shell(sl);
+          std::size_t idx = 0;
+          for (int a = 0; a < shi.nfunc(); ++a) {
+            for (int b = 0; b < shj.nfunc(); ++b) {
+              for (int c = 0; c < shk.nfunc(); ++c) {
+                for (int d = 0; d < shl.nfunc(); ++d, ++idx) {
+                  EXPECT_NEAR(
+                      ao(shi.first_bf + a, shj.first_bf + b,
+                         shk.first_bf + c, shl.first_bf + d),
+                      batch[idx], 1e-12);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StoredIntegrals, PermutationalSymmetryByConstruction) {
+  Stack st(chem::builders::water(), "STO-3G");
+  AoIntegralTensor ao(st.eri, st.screen);
+  EXPECT_DOUBLE_EQ(ao(1, 0, 3, 2), ao(0, 1, 3, 2));
+  EXPECT_DOUBLE_EQ(ao(1, 0, 3, 2), ao(3, 2, 1, 0));
+  EXPECT_DOUBLE_EQ(ao(1, 0, 3, 2), ao(2, 3, 0, 1));
+}
+
+TEST(StoredIntegrals, MemoryCapEnforced) {
+  Stack st(chem::builders::water(), "STO-3G");
+  EXPECT_THROW(AoIntegralTensor(st.eri, st.screen, /*max_doubles=*/10),
+               mc::Error);
+}
+
+TEST(StoredIntegrals, ConventionalFockMatchesDirect) {
+  Stack st(chem::builders::water(), "6-31G");
+  AoIntegralTensor ao(st.eri, st.screen);
+
+  la::Matrix h = ints::core_hamiltonian(st.bs, st.mol);
+  la::Matrix s = ints::overlap_matrix(st.bs);
+  la::Matrix x = la::canonical_orthogonalizer(s);
+  la::Matrix d = core_guess_density(h, x, st.mol.nelectrons() / 2);
+
+  la::Matrix g_direct(st.bs.nbf(), st.bs.nbf());
+  SerialFockBuilder direct(st.eri, st.screen);
+  direct.build(d, g_direct);
+  g_direct.symmetrize();
+
+  la::Matrix g_stored(st.bs.nbf(), st.bs.nbf());
+  StoredFockBuilder stored(ao, st.bs);
+  stored.build(d, g_stored);
+  g_stored.symmetrize();
+
+  EXPECT_NEAR(g_direct.max_abs_diff(g_stored), 0.0, 1e-10);
+}
+
+TEST(StoredIntegrals, ConventionalScfSameEnergyAsDirect) {
+  Stack st(chem::builders::methane(), "STO-3G");
+  AoIntegralTensor ao(st.eri, st.screen);
+  StoredFockBuilder stored(ao, st.bs);
+  SerialFockBuilder direct(st.eri, st.screen);
+  ScfResult r1 = run_scf(st.mol, st.bs, stored);
+  ScfResult r2 = run_scf(st.mol, st.bs, direct);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_NEAR(r1.energy, r2.energy, 1e-9);
+}
+
+// ---- MP2 ----
+
+TEST(Mp2, WaterSto3gMatchesCrawfordReference) {
+  Stack st(water_crawford(), "STO-3G");
+  SerialFockBuilder builder(st.eri, st.screen);
+  ScfOptions opt;
+  opt.density_tolerance = 1e-10;
+  opt.energy_tolerance = 1e-12;
+  ScfResult hf = run_scf(st.mol, st.bs, builder, opt);
+  ASSERT_TRUE(hf.converged);
+  ASSERT_NEAR(hf.energy, -74.942079928192, 1e-6);
+
+  AoIntegralTensor ao(st.eri, st.screen);
+  Mp2Result mp2 = mp2_energy(ao, hf.mo_coefficients, hf.orbital_energies, 5,
+                             hf.energy);
+  EXPECT_NEAR(mp2.correlation_energy, -0.049149636120, 1e-6);
+  EXPECT_NEAR(mp2.total_energy, hf.energy + mp2.correlation_energy, 1e-12);
+}
+
+TEST(Mp2, CorrelationEnergyIsNegativeAndSpinDecomposed) {
+  Stack st(chem::builders::methane(), "STO-3G");
+  SerialFockBuilder builder(st.eri, st.screen);
+  ScfResult hf = run_scf(st.mol, st.bs, builder);
+  ASSERT_TRUE(hf.converged);
+  AoIntegralTensor ao(st.eri, st.screen);
+  Mp2Result mp2 = mp2_energy(ao, hf.mo_coefficients, hf.orbital_energies, 5,
+                             hf.energy);
+  EXPECT_LT(mp2.correlation_energy, 0.0);
+  EXPECT_LT(mp2.opposite_spin, 0.0);
+  EXPECT_LE(mp2.same_spin, 1e-12);
+  EXPECT_NEAR(mp2.correlation_energy, mp2.same_spin + mp2.opposite_spin,
+              1e-12);
+}
+
+TEST(Mp2, FrozenCoreShrinksCorrelation) {
+  Stack st(water_crawford(), "STO-3G");
+  SerialFockBuilder builder(st.eri, st.screen);
+  ScfResult hf = run_scf(st.mol, st.bs, builder);
+  ASSERT_TRUE(hf.converged);
+  AoIntegralTensor ao(st.eri, st.screen);
+  Mp2Result all = mp2_energy(ao, hf.mo_coefficients, hf.orbital_energies, 5,
+                             hf.energy, 0);
+  Mp2Result fc = mp2_energy(ao, hf.mo_coefficients, hf.orbital_energies, 5,
+                            hf.energy, 1);  // freeze O 1s
+  EXPECT_LT(all.correlation_energy, fc.correlation_energy);
+  EXPECT_LT(fc.correlation_energy, 0.0);
+  // The O 1s core contributes little: the difference is small.
+  EXPECT_LT(std::abs(all.correlation_energy - fc.correlation_energy), 0.01);
+}
+
+TEST(Mp2, NoVirtualsMeansZeroCorrelation) {
+  // H2 in STO-3G has 2 orbitals / 1 occupied -> 1 virtual: nonzero. A
+  // "minimal" edge: freeze the only occupied orbital -> zero correlation.
+  Stack st(chem::builders::h2(), "STO-3G");
+  SerialFockBuilder builder(st.eri, st.screen);
+  ScfResult hf = run_scf(st.mol, st.bs, builder);
+  AoIntegralTensor ao(st.eri, st.screen);
+  Mp2Result frozen = mp2_energy(ao, hf.mo_coefficients,
+                                hf.orbital_energies, 1, hf.energy, 1);
+  EXPECT_DOUBLE_EQ(frozen.correlation_energy, 0.0);
+  EXPECT_DOUBLE_EQ(frozen.total_energy, hf.energy);
+
+  Mp2Result full = mp2_energy(ao, hf.mo_coefficients, hf.orbital_energies,
+                              1, hf.energy, 0);
+  EXPECT_LT(full.correlation_energy, 0.0);
+}
+
+TEST(Mp2, InvalidArgumentsThrow) {
+  Stack st(chem::builders::h2(), "STO-3G");
+  SerialFockBuilder builder(st.eri, st.screen);
+  ScfResult hf = run_scf(st.mol, st.bs, builder);
+  AoIntegralTensor ao(st.eri, st.screen);
+  EXPECT_THROW(mp2_energy(ao, hf.mo_coefficients, hf.orbital_energies, 1,
+                          hf.energy, 2),
+               mc::Error);  // nfrozen > nocc
+}
+
+}  // namespace
+}  // namespace mc::scf
