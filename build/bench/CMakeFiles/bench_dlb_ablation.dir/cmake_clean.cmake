@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dlb_ablation.dir/bench_dlb_ablation.cpp.o"
+  "CMakeFiles/bench_dlb_ablation.dir/bench_dlb_ablation.cpp.o.d"
+  "bench_dlb_ablation"
+  "bench_dlb_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dlb_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

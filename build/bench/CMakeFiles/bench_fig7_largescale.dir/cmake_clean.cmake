@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_largescale.dir/bench_fig7_largescale.cpp.o"
+  "CMakeFiles/bench_fig7_largescale.dir/bench_fig7_largescale.cpp.o.d"
+  "bench_fig7_largescale"
+  "bench_fig7_largescale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_largescale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fock_builders.dir/bench_fock_builders.cpp.o"
+  "CMakeFiles/bench_fock_builders.dir/bench_fock_builders.cpp.o.d"
+  "bench_fock_builders"
+  "bench_fock_builders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fock_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_hf.dir/graphene_hf.cpp.o"
+  "CMakeFiles/graphene_hf.dir/graphene_hf.cpp.o.d"
+  "graphene_hf"
+  "graphene_hf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_hf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mchf.dir/mchf.cpp.o"
+  "CMakeFiles/mchf.dir/mchf.cpp.o.d"
+  "mchf"
+  "mchf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mchf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/basis/basis_library.cpp" "src/basis/CMakeFiles/mc_basis.dir/basis_library.cpp.o" "gcc" "src/basis/CMakeFiles/mc_basis.dir/basis_library.cpp.o.d"
+  "/root/repo/src/basis/basis_set.cpp" "src/basis/CMakeFiles/mc_basis.dir/basis_set.cpp.o" "gcc" "src/basis/CMakeFiles/mc_basis.dir/basis_set.cpp.o.d"
+  "/root/repo/src/basis/shell.cpp" "src/basis/CMakeFiles/mc_basis.dir/shell.cpp.o" "gcc" "src/basis/CMakeFiles/mc_basis.dir/shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mc_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

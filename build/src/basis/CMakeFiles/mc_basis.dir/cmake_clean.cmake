@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_basis.dir/basis_library.cpp.o"
+  "CMakeFiles/mc_basis.dir/basis_library.cpp.o.d"
+  "CMakeFiles/mc_basis.dir/basis_set.cpp.o"
+  "CMakeFiles/mc_basis.dir/basis_set.cpp.o.d"
+  "CMakeFiles/mc_basis.dir/shell.cpp.o"
+  "CMakeFiles/mc_basis.dir/shell.cpp.o.d"
+  "libmc_basis.a"
+  "libmc_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/builders.cpp" "src/chem/CMakeFiles/mc_chem.dir/builders.cpp.o" "gcc" "src/chem/CMakeFiles/mc_chem.dir/builders.cpp.o.d"
+  "/root/repo/src/chem/element.cpp" "src/chem/CMakeFiles/mc_chem.dir/element.cpp.o" "gcc" "src/chem/CMakeFiles/mc_chem.dir/element.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/chem/CMakeFiles/mc_chem.dir/molecule.cpp.o" "gcc" "src/chem/CMakeFiles/mc_chem.dir/molecule.cpp.o.d"
+  "/root/repo/src/chem/xyz_io.cpp" "src/chem/CMakeFiles/mc_chem.dir/xyz_io.cpp.o" "gcc" "src/chem/CMakeFiles/mc_chem.dir/xyz_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_chem.dir/builders.cpp.o"
+  "CMakeFiles/mc_chem.dir/builders.cpp.o.d"
+  "CMakeFiles/mc_chem.dir/element.cpp.o"
+  "CMakeFiles/mc_chem.dir/element.cpp.o.d"
+  "CMakeFiles/mc_chem.dir/molecule.cpp.o"
+  "CMakeFiles/mc_chem.dir/molecule.cpp.o.d"
+  "CMakeFiles/mc_chem.dir/xyz_io.cpp.o"
+  "CMakeFiles/mc_chem.dir/xyz_io.cpp.o.d"
+  "libmc_chem.a"
+  "libmc_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

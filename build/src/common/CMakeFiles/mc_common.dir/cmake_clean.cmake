@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_common.dir/memory_tracker.cpp.o"
+  "CMakeFiles/mc_common.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/mc_common.dir/table.cpp.o"
+  "CMakeFiles/mc_common.dir/table.cpp.o.d"
+  "libmc_common.a"
+  "libmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

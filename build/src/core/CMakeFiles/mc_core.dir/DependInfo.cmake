@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fock_mpi.cpp" "src/core/CMakeFiles/mc_core.dir/fock_mpi.cpp.o" "gcc" "src/core/CMakeFiles/mc_core.dir/fock_mpi.cpp.o.d"
+  "/root/repo/src/core/fock_private.cpp" "src/core/CMakeFiles/mc_core.dir/fock_private.cpp.o" "gcc" "src/core/CMakeFiles/mc_core.dir/fock_private.cpp.o.d"
+  "/root/repo/src/core/fock_shared.cpp" "src/core/CMakeFiles/mc_core.dir/fock_shared.cpp.o" "gcc" "src/core/CMakeFiles/mc_core.dir/fock_shared.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/mc_core.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/mc_core.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/parallel_scf.cpp" "src/core/CMakeFiles/mc_core.dir/parallel_scf.cpp.o" "gcc" "src/core/CMakeFiles/mc_core.dir/parallel_scf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scf/CMakeFiles/mc_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/mc_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/ints/CMakeFiles/mc_ints.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/mc_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mc_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/mc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

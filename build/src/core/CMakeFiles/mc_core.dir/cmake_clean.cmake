@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_core.dir/fock_mpi.cpp.o"
+  "CMakeFiles/mc_core.dir/fock_mpi.cpp.o.d"
+  "CMakeFiles/mc_core.dir/fock_private.cpp.o"
+  "CMakeFiles/mc_core.dir/fock_private.cpp.o.d"
+  "CMakeFiles/mc_core.dir/fock_shared.cpp.o"
+  "CMakeFiles/mc_core.dir/fock_shared.cpp.o.d"
+  "CMakeFiles/mc_core.dir/memory_model.cpp.o"
+  "CMakeFiles/mc_core.dir/memory_model.cpp.o.d"
+  "CMakeFiles/mc_core.dir/parallel_scf.cpp.o"
+  "CMakeFiles/mc_core.dir/parallel_scf.cpp.o.d"
+  "libmc_core.a"
+  "libmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ints/boys.cpp" "src/ints/CMakeFiles/mc_ints.dir/boys.cpp.o" "gcc" "src/ints/CMakeFiles/mc_ints.dir/boys.cpp.o.d"
+  "/root/repo/src/ints/eri.cpp" "src/ints/CMakeFiles/mc_ints.dir/eri.cpp.o" "gcc" "src/ints/CMakeFiles/mc_ints.dir/eri.cpp.o.d"
+  "/root/repo/src/ints/hermite.cpp" "src/ints/CMakeFiles/mc_ints.dir/hermite.cpp.o" "gcc" "src/ints/CMakeFiles/mc_ints.dir/hermite.cpp.o.d"
+  "/root/repo/src/ints/multipole.cpp" "src/ints/CMakeFiles/mc_ints.dir/multipole.cpp.o" "gcc" "src/ints/CMakeFiles/mc_ints.dir/multipole.cpp.o.d"
+  "/root/repo/src/ints/one_electron.cpp" "src/ints/CMakeFiles/mc_ints.dir/one_electron.cpp.o" "gcc" "src/ints/CMakeFiles/mc_ints.dir/one_electron.cpp.o.d"
+  "/root/repo/src/ints/screening.cpp" "src/ints/CMakeFiles/mc_ints.dir/screening.cpp.o" "gcc" "src/ints/CMakeFiles/mc_ints.dir/screening.cpp.o.d"
+  "/root/repo/src/ints/shell_pair.cpp" "src/ints/CMakeFiles/mc_ints.dir/shell_pair.cpp.o" "gcc" "src/ints/CMakeFiles/mc_ints.dir/shell_pair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/mc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mc_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/mc_basis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

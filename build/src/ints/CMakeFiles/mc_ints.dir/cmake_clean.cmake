@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_ints.dir/boys.cpp.o"
+  "CMakeFiles/mc_ints.dir/boys.cpp.o.d"
+  "CMakeFiles/mc_ints.dir/eri.cpp.o"
+  "CMakeFiles/mc_ints.dir/eri.cpp.o.d"
+  "CMakeFiles/mc_ints.dir/hermite.cpp.o"
+  "CMakeFiles/mc_ints.dir/hermite.cpp.o.d"
+  "CMakeFiles/mc_ints.dir/multipole.cpp.o"
+  "CMakeFiles/mc_ints.dir/multipole.cpp.o.d"
+  "CMakeFiles/mc_ints.dir/one_electron.cpp.o"
+  "CMakeFiles/mc_ints.dir/one_electron.cpp.o.d"
+  "CMakeFiles/mc_ints.dir/screening.cpp.o"
+  "CMakeFiles/mc_ints.dir/screening.cpp.o.d"
+  "CMakeFiles/mc_ints.dir/shell_pair.cpp.o"
+  "CMakeFiles/mc_ints.dir/shell_pair.cpp.o.d"
+  "libmc_ints.a"
+  "libmc_ints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_ints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_knlsim.dir/cost_model.cpp.o"
+  "CMakeFiles/mc_knlsim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mc_knlsim.dir/experiments.cpp.o"
+  "CMakeFiles/mc_knlsim.dir/experiments.cpp.o.d"
+  "CMakeFiles/mc_knlsim.dir/knl_config.cpp.o"
+  "CMakeFiles/mc_knlsim.dir/knl_config.cpp.o.d"
+  "CMakeFiles/mc_knlsim.dir/simulator.cpp.o"
+  "CMakeFiles/mc_knlsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mc_knlsim.dir/workload.cpp.o"
+  "CMakeFiles/mc_knlsim.dir/workload.cpp.o.d"
+  "libmc_knlsim.a"
+  "libmc_knlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_knlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/blas_lite.cpp" "src/la/CMakeFiles/mc_la.dir/blas_lite.cpp.o" "gcc" "src/la/CMakeFiles/mc_la.dir/blas_lite.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/mc_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/mc_la.dir/matrix.cpp.o.d"
+  "/root/repo/src/la/orthogonalizer.cpp" "src/la/CMakeFiles/mc_la.dir/orthogonalizer.cpp.o" "gcc" "src/la/CMakeFiles/mc_la.dir/orthogonalizer.cpp.o.d"
+  "/root/repo/src/la/packed.cpp" "src/la/CMakeFiles/mc_la.dir/packed.cpp.o" "gcc" "src/la/CMakeFiles/mc_la.dir/packed.cpp.o.d"
+  "/root/repo/src/la/solve.cpp" "src/la/CMakeFiles/mc_la.dir/solve.cpp.o" "gcc" "src/la/CMakeFiles/mc_la.dir/solve.cpp.o.d"
+  "/root/repo/src/la/sym_eig.cpp" "src/la/CMakeFiles/mc_la.dir/sym_eig.cpp.o" "gcc" "src/la/CMakeFiles/mc_la.dir/sym_eig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

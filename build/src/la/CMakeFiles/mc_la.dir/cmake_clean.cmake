@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_la.dir/blas_lite.cpp.o"
+  "CMakeFiles/mc_la.dir/blas_lite.cpp.o.d"
+  "CMakeFiles/mc_la.dir/matrix.cpp.o"
+  "CMakeFiles/mc_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/mc_la.dir/orthogonalizer.cpp.o"
+  "CMakeFiles/mc_la.dir/orthogonalizer.cpp.o.d"
+  "CMakeFiles/mc_la.dir/packed.cpp.o"
+  "CMakeFiles/mc_la.dir/packed.cpp.o.d"
+  "CMakeFiles/mc_la.dir/solve.cpp.o"
+  "CMakeFiles/mc_la.dir/solve.cpp.o.d"
+  "CMakeFiles/mc_la.dir/sym_eig.cpp.o"
+  "CMakeFiles/mc_la.dir/sym_eig.cpp.o.d"
+  "libmc_la.a"
+  "libmc_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

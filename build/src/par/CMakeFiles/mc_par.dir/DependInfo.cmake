@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/ddi.cpp" "src/par/CMakeFiles/mc_par.dir/ddi.cpp.o" "gcc" "src/par/CMakeFiles/mc_par.dir/ddi.cpp.o.d"
+  "/root/repo/src/par/runtime.cpp" "src/par/CMakeFiles/mc_par.dir/runtime.cpp.o" "gcc" "src/par/CMakeFiles/mc_par.dir/runtime.cpp.o.d"
+  "/root/repo/src/par/work_stealing.cpp" "src/par/CMakeFiles/mc_par.dir/work_stealing.cpp.o" "gcc" "src/par/CMakeFiles/mc_par.dir/work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/mc_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

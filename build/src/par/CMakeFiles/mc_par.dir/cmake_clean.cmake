@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_par.dir/ddi.cpp.o"
+  "CMakeFiles/mc_par.dir/ddi.cpp.o.d"
+  "CMakeFiles/mc_par.dir/runtime.cpp.o"
+  "CMakeFiles/mc_par.dir/runtime.cpp.o.d"
+  "CMakeFiles/mc_par.dir/work_stealing.cpp.o"
+  "CMakeFiles/mc_par.dir/work_stealing.cpp.o.d"
+  "libmc_par.a"
+  "libmc_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scf/diis.cpp" "src/scf/CMakeFiles/mc_scf.dir/diis.cpp.o" "gcc" "src/scf/CMakeFiles/mc_scf.dir/diis.cpp.o.d"
+  "/root/repo/src/scf/fock_builder.cpp" "src/scf/CMakeFiles/mc_scf.dir/fock_builder.cpp.o" "gcc" "src/scf/CMakeFiles/mc_scf.dir/fock_builder.cpp.o.d"
+  "/root/repo/src/scf/mp2.cpp" "src/scf/CMakeFiles/mc_scf.dir/mp2.cpp.o" "gcc" "src/scf/CMakeFiles/mc_scf.dir/mp2.cpp.o.d"
+  "/root/repo/src/scf/properties.cpp" "src/scf/CMakeFiles/mc_scf.dir/properties.cpp.o" "gcc" "src/scf/CMakeFiles/mc_scf.dir/properties.cpp.o.d"
+  "/root/repo/src/scf/scf_driver.cpp" "src/scf/CMakeFiles/mc_scf.dir/scf_driver.cpp.o" "gcc" "src/scf/CMakeFiles/mc_scf.dir/scf_driver.cpp.o.d"
+  "/root/repo/src/scf/serial_fock.cpp" "src/scf/CMakeFiles/mc_scf.dir/serial_fock.cpp.o" "gcc" "src/scf/CMakeFiles/mc_scf.dir/serial_fock.cpp.o.d"
+  "/root/repo/src/scf/stored_integrals.cpp" "src/scf/CMakeFiles/mc_scf.dir/stored_integrals.cpp.o" "gcc" "src/scf/CMakeFiles/mc_scf.dir/stored_integrals.cpp.o.d"
+  "/root/repo/src/scf/uhf.cpp" "src/scf/CMakeFiles/mc_scf.dir/uhf.cpp.o" "gcc" "src/scf/CMakeFiles/mc_scf.dir/uhf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/mc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mc_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/mc_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ints/CMakeFiles/mc_ints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

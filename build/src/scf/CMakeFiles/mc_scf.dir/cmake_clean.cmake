@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_scf.dir/diis.cpp.o"
+  "CMakeFiles/mc_scf.dir/diis.cpp.o.d"
+  "CMakeFiles/mc_scf.dir/fock_builder.cpp.o"
+  "CMakeFiles/mc_scf.dir/fock_builder.cpp.o.d"
+  "CMakeFiles/mc_scf.dir/mp2.cpp.o"
+  "CMakeFiles/mc_scf.dir/mp2.cpp.o.d"
+  "CMakeFiles/mc_scf.dir/properties.cpp.o"
+  "CMakeFiles/mc_scf.dir/properties.cpp.o.d"
+  "CMakeFiles/mc_scf.dir/scf_driver.cpp.o"
+  "CMakeFiles/mc_scf.dir/scf_driver.cpp.o.d"
+  "CMakeFiles/mc_scf.dir/serial_fock.cpp.o"
+  "CMakeFiles/mc_scf.dir/serial_fock.cpp.o.d"
+  "CMakeFiles/mc_scf.dir/stored_integrals.cpp.o"
+  "CMakeFiles/mc_scf.dir/stored_integrals.cpp.o.d"
+  "CMakeFiles/mc_scf.dir/uhf.cpp.o"
+  "CMakeFiles/mc_scf.dir/uhf.cpp.o.d"
+  "libmc_scf.a"
+  "libmc_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/test_common.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/mc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mc_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/mc_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ints/CMakeFiles/mc_ints.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/mc_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/scf/CMakeFiles/mc_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knlsim/CMakeFiles/mc_knlsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

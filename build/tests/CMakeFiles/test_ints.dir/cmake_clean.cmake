@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ints.dir/test_ints.cpp.o"
+  "CMakeFiles/test_ints.dir/test_ints.cpp.o.d"
+  "test_ints"
+  "test_ints.pdb"
+  "test_ints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knlsim.dir/test_knlsim.cpp.o"
+  "CMakeFiles/test_knlsim.dir/test_knlsim.cpp.o.d"
+  "test_knlsim"
+  "test_knlsim.pdb"
+  "test_knlsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

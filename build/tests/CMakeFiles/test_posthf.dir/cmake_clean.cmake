@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posthf.dir/test_posthf.cpp.o"
+  "CMakeFiles/test_posthf.dir/test_posthf.cpp.o.d"
+  "test_posthf"
+  "test_posthf.pdb"
+  "test_posthf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posthf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
