@@ -15,6 +15,11 @@ inline void banner(const std::string& artifact, const std::string& what) {
   std::printf("================================================================\n");
   std::printf("%s -- %s\n", artifact.c_str(), what.c_str());
   std::printf("Mironov et al., SC'17 (MPI/OpenMP Hartree-Fock on Xeon Phi)\n");
+#ifdef MC_SANITIZE_NAME
+  std::printf("WARNING: built with MC_SANITIZE=%s -- timings are meaningless"
+              " (sanitizer overhead); use for correctness only\n",
+              MC_SANITIZE_NAME);
+#endif
   std::printf("================================================================\n");
 }
 

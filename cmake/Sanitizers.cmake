@@ -1,0 +1,46 @@
+# Sanitizer presets for the concurrency-correctness harness.
+#
+# Configure with -DMC_SANITIZE=thread|address|undefined (default: off).
+# Every mc_* target opts in via mc_enable_sanitizers(<target>); the flags are
+# PUBLIC so they propagate through the static-library dependency chain and
+# no target is left half-instrumented (mixing instrumented and plain TUs is
+# how sanitizers miss races or crash at link time).
+#
+# Presets:
+#   thread    -- TSan. Verifies the minimpi runtime and -- together with the
+#                happens-before annotations in src/common/tsan_annotations.hpp
+#                -- the OpenMP buffer protocol of the shared-Fock builder.
+#                Run the labeled subset: ctest -L tsan
+#   address   -- ASan + leak detection.
+#   undefined -- UBSan, recover disabled so any report fails the test.
+
+set(MC_SANITIZE "off" CACHE STRING
+    "Sanitizer preset: off, thread, address, or undefined")
+set_property(CACHE MC_SANITIZE PROPERTY STRINGS off thread address undefined)
+
+set(_mc_sanitize_flags "")
+if(MC_SANITIZE STREQUAL "thread")
+  set(_mc_sanitize_flags -fsanitize=thread)
+elseif(MC_SANITIZE STREQUAL "address")
+  set(_mc_sanitize_flags -fsanitize=address -fno-omit-frame-pointer)
+elseif(MC_SANITIZE STREQUAL "undefined")
+  set(_mc_sanitize_flags -fsanitize=undefined -fno-sanitize-recover=all)
+elseif(NOT MC_SANITIZE STREQUAL "off")
+  message(FATAL_ERROR "MC_SANITIZE must be off, thread, address, or "
+                      "undefined (got '${MC_SANITIZE}')")
+endif()
+
+if(NOT MC_SANITIZE STREQUAL "off")
+  message(STATUS "Sanitizer preset enabled: MC_SANITIZE=${MC_SANITIZE}")
+endif()
+
+function(mc_enable_sanitizers target)
+  if(MC_SANITIZE STREQUAL "off")
+    return()
+  endif()
+  target_compile_options(${target} PUBLIC ${_mc_sanitize_flags})
+  target_link_options(${target} PUBLIC ${_mc_sanitize_flags})
+  # Let code (e.g. the bench banner) report that it was built instrumented,
+  # so sanitized timing numbers are never mistaken for real ones.
+  target_compile_definitions(${target} PUBLIC MC_SANITIZE_NAME="${MC_SANITIZE}")
+endfunction()

@@ -33,28 +33,35 @@ void MemoryTracker::add(const std::string& category, std::size_t bytes) {
 
 void MemoryTracker::sub(const std::string& category, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Release up to `remaining` bytes from one (rank, category) entry,
+  // clamped to what that entry actually holds, and mirror every byte
+  // released into total_ and the rank's live counter. Clamping everywhere
+  // is what keeps the invariant total_ == sum(live_) under unmatched or
+  // cross-rank frees: the old code bailed out without touching total_
+  // whenever no single entry could absorb the whole free, so total_ and
+  // peak_ drifted upward across SCF runs.
+  std::size_t remaining = bytes;
+  const auto deduct = [&](int rank, std::size_t& val) {
+    const std::size_t take = std::min(val, remaining);
+    val -= take;
+    remaining -= take;
+    total_ -= take;
+    auto rit = rank_live_.find(rank);
+    if (rit != rank_live_.end()) rit->second -= std::min(rit->second, take);
+  };
   auto it = live_.find({t_current_rank, category});
-  if (it == live_.end() || it->second < bytes) {
+  if (it != live_.end()) deduct(it->first.first, it->second);
+  if (remaining > 0) {
     // Deregistration on a different thread than registration is allowed
-    // (buffers may be moved across ranks); fall back to scanning for the
-    // category under any rank.
+    // (buffers may be moved across ranks); drain the category under any
+    // rank until the free is fully matched.
     for (auto& [key, val] : live_) {
-      if (key.second == category && val >= bytes) {
-        val -= bytes;
-        total_ -= bytes;
-        auto rit = rank_live_.find(key.first);
-        if (rit != rank_live_.end() && rit->second >= bytes) {
-          rit->second -= bytes;
-        }
-        return;
-      }
+      if (remaining == 0) break;
+      if (key.second == category && val > 0) deduct(key.first, val);
     }
-    return;  // tolerate unmatched frees rather than corrupting accounting
   }
-  it->second -= bytes;
-  total_ -= bytes;
-  auto rit = rank_live_.find(t_current_rank);
-  if (rit != rank_live_.end() && rit->second >= bytes) rit->second -= bytes;
+  // Any remainder still unmatched is a genuinely unpaired free: tolerated,
+  // but it no longer corrupts the global accounting.
 }
 
 std::size_t MemoryTracker::rank_bytes(int rank) const {

@@ -1,0 +1,60 @@
+#pragma once
+// ThreadSanitizer happens-before annotations for OpenMP synchronization.
+//
+// TSan only understands synchronization it can see: pthread primitives,
+// std::mutex/condition_variable, and C++/__atomic operations in instrumented
+// translation units. GCC's libgomp is not TSan-instrumented and synchronizes
+// its barriers and team fork/join through raw futexes, so a perfectly
+// barrier-ordered OpenMP program (exactly the paper's Algorithm 3 protocol)
+// still produces false race reports: TSan sees the conflicting accesses but
+// not the barrier between them.
+//
+// The fix is to mirror every OpenMP synchronization point our code relies on
+// with an explicit happens-before edge on a team-shared token address:
+//
+//   * MC_TSAN_RELEASE(tag) before the sync point publishes the thread's
+//     writes into the token's vector clock;
+//   * MC_TSAN_ACQUIRE(tag) after the sync point merges every published
+//     clock into the acquiring thread.
+//
+// Since the annotations sit immediately around a *real* barrier, the edges
+// they add are exactly the edges the barrier enforces at run time -- they
+// never mask a genuine race across the barrier, only teach TSan about
+// ordering that actually exists. MC_OMP_ANNOTATED_BARRIER bundles the
+// release / omp-barrier / acquire triple; worksharing constructs whose
+// implicit barrier carries cross-thread data flow must instead use `nowait`
+// followed by MC_OMP_ANNOTATED_BARRIER so the edge can be expressed.
+//
+// All macros compile to nothing outside -fsanitize=thread builds.
+
+#if defined(__SANITIZE_THREAD__)
+#define MC_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MC_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef MC_TSAN_ENABLED
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line,
+                           const volatile void* addr);
+void AnnotateHappensAfter(const char* file, int line,
+                          const volatile void* addr);
+}
+#define MC_TSAN_RELEASE(addr) AnnotateHappensBefore(__FILE__, __LINE__, addr)
+#define MC_TSAN_ACQUIRE(addr) AnnotateHappensAfter(__FILE__, __LINE__, addr)
+#else
+#define MC_TSAN_RELEASE(addr) static_cast<void>(addr)
+#define MC_TSAN_ACQUIRE(addr) static_cast<void>(addr)
+#endif
+
+/// A `#pragma omp barrier` TSan can reason about: every thread's writes
+/// before the barrier happen-before every thread's reads after it.
+/// `addr` must be the same shared address for the whole team.
+#define MC_OMP_ANNOTATED_BARRIER(addr) \
+  do {                                 \
+    MC_TSAN_RELEASE(addr);             \
+    _Pragma("omp barrier")             \
+    MC_TSAN_ACQUIRE(addr);             \
+  } while (0)

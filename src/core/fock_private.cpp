@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
+#include "common/tsan_annotations.hpp"
 
 namespace mc::core {
 
@@ -28,8 +29,12 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
                                          : omp_sched_static,
                    1);
 
+  // Team fork/join edges for TSan (libgomp's futex-based handoff is
+  // invisible to it); see common/tsan_annotations.hpp.
+  MC_TSAN_RELEASE(&shared_i);
 #pragma omp parallel num_threads(nt) default(shared)
   {
+    MC_TSAN_ACQUIRE(&shared_i);
     const int tid = omp_get_thread_num();
     // OpenMP workers do not inherit the rank thread's memory attribution;
     // scope it so thread-private buffers are charged to this rank.
@@ -44,7 +49,7 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
     for (;;) {
 #pragma omp master
       shared_i = ddi_->dlbnext();  // MPI DLB: get new I index
-#pragma omp barrier
+      MC_OMP_ANNOTATED_BARRIER(&shared_i);
       const long i = shared_i;
       if (i >= static_cast<long>(ns)) break;
 #pragma omp master
@@ -52,7 +57,7 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
 
       // OpenMP parallelization over the combined (j,k) loops; joining the
       // loops provides a larger task pool (paper section 4.3).
-#pragma omp for collapse(2) schedule(runtime)
+#pragma omp for collapse(2) schedule(runtime) nowait
       for (long j = 0; j <= i; ++j) {
         for (long k = 0; k <= i; ++k) {
           const long lmax = (k == i) ? j : k;
@@ -70,7 +75,10 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
             ++my_quartets;
           }
         }
-      }  // implicit barrier keeps the team in lockstep with the master
+      }
+      // Keeps the team in lockstep with the master: iteration N's reads of
+      // shared_i must be ordered before the master's iteration-N+1 rewrite.
+      MC_OMP_ANNOTATED_BARRIER(&shared_i);
     }
 
 #pragma omp atomic
@@ -78,8 +86,8 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
 
     // Reduce the thread-private copies into the rank matrix, row-chunked so
     // threads write disjoint cache lines.
-#pragma omp barrier
-#pragma omp for schedule(static)
+    MC_OMP_ANNOTATED_BARRIER(&shared_i);
+#pragma omp for schedule(static) nowait
     for (long row = 0; row < static_cast<long>(nbf); ++row) {
       double* grow = g.row(static_cast<std::size_t>(row));
       for (int t = 0; t < nt; ++t) {
@@ -88,8 +96,12 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
                 static_cast<std::size_t>(row));
         for (std::size_t c = 0; c < nbf; ++c) grow[c] += prow[c];
       }
-    }  // implicit barrier: nobody frees gp before the reduction completes
+    }
+    // Nobody frees gp before the reduction completes.
+    MC_OMP_ANNOTATED_BARRIER(&shared_i);
+    MC_TSAN_RELEASE(&shared_i);
   }
+  MC_TSAN_ACQUIRE(&shared_i);
 
   // 2e-Fock matrix reduction over MPI ranks.
   ddi_->gsumf(g);

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
+#include "common/tsan_annotations.hpp"
 
 namespace mc::core {
 
@@ -24,7 +25,7 @@ void flush_buffer(double* buf, std::size_t col_stride, int nt,
                   int tid) {
   const int nf = sh.nfunc();
   const std::size_t off = sh.first_bf;
-#pragma omp for schedule(static)
+#pragma omp for schedule(static) nowait
   for (long col = 0; col < static_cast<long>(nbf); ++col) {
     const auto c = static_cast<std::size_t>(col);
     for (int a = 0; a < nf; ++a) {
@@ -35,10 +36,14 @@ void flush_buffer(double* buf, std::size_t col_stride, int nt,
       }
       g(off + static_cast<std::size_t>(a), c) += sum;
     }
-  }  // implicit barrier: all reads done before anyone re-zeroes
+  }
+  // All reads done before anyone re-zeroes. Annotated (rather than the
+  // worksharing construct's implicit barrier) so TSan sees the ordering
+  // between cross-thread buffer reads and the owner's re-zeroing writes.
+  MC_OMP_ANNOTATED_BARRIER(buf);
   double* mine = buf + static_cast<std::size_t>(tid) * col_stride;
   std::fill(mine, mine + static_cast<std::size_t>(nf) * nbf, 0.0);
-#pragma omp barrier
+  MC_OMP_ANNOTATED_BARRIER(buf);
 }
 
 }  // namespace
@@ -83,8 +88,13 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
                                          : omp_sched_static,
                    1);
 
+  // Team fork/join edges: libgomp hands threads off through futexes TSan
+  // cannot see, so publish the pre-region state (density, buffers, plan)
+  // to the workers and the workers' final writes back to the master.
+  MC_TSAN_RELEASE(&plan);
 #pragma omp parallel num_threads(nt) default(shared)
   {
+    MC_TSAN_ACQUIRE(&plan);
     const int tid = omp_get_thread_num();
     double* fi_mine = fi.data() + static_cast<std::size_t>(tid) * col_stride;
     double* fj_mine = fj.data() + static_cast<std::size_t>(tid) * col_stride;
@@ -115,9 +125,10 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
           }
         }
       }
-#pragma omp barrier
+      MC_OMP_ANNOTATED_BARRIER(&plan);
       const IterPlan my_plan = plan;
-#pragma omp barrier  // all snapshots taken before master's next rewrite
+      // All snapshots taken before the master's next rewrite.
+      MC_OMP_ANNOTATED_BARRIER(&plan);
       const long ij = my_plan.ij;
       if (ij >= static_cast<long>(npairs)) break;
       if (my_plan.skip) continue;
@@ -186,7 +197,9 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
           }
         }
       }
-#pragma omp barrier  // end of kl loop (nowait + explicit barrier)
+      // End of kl loop (nowait + explicit barrier): orders the direct
+      // shared-Fock F_kl writes against the FJ flush that follows.
+      MC_OMP_ANNOTATED_BARRIER(&plan);
 
       // Flush FJ after every kl loop (Algorithm 3 line 31).
       flush_buffer(fj.data(), col_stride, nt, shj, nbf, g, tid);
@@ -204,7 +217,9 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
 
 #pragma omp atomic
     quartets_ += my_quartets;
+    MC_TSAN_RELEASE(&plan);
   }
+  MC_TSAN_ACQUIRE(&plan);
 
   // 2e-Fock matrix reduction over MPI ranks.
   ddi_->gsumf(g);

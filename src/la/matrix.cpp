@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
@@ -170,6 +171,33 @@ double Matrix::max_abs_diff(const Matrix& other) const {
   double m = 0.0;
   for (std::size_t i = 0; i < size(); ++i) {
     m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  // Map the IEEE-754 bit pattern onto an unsigned scale that is monotone in
+  // the represented value (two's-complement-style flip of the negative
+  // half), so the integer gap counts representable doubles between a and b.
+  const auto ordered = [](double x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    const std::uint64_t sign = std::uint64_t{1} << 63;
+    return (bits & sign) ? ~bits : bits | sign;
+  };
+  const std::uint64_t ua = ordered(a);
+  const std::uint64_t ub = ordered(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+std::uint64_t max_ulp_diff(const Matrix& a, const Matrix& b) {
+  MC_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  std::uint64_t m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, ulp_distance(a.data()[i], b.data()[i]));
   }
   return m;
 }

@@ -8,6 +8,7 @@
 // common/memory_tracker.hpp).
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -92,5 +93,15 @@ class Matrix {
 Matrix operator+(Matrix a, const Matrix& b);
 Matrix operator-(Matrix a, const Matrix& b);
 Matrix operator*(double s, Matrix a);
+
+/// Number of representable doubles between a and b (0 = bit-identical up to
+/// the sign of zero; max() if either is NaN). The bit-level comparison the
+/// cross-algorithm equivalence harness is built on: reassociating a
+/// race-free parallel reduction moves a sum by a few ULPs, while a lost
+/// update (a real race) moves it by an entire quartet contribution --
+/// dozens of ULPs versus billions.
+[[nodiscard]] std::uint64_t ulp_distance(double a, double b);
+/// max over elements of ulp_distance (shapes must match).
+[[nodiscard]] std::uint64_t max_ulp_diff(const Matrix& a, const Matrix& b);
 
 }  // namespace mc::la

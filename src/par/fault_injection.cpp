@@ -1,0 +1,111 @@
+#include "par/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mc::par {
+
+namespace {
+
+// The plan is written rarely (test setup) and read on every collective
+// entry, so keep the fast path to one relaxed atomic load of `g_armed`.
+std::mutex g_plan_mu;
+FaultPlan g_plan;
+std::atomic<bool> g_armed{false};
+std::atomic<long> g_calls{0};
+std::once_flag g_env_once;
+
+}  // namespace
+
+void set_fault_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lk(g_plan_mu);
+  g_plan = plan;
+  g_calls.store(0, std::memory_order_relaxed);
+  g_armed.store(plan.enabled(), std::memory_order_release);
+}
+
+void clear_fault_plan() { set_fault_plan(FaultPlan{}); }
+
+FaultPlan current_fault_plan() {
+  std::lock_guard<std::mutex> lk(g_plan_mu);
+  return g_plan;
+}
+
+const char* fault_op_name(FaultOp op) {
+  switch (op) {
+    case FaultOp::kNone: return "none";
+    case FaultOp::kSpawn: return "spawn";
+    case FaultOp::kBarrier: return "barrier";
+    case FaultOp::kAllreduceSum: return "allreduce_sum";
+    case FaultOp::kAllreduceMax: return "allreduce_max";
+    case FaultOp::kBroadcast: return "broadcast";
+    case FaultOp::kDlbReset: return "dlb_reset";
+    case FaultOp::kSend: return "send";
+    case FaultOp::kRecv: return "recv";
+  }
+  return "unknown";
+}
+
+FaultOp fault_op_from_name(const std::string& name) {
+  for (FaultOp op : {FaultOp::kNone, FaultOp::kSpawn, FaultOp::kBarrier,
+                     FaultOp::kAllreduceSum, FaultOp::kAllreduceMax,
+                     FaultOp::kBroadcast, FaultOp::kDlbReset, FaultOp::kSend,
+                     FaultOp::kRecv}) {
+    if (name == fault_op_name(op)) return op;
+  }
+  throw mc::Error("fault injection: unknown MC_FAULT_OP '" + name + "'");
+}
+
+FaultPlan fault_plan_from_env() {
+  FaultPlan plan;
+  const char* rank = std::getenv("MC_FAULT_RANK");
+  const char* op = std::getenv("MC_FAULT_OP");
+  if (rank == nullptr || op == nullptr) return plan;  // disabled
+  try {
+    plan.rank = std::stoi(rank);
+  } catch (const std::exception&) {
+    throw mc::Error(std::string("fault injection: bad MC_FAULT_RANK '") +
+                    rank + "'");
+  }
+  plan.op = fault_op_from_name(op);
+  if (const char* call = std::getenv("MC_FAULT_CALL")) {
+    try {
+      plan.call_index = std::stol(call);
+    } catch (const std::exception&) {
+      throw mc::Error(std::string("fault injection: bad MC_FAULT_CALL '") +
+                      call + "'");
+    }
+  }
+  return plan;
+}
+
+void install_env_fault_plan_once() {
+  std::call_once(g_env_once, [] {
+    const FaultPlan plan = fault_plan_from_env();
+    if (plan.enabled()) set_fault_plan(plan);
+  });
+}
+
+void maybe_inject_fault(int rank, FaultOp op) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  FaultPlan plan;
+  {
+    std::lock_guard<std::mutex> lk(g_plan_mu);
+    plan = g_plan;
+  }
+  if (!plan.enabled() || plan.rank != rank || plan.op != op) return;
+  // Only the target rank's matching calls advance the counter, so
+  // call_index means "the Nth time *this rank* enters *this op*".
+  const long seen = g_calls.fetch_add(1, std::memory_order_relaxed);
+  if (seen != plan.call_index) return;
+  std::ostringstream msg;
+  msg << "fault injection: rank " << rank << " failing at "
+      << fault_op_name(op) << " call " << seen;
+  throw mc::Error(msg.str());
+}
+
+}  // namespace mc::par

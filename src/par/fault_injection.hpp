@@ -1,0 +1,79 @@
+#pragma once
+// Fault injection for the minimpi runtime.
+//
+// The abort protocol (AbortableBarrier + mailbox wakeup in run_spmd) is the
+// only thing standing between "one rank threw" and "every surviving rank
+// deadlocks inside a collective". That protocol is worthless unless it is
+// exercised, so this hook lets tests (or an operator, via environment
+// variables) make a chosen rank throw at a chosen call site:
+//
+//   FaultPlan{.rank = 1, .op = FaultOp::kAllreduceSum, .call_index = 0}
+//
+// makes rank 1 throw mc::Error on its first allreduce_sum entry while its
+// peers are already blocked inside the collective -- exactly the scenario
+// the abort propagation must survive without hanging.
+//
+// Environment-driven form (picked up once, at the first run_spmd):
+//   MC_FAULT_RANK=1 MC_FAULT_OP=allreduce_sum MC_FAULT_CALL=0 ./app
+//
+// The hook is a single relaxed atomic load on the hot path when no plan is
+// installed, so leaving it compiled in costs nothing measurable next to an
+// ERI batch.
+
+#include <string>
+
+namespace mc::par {
+
+/// Call sites that can be made to fail. kSpawn is the run_spmd thread
+/// creation loop (simulates std::thread resource exhaustion); the rest are
+/// the Comm entry points.
+enum class FaultOp {
+  kNone,
+  kSpawn,
+  kBarrier,
+  kAllreduceSum,
+  kAllreduceMax,
+  kBroadcast,
+  kDlbReset,
+  kSend,
+  kRecv,
+};
+
+/// A single planned failure: `rank` throws mc::Error on its
+/// `call_index`-th (0-based) entry into `op`.
+struct FaultPlan {
+  int rank = -1;
+  FaultOp op = FaultOp::kNone;
+  long call_index = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return rank >= 0 && op != FaultOp::kNone;
+  }
+};
+
+/// Install a plan (replacing any previous one) and reset the call counter.
+void set_fault_plan(const FaultPlan& plan);
+/// Remove the installed plan.
+void clear_fault_plan();
+/// The currently installed plan (disabled plan if none).
+[[nodiscard]] FaultPlan current_fault_plan();
+
+/// Parse MC_FAULT_RANK / MC_FAULT_OP / MC_FAULT_CALL. Returns a disabled
+/// plan when MC_FAULT_RANK or MC_FAULT_OP is unset; throws mc::Error on a
+/// malformed value.
+[[nodiscard]] FaultPlan fault_plan_from_env();
+
+/// One-shot: install fault_plan_from_env() the first time this is called
+/// (run_spmd calls it so `MC_FAULT_*` works on any binary). Subsequent
+/// calls are no-ops; explicit set/clear always wins.
+void install_env_fault_plan_once();
+
+/// Stable names used by MC_FAULT_OP and error messages.
+[[nodiscard]] const char* fault_op_name(FaultOp op);
+[[nodiscard]] FaultOp fault_op_from_name(const std::string& name);
+
+/// Hook placed at every injectable call site: throws mc::Error if the
+/// installed plan matches (rank, op) and the call count has been reached.
+void maybe_inject_fault(int rank, FaultOp op);
+
+}  // namespace mc::par

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
+#include "par/fault_injection.hpp"
 
 namespace mc::par {
 
@@ -22,7 +23,13 @@ void AbortableBarrier::arrive_and_wait() {
     return;
   }
   cv_.wait(lk, [&] { return generation_ != gen || aborted_; });
-  if (aborted_) throw mc::Error("minimpi: job aborted (peer rank failed)");
+  // Only fail if this barrier never completed. If the generation advanced,
+  // every rank arrived and the synchronization is valid even when an abort
+  // lands immediately afterwards; the entry check above catches the abort
+  // at the next collective.
+  if (generation_ == gen) {
+    throw mc::Error("minimpi: job aborted (peer rank failed)");
+  }
 }
 
 void AbortableBarrier::abort() {
@@ -87,15 +94,21 @@ std::atomic<bool> g_job_active{false};
 
 int Comm::size() const { return st_->nranks; }
 
-void Comm::barrier() { st_->barrier.arrive_and_wait(); }
+void Comm::sync() { st_->barrier.arrive_and_wait(); }
+
+void Comm::barrier() {
+  maybe_inject_fault(rank_, FaultOp::kBarrier);
+  sync();
+}
 
 void Comm::allreduce_sum(double* data, std::size_t n) {
+  maybe_inject_fault(rank_, FaultOp::kAllreduceSum);
   detail::SharedState& st = *st_;
   st.contrib[static_cast<std::size_t>(rank_)] = data;
   if (rank_ == 0) {
     st.scratch.assign(n, 0.0);
   }
-  barrier();  // contributions + scratch visible
+  sync();  // contributions + scratch visible
 
   // Chunked parallel reduction: rank r sums its contiguous slice across all
   // ranks' buffers (mirrors DDI's chunked gsum and the paper's row-chunked
@@ -111,19 +124,20 @@ void Comm::allreduce_sum(double* data, std::size_t n) {
     for (int r = 0; r < st.nranks; ++r) s += st.contrib[static_cast<std::size_t>(r)][i];
     st.scratch[i] = s;
   }
-  barrier();  // all slices reduced
+  sync();  // all slices reduced
 
   std::memcpy(data, st.scratch.data(), n * sizeof(double));
-  barrier();  // everyone copied out before scratch is reused
+  sync();  // everyone copied out before scratch is reused
 }
 
 double Comm::allreduce_max(double v) {
+  maybe_inject_fault(rank_, FaultOp::kAllreduceMax);
   detail::SharedState& st = *st_;
   // Entry barrier: guarantees every rank has consumed the previous call's
   // result before rank 0 re-initializes the shared accumulator.
-  barrier();
+  sync();
   if (rank_ == 0) st.max_bits.store(0, std::memory_order_relaxed);
-  barrier();
+  sync();
   // Monotone CAS-max on the bit pattern (valid for non-negative doubles;
   // shift negative inputs by taking max against 0 first is NOT done --
   // callers use this for norms/errors which are >= 0).
@@ -135,7 +149,7 @@ double Comm::allreduce_max(double v) {
          !st.max_bits.compare_exchange_weak(cur, bits,
                                             std::memory_order_relaxed)) {
   }
-  barrier();
+  sync();
   const std::uint64_t out_bits = st.max_bits.load(std::memory_order_relaxed);
   double out;
   std::memcpy(&out, &out_bits, sizeof(out));
@@ -143,15 +157,16 @@ double Comm::allreduce_max(double v) {
 }
 
 void Comm::broadcast(double* data, std::size_t n, int root) {
+  maybe_inject_fault(rank_, FaultOp::kBroadcast);
   detail::SharedState& st = *st_;
   MC_CHECK(root >= 0 && root < st.nranks, "broadcast root out of range");
   st.contrib[static_cast<std::size_t>(rank_)] = data;
-  barrier();
+  sync();
   if (rank_ != root) {
     std::memcpy(data, st.contrib[static_cast<std::size_t>(root)],
                 n * sizeof(double));
   }
-  barrier();
+  sync();
 }
 
 long Comm::dlb_next() {
@@ -159,12 +174,14 @@ long Comm::dlb_next() {
 }
 
 void Comm::dlb_reset() {
-  barrier();
+  maybe_inject_fault(rank_, FaultOp::kDlbReset);
+  sync();
   if (rank_ == 0) st_->dlb_counter.store(0, std::memory_order_relaxed);
-  barrier();
+  sync();
 }
 
 void Comm::send(int dst, int tag, const double* data, std::size_t n) {
+  maybe_inject_fault(rank_, FaultOp::kSend);
   detail::SharedState& st = *st_;
   MC_CHECK(dst >= 0 && dst < st.nranks, "send destination out of range");
   detail::Mailbox& mb = st.mailboxes[static_cast<std::size_t>(dst)];
@@ -176,9 +193,15 @@ void Comm::send(int dst, int tag, const double* data, std::size_t n) {
 }
 
 std::vector<double> Comm::recv(int src, int tag) {
+  maybe_inject_fault(rank_, FaultOp::kRecv);
   detail::SharedState& st = *st_;
   detail::Mailbox& mb = st.mailboxes[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lk(mb.mu);
+  // Untimed wait: both wake sources -- send() and the abort path in
+  // run_spmd -- notify while holding mb.mu, so a wakeup can never slip
+  // between the checks and the wait. (The previous 50 ms wait_for poll
+  // added up to 50 ms latency per lost notification and only noticed
+  // aborts on timeout.)
   for (;;) {
     for (auto it = mb.messages.begin(); it != mb.messages.end(); ++it) {
       if (it->src == src && it->tag == tag) {
@@ -190,7 +213,7 @@ std::vector<double> Comm::recv(int src, int tag) {
     if (st.barrier.aborted()) {
       throw mc::Error("minimpi: recv aborted (peer rank failed)");
     }
-    mb.cv.wait_for(lk, std::chrono::milliseconds(50));
+    mb.cv.wait(lk);
   }
 }
 
@@ -216,18 +239,39 @@ void Comm::free_shared(const std::string& key) {
   st_->board.erase(key);
 }
 
+namespace {
+
+/// Wake every rank blocked in recv(). The mailbox mutex is held across the
+/// notify so the wakeup cannot race into the gap between a receiver's
+/// abort-flag check and its wait.
+void wake_all_mailboxes(detail::SharedState& st) {
+  for (auto& mb : st.mailboxes) {
+    std::lock_guard<std::mutex> lk(mb.mu);
+    mb.cv.notify_all();
+  }
+}
+
+}  // namespace
+
 void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
   MC_CHECK(nranks >= 1, "run_spmd needs at least one rank");
+  install_env_fault_plan_once();
   bool expected = false;
   MC_CHECK(g_job_active.compare_exchange_strong(expected, true),
            "run_spmd: a job is already active (nested SPMD not supported)");
+  // RAII: release the job slot on *every* exit path. Before this guard, an
+  // exception between the acquire above and the manual store(false) (e.g. a
+  // std::thread constructor failing) left the flag set forever and every
+  // subsequent job died with "a job is already active".
+  struct JobGuard {
+    ~JobGuard() { g_job_active.store(false); }
+  } job_guard;
 
   detail::SharedState st(nranks);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
 
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&st, &body, r] {
+  const auto rank_main = [&st, &body](int r) {
       MemoryTracker::set_current_rank(r);
       try {
         Comm comm(r, &st);
@@ -239,13 +283,27 @@ void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
         }
         st.barrier.abort();
         // Wake any rank blocked in recv.
-        for (auto& mb : st.mailboxes) mb.cv.notify_all();
+        wake_all_mailboxes(st);
       }
       MemoryTracker::set_current_rank(-1);
-    });
+  };
+
+  for (int r = 0; r < nranks; ++r) {
+    try {
+      maybe_inject_fault(r, FaultOp::kSpawn);
+      threads.emplace_back(rank_main, r);
+    } catch (...) {
+      // Thread creation failed partway: the already-running ranks would
+      // block forever in a barrier sized for nranks. Tear the job down and
+      // surface the spawn failure (the survivors' abort errors are
+      // secondary), leaving the job slot usable again via job_guard.
+      st.barrier.abort();
+      wake_all_mailboxes(st);
+      for (auto& t : threads) t.join();
+      throw;
+    }
   }
   for (auto& t : threads) t.join();
-  g_job_active.store(false);
 
   if (st.first_error) std::rethrow_exception(st.first_error);
 }

@@ -113,6 +113,11 @@ class Comm {
   friend void run_spmd(int, const std::function<void(Comm&)>&);
   Comm(int rank, detail::SharedState* st) : rank_(rank), st_(st) {}
 
+  /// Barrier without the fault-injection hook: composite collectives
+  /// (allreduce, broadcast, dlb_reset) synchronize through this so an
+  /// injected `barrier` fault counts only explicit barrier() calls.
+  void sync();
+
   std::shared_ptr<void> shared_lookup(const std::string& key);
   std::shared_ptr<void> shared_publish(
       const std::string& key,

@@ -1,0 +1,123 @@
+#pragma once
+// Shared fixture for the cross-algorithm Fock equivalence tests
+// (test_core.cpp, test_equivalence.cpp, test_tsan_protocol.cpp): one
+// molecule + basis + screened ERI engine + a plausible density, with the
+// serial skeleton matrix as the reference, plus the distributed-build
+// helper and the bit-level comparison the harness asserts.
+//
+// On "bit-comparable": a race-free parallel Fock build computes exactly the
+// serial quartet set and only reassociates the additions, so every element
+// lands within a few dozen ULPs of the serial reference (measured: <= ~40
+// ULPs across the rank/thread/schedule sweep). A protocol regression -- a
+// lost update, a buffer flushed twice, a misrouted contribution -- changes
+// the *set* of summed terms and moves elements by whole quartet
+// contributions, i.e. >= the screening threshold and billions of ULPs.
+// kMaxSkeletonUlps sits orders of magnitude above rounding and orders of
+// magnitude below the smallest possible protocol error, making
+// "race-free by construction" an enforced invariant rather than a comment.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "core/fock_mpi.hpp"
+#include "core/fock_private.hpp"
+#include "core/fock_shared.hpp"
+#include "ints/one_electron.hpp"
+#include "la/orthogonalizer.hpp"
+#include "par/ddi.hpp"
+#include "par/runtime.hpp"
+#include "scf/scf_driver.hpp"
+#include "scf/serial_fock.hpp"
+
+namespace mc::core {
+
+/// ULP budget for a race-free parallel skeleton against the serial
+/// reference (see the header comment for the separation argument).
+inline constexpr std::uint64_t kMaxSkeletonUlps = 4096;
+
+/// Elements whose absolute gap is below this are compared as equal without
+/// consulting ULPs: around a catastrophic cancellation the same set of
+/// terms can sum to 1e-16-ish residuals of opposite sign, which are
+/// physically identical but ULP-distant.
+inline constexpr double kCancellationFloor = 1e-13;
+
+struct FockFixture {
+  chem::Molecule mol;
+  basis::BasisSet bs;
+  ints::EriEngine eri;
+  ints::Screening screen;
+  la::Matrix d;      // plausible symmetric density (core guess)
+  la::Matrix g_ref;  // serial skeleton reference
+
+  explicit FockFixture(const chem::Molecule& m, const std::string& basis,
+                       double screen_threshold = 1e-11)
+      : mol(m),
+        bs(basis::BasisSet::build(m, basis)),
+        eri(bs),
+        screen(eri, screen_threshold),
+        d(),
+        g_ref(bs.nbf(), bs.nbf()) {
+    la::Matrix h = ints::core_hamiltonian(bs, mol);
+    la::Matrix s = ints::overlap_matrix(bs);
+    la::Matrix x = la::canonical_orthogonalizer(s);
+    d = scf::core_guess_density(h, x, mol.nelectrons() / 2);
+    scf::SerialFockBuilder serial(eri, screen);
+    serial.build(d, g_ref);
+  }
+};
+
+/// Build the skeleton G with a given algorithm under `nranks` ranks and
+/// return rank 0's reduced result. `make(ddi)` returns the builder.
+template <typename MakeBuilder>
+la::Matrix build_distributed(const FockFixture& fx, int nranks,
+                             MakeBuilder&& make) {
+  la::Matrix out(fx.bs.nbf(), fx.bs.nbf());
+  std::mutex mu;
+  par::run_spmd(nranks, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    auto builder = make(ddi);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    builder->build(fx.d, g);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      out = g;
+    }
+    comm.barrier();
+  });
+  return out;
+}
+
+/// Assert every element of `g` is within `max_ulps` representable doubles
+/// of `ref` (or inside the cancellation floor). max_ulps = 0 demands
+/// bit-identical matrices.
+inline void expect_bit_comparable(const la::Matrix& g, const la::Matrix& ref,
+                                  std::uint64_t max_ulps,
+                                  const std::string& what) {
+  ASSERT_EQ(g.rows(), ref.rows()) << what;
+  ASSERT_EQ(g.cols(), ref.cols()) << what;
+  std::uint64_t worst = 0;
+  std::size_t worst_i = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double a = g.data()[i];
+    const double b = ref.data()[i];
+    if (a == b) continue;
+    if (std::abs(a - b) <= kCancellationFloor && max_ulps > 0) continue;
+    const std::uint64_t u = la::ulp_distance(a, b);
+    if (u > worst) {
+      worst = u;
+      worst_i = i;
+    }
+  }
+  EXPECT_LE(worst, max_ulps)
+      << what << ": element " << worst_i << " differs by " << worst
+      << " ULPs (" << g.data()[worst_i] << " vs " << ref.data()[worst_i]
+      << ") -- a gap this large means a lost or duplicated contribution, "
+         "not rounding";
+}
+
+}  // namespace mc::core

@@ -80,6 +80,46 @@ TEST_F(MemoryTrackerTest, PeakTracksHighWaterMark) {
   EXPECT_EQ(mt.peak_bytes(), 300u);
 }
 
+TEST_F(MemoryTrackerTest, CrossRankFreeDoesNotLeakTotal) {
+  // Regression: a free larger than the calling rank's entry used to leave
+  // total_ untouched for the unmatched part, so total_bytes() drifted
+  // upward by the full allocation every SCF run. The free must drain the
+  // category across ranks and mirror every released byte into total_.
+  MemoryTracker& mt = MemoryTracker::instance();
+  {
+    RankScope s0(0);
+    mt.add("buf", 60);
+  }
+  {
+    RankScope s1(1);
+    mt.add("buf", 60);
+  }
+  {
+    RankScope s2(2);
+    mt.sub("buf", 100);
+  }
+  EXPECT_EQ(mt.total_bytes(), 20u);
+  EXPECT_EQ(mt.bytes(0, "buf") + mt.bytes(1, "buf"), 20u);
+}
+
+TEST_F(MemoryTrackerTest, OverFreeClampsToZero) {
+  MemoryTracker& mt = MemoryTracker::instance();
+  mt.add("a", 50);
+  mt.sub("a", 60);  // 10 bytes genuinely unpaired: tolerated, clamped
+  EXPECT_EQ(mt.total_bytes(), 0u);
+  EXPECT_EQ(mt.bytes(-1, "a"), 0u);
+  EXPECT_EQ(mt.rank_bytes(-1), 0u);
+}
+
+TEST_F(MemoryTrackerTest, ClampedFreesLeavePeakIntact) {
+  MemoryTracker& mt = MemoryTracker::instance();
+  mt.add("a", 300);
+  mt.sub("a", 500);
+  mt.add("b", 100);
+  EXPECT_EQ(mt.peak_bytes(), 300u);  // not inflated by the over-free
+  EXPECT_EQ(mt.total_bytes(), 100u);
+}
+
 TEST_F(MemoryTrackerTest, TrackedBufferRegistersAndReleases) {
   MemoryTracker& mt = MemoryTracker::instance();
   {

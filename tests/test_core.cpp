@@ -5,70 +5,21 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
-#include "core/fock_mpi.hpp"
-#include "core/fock_private.hpp"
-#include "core/fock_shared.hpp"
 #include "core/memory_model.hpp"
 #include "core/parallel_scf.hpp"
-#include "ints/one_electron.hpp"
-#include "la/orthogonalizer.hpp"
-#include "par/runtime.hpp"
-#include "scf/scf_driver.hpp"
-#include "scf/serial_fock.hpp"
+#include "fock_fixture.hpp"
 
 namespace mc::core {
 namespace {
 
-struct Fixture {
-  chem::Molecule mol;
-  basis::BasisSet bs;
-  ints::EriEngine eri;
-  ints::Screening screen;
-  la::Matrix d;        // plausible symmetric density
-  la::Matrix g_ref;    // serial skeleton result
-
-  explicit Fixture(const chem::Molecule& m, const std::string& basis)
-      : mol(m),
-        bs(basis::BasisSet::build(m, basis)),
-        eri(bs),
-        screen(eri, 1e-11),
-        d(),
-        g_ref(bs.nbf(), bs.nbf()) {
-    la::Matrix h = ints::core_hamiltonian(bs, mol);
-    la::Matrix s = ints::overlap_matrix(bs);
-    la::Matrix x = la::canonical_orthogonalizer(s);
-    d = scf::core_guess_density(h, x, mol.nelectrons() / 2);
-    scf::SerialFockBuilder serial(eri, screen);
-    serial.build(d, g_ref);
-  }
-};
-
-// Build the skeleton G with a given algorithm under (nranks, nthreads) and
-// return rank 0's reduced result.
-template <typename MakeBuilder>
-la::Matrix build_distributed(const Fixture& fx, int nranks,
-                             MakeBuilder&& make) {
-  la::Matrix out(fx.bs.nbf(), fx.bs.nbf());
-  std::mutex mu;
-  par::run_spmd(nranks, [&](par::Comm& comm) {
-    par::Ddi ddi(comm);
-    auto builder = make(ddi);
-    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
-    builder->build(fx.d, g);
-    if (comm.rank() == 0) {
-      std::lock_guard<std::mutex> lk(mu);
-      out = g;
-    }
-    comm.barrier();
-  });
-  return out;
-}
+using Fixture = FockFixture;
 
 class AlgorithmGrid
     : public ::testing::TestWithParam<std::tuple<int, int>> {};
@@ -222,6 +173,62 @@ TEST(SharedFock, LazyFlushingFlushesPerIChangeNotPerPair) {
   // With one rank, i changes exactly nshells times across the pair sweep.
   EXPECT_LE(flushes, fx.bs.nshells());
   EXPECT_LT(flushes, pairs / 2);
+}
+
+TEST(SharedFockEdgeCases, SingleThreadDegeneratesToSerialProtocol) {
+  // nthreads=1 means every buffer column, flush chunk, and kl pair belongs
+  // to the one thread: the full protocol still runs but with no concurrency.
+  Fixture fx(chem::builders::water(), "STO-3G");
+  for (bool lazy : {true, false}) {
+    la::Matrix g = build_distributed(fx, 2, [&](par::Ddi& ddi) {
+      SharedFockOptions opt;
+      opt.nthreads = 1;
+      opt.lazy_fi_flush = lazy;
+      return std::make_unique<FockBuilderShared>(fx.eri, fx.screen, ddi,
+                                                 opt);
+    });
+    expect_bit_comparable(g, fx.g_ref, kMaxSkeletonUlps,
+                          lazy ? "1-thread lazy" : "1-thread eager");
+  }
+}
+
+TEST(SharedFockEdgeCases, ScreeningEverythingLeavesGZeroWithoutFlushing) {
+  // An absurd threshold kills every (i,j) pair before the kl loop: the lazy
+  // FI buffer is never dirtied (iold stays -1) and the no-final-flush path
+  // must still produce a well-defined all-zero skeleton on every rank.
+  Fixture fx(chem::builders::water(), "STO-3G", /*screen_threshold=*/1e30);
+  ASSERT_EQ(fx.g_ref.max_abs(), 0.0);
+  la::Matrix g = build_distributed(fx, 2, [&](par::Ddi& ddi) {
+    SharedFockOptions opt;
+    opt.nthreads = 2;
+    return std::make_unique<FockBuilderShared>(fx.eri, fx.screen, ddi, opt);
+  });
+  EXPECT_EQ(g.max_abs(), 0.0);
+}
+
+TEST(SharedFockEdgeCases, SingleShellMoleculeHasOnePair) {
+  // He/STO-3G is one s shell: npairs=1, the kl loop is the single pair
+  // (0,0), and most threads get no work at all.
+  chem::Molecule he;
+  he.add_atom(2, 0.0, 0.0, 0.0);
+  Fixture fx(he, "STO-3G");
+  std::size_t pairs = 0;
+  la::Matrix out(fx.bs.nbf(), fx.bs.nbf());
+  par::run_spmd(2, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    SharedFockOptions opt;
+    opt.nthreads = 4;
+    FockBuilderShared b(fx.eri, fx.screen, ddi, opt);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    b.build(fx.d, g);
+    if (comm.rank() == 0) {
+      out = g;
+      pairs = b.last_pairs_claimed();
+    }
+    comm.barrier();
+  });
+  expect_bit_comparable(out, fx.g_ref, kMaxSkeletonUlps, "He single shell");
+  EXPECT_LE(pairs, 1u);  // rank 0 claimed the lone pair or lost the race
 }
 
 TEST(PrivateFock, StaticScheduleGivesSameResult) {

@@ -1,0 +1,169 @@
+// Cross-algorithm equivalence harness (the tentpole invariant): the raw
+// 2e-skeleton Fock matrix from all three of the paper's builders must be
+// bit-comparable (ULP-bounded; see fock_fixture.hpp) to the serial
+// reference across the full {ranks} x {threads} x {schedule} x {lazy-flush}
+// sweep, and bit-IDENTICAL wherever the summation order is deterministic.
+// A lost update, duplicated flush, or misrouted buffer contribution anywhere
+// in Algorithm 1-3's protocol fails these tests; rounding cannot.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "fock_fixture.hpp"
+
+namespace mc::core {
+namespace {
+
+enum class Alg { kMpi, kPrivate, kShared };
+
+const char* alg_name(Alg a) {
+  switch (a) {
+    case Alg::kMpi: return "mpi";
+    case Alg::kPrivate: return "private";
+    case Alg::kShared: return "shared";
+  }
+  return "?";
+}
+
+// Long-lived fixtures: ERI engines and serial references are expensive and
+// strictly read-only during builds, so share one instance per system.
+FockFixture& water_sto3g() {
+  static FockFixture fx(chem::builders::water(), "STO-3G");
+  return fx;
+}
+FockFixture& water_631g() {
+  static FockFixture fx(chem::builders::water(), "6-31G");
+  return fx;
+}
+FockFixture& methane_631gd() {
+  static FockFixture fx(chem::builders::methane(), "6-31G(d)");
+  return fx;
+}
+
+la::Matrix build(const FockFixture& fx, Alg alg, int nranks, int nthreads,
+                 bool dynamic_schedule, bool lazy_fi_flush) {
+  return build_distributed(
+      fx, nranks, [&](par::Ddi& ddi) -> std::unique_ptr<scf::FockBuilder> {
+        switch (alg) {
+          case Alg::kMpi:
+            return std::make_unique<FockBuilderMpi>(fx.eri, fx.screen, ddi);
+          case Alg::kPrivate: {
+            PrivateFockOptions opt;
+            opt.nthreads = nthreads;
+            opt.dynamic_schedule = dynamic_schedule;
+            return std::make_unique<FockBuilderPrivate>(fx.eri, fx.screen,
+                                                        ddi, opt);
+          }
+          case Alg::kShared: {
+            SharedFockOptions opt;
+            opt.nthreads = nthreads;
+            opt.dynamic_schedule = dynamic_schedule;
+            opt.lazy_fi_flush = lazy_fi_flush;
+            return std::make_unique<FockBuilderShared>(fx.eri, fx.screen,
+                                                       ddi, opt);
+          }
+        }
+        throw mc::Error("unreachable");
+      });
+}
+
+// ---- The sweep: (alg, nranks, nthreads, dynamic, lazy) ----
+
+using SweepParam = std::tuple<Alg, int, int, bool, bool>;
+
+class EquivalenceSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  // MPI-only has no thread/schedule/flush dimensions: keep exactly one
+  // representative per rank count so the sweep has no duplicate work.
+  static bool redundant(const SweepParam& p) {
+    const auto [alg, nranks, nthreads, dyn, lazy] = p;
+    if (alg == Alg::kMpi) return nthreads != 1 || dyn || lazy;
+    if (alg == Alg::kPrivate) return lazy;  // no FI buffer to flush lazily
+    return false;
+  }
+};
+
+TEST_P(EquivalenceSweep, SkeletonBitComparableToSerial) {
+  const auto [alg, nranks, nthreads, dyn, lazy] = GetParam();
+  if (redundant(GetParam())) {
+    GTEST_SKIP() << "dimension not applicable to " << alg_name(alg);
+  }
+  const FockFixture& fx = water_sto3g();
+  const la::Matrix g = build(fx, alg, nranks, nthreads, dyn, lazy);
+  const std::string what =
+      std::string(alg_name(alg)) + " r=" + std::to_string(nranks) +
+      " t=" + std::to_string(nthreads) + (dyn ? " dyn" : " stat") +
+      (lazy ? " lazy" : " eager");
+  expect_bit_comparable(g, fx.g_ref, kMaxSkeletonUlps, what);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankThreadScheduleGrid, EquivalenceSweep,
+    ::testing::Combine(::testing::Values(Alg::kMpi, Alg::kPrivate,
+                                         Alg::kShared),
+                       ::testing::Values(1, 2, 4),   // ranks
+                       ::testing::Values(1, 2, 4),   // threads
+                       ::testing::Bool(),            // dynamic schedule
+                       ::testing::Bool()));          // lazy FI flush
+
+// ---- Deterministic configurations must reproduce the serial bits ----
+
+TEST(EquivalenceExact, SingleRankMpiIsBitIdenticalToSerial) {
+  // One rank, one thread, canonical pair order: the summation order is
+  // exactly the serial builder's, so the result must match bit for bit.
+  const FockFixture& fx = water_631g();
+  const la::Matrix g = build(fx, Alg::kMpi, 1, 1, false, false);
+  expect_bit_comparable(g, fx.g_ref, 0, "mpi r=1 exact");
+}
+
+TEST(EquivalenceExact, SingleThreadPrivateIsBitIdenticalToSerial) {
+  const FockFixture& fx = water_631g();
+  const la::Matrix g = build(fx, Alg::kPrivate, 1, 1, false, false);
+  expect_bit_comparable(g, fx.g_ref, 0, "private r=1 t=1 exact");
+}
+
+TEST(EquivalenceExact, SharedFockSingleThreadIsRunToRunDeterministic) {
+  // One rank x one thread shared-Fock reorders additions through the FI/FJ
+  // buffers (so it is NOT bit-equal to serial), but the order is fixed:
+  // repeated builds must agree bit for bit.
+  const FockFixture& fx = water_631g();
+  const la::Matrix g1 = build(fx, Alg::kShared, 1, 1, false, true);
+  const la::Matrix g2 = build(fx, Alg::kShared, 1, 1, false, true);
+  expect_bit_comparable(g1, g2, 0, "shared r=1 t=1 repeat");
+  expect_bit_comparable(g1, fx.g_ref, kMaxSkeletonUlps, "shared r=1 t=1");
+}
+
+// ---- Larger systems: d shells and richer screening structure ----
+
+TEST(EquivalenceSystems, Water631GAllThreeAcrossRanksAndThreads) {
+  const FockFixture& fx = water_631g();
+  for (int nranks : {1, 2}) {
+    for (int nthreads : {1, 4}) {
+      for (Alg alg : {Alg::kMpi, Alg::kPrivate, Alg::kShared}) {
+        if (alg == Alg::kMpi && nthreads != 1) continue;
+        const la::Matrix g = build(fx, alg, nranks, nthreads, true, true);
+        expect_bit_comparable(
+            g, fx.g_ref, kMaxSkeletonUlps,
+            std::string("6-31G ") + alg_name(alg) + " r=" +
+                std::to_string(nranks) + " t=" + std::to_string(nthreads));
+      }
+    }
+  }
+}
+
+TEST(EquivalenceSystems, MethaneDShellsAllThreeAgree) {
+  const FockFixture& fx = methane_631gd();
+  for (Alg alg : {Alg::kMpi, Alg::kPrivate, Alg::kShared}) {
+    const la::Matrix g = build(fx, alg, 2, 2, true, true);
+    expect_bit_comparable(g, fx.g_ref, kMaxSkeletonUlps,
+                          std::string("6-31G(d) ") + alg_name(alg));
+  }
+}
+
+}  // namespace
+}  // namespace mc::core

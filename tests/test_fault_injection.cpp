@@ -1,0 +1,234 @@
+// Fault-injection tests for the minimpi abort protocol: a rank made to
+// throw inside any collective (or in recv, or during thread spawn) must
+// never hang a peer that is already blocked in a different call, and
+// run_spmd must rethrow the first error after every rank has unwound.
+// Every test in this file doubles as a no-deadlock check -- the tsan ctest
+// label carries a timeout, so a hang is a failure, not a stuck CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "par/fault_injection.hpp"
+#include "par/runtime.hpp"
+
+namespace mc::par {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { clear_fault_plan(); }
+
+  static void expect_fault_rethrown(int nranks,
+                                    const std::function<void(Comm&)>& body) {
+    try {
+      run_spmd(nranks, body);
+      FAIL() << "run_spmd should have rethrown the injected fault";
+    } catch (const mc::Error& e) {
+      // The injected error or a peer's abort-unwind error may win the race
+      // to be "first"; both prove propagation worked.
+      EXPECT_TRUE(std::string(e.what()).find("fault injection") !=
+                      std::string::npos ||
+                  std::string(e.what()).find("abort") != std::string::npos)
+          << e.what();
+    }
+  }
+};
+
+// ---- One rank failing inside each collective, peers already blocked ----
+
+TEST_F(FaultInjectionTest, BarrierFaultDoesNotHangPeers) {
+  set_fault_plan({1, FaultOp::kBarrier, 0});
+  expect_fault_rethrown(4, [](Comm& comm) { comm.barrier(); });
+}
+
+TEST_F(FaultInjectionTest, AllreduceSumFaultDoesNotHangPeers) {
+  set_fault_plan({1, FaultOp::kAllreduceSum, 0});
+  expect_fault_rethrown(4, [](Comm& comm) {
+    std::vector<double> buf(64, static_cast<double>(comm.rank()));
+    comm.allreduce_sum(buf.data(), buf.size());
+  });
+}
+
+TEST_F(FaultInjectionTest, AllreduceMaxFaultDoesNotHangPeers) {
+  set_fault_plan({2, FaultOp::kAllreduceMax, 0});
+  expect_fault_rethrown(4, [](Comm& comm) {
+    (void)comm.allreduce_max(static_cast<double>(comm.rank()));
+  });
+}
+
+TEST_F(FaultInjectionTest, BroadcastFaultDoesNotHangPeers) {
+  set_fault_plan({1, FaultOp::kBroadcast, 0});
+  expect_fault_rethrown(4, [](Comm& comm) {
+    std::vector<double> buf(16, comm.rank() == 0 ? 42.0 : 0.0);
+    comm.broadcast(buf.data(), buf.size(), 0);
+  });
+}
+
+TEST_F(FaultInjectionTest, DlbResetFaultDoesNotHangPeers) {
+  set_fault_plan({3, FaultOp::kDlbReset, 0});
+  expect_fault_rethrown(4, [](Comm& comm) { comm.dlb_reset(); });
+}
+
+// ---- Point-to-point: blocked recv must observe the abort ----
+
+TEST_F(FaultInjectionTest, RecvBlockedOnDeadSenderIsWoken) {
+  // Rank 0 blocks in recv for a message rank 1 will never send, because
+  // rank 1 faults at its barrier. The abort must wake rank 0's mailbox
+  // wait -- with the old 50ms polling loop this "worked" by accident; with
+  // the predicate wait it works by construction.
+  set_fault_plan({1, FaultOp::kBarrier, 0});
+  expect_fault_rethrown(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      (void)comm.recv(1, /*tag=*/99);
+    } else {
+      comm.barrier();  // faults here; never reaches send
+    }
+  });
+}
+
+TEST_F(FaultInjectionTest, RecvFaultUnblocksPeersInCollective) {
+  set_fault_plan({1, FaultOp::kRecv, 0});
+  expect_fault_rethrown(4, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      (void)comm.recv(0, /*tag=*/7);  // faults at entry
+    } else {
+      std::vector<double> buf(8, 1.0);
+      comm.allreduce_sum(buf.data(), buf.size());  // must not hang
+    }
+  });
+}
+
+TEST_F(FaultInjectionTest, SendFaultLeavesReceiverUnblocked) {
+  set_fault_plan({1, FaultOp::kSend, 0});
+  expect_fault_rethrown(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      const double v = 3.0;
+      comm.send(0, /*tag=*/5, &v, 1);  // faults before the push
+    } else {
+      (void)comm.recv(1, /*tag=*/5);  // message never arrives; abort wakes
+    }
+  });
+}
+
+// ---- call_index semantics ----
+
+TEST_F(FaultInjectionTest, CallIndexCountsOnlyTargetRankCalls) {
+  // Fail rank 0 on its SECOND explicit barrier. The first barrier must
+  // complete on every rank, proving the counter is per-matching-call and
+  // composite collectives' internal syncs don't advance it.
+  set_fault_plan({0, FaultOp::kBarrier, 1});
+  std::atomic<int> past_first{0};
+  expect_fault_rethrown(4, [&](Comm& comm) {
+    std::vector<double> buf(4, 1.0);
+    comm.allreduce_sum(buf.data(), buf.size());  // internal syncs don't count
+    comm.barrier();                              // call 0: succeeds
+    past_first.fetch_add(1);
+    comm.barrier();  // call 1: rank 0 faults
+  });
+  EXPECT_EQ(past_first.load(), 4);
+}
+
+TEST_F(FaultInjectionTest, OnlyTargetRankThrowsTheInjectedError) {
+  set_fault_plan({2, FaultOp::kBarrier, 0});
+  std::atomic<int> injected{0}, aborted{0};
+  try {
+    run_spmd(4, [&](Comm& comm) {
+      try {
+        comm.barrier();
+      } catch (const mc::Error& e) {
+        const bool is_injected =
+            std::string(e.what()).find("fault injection") !=
+            std::string::npos;
+        (is_injected ? injected : aborted).fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "expected rethrow";
+  } catch (const mc::Error&) {
+  }
+  EXPECT_EQ(injected.load(), 1);
+  EXPECT_EQ(aborted.load(), 3);
+}
+
+// ---- Spawn failure and the job-active guard ----
+
+TEST_F(FaultInjectionTest, SpawnFailureJoinsStartedRanksAndReleasesJob) {
+  // Rank 1's std::thread construction "fails": rank 0 is already running
+  // and possibly blocked in the barrier. run_spmd must abort it, join it,
+  // rethrow -- and clear the job-active flag so the runtime is usable
+  // again (regression: the flag used to leak, making every subsequent
+  // run_spmd fail with "a job is already active").
+  set_fault_plan({1, FaultOp::kSpawn, 0});
+  EXPECT_THROW(run_spmd(2, [](Comm& comm) { comm.barrier(); }), mc::Error);
+
+  clear_fault_plan();
+  std::atomic<int> ran{0};
+  run_spmd(2, [&](Comm& comm) {
+    comm.barrier();
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+// ---- Plan management and the environment form ----
+
+TEST_F(FaultInjectionTest, ClearRestoresNormalOperation) {
+  set_fault_plan({0, FaultOp::kAllreduceSum, 0});
+  clear_fault_plan();
+  std::vector<double> out(2, 0.0);
+  run_spmd(3, [&](Comm& comm) {
+    std::vector<double> buf(2, 1.0);
+    comm.allreduce_sum(buf.data(), buf.size());
+    if (comm.rank() == 0) out = buf;
+  });
+  EXPECT_EQ(out[0], 3.0);
+}
+
+TEST_F(FaultInjectionTest, PlanIsReArmedOnEachInstall) {
+  // The same plan installed twice must fire twice (set resets the counter).
+  for (int round = 0; round < 2; ++round) {
+    set_fault_plan({0, FaultOp::kBarrier, 0});
+    EXPECT_THROW(run_spmd(2, [](Comm& comm) { comm.barrier(); }), mc::Error)
+        << "round " << round;
+  }
+}
+
+TEST_F(FaultInjectionTest, OpNamesRoundTrip) {
+  for (FaultOp op :
+       {FaultOp::kSpawn, FaultOp::kBarrier, FaultOp::kAllreduceSum,
+        FaultOp::kAllreduceMax, FaultOp::kBroadcast, FaultOp::kDlbReset,
+        FaultOp::kSend, FaultOp::kRecv}) {
+    EXPECT_EQ(fault_op_from_name(fault_op_name(op)), op);
+  }
+  EXPECT_THROW((void)fault_op_from_name("no-such-op"), mc::Error);
+}
+
+TEST_F(FaultInjectionTest, EnvPlanParsing) {
+  ::unsetenv("MC_FAULT_RANK");
+  ::unsetenv("MC_FAULT_OP");
+  ::unsetenv("MC_FAULT_CALL");
+  EXPECT_FALSE(fault_plan_from_env().enabled());
+
+  ::setenv("MC_FAULT_RANK", "2", 1);
+  ::setenv("MC_FAULT_OP", "allreduce_sum", 1);
+  ::setenv("MC_FAULT_CALL", "3", 1);
+  const FaultPlan p = fault_plan_from_env();
+  EXPECT_TRUE(p.enabled());
+  EXPECT_EQ(p.rank, 2);
+  EXPECT_EQ(p.op, FaultOp::kAllreduceSum);
+  EXPECT_EQ(p.call_index, 3);
+
+  ::setenv("MC_FAULT_OP", "bogus", 1);
+  EXPECT_THROW((void)fault_plan_from_env(), mc::Error);
+  ::unsetenv("MC_FAULT_RANK");
+  ::unsetenv("MC_FAULT_OP");
+  ::unsetenv("MC_FAULT_CALL");
+}
+
+}  // namespace
+}  // namespace mc::par
