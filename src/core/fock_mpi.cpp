@@ -7,16 +7,29 @@
 
 namespace mc::core {
 
-void FockBuilderMpi::process_pair(std::size_t pair,
+void FockBuilderMpi::process_pair(const ints::ScreenedPair& pair,
                                   const la::Matrix& density, la::Matrix& g,
+                                  const scf::FockContext& ctx,
                                   std::vector<double>& batch) {
   const basis::BasisSet& bs = eri_->basis_set();
   ++pairs_;
-  std::size_t i, j;
-  scf::unpack_pair(pair, i, j);
+  const std::size_t i = pair.i;
+  const std::size_t j = pair.j;
+  const bool weighted = ctx.weighted();
+  // Pair-level density prescreen: q_ij * qmax * 4*max|D| bounds every
+  // quartet bound checked below, so a failing pair has no surviving work.
+  if (weighted &&
+      !screen_->keep_pair(i, j, 4.0 * ctx.dmax_max, ctx.threshold_scale)) {
+    return;
+  }
   scf::for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
     if (!screen_->keep(i, j, k, l)) return;  // Schwartz screening
-    batch.assign(eri_->batch_size(i, j, k, l), 0.0);
+    if (weighted && !screen_->keep(i, j, k, l, ctx.quartet_dmax(i, j, k, l),
+                                   ctx.threshold_scale)) {
+      ++density_screened_;
+      return;
+    }
+    ints::ensure_batch_size(batch, eri_->batch_size(i, j, k, l));
     eri_->compute(i, j, k, l, batch.data());  // calculate (i,j|k,l)
     // Update the process-local replicated 2e-Fock matrix.
     scf::scatter_quartet(bs, i, j, k, l, batch.data(), density, g);
@@ -24,47 +37,51 @@ void FockBuilderMpi::process_pair(std::size_t pair,
   });
 }
 
-void FockBuilderMpi::build_dlb(const la::Matrix& density, la::Matrix& g) {
-  const std::size_t ns = eri_->basis_set().nshells();
-  const std::size_t npairs = ns * (ns + 1) / 2;
+void FockBuilderMpi::build_dlb(const la::Matrix& density, la::Matrix& g,
+                               const scf::FockContext& ctx) {
+  // The DLB counter walks the precompacted Schwarz-sorted pair list --
+  // screened-out pairs never hit the shared counter, and the heaviest
+  // pairs are claimed first.
+  const auto& pairs = screen_->sorted_pairs();
   ddi_->dlb_reset();
 
   // GAMESS-style DLB: the loop body runs only for iterations whose global
   // index matches the next value handed out by the shared counter.
   std::vector<double> batch;
   long next = ddi_->dlbnext();
-  for (std::size_t pair = 0; pair < npairs; ++pair) {
-    if (static_cast<long>(pair) != next) continue;
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    if (static_cast<long>(p) != next) continue;
     next = ddi_->dlbnext();
-    process_pair(pair, density, g, batch);
+    process_pair(pairs[p], density, g, ctx, batch);
   }
 }
 
-void FockBuilderMpi::build_stealing(const la::Matrix& density,
-                                    la::Matrix& g) {
-  const std::size_t ns = eri_->basis_set().nshells();
-  const std::size_t npairs = ns * (ns + 1) / 2;
+void FockBuilderMpi::build_stealing(const la::Matrix& density, la::Matrix& g,
+                                    const scf::FockContext& ctx) {
+  const auto& pairs = screen_->sorted_pairs();
   par::WorkStealingScheduler sched(ddi_->comm(), "fock-mpi-ws",
-                                   static_cast<long>(npairs));
+                                   static_cast<long>(pairs.size()));
   std::vector<double> batch;
-  for (long pair = sched.next(); pair >= 0; pair = sched.next()) {
-    process_pair(static_cast<std::size_t>(pair), density, g, batch);
+  for (long p = sched.next(); p >= 0; p = sched.next()) {
+    process_pair(pairs[static_cast<std::size_t>(p)], density, g, ctx, batch);
   }
   steals_ = static_cast<std::size_t>(sched.steals());
   sched.release();
 }
 
-void FockBuilderMpi::build(const la::Matrix& density, la::Matrix& g) {
+void FockBuilderMpi::build(const la::Matrix& density, la::Matrix& g,
+                           const scf::FockContext& ctx) {
   const basis::BasisSet& bs = eri_->basis_set();
   MC_CHECK(g.rows() == bs.nbf() && g.cols() == bs.nbf(), "G shape mismatch");
   pairs_ = 0;
   quartets_ = 0;
+  density_screened_ = 0;
   steals_ = 0;
 
   if (lb_ == MpiLoadBalance::kWorkStealing) {
-    build_stealing(density, g);
+    build_stealing(density, g, ctx);
   } else {
-    build_dlb(density, g);
+    build_dlb(density, g, ctx);
   }
 
   // 2e-Fock matrix reduction over ranks.

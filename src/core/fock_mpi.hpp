@@ -2,9 +2,13 @@
 // Algorithm 1 of the paper: the stock GAMESS MPI-only SCF parallelization.
 //
 // Every rank owns fully replicated density and Fock matrices. Work is
-// distributed by a global dynamic-load-balance counter over the canonical
-// (i,j) shell-pair loop (ddi_dlbnext); each claimed pair runs the full
-// (k,l) inner loop with Schwarz screening. The per-rank partial Fock
+// distributed by a global dynamic-load-balance counter over the screened,
+// Schwarz-sorted (i,j) shell-pair list precomputed by ints::Screening
+// (ddi_dlbnext); each claimed pair runs the full (k,l) inner loop with
+// Schwarz and, when the FockContext carries density block norms,
+// density-weighted screening. Claiming the most expensive pairs first
+// leaves only cheap tasks for the tail of the DLB counter, which shrinks
+// the load imbalance window at the barrier. The per-rank partial Fock
 // matrices are summed with ddi_gsumf at the end.
 //
 // This is the baseline whose memory footprint (eq. 3a: 5/2 N^2 per rank)
@@ -38,23 +42,34 @@ class FockBuilderMpi : public scf::FockBuilder {
 
   /// Collective over all ranks: every rank contributes its claimed pairs
   /// and receives the fully reduced skeleton matrix.
-  void build(const la::Matrix& density, la::Matrix& g) override;
+  using FockBuilder::build;
+  void build(const la::Matrix& density, la::Matrix& g,
+             const scf::FockContext& ctx) override;
 
   /// (i,j) pairs this rank processed in the last build (load statistics).
   [[nodiscard]] std::size_t last_pairs_claimed() const { return pairs_; }
   /// Quartets this rank computed in the last build.
-  [[nodiscard]] std::size_t last_quartets_computed() const {
+  [[nodiscard]] std::size_t last_quartets_computed() const override {
     return quartets_;
+  }
+  [[nodiscard]] std::size_t last_density_screened() const override {
+    return density_screened_;
+  }
+  [[nodiscard]] double screening_threshold() const override {
+    return screen_->threshold();
   }
   /// Pairs this rank stole from other ranks' slices in the last build
   /// (work-stealing mode only; 0 under the DLB counter).
   [[nodiscard]] std::size_t last_pairs_stolen() const { return steals_; }
 
  private:
-  void build_dlb(const la::Matrix& density, la::Matrix& g);
-  void build_stealing(const la::Matrix& density, la::Matrix& g);
-  void process_pair(std::size_t pair, const la::Matrix& density,
-                    la::Matrix& g, std::vector<double>& batch);
+  void build_dlb(const la::Matrix& density, la::Matrix& g,
+                 const scf::FockContext& ctx);
+  void build_stealing(const la::Matrix& density, la::Matrix& g,
+                      const scf::FockContext& ctx);
+  void process_pair(const ints::ScreenedPair& pair, const la::Matrix& density,
+                    la::Matrix& g, const scf::FockContext& ctx,
+                    std::vector<double>& batch);
 
   const ints::EriEngine* eri_;
   const ints::Screening* screen_;
@@ -62,6 +77,7 @@ class FockBuilderMpi : public scf::FockBuilder {
   MpiLoadBalance lb_;
   std::size_t pairs_ = 0;
   std::size_t quartets_ = 0;
+  std::size_t density_screened_ = 0;
   std::size_t steals_ = 0;
 };
 

@@ -10,16 +10,25 @@
 
 namespace mc::core {
 
-void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
+void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
+                               const scf::FockContext& ctx) {
   const basis::BasisSet& bs = eri_->basis_set();
-  const std::size_t ns = bs.nshells();
   const std::size_t nbf = bs.nbf();
   MC_CHECK(g.rows() == nbf && g.cols() == nbf, "G shape mismatch");
   MC_CHECK(opt_.nthreads >= 1, "need at least one thread");
 
+  // The MPI DLB counter claims positions in the Screening's work-sorted
+  // bra-shell list (heaviest i first; shells with no surviving pair are
+  // absent) instead of raw shell indices -- same largest-first rationale
+  // as Algorithm 1's sorted pair list, at i-shell granularity.
+  const auto& bra_order = screen_->sorted_bra_shells();
+  const bool weighted = ctx.weighted();
+  const double scale = ctx.threshold_scale;
+
   ddi_->dlb_reset();
   i_claimed_ = 0;
   quartets_ = 0;
+  density_screened_ = 0;
 
   const int nt = opt_.nthreads;
   std::vector<la::Matrix*> thread_g(static_cast<std::size_t>(nt), nullptr);
@@ -45,13 +54,16 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
     thread_g[static_cast<std::size_t>(tid)] = &gp;
     std::vector<double> batch;
     std::size_t my_quartets = 0;
+    std::size_t my_density_screened = 0;
 
     for (;;) {
 #pragma omp master
-      shared_i = ddi_->dlbnext();  // MPI DLB: get new I index
+      shared_i = ddi_->dlbnext();  // MPI DLB: get new I task
       MC_OMP_ANNOTATED_BARRIER(&shared_i);
-      const long i = shared_i;
-      if (i >= static_cast<long>(ns)) break;
+      const long claimed = shared_i;
+      if (claimed >= static_cast<long>(bra_order.size())) break;
+      const long i =
+          static_cast<long>(bra_order[static_cast<std::size_t>(claimed)]);
 #pragma omp master
       ++i_claimed_;
 
@@ -60,14 +72,28 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
 #pragma omp for collapse(2) schedule(runtime) nowait
       for (long j = 0; j <= i; ++j) {
         for (long k = 0; k <= i; ++k) {
+          const auto si = static_cast<std::size_t>(i);
+          const auto sj = static_cast<std::size_t>(j);
+          // Bra-pair prescreens hoisted out of the l loop: static Schwarz
+          // against qmax, then the density-weighted pair bound.
+          if (!screen_->keep_pair(si, sj)) continue;
+          if (weighted &&
+              !screen_->keep_pair(si, sj, 4.0 * ctx.dmax_max, scale)) {
+            continue;
+          }
           const long lmax = (k == i) ? j : k;
           for (long l = 0; l <= lmax; ++l) {
-            const auto si = static_cast<std::size_t>(i);
-            const auto sj = static_cast<std::size_t>(j);
             const auto sk = static_cast<std::size_t>(k);
             const auto sl = static_cast<std::size_t>(l);
             if (!screen_->keep(si, sj, sk, sl)) continue;
-            batch.assign(eri_->batch_size(si, sj, sk, sl), 0.0);
+            if (weighted &&
+                !screen_->keep(si, sj, sk, sl,
+                               ctx.quartet_dmax(si, sj, sk, sl), scale)) {
+              ++my_density_screened;
+              continue;
+            }
+            ints::ensure_batch_size(batch,
+                                    eri_->batch_size(si, sj, sk, sl));
             eri_->compute(si, sj, sk, sl, batch.data());
             // Update the *private* 2e-Fock matrix: no synchronization.
             scf::scatter_quartet(bs, si, sj, sk, sl, batch.data(), density,
@@ -83,6 +109,8 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g) {
 
 #pragma omp atomic
     quartets_ += my_quartets;
+#pragma omp atomic
+    density_screened_ += my_density_screened;
 
     // Reduce the thread-private copies into the rank matrix, row-chunked so
     // threads write disjoint cache lines.

@@ -31,11 +31,19 @@ class FockBuilderPrivate : public scf::FockBuilder {
 
   [[nodiscard]] std::string name() const override { return "private-fock"; }
 
-  void build(const la::Matrix& density, la::Matrix& g) override;
+  using FockBuilder::build;
+  void build(const la::Matrix& density, la::Matrix& g,
+             const scf::FockContext& ctx) override;
 
   [[nodiscard]] std::size_t last_i_claimed() const { return i_claimed_; }
-  [[nodiscard]] std::size_t last_quartets_computed() const {
+  [[nodiscard]] std::size_t last_quartets_computed() const override {
     return quartets_;
+  }
+  [[nodiscard]] std::size_t last_density_screened() const override {
+    return density_screened_;
+  }
+  [[nodiscard]] double screening_threshold() const override {
+    return screen_->threshold();
   }
 
  private:
@@ -45,6 +53,7 @@ class FockBuilderPrivate : public scf::FockBuilder {
   PrivateFockOptions opt_;
   std::size_t i_claimed_ = 0;
   std::size_t quartets_ = 0;
+  std::size_t density_screened_ = 0;
 };
 
 }  // namespace mc::core

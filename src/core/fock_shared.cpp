@@ -48,17 +48,25 @@ void flush_buffer(double* buf, std::size_t col_stride, int nt,
 
 }  // namespace
 
-void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
+void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
+                              const scf::FockContext& ctx) {
   const basis::BasisSet& bs = eri_->basis_set();
-  const std::size_t ns = bs.nshells();
   const std::size_t nbf = bs.nbf();
-  const std::size_t npairs = ns * (ns + 1) / 2;
+  // The MPI DLB counter walks the Screening's bra-grouped pair list:
+  // already compacted to Schwarz survivors, grouped by i shell (so the
+  // lazy FI flush still fires at most once per i group) with the heaviest
+  // groups first.
+  const auto& bra_pairs = screen_->bra_grouped_pairs();
+  const std::size_t nlist = bra_pairs.size();
+  const bool weighted = ctx.weighted();
+  const double scale = ctx.threshold_scale;
   MC_CHECK(g.rows() == nbf && g.cols() == nbf, "G shape mismatch");
   MC_CHECK(opt_.nthreads >= 1, "need at least one thread");
 
   ddi_->dlb_reset();
   pairs_ = 0;
   quartets_ = 0;
+  density_screened_ = 0;
   fi_flushes_ = 0;
 
   const int nt = opt_.nthreads;
@@ -100,28 +108,32 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
     double* fj_mine = fj.data() + static_cast<std::size_t>(tid) * col_stride;
     std::vector<double> batch;
     std::size_t my_quartets = 0;
+    std::size_t my_density_screened = 0;
 
     for (;;) {
 #pragma omp master
       {
-        plan.ij = ddi_->dlbnext();  // MPI DLB: get new combined IJ index
+        plan.ij = ddi_->dlbnext();  // MPI DLB: get new list position
         plan.skip = false;
         plan.flush_shell = -1;
-        if (plan.ij < static_cast<long>(npairs)) {
+        if (plan.ij < static_cast<long>(nlist)) {
           ++pairs_;
-          std::size_t mi, mj;
-          scf::unpack_pair(static_cast<std::size_t>(plan.ij), mi, mj);
-          // I and J prescreening (Algorithm 3 line 13). We use the safe
-          // bound Q_ij * Q_max so no surviving quartet is ever dropped.
-          plan.skip = !screen_->keep_pair(mi, mj);
+          const ints::ScreenedPair& pr =
+              bra_pairs[static_cast<std::size_t>(plan.ij)];
+          // Static Schwarz prescreening (Algorithm 3 line 13) is already
+          // baked into the list; only the density-weighted pair bound
+          // remains to be checked per iteration.
+          plan.skip =
+              weighted &&
+              !screen_->keep_pair(pr.i, pr.j, 4.0 * ctx.dmax_max, scale);
           if (!plan.skip) {
             // Lazy FI flush: only when the i index changed since the last
             // unscreened pair (Algorithm 3 lines 15-18).
-            if (static_cast<long>(mi) != iold || !opt_.lazy_fi_flush) {
+            if (static_cast<long>(pr.i) != iold || !opt_.lazy_fi_flush) {
               plan.flush_shell = iold;
               if (plan.flush_shell >= 0) ++fi_flushes_;
             }
-            iold = static_cast<long>(mi);
+            iold = static_cast<long>(pr.i);
           }
         }
       }
@@ -129,12 +141,16 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
       const IterPlan my_plan = plan;
       // All snapshots taken before the master's next rewrite.
       MC_OMP_ANNOTATED_BARRIER(&plan);
-      const long ij = my_plan.ij;
-      if (ij >= static_cast<long>(npairs)) break;
+      if (my_plan.ij >= static_cast<long>(nlist)) break;
       if (my_plan.skip) continue;
 
-      std::size_t i, j;
-      scf::unpack_pair(static_cast<std::size_t>(ij), i, j);
+      const ints::ScreenedPair& my_pair =
+          bra_pairs[static_cast<std::size_t>(my_plan.ij)];
+      const std::size_t i = my_pair.i;
+      const std::size_t j = my_pair.j;
+      // Canonical pair index of (i,j); the kl loop stays triangular over
+      // canonical pair indices regardless of the list's claim order.
+      const long ij = static_cast<long>(my_pair.canonical);
       const basis::Shell& shi = bs.shell(i);
       const basis::Shell& shj = bs.shell(j);
 
@@ -151,10 +167,15 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
 
 #pragma omp for schedule(runtime) nowait
       for (long kl = 0; kl <= ij; ++kl) {
-        std::size_t k, l;
-        scf::unpack_pair(static_cast<std::size_t>(kl), k, l);
+        const auto [k, l] =
+            screen_->pair_shells(static_cast<std::size_t>(kl));
         if (!screen_->keep(i, j, k, l)) continue;  // Schwartz screening
-        batch.assign(eri_->batch_size(i, j, k, l), 0.0);
+        if (weighted && !screen_->keep(i, j, k, l,
+                                       ctx.quartet_dmax(i, j, k, l), scale)) {
+          ++my_density_screened;
+          continue;
+        }
+        ints::ensure_batch_size(batch, eri_->batch_size(i, j, k, l));
         eri_->compute(i, j, k, l, batch.data());  // calculate (i,j|k,l)
         ++my_quartets;
 
@@ -217,6 +238,8 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g) {
 
 #pragma omp atomic
     quartets_ += my_quartets;
+#pragma omp atomic
+    density_screened_ += my_density_screened;
     MC_TSAN_RELEASE(&plan);
   }
   MC_TSAN_ACQUIRE(&plan);

@@ -4,10 +4,14 @@
 // of our knowledge, having a shared Fock matrix is an unique feature of our
 // implementation").
 //
-// MPI level: the global DLB counter hands out merged (ij) pair indices
-// (finer-grained than Algorithm 2's i loop -- the reason this algorithm
-// load-balances best at scale, Table 3). OpenMP level: threads dynamically
-// share the merged (kl) loop, kl <= ij.
+// MPI level: the global DLB counter hands out positions in the Screening's
+// precomputed *bra-grouped* pair list (finer-grained than Algorithm 2's i
+// loop -- the reason this algorithm load-balances best at scale, Table 3).
+// The list keeps all pairs of one i shell contiguous -- preserving the
+// lazy-FI-flush invariant of at most one flush per i change -- and orders
+// the i groups by descending screened work so the DLB tail is cheap.
+// OpenMP level: threads dynamically share the merged (kl) loop over
+// canonical pair indices kl <= ij.
 //
 // Race-freedom by construction, per the paper:
 //  * F_kl is written directly to the shared matrix: threads hold distinct
@@ -46,11 +50,19 @@ class FockBuilderShared : public scf::FockBuilder {
 
   [[nodiscard]] std::string name() const override { return "shared-fock"; }
 
-  void build(const la::Matrix& density, la::Matrix& g) override;
+  using FockBuilder::build;
+  void build(const la::Matrix& density, la::Matrix& g,
+             const scf::FockContext& ctx) override;
 
   [[nodiscard]] std::size_t last_pairs_claimed() const { return pairs_; }
-  [[nodiscard]] std::size_t last_quartets_computed() const {
+  [[nodiscard]] std::size_t last_quartets_computed() const override {
     return quartets_;
+  }
+  [[nodiscard]] std::size_t last_density_screened() const override {
+    return density_screened_;
+  }
+  [[nodiscard]] double screening_threshold() const override {
+    return screen_->threshold();
   }
   /// FI buffer flushes in the last build; with lazy flushing this is the
   /// number of distinct i values encountered, not the number of ij pairs.
@@ -63,6 +75,7 @@ class FockBuilderShared : public scf::FockBuilder {
   SharedFockOptions opt_;
   std::size_t pairs_ = 0;
   std::size_t quartets_ = 0;
+  std::size_t density_screened_ = 0;
   std::size_t fi_flushes_ = 0;
 };
 

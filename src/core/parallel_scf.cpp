@@ -56,20 +56,6 @@ std::unique_ptr<scf::FockBuilder> make_builder(
   return nullptr;
 }
 
-std::size_t builder_quartets(const scf::FockBuilder& b, ScfAlgorithm alg) {
-  switch (alg) {
-    case ScfAlgorithm::kMpiOnly:
-      return static_cast<const FockBuilderMpi&>(b).last_quartets_computed();
-    case ScfAlgorithm::kPrivateFock:
-      return static_cast<const FockBuilderPrivate&>(b)
-          .last_quartets_computed();
-    case ScfAlgorithm::kSharedFock:
-      return static_cast<const FockBuilderShared&>(b)
-          .last_quartets_computed();
-  }
-  return 0;
-}
-
 }  // namespace
 
 ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
@@ -109,6 +95,15 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
 
     la::Matrix d(scf::core_guess_density(h, x, nocc), "density");
     la::Matrix g(nbf, nbf, "fock");
+    // Incremental-build state (mirrors scf::run_scf; DESIGN.md section 9).
+    // All of it is replicated and updated identically on every rank, so the
+    // per-iteration full-vs-delta decision is deterministic across the
+    // SPMD team -- a divergent decision would deadlock the collectives.
+    la::Matrix g_acc(nbf, nbf, "fock_acc");
+    la::Matrix d_last(nbf, nbf, "density_last");
+    la::Matrix d_delta(nbf, nbf, "density_delta");
+    int builds_since_full = 0;
+    double err_acc = 0.0;
     scf::Diis diis(config.scf.diis_max_vectors);
 
     scf::ScfResult res;
@@ -116,15 +111,50 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
 
     double e_prev = 0.0;
     for (int iter = 1; iter <= config.scf.max_iterations; ++iter) {
+      const bool full_rebuild =
+          !config.scf.incremental_fock || iter == 1 ||
+          builds_since_full >= config.scf.fock_rebuild_interval ||
+          err_acc > config.scf.incremental_error_bound;
+
       WallTimer fock_timer;
       g.set_zero();
-      builder->build(d, g);  // collective: includes ddi_gsumf
+      if (full_rebuild) {
+        builder->build(d, g);  // collective: includes ddi_gsumf
+        g.symmetrize();
+        g_acc.copy_values_from(g);
+        builds_since_full = 0;
+        err_acc = 0.0;
+      } else {
+        d_delta.copy_values_from(d);
+        d_delta -= d_last;
+        scf::FockContext ctx =
+            scf::FockContext::from_density(bs, d_delta, /*incremental=*/true);
+        ctx.threshold_scale = config.scf.incremental_threshold_scale;
+        builder->build(d_delta, g, ctx);
+        g.symmetrize();
+        g_acc += g;
+        ++builds_since_full;
+      }
+      d_last.copy_values_from(d);
+
+      // Global per-iteration counters. The screened count feeds err_acc,
+      // so it must be the rank-summed value (exact: integer-valued doubles
+      // well under 2^53) for all ranks to take the same rebuild decision.
+      la::Matrix counts(1, 2);
+      counts(0, 0) =
+          static_cast<double>(builder->last_quartets_computed());
+      counts(0, 1) = static_cast<double>(builder->last_density_screened());
+      ddi.gsumf(counts);
+      if (!full_rebuild) {
+        err_acc += builder->screening_threshold() *
+                   config.scf.incremental_threshold_scale * counts(0, 1) /
+                   static_cast<double>(nbf);
+      }
       const double t_fock = fock_timer.seconds();
       res.fock_build_seconds += t_fock;
 
-      g.symmetrize();
       la::Matrix f = h;
-      f += g;
+      f += g_acc;
 
       const double e_elec = 0.5 * (la::dot(d, h) + la::dot(d, f));
       const double e_total = e_elec + res.nuclear_repulsion;
@@ -161,6 +191,9 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
       info.delta_energy = e_total - e_prev;
       info.density_rms = rms;
       info.fock_build_seconds = t_fock;
+      info.full_rebuild = full_rebuild;
+      info.quartets_computed = static_cast<std::size_t>(counts(0, 0));
+      info.density_screened = static_cast<std::size_t>(counts(0, 1));
       res.history.push_back(info);
 
       d.copy_values_from(d_new);
@@ -183,7 +216,7 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
     {
       std::lock_guard<std::mutex> lk(result_mu);
       result.quartets_per_rank[static_cast<std::size_t>(rank)] =
-          builder_quartets(*builder, config.algorithm);
+          builder->last_quartets_computed();
       result.peak_bytes_per_rank[static_cast<std::size_t>(rank)] =
           MemoryTracker::instance().rank_peak_bytes(rank);
       if (rank == 0) result.scf = std::move(res);

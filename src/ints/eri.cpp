@@ -1,5 +1,6 @@
 #include "ints/eri.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -8,6 +9,22 @@
 #include "ints/hermite.hpp"
 
 namespace mc::ints {
+
+namespace {
+
+// MD Coulomb kernel normalization 2*pi^2.5, hoisted out of the primitive
+// pair loops (it used to be recomputed via std::pow per ket primitive).
+const double kTwoPiToFiveHalves = 2.0 * std::pow(kPi, 2.5);
+
+// Primitive-level prescreen: a primitive pair's contribution to any batch
+// element is bounded (up to the Boys/Hermite recursion factors) by
+// pref * max|H_bra| * max|H_ket|. The recursion can amplify by a few
+// orders for high L, so the cutoff sits ~9 orders below the loosest
+// Schwarz threshold in use (1e-10); dropped terms are far beneath both
+// the screening error budget and double rounding of accumulated batches.
+constexpr double kPrimPairCutoff = 1e-19;
+
+}  // namespace
 
 EriEngine::EriEngine(const basis::BasisSet& bs) : bs_(&bs), pairs_(bs) {}
 
@@ -45,22 +62,24 @@ void compute_eri_canonical(const ShellPairData& bra,
   // reused Hermite Coulomb table (no allocations in the quartet loop).
   thread_local std::vector<double> g;
   thread_local RTable r;
-  g.assign(static_cast<std::size_t>(ncomp_cd) * herm_ab, 0.0);
+  const std::size_t gsize = static_cast<std::size_t>(ncomp_cd) * herm_ab;
+  ensure_batch_size(g, gsize);
 
   for (const PrimPairData& bp : bra.prims) {
-    std::fill(g.begin(), g.end(), 0.0);
+    std::fill_n(g.data(), gsize, 0.0);
 
     for (const PrimPairData& kp : ket.prims) {
       const double p = bp.p;
       const double q = kp.p;
+      // Contraction coefficients live in the Hermite tables; the remaining
+      // prefactor is the MD Coulomb kernel normalization.
+      const double pref = kTwoPiToFiveHalves / (p * q * std::sqrt(p + q));
+      // Primitive-pair prescreen on the combined Hermite weight.
+      if (pref * bp.hmax * kp.hmax < kPrimPairCutoff) continue;
       const double alpha = p * q / (p + q);
       const double pq[3] = {bp.P[0] - kp.P[0], bp.P[1] - kp.P[1],
                             bp.P[2] - kp.P[2]};
       r.build(ltot, alpha, pq);
-      // Contraction coefficients live in the Hermite tables; the remaining
-      // prefactor is the MD Coulomb kernel normalization.
-      const double pref =
-          2.0 * std::pow(kPi, 2.5) / (p * q * std::sqrt(p + q));
 
       for (int cd = 0; cd < ncomp_cd; ++cd) {
         const double* hk = kp.hermite.data() +
@@ -128,7 +147,7 @@ void EriEngine::compute(std::size_t si, std::size_t sj, std::size_t sk,
   }
 
   thread_local std::vector<double> tmp;
-  tmp.assign(static_cast<std::size_t>(ni) * nj * nk * nl, 0.0);
+  ensure_batch_size(tmp, static_cast<std::size_t>(ni) * nj * nk * nl);
   compute_eri_canonical(bra, ket, tmp.data());
 
   // tmp is laid out in canonical orientation [b1][b2][k1][k2] where

@@ -10,15 +10,30 @@
 // itself has no shared mutable state.
 
 #include <cstddef>
+#include <vector>
 
 #include "basis/basis_set.hpp"
 #include "ints/shell_pair.hpp"
 
 namespace mc::ints {
 
+/// Grow a quartet batch buffer to at least `n` doubles WITHOUT clearing.
+///
+/// Output contract: compute_eri_canonical (and therefore EriEngine::
+/// compute) fully initializes its output -- every one of the `n` batch
+/// elements is zeroed or assigned inside the kernel before it returns.
+/// Callers must therefore not pay an O(n) `assign(n, 0.0)` per quartet
+/// just to size the buffer; use this helper. The buffer never shrinks, so
+/// after the first few quartets the call is a branch and nothing else.
+/// Elements beyond `n` are stale -- consumers must index only [0, n).
+inline void ensure_batch_size(std::vector<double>& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(n);
+}
+
 /// Low-level kernel: contracted ERI batch for a bra/ket pair of
 /// precomputed ShellPairData, written in canonical orientation
-/// [bra.s1][bra.s2][ket.s1][ket.s2]. Reentrant (thread-local scratch).
+/// [bra.s1][bra.s2][ket.s1][ket.s2]. Fully initializes `out` (see
+/// ensure_batch_size); reentrant (thread-local scratch).
 /// EriEngine::compute wraps this with index permutation; the knlsim
 /// workload model calls it directly to evaluate isolated Schwarz
 /// diagonals (ab|ab) without building a full engine.
@@ -32,7 +47,8 @@ class EriEngine {
 
   /// Computes the full Cartesian batch for shells (si sj | sk sl) into
   /// `out`, laid out [a][b][c][d] row-major with a over si's components,
-  /// etc. `out` must hold nfunc(si)*nfunc(sj)*nfunc(sk)*nfunc(sl) doubles.
+  /// etc. `out` must hold nfunc(si)*nfunc(sj)*nfunc(sk)*nfunc(sl) doubles;
+  /// every element is written (callers need not pre-zero the buffer).
   void compute(std::size_t si, std::size_t sj, std::size_t sk,
                std::size_t sl, double* out) const;
 

@@ -1,5 +1,6 @@
 #include "ints/shell_pair.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -82,6 +83,9 @@ ShellPairData make_shell_pair(const basis::Shell& sh1,
             }
           }
         }
+      }
+      for (const double h : pp.hermite) {
+        pp.hmax = std::max(pp.hmax, std::abs(h));
       }
       sp.prims.push_back(std::move(pp));
     }

@@ -21,6 +21,9 @@ struct PrimPairData {
   double p = 0.0;                ///< a + b
   double coef = 0.0;             ///< c_a * c_b (normalized contraction coefs)
   std::array<double, 3> P{};     ///< Gaussian product center
+  /// max |hermite| -- the primitive pair's combined Hermite weight, used by
+  /// the ERI kernel's primitive-level prescreen.
+  double hmax = 0.0;
   /// Hermite product coefficients, layout [comp][t*hd*hd + u*hd + v] with
   /// hd = l1 + l2 + 1 and comp = a_comp * ncart(l2) + b_comp.
   std::vector<double> hermite;

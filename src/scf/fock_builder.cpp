@@ -1,6 +1,39 @@
 #include "scf/fock_builder.hpp"
 
+#include <algorithm>
+
+#include "common/error.hpp"
+
 namespace mc::scf {
+
+FockContext FockContext::from_density(const basis::BasisSet& bs,
+                                      const la::Matrix& d, bool incremental) {
+  FockContext ctx;
+  const std::size_t ns = bs.nshells();
+  ctx.nshells = ns;
+  ctx.incremental = incremental;
+  ctx.dmax.assign(ns * ns, 0.0);
+  MC_CHECK(d.rows() == bs.nbf() && d.cols() == bs.nbf(),
+           "density shape mismatch");
+  for (std::size_t si = 0; si < ns; ++si) {
+    const basis::Shell& shi = bs.shell(si);
+    for (std::size_t sj = 0; sj <= si; ++sj) {
+      const basis::Shell& shj = bs.shell(sj);
+      double m = 0.0;
+      for (int a = 0; a < shi.nfunc(); ++a) {
+        const std::size_t fa = shi.first_bf + static_cast<std::size_t>(a);
+        for (int b = 0; b < shj.nfunc(); ++b) {
+          const std::size_t fb = shj.first_bf + static_cast<std::size_t>(b);
+          m = std::max(m, std::abs(d(fa, fb)));
+        }
+      }
+      ctx.dmax[si * ns + sj] = m;
+      ctx.dmax[sj * ns + si] = m;
+      ctx.dmax_max = std::max(ctx.dmax_max, m);
+    }
+  }
+  return ctx;
+}
 
 void scatter_quartet(const basis::BasisSet& bs, std::size_t si,
                      std::size_t sj, std::size_t sk, std::size_t sl,

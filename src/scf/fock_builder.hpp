@@ -3,12 +3,17 @@
 // Fock matrix accumulation -- the computational core the paper optimizes.
 //
 // Contract:
-//   * build(D, G) accumulates the skeleton two-electron matrix into G
-//     (G is zeroed by the caller). D is the full symmetric density with
-//     Tr(D S) = N_electrons.
+//   * build(D, G, ctx) accumulates the skeleton two-electron matrix into G
+//     (G is zeroed by the caller). D is the symmetric density the
+//     integrals are contracted against -- the full density for a
+//     conventional build, the density *difference* for an incremental
+//     (direct-SCF) build. ctx carries the per-shell-pair block norms of D
+//     for density-weighted screening; the default FockContext{} is the
+//     trivial "full density" context that reduces every builder to the
+//     static Schwarz bound.
 //   * The *symmetrized* G_sym = (G + G^T)/2 then satisfies
 //       G_sym[a,b] ~= sum_cd D[c,d] ( (ab|cd) - 1/2 (ac|bd) )
-//     up to the Schwarz screening threshold.
+//     up to the screening threshold.
 //   * For distributed builders, build() is a collective call: every rank
 //     passes the same D and every rank's G holds the fully reduced result
 //     on return.
@@ -21,6 +26,7 @@
 #include <cmath>
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "basis/basis_set.hpp"
 #include "ints/eri.hpp"
@@ -29,11 +35,76 @@
 
 namespace mc::scf {
 
+/// Per-iteration density information threaded through FockBuilder::build
+/// (DESIGN.md section 9). For an incremental direct-SCF build the density
+/// argument is the delta density D_n - D_{n-1}; this context carries its
+/// per-shell-pair block norms so screening can use the density-weighted
+/// bound Q_ij * Q_kl * max|D block| -- which kills an increasing fraction
+/// of quartets as SCF converges. A default-constructed context is the
+/// trivial "full density" context: no weighting, static Schwarz only.
+struct FockContext {
+  /// max|D| over each shell-pair block, nshells x nshells symmetric.
+  /// Empty = trivial context (no density weighting).
+  std::vector<double> dmax;
+  std::size_t nshells = 0;
+  /// Global max over all blocks (the pair-level prescreen bound).
+  double dmax_max = 0.0;
+  /// Multiplier on the Schwarz threshold for this build; incremental
+  /// builds use < 1 (tighter) so that skipped delta contributions stay
+  /// well below the accumulated-Fock error budget.
+  double threshold_scale = 1.0;
+  /// True when the density being contracted is a delta density.
+  bool incremental = false;
+
+  [[nodiscard]] bool weighted() const { return !dmax.empty(); }
+  [[nodiscard]] double pair_dmax(std::size_t a, std::size_t b) const {
+    return dmax[a * nshells + b];
+  }
+  /// Bound on the density blocks quartet (i,j,k,l) contracts against: the
+  /// max over the six blocks of paper eqs. 2a-2f, times 4 to stay safely
+  /// above the Coulomb degeneracy weights (Haser-Ahlrichs style bound).
+  [[nodiscard]] double quartet_dmax(std::size_t i, std::size_t j,
+                                    std::size_t k, std::size_t l) const {
+    double m = pair_dmax(i, j);
+    m = std::max(m, pair_dmax(k, l));
+    m = std::max(m, pair_dmax(i, k));
+    m = std::max(m, pair_dmax(i, l));
+    m = std::max(m, pair_dmax(j, k));
+    m = std::max(m, pair_dmax(j, l));
+    return 4.0 * m;
+  }
+
+  /// Computes the block norms of `d` (any symmetric matrix in the basis's
+  /// function dimension -- a density or a density difference).
+  static FockContext from_density(const basis::BasisSet& bs,
+                                  const la::Matrix& d, bool incremental);
+};
+
 class FockBuilder {
  public:
   virtual ~FockBuilder() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  virtual void build(const la::Matrix& density, la::Matrix& g) = 0;
+  /// Context-aware build (see the header comment for the contract).
+  virtual void build(const la::Matrix& density, la::Matrix& g,
+                     const FockContext& ctx) = 0;
+  /// Full-density convenience overload: trivial context, static screening.
+  void build(const la::Matrix& density, la::Matrix& g) {
+    build(density, g, FockContext{});
+  }
+
+  /// Quartets this builder (this rank, for distributed builders) computed
+  /// in the last build. 0 for builders that do not count.
+  [[nodiscard]] virtual std::size_t last_quartets_computed() const {
+    return 0;
+  }
+  /// Quartets that passed static Schwarz screening but were killed by the
+  /// density-weighted bound in the last build (0 for trivial contexts).
+  [[nodiscard]] virtual std::size_t last_density_screened() const {
+    return 0;
+  }
+  /// Schwarz threshold of the attached Screening (0 = unscreened builder);
+  /// the SCF drivers' incremental error estimate scales with it.
+  [[nodiscard]] virtual double screening_threshold() const { return 0.0; }
 };
 
 /// Degeneracy weight of a canonical shell quartet (the size of its orbit
@@ -76,7 +147,9 @@ inline std::size_t kl_count(std::size_t i, std::size_t j) {
 }
 
 /// Map a flat canonical pair index back to (i, j), i >= j
-/// (pair = i*(i+1)/2 + j). Used by the merged-index loops of Algorithm 3.
+/// (pair = i*(i+1)/2 + j). Kept for tests and one-off decodes; the hot
+/// loops use Screening::pair_shells, a precomputed table without the
+/// sqrt/guard dance.
 inline void unpack_pair(std::size_t pair, std::size_t& i, std::size_t& j) {
   // i = floor((sqrt(8p+1)-1)/2), then j = p - i(i+1)/2, with a guard for
   // floating-point edge cases.

@@ -54,20 +54,59 @@ ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
 
   la::Matrix d = core_guess_density(h, x, nocc);
   la::Matrix g(nbf, nbf);
+  // Incremental-build state: the accumulated *symmetrized* skeleton
+  // G_acc = sym(G(D_ref)) + sum sym(G(D_n - D_{n-1})) (symmetrization is
+  // linear, so accumulating symmetrized deltas equals symmetrizing the
+  // total), the density it corresponds to, and the reset-policy trackers.
+  la::Matrix g_acc(nbf, nbf);
+  la::Matrix d_last(nbf, nbf);
+  la::Matrix d_delta(nbf, nbf);
+  int builds_since_full = 0;
+  double err_acc = 0.0;
   Diis diis(options.diis_max_vectors);
 
   double e_prev = 0.0;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    const bool full_rebuild = !options.incremental_fock || iter == 1 ||
+                              builds_since_full >=
+                                  options.fock_rebuild_interval ||
+                              err_acc > options.incremental_error_bound;
+
     // Two-electron (skeleton) Fock accumulation -- the timed hot region.
     WallTimer fock_timer;
     g.set_zero();
-    builder.build(d, g);
+    if (full_rebuild) {
+      // Full density, trivial context: static Schwarz screening only, so
+      // the rebuild resets the accumulated screening error.
+      builder.build(d, g);
+      g.symmetrize();
+      g_acc.copy_values_from(g);
+      builds_since_full = 0;
+      err_acc = 0.0;
+    } else {
+      d_delta.copy_values_from(d);
+      d_delta -= d_last;
+      FockContext ctx =
+          FockContext::from_density(bs, d_delta, /*incremental=*/true);
+      ctx.threshold_scale = options.incremental_threshold_scale;
+      builder.build(d_delta, g, ctx);
+      g.symmetrize();
+      g_acc += g;
+      ++builds_since_full;
+      // Per-element screening-error estimate for the reset policy: every
+      // density-screened quartet contributes below threshold * scale;
+      // dividing by nbf approximates the scatter fan-out per element.
+      err_acc += builder.screening_threshold() *
+                 options.incremental_threshold_scale *
+                 static_cast<double>(builder.last_density_screened()) /
+                 static_cast<double>(nbf);
+    }
+    d_last.copy_values_from(d);
     const double t_fock = fock_timer.seconds();
     res.fock_build_seconds += t_fock;
 
-    g.symmetrize();
     la::Matrix f = h;
-    f += g;
+    f += g_acc;
 
     // Electronic energy: E = 1/2 sum_ab D_ab (H_ab + F_ab).
     const double e_elec = 0.5 * (la::dot(d, h) + la::dot(d, f));
@@ -141,6 +180,9 @@ ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
     info.delta_energy = e_total - e_prev;
     info.density_rms = rms;
     info.fock_build_seconds = t_fock;
+    info.full_rebuild = full_rebuild;
+    info.quartets_computed = builder.last_quartets_computed();
+    info.density_screened = builder.last_density_screened();
     res.history.push_back(info);
     if (callbacks.on_iteration) callbacks.on_iteration(info);
 

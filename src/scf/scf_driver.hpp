@@ -31,6 +31,24 @@ struct ScfOptions {
   /// Level shift added to the virtual-virtual block of the Fock matrix in
   /// the orthonormal basis (Hartree). 0 disables.
   double level_shift = 0.0;
+
+  /// Incremental (delta-density) Fock builds: after a full build of
+  /// F = G(D), subsequent iterations compute only G(D_n - D_{n-1}) under
+  /// density-weighted screening and accumulate (DESIGN.md section 9). As
+  /// the density converges the delta shrinks and most quartets screen out.
+  bool incremental_fock = true;
+  /// Force a full rebuild after this many consecutive incremental builds
+  /// (caps screening-error accumulation; GAMESS-style reset policy).
+  int fock_rebuild_interval = 12;
+  /// Full rebuild as soon as the accumulated screening-error estimate
+  /// (sum over incremental builds of threshold * scale * screened-quartet
+  /// count / nbf) exceeds this bound.
+  double incremental_error_bound = 1e-8;
+  /// Threshold multiplier for incremental builds (< 1 tightens): the
+  /// delta-density bound drops quartets whose *contribution to the
+  /// current update* is small, so the cut must sit well below the static
+  /// budget for the accumulated Fock to stay accurate.
+  double incremental_threshold_scale = 0.01;
 };
 
 struct ScfIterationInfo {
@@ -39,6 +57,15 @@ struct ScfIterationInfo {
   double delta_energy = 0.0;
   double density_rms = 0.0;
   double fock_build_seconds = 0.0;
+  /// True when this iteration rebuilt G from the full density (iteration 1
+  /// and reset-policy rebuilds); false for delta-density builds.
+  bool full_rebuild = true;
+  /// Quartets the builder computed this iteration (this rank's share for
+  /// distributed builders under run_scf; summed over ranks by
+  /// run_parallel_scf). 0 if the builder does not count.
+  std::size_t quartets_computed = 0;
+  /// Quartets killed by density-weighted screening this iteration.
+  std::size_t density_screened = 0;
 };
 
 struct ScfResult {

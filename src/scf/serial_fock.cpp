@@ -6,32 +6,47 @@
 
 namespace mc::scf {
 
-void SerialFockBuilder::build(const la::Matrix& density, la::Matrix& g) {
+void SerialFockBuilder::build(const la::Matrix& density, la::Matrix& g,
+                              const FockContext& ctx) {
   const basis::BasisSet& bs = eri_->basis_set();
-  const std::size_t ns = bs.nshells();
   quartets_ = 0;
+  density_screened_ = 0;
+  const bool weighted = ctx.weighted();
+  const double scale = ctx.threshold_scale;
   std::vector<double> batch;
-  for (std::size_t i = 0; i < ns; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
-        if (!screen_->keep(i, j, k, l)) return;
-        batch.assign(eri_->batch_size(i, j, k, l), 0.0);
-        eri_->compute(i, j, k, l, batch.data());
-        scatter_quartet(bs, i, j, k, l, batch.data(), density, g);
-        ++quartets_;
-      });
+  for (const ints::ScreenedPair& pr : screen_->sorted_pairs()) {
+    const std::size_t i = pr.i;
+    const std::size_t j = pr.j;
+    // Pair-level density prescreen: bounds every quartet under this bra
+    // pair by q_ij * qmax * 4*max|D|, the loosest quartet bound below.
+    if (weighted && !screen_->keep_pair(i, j, 4.0 * ctx.dmax_max, scale)) {
+      continue;
     }
+    for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
+      if (!screen_->keep(i, j, k, l)) return;
+      if (weighted &&
+          !screen_->keep(i, j, k, l, ctx.quartet_dmax(i, j, k, l), scale)) {
+        ++density_screened_;
+        return;
+      }
+      ints::ensure_batch_size(batch, eri_->batch_size(i, j, k, l));
+      eri_->compute(i, j, k, l, batch.data());
+      scatter_quartet(bs, i, j, k, l, batch.data(), density, g);
+      ++quartets_;
+    });
   }
 }
 
-void BruteForceFockBuilder::build(const la::Matrix& density, la::Matrix& g) {
+void BruteForceFockBuilder::build(const la::Matrix& density, la::Matrix& g,
+                                  const FockContext& /*ctx*/) {
   const basis::BasisSet& bs = eri_->basis_set();
   const std::size_t nbf = bs.nbf();
   const std::size_t ns = bs.nshells();
   MC_CHECK(g.rows() == nbf && g.cols() == nbf, "G shape mismatch");
 
   // Direct evaluation of G[p][q] = sum_rs D[r][s] ((pq|rs) - 1/2 (pr|qs))
-  // from full shell batches; no symmetry, no screening.
+  // from full shell batches; no symmetry, no screening, no density
+  // weighting -- definitionally correct regardless of the context.
   std::vector<double> batch;
   for (std::size_t s1 = 0; s1 < ns; ++s1) {
     const auto& shp = bs.shell(s1);
@@ -41,7 +56,7 @@ void BruteForceFockBuilder::build(const la::Matrix& density, la::Matrix& g) {
         const auto& shr = bs.shell(s3);
         for (std::size_t s4 = 0; s4 < ns; ++s4) {
           const auto& shs = bs.shell(s4);
-          batch.assign(eri_->batch_size(s1, s2, s3, s4), 0.0);
+          ints::ensure_batch_size(batch, eri_->batch_size(s1, s2, s3, s4));
           eri_->compute(s1, s2, s3, s4, batch.data());
           std::size_t idx = 0;
           for (int a = 0; a < shp.nfunc(); ++a) {

@@ -3,6 +3,9 @@
 //  * SerialFockBuilder -- the canonical screened quartet loop on one
 //    thread. The correctness anchor every parallel algorithm is tested
 //    against, and the per-core work model the simulator calibrates on.
+//    Iterates the Screening's precomputed Schwarz-sorted pair list, which
+//    is exactly the order a single-rank FockBuilderMpi claims pairs in --
+//    keeping the two bit-identical.
 //  * BruteForceFockBuilder -- O(N^4) loop over *all* ordered quartets with
 //    no permutational symmetry and no screening; definitionally correct,
 //    used to validate the skeleton scatter itself on tiny systems.
@@ -17,17 +20,26 @@ class SerialFockBuilder : public FockBuilder {
       : eri_(&eri), screen_(&screen) {}
 
   [[nodiscard]] std::string name() const override { return "serial"; }
-  void build(const la::Matrix& density, la::Matrix& g) override;
+  using FockBuilder::build;
+  void build(const la::Matrix& density, la::Matrix& g,
+             const FockContext& ctx) override;
 
   /// Quartets that survived screening in the last build (statistics).
-  [[nodiscard]] std::size_t last_quartets_computed() const {
+  [[nodiscard]] std::size_t last_quartets_computed() const override {
     return quartets_;
+  }
+  [[nodiscard]] std::size_t last_density_screened() const override {
+    return density_screened_;
+  }
+  [[nodiscard]] double screening_threshold() const override {
+    return screen_->threshold();
   }
 
  private:
   const ints::EriEngine* eri_;
   const ints::Screening* screen_;
   std::size_t quartets_ = 0;
+  std::size_t density_screened_ = 0;
 };
 
 class BruteForceFockBuilder : public FockBuilder {
@@ -35,7 +47,9 @@ class BruteForceFockBuilder : public FockBuilder {
   explicit BruteForceFockBuilder(const ints::EriEngine& eri) : eri_(&eri) {}
 
   [[nodiscard]] std::string name() const override { return "brute-force"; }
-  void build(const la::Matrix& density, la::Matrix& g) override;
+  using FockBuilder::build;
+  void build(const la::Matrix& density, la::Matrix& g,
+             const FockContext& ctx) override;
 
  private:
   const ints::EriEngine* eri_;

@@ -21,7 +21,7 @@ AoIntegralTensor::AoIntegralTensor(const ints::EriEngine& eri,
     for (std::size_t sj = 0; sj <= si; ++sj) {
       for_each_kl(si, sj, [&](std::size_t sk, std::size_t sl) {
         if (!screen.keep(si, sj, sk, sl)) return;
-        batch.assign(eri.batch_size(si, sj, sk, sl), 0.0);
+        ints::ensure_batch_size(batch, eri.batch_size(si, sj, sk, sl));
         eri.compute(si, sj, sk, sl, batch.data());
         const basis::Shell& shi = bs.shell(si);
         const basis::Shell& shj = bs.shell(sj);
@@ -50,7 +50,8 @@ AoIntegralTensor::AoIntegralTensor(const ints::EriEngine& eri,
   }
 }
 
-void StoredFockBuilder::build(const la::Matrix& density, la::Matrix& g) {
+void StoredFockBuilder::build(const la::Matrix& density, la::Matrix& g,
+                              const FockContext& /*ctx*/) {
   const std::size_t n = tensor_->nbf();
   MC_CHECK(g.rows() == n && g.cols() == n, "G shape mismatch");
   // Canonical sweep over unique function quartets; the same orbit-weighted

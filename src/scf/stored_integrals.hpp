@@ -59,7 +59,11 @@ class StoredFockBuilder : public FockBuilder {
       : tensor_(&tensor), bs_(&bs) {}
 
   [[nodiscard]] std::string name() const override { return "conventional"; }
-  void build(const la::Matrix& density, la::Matrix& g) override;
+  using FockBuilder::build;
+  /// The stored tensor replay is already integral-free per iteration, so a
+  /// weighted/incremental context is accepted but not used for screening.
+  void build(const la::Matrix& density, la::Matrix& g,
+             const FockContext& ctx) override;
 
  private:
   const AoIntegralTensor* tensor_;

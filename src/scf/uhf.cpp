@@ -22,7 +22,7 @@ void build_jk(const ints::EriEngine& eri, const ints::Screening& screen,
     for (std::size_t sj = 0; sj <= si; ++sj) {
       for_each_kl(si, sj, [&](std::size_t sk, std::size_t sl) {
         if (!screen.keep(si, sj, sk, sl)) return;
-        batch.assign(eri.batch_size(si, sj, sk, sl), 0.0);
+        ints::ensure_batch_size(batch, eri.batch_size(si, sj, sk, sl));
         eri.compute(si, sj, sk, sl, batch.data());
 
         const basis::Shell& shi = bs.shell(si);

@@ -29,6 +29,7 @@
 #include "core/fock_shared.hpp"
 #include "ints/one_electron.hpp"
 #include "la/orthogonalizer.hpp"
+#include "la/sym_eig.hpp"
 #include "par/ddi.hpp"
 #include "par/runtime.hpp"
 #include "scf/scf_driver.hpp"
@@ -53,6 +54,13 @@ struct FockFixture {
   ints::Screening screen;
   la::Matrix d;      // plausible symmetric density (core guess)
   la::Matrix g_ref;  // serial skeleton reference
+  // Incremental-build material: a realistic delta density (the change from
+  // the core guess to the next SCF iterate), its density-weighted context,
+  // and the serial weighted delta skeleton as the reference for the
+  // incremental equivalence tests.
+  la::Matrix d_delta;
+  scf::FockContext delta_ctx;
+  la::Matrix g_ref_delta;
 
   explicit FockFixture(const chem::Molecule& m, const std::string& basis,
                        double screen_threshold = 1e-11)
@@ -61,13 +69,28 @@ struct FockFixture {
         eri(bs),
         screen(eri, screen_threshold),
         d(),
-        g_ref(bs.nbf(), bs.nbf()) {
+        g_ref(bs.nbf(), bs.nbf()),
+        g_ref_delta(bs.nbf(), bs.nbf()) {
     la::Matrix h = ints::core_hamiltonian(bs, mol);
     la::Matrix s = ints::overlap_matrix(bs);
     la::Matrix x = la::canonical_orthogonalizer(s);
-    d = scf::core_guess_density(h, x, mol.nelectrons() / 2);
+    const int nocc = mol.nelectrons() / 2;
+    d = scf::core_guess_density(h, x, nocc);
     scf::SerialFockBuilder serial(eri, screen);
     serial.build(d, g_ref);
+
+    // One Roothaan step gives the next density; its difference from the
+    // guess is the delta an incremental second iteration would contract.
+    la::Matrix g_sym = g_ref;
+    g_sym.symmetrize();
+    la::Matrix f = h;
+    f += g_sym;
+    la::SymEigResult eig = la::eigh_generalized(f, x);
+    d_delta = scf::density_from_coefficients(eig.vectors, nocc);
+    d_delta -= d;
+    delta_ctx = scf::FockContext::from_density(bs, d_delta,
+                                               /*incremental=*/true);
+    serial.build(d_delta, g_ref_delta, delta_ctx);
   }
 };
 
@@ -83,6 +106,27 @@ la::Matrix build_distributed(const FockFixture& fx, int nranks,
     auto builder = make(ddi);
     la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
     builder->build(fx.d, g);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      out = g;
+    }
+    comm.barrier();
+  });
+  return out;
+}
+
+/// Same as build_distributed, but contracts the fixture's delta density
+/// under its density-weighted context (the incremental-build code path).
+template <typename MakeBuilder>
+la::Matrix build_distributed_delta(const FockFixture& fx, int nranks,
+                                   MakeBuilder&& make) {
+  la::Matrix out(fx.bs.nbf(), fx.bs.nbf());
+  std::mutex mu;
+  par::run_spmd(nranks, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    auto builder = make(ddi);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    builder->build(fx.d_delta, g, fx.delta_ctx);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lk(mu);
       out = g;

@@ -98,8 +98,9 @@ TEST(WorkStealingBuilder, MatchesSerialAndRecordsSteals) {
     if (comm.rank() == 0) out = g;
   });
   EXPECT_NEAR(out.max_abs_diff(fx.g_ref), 0.0, 1e-10);
-  // Every canonical pair processed exactly once across ranks.
-  EXPECT_EQ(total_pairs, fx.bs.nshells() * (fx.bs.nshells() + 1) / 2);
+  // Every surviving pair of the compacted Schwarz-sorted list processed
+  // exactly once across ranks.
+  EXPECT_EQ(total_pairs, fx.screen.sorted_pairs().size());
   // With triangular task sizes, the rank owning the cheap low-index slice
   // finishes early and steals (overwhelmingly likely; not strictly
   // deterministic, so only assert when it happened on >=0 pairs).

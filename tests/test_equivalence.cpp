@@ -114,17 +114,25 @@ INSTANTIATE_TEST_SUITE_P(
 // ---- Deterministic configurations must reproduce the serial bits ----
 
 TEST(EquivalenceExact, SingleRankMpiIsBitIdenticalToSerial) {
-  // One rank, one thread, canonical pair order: the summation order is
-  // exactly the serial builder's, so the result must match bit for bit.
+  // One rank, one thread: the DLB counter walks the same Schwarz-sorted
+  // pair list the serial builder iterates, in the same order, so the
+  // result must match bit for bit.
   const FockFixture& fx = water_631g();
   const la::Matrix g = build(fx, Alg::kMpi, 1, 1, false, false);
   expect_bit_comparable(g, fx.g_ref, 0, "mpi r=1 exact");
 }
 
-TEST(EquivalenceExact, SingleThreadPrivateIsBitIdenticalToSerial) {
+TEST(EquivalenceExact, SingleThreadPrivateIsRunToRunDeterministic) {
+  // One rank x one thread private-Fock claims bra shells in the screening's
+  // work-sorted order and sweeps (j,k) ascending -- a different (but fixed)
+  // summation order from the serial builder's Schwarz-sorted pair list. So
+  // it is NOT bit-equal to serial, but repeated builds must agree bit for
+  // bit, and the skeleton stays within the rounding envelope.
   const FockFixture& fx = water_631g();
-  const la::Matrix g = build(fx, Alg::kPrivate, 1, 1, false, false);
-  expect_bit_comparable(g, fx.g_ref, 0, "private r=1 t=1 exact");
+  const la::Matrix g1 = build(fx, Alg::kPrivate, 1, 1, false, false);
+  const la::Matrix g2 = build(fx, Alg::kPrivate, 1, 1, false, false);
+  expect_bit_comparable(g1, g2, 0, "private r=1 t=1 repeat");
+  expect_bit_comparable(g1, fx.g_ref, kMaxSkeletonUlps, "private r=1 t=1");
 }
 
 TEST(EquivalenceExact, SharedFockSingleThreadIsRunToRunDeterministic) {

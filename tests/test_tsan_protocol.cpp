@@ -65,6 +65,34 @@ TEST(TsanProtocol, SharedFockTwoRanksFourThreads) {
   }
 }
 
+TEST(TsanProtocol, WeightedDeltaBuildsAcrossAllThreeBuilders) {
+  // The incremental path adds the density-weighted prescreens and the
+  // density_screened counter accumulation to every builder's parallel
+  // region; drive each one under ranks x threads so TSan sees the new
+  // branches and the atomic counter update.
+  la::Matrix g_mpi = build_distributed_delta(fx(), 2, [&](par::Ddi& ddi) {
+    return std::make_unique<FockBuilderMpi>(fx().eri, fx().screen, ddi);
+  });
+  expect_bit_comparable(g_mpi, fx().g_ref_delta, kMaxSkeletonUlps,
+                        "mpi weighted delta");
+  la::Matrix g_priv = build_distributed_delta(fx(), 2, [&](par::Ddi& ddi) {
+    PrivateFockOptions opt;
+    opt.nthreads = 4;
+    return std::make_unique<FockBuilderPrivate>(fx().eri, fx().screen, ddi,
+                                                opt);
+  });
+  expect_bit_comparable(g_priv, fx().g_ref_delta, kMaxSkeletonUlps,
+                        "private weighted delta");
+  la::Matrix g_sh = build_distributed_delta(fx(), 2, [&](par::Ddi& ddi) {
+    SharedFockOptions opt;
+    opt.nthreads = 4;
+    return std::make_unique<FockBuilderShared>(fx().eri, fx().screen, ddi,
+                                               opt);
+  });
+  expect_bit_comparable(g_sh, fx().g_ref_delta, kMaxSkeletonUlps,
+                        "shared weighted delta");
+}
+
 TEST(TsanProtocol, SharedFockStaticScheduleUnpadded) {
   // padding=0 maximizes adjacent-column traffic in the buffer reduction:
   // false sharing is a performance bug, not a correctness bug, and TSan
