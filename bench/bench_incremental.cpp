@@ -21,23 +21,7 @@
 
 using namespace mc;
 
-namespace {
-
-void print_history_json(const char* mode, const scf::ScfResult& res) {
-  for (const auto& it : res.history) {
-    std::printf(
-        "{\"mode\":\"%s\",\"iter\":%d,\"quartets\":%zu,"
-        "\"density_screened\":%zu,\"full_rebuild\":%s,"
-        "\"fock_seconds\":%.6f,\"energy\":%.12f}\n",
-        mode, it.iteration, it.quartets_computed, it.density_screened,
-        it.full_rebuild ? "true" : "false", it.fock_build_seconds,
-        it.energy);
-  }
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Incremental Fock",
                 "delta-density builds + density-weighted screening, "
                 "benzene/STO-3G");
@@ -53,10 +37,13 @@ int main() {
   const scf::ScfResult full = scf::run_scf(mol, bs, builder, full_opt);
 
   scf::ScfOptions inc_opt;  // incremental on by default
+  // --profile additionally streams the full metrics/trace files for the
+  // incremental run (the interesting one).
+  inc_opt.profile_path = bench::profile_arg(argc, argv);
   const scf::ScfResult inc = scf::run_scf(mol, bs, builder, inc_opt);
 
-  print_history_json("full", full);
-  print_history_json("incremental", inc);
+  bench::report_scf_history("full", full);
+  bench::report_scf_history("incremental", inc);
 
   const auto& first = inc.history.front();
   const auto& last = inc.history.back();

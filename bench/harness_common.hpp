@@ -5,9 +5,11 @@
 // output itself (EXPERIMENTS.md records the same pairs).
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/table.hpp"
+#include "scf/scf_driver.hpp"
 
 namespace mc::bench {
 
@@ -30,6 +32,33 @@ inline void note(const std::string& text) {
 inline void print_table(const Table& t) {
   std::printf("%s", t.to_string().c_str());
   std::fflush(stdout);
+}
+
+/// One JSON line per SCF iteration, tagged with a harness-chosen mode
+/// string -- the same per-iteration counters the --profile metrics stream
+/// carries (DESIGN.md section 10.2), for harnesses that post-process their
+/// own stdout instead of a metrics file.
+inline void report_scf_history(const std::string& mode,
+                               const scf::ScfResult& res) {
+  for (const auto& it : res.history) {
+    std::printf(
+        "{\"mode\":\"%s\",\"iter\":%d,\"quartets\":%zu,"
+        "\"density_screened\":%zu,\"full_rebuild\":%s,"
+        "\"fock_seconds\":%.6f,\"energy\":%.12f}\n",
+        mode.c_str(), it.iteration, it.quartets_computed,
+        it.density_screened, it.full_rebuild ? "true" : "false",
+        it.fock_build_seconds, it.energy);
+  }
+}
+
+/// Value of a `--profile PATH` argument, or "" when absent: every harness
+/// binary accepts the same flag the mchf driver has, wiring it into
+/// ScfOptions::profile_path.
+inline std::string profile_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) return argv[i + 1];
+  }
+  return {};
 }
 
 }  // namespace mc::bench

@@ -12,6 +12,9 @@
 //     --charge Q          net charge               (default 0)
 //     --multiplicity M    2S+1 for UHF             (default 1)
 //     --guess-mix         break alpha/beta symmetry in the UHF guess
+//     --profile PATH      write PATH.metrics.jsonl (one JSON record per
+//                         SCF iteration) and PATH.trace.json (chrome
+//                         trace; open in chrome://tracing or Perfetto)
 //
 // Examples:
 //   mchf --molecule water --basis 6-31G(d) --method mp2
@@ -52,6 +55,7 @@ struct Args {
   int charge = 0;
   int multiplicity = 1;
   bool guess_mix = false;
+  std::string profile;
 };
 
 [[noreturn]] void usage_and_exit() {
@@ -60,7 +64,8 @@ struct Args {
       "[--method rhf|uhf|mp2]\n"
       "            [--algorithm serial|mpi|private|shared] [--ranks R] "
       "[--threads T]\n"
-      "            [--charge Q] [--multiplicity M] [--guess-mix]\n");
+      "            [--charge Q] [--multiplicity M] [--guess-mix]\n"
+      "            [--profile PATH]\n");
   std::exit(2);
 }
 
@@ -83,6 +88,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--multiplicity")
       a.multiplicity = std::atoi(value().c_str());
     else if (flag == "--guess-mix") a.guess_mix = true;
+    else if (flag == "--profile") a.profile = value();
     else if (flag == "--help" || flag == "-h") usage_and_exit();
     else {
       std::printf("unknown flag: %s\n", flag.c_str());
@@ -150,6 +156,7 @@ int run(const Args& a) {
     scf::SerialFockBuilder builder(eri, screen);
     scf::ScfOptions opt;
     opt.charge = a.charge;
+    opt.profile_path = a.profile;
     const scf::ScfResult r = scf::run_scf(mol, bs, builder, opt);
     MC_CHECK(r.converged, "SCF did not converge");
     std::printf("RHF converged in %d iterations (%.2f s, Fock %.2f s)\n",
@@ -175,6 +182,7 @@ int run(const Args& a) {
   cfg.nthreads = a.threads;
   cfg.basis = a.basis;
   cfg.scf.charge = a.charge;
+  cfg.scf.profile_path = a.profile;
   const core::ParallelScfResult res = core::run_parallel_scf(mol, cfg);
   MC_CHECK(res.scf.converged, "SCF did not converge");
   std::printf("RHF [%s, %d ranks x %d threads] converged in %d iterations "

@@ -8,8 +8,18 @@
 namespace mc {
 
 /// Monotonic wall-clock stopwatch.
+///
+/// Must stay on steady_clock: high_resolution_clock is allowed to alias
+/// system_clock, which jumps under NTP adjustment -- a trace or scoped
+/// duration taken across such a jump can go negative. The static_assert
+/// makes the monotonicity requirement a compile error instead of a
+/// comment, and the obs trace layer (obs/trace.hpp) timestamps on the
+/// same clock so spans and timers are directly comparable.
 class WallTimer {
  public:
+  /// Monotonicity guarantee, visible to tests.
+  static constexpr bool kIsSteady = std::chrono::steady_clock::is_steady;
+
   WallTimer() : start_(clock::now()) {}
 
   /// Restart the timer.
@@ -22,6 +32,8 @@ class WallTimer {
 
  private:
   using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady,
+                "timers must be monotonic (immune to NTP clock steps)");
   clock::time_point start_;
 };
 

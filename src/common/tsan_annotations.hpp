@@ -58,3 +58,26 @@ void AnnotateHappensAfter(const char* file, int line,
     _Pragma("omp barrier")             \
     MC_TSAN_ACQUIRE(addr);             \
   } while (0)
+
+#if defined(MC_TSAN_ENABLED) && defined(_OPENMP)
+#include <omp.h>
+#endif
+
+/// Placed after the join of a parallel region (never inside one), releases
+/// libgomp's pooled worker threads so the *next* region on this master
+/// spawns fresh pthreads. This closes the one fork edge the annotations
+/// above cannot express: a reused pooled worker's prologue read of the
+/// compiler-generated argument struct is handed off through an
+/// uninstrumented futex and happens before any user statement where an
+/// acquire could sit, so TSan reports it as a race against the forking
+/// thread's struct write. A fresh thread's first region is ordered by the
+/// TSan-visible pthread_create edge instead. Frees only the calling
+/// thread's pool (safe concurrently from several minimpi rank threads);
+/// compiles to nothing outside -fsanitize=thread builds, so release builds
+/// keep the pool-reuse fast path.
+#if defined(MC_TSAN_ENABLED) && defined(_OPENMP)
+#define MC_TSAN_OMP_QUIESCE() \
+  static_cast<void>(omp_pause_resource_all(omp_pause_soft))
+#else
+#define MC_TSAN_OMP_QUIESCE() static_cast<void>(0)
+#endif

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "par/work_stealing.hpp"
 
 namespace mc::core {
@@ -23,7 +24,10 @@ void FockBuilderMpi::process_pair(const ints::ScreenedPair& pair,
     return;
   }
   scf::for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
-    if (!screen_->keep(i, j, k, l)) return;  // Schwartz screening
+    if (!screen_->keep(i, j, k, l)) {  // Schwartz screening
+      ++static_screened_;
+      return;
+    }
     if (weighted && !screen_->keep(i, j, k, l, ctx.quartet_dmax(i, j, k, l),
                                    ctx.threshold_scale)) {
       ++density_screened_;
@@ -71,11 +75,13 @@ void FockBuilderMpi::build_stealing(const la::Matrix& density, la::Matrix& g,
 
 void FockBuilderMpi::build(const la::Matrix& density, la::Matrix& g,
                            const scf::FockContext& ctx) {
+  MC_OBS_TRACE("fock:mpi");
   const basis::BasisSet& bs = eri_->basis_set();
   MC_CHECK(g.rows() == bs.nbf() && g.cols() == bs.nbf(), "G shape mismatch");
   pairs_ = 0;
   quartets_ = 0;
   density_screened_ = 0;
+  static_screened_ = 0;
   steals_ = 0;
 
   if (lb_ == MpiLoadBalance::kWorkStealing) {

@@ -47,13 +47,25 @@ class FockBuilderMpi : public scf::FockBuilder {
              const scf::FockContext& ctx) override;
 
   /// (i,j) pairs this rank processed in the last build (load statistics).
-  [[nodiscard]] std::size_t last_pairs_claimed() const { return pairs_; }
+  [[nodiscard]] std::size_t last_pairs_claimed() const override {
+    return pairs_;
+  }
   /// Quartets this rank computed in the last build.
   [[nodiscard]] std::size_t last_quartets_computed() const override {
     return quartets_;
   }
   [[nodiscard]] std::size_t last_density_screened() const override {
     return density_screened_;
+  }
+  [[nodiscard]] std::size_t last_static_screened() const override {
+    return static_screened_;
+  }
+  [[nodiscard]] std::vector<std::size_t> last_thread_quartets()
+      const override {
+    return {quartets_};
+  }
+  [[nodiscard]] std::size_t screening_predicted_quartets() const override {
+    return screen_->count_surviving_quartets();
   }
   [[nodiscard]] double screening_threshold() const override {
     return screen_->threshold();
@@ -78,6 +90,7 @@ class FockBuilderMpi : public scf::FockBuilder {
   std::size_t pairs_ = 0;
   std::size_t quartets_ = 0;
   std::size_t density_screened_ = 0;
+  std::size_t static_screened_ = 0;
   std::size_t steals_ = 0;
 };
 

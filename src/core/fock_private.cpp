@@ -7,11 +7,13 @@
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/tsan_annotations.hpp"
+#include "obs/trace.hpp"
 
 namespace mc::core {
 
 void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
                                const scf::FockContext& ctx) {
+  MC_OBS_TRACE("fock:private");
   const basis::BasisSet& bs = eri_->basis_set();
   const std::size_t nbf = bs.nbf();
   MC_CHECK(g.rows() == nbf && g.cols() == nbf, "G shape mismatch");
@@ -29,8 +31,10 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
   i_claimed_ = 0;
   quartets_ = 0;
   density_screened_ = 0;
+  static_screened_ = 0;
 
   const int nt = opt_.nthreads;
+  thread_quartets_.assign(static_cast<std::size_t>(nt), 0);
   std::vector<la::Matrix*> thread_g(static_cast<std::size_t>(nt), nullptr);
   long shared_i = 0;
 
@@ -55,6 +59,7 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
     std::vector<double> batch;
     std::size_t my_quartets = 0;
     std::size_t my_density_screened = 0;
+    std::size_t my_static_screened = 0;
 
     for (;;) {
 #pragma omp master
@@ -66,6 +71,9 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
           static_cast<long>(bra_order[static_cast<std::size_t>(claimed)]);
 #pragma omp master
       ++i_claimed_;
+      // One span per claimed i task per thread: the per-thread lanes of
+      // the chrome trace make the (j,k) load split visible directly.
+      MC_OBS_TRACE("fock:private:i_task");
 
       // OpenMP parallelization over the combined (j,k) loops; joining the
       // loops provides a larger task pool (paper section 4.3).
@@ -85,7 +93,10 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
           for (long l = 0; l <= lmax; ++l) {
             const auto sk = static_cast<std::size_t>(k);
             const auto sl = static_cast<std::size_t>(l);
-            if (!screen_->keep(si, sj, sk, sl)) continue;
+            if (!screen_->keep(si, sj, sk, sl)) {
+              ++my_static_screened;
+              continue;
+            }
             if (weighted &&
                 !screen_->keep(si, sj, sk, sl,
                                ctx.quartet_dmax(si, sj, sk, sl), scale)) {
@@ -111,6 +122,11 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
     quartets_ += my_quartets;
 #pragma omp atomic
     density_screened_ += my_density_screened;
+#pragma omp atomic
+    static_screened_ += my_static_screened;
+    // Distinct slot per thread; the master reads after the join (the
+    // region-edge TSAN annotations publish it like the atomics above).
+    thread_quartets_[static_cast<std::size_t>(tid)] = my_quartets;
 
     // Reduce the thread-private copies into the rank matrix, row-chunked so
     // threads write disjoint cache lines.
@@ -130,6 +146,7 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
     MC_TSAN_RELEASE(&shared_i);
   }
   MC_TSAN_ACQUIRE(&shared_i);
+  MC_TSAN_OMP_QUIESCE();  // fresh workers for the next region under TSan
 
   // 2e-Fock matrix reduction over MPI ranks.
   ddi_->gsumf(g);

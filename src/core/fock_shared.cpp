@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/tsan_annotations.hpp"
+#include "obs/trace.hpp"
 
 namespace mc::core {
 
@@ -50,6 +51,7 @@ void flush_buffer(double* buf, std::size_t col_stride, int nt,
 
 void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
                               const scf::FockContext& ctx) {
+  MC_OBS_TRACE("fock:shared");
   const basis::BasisSet& bs = eri_->basis_set();
   const std::size_t nbf = bs.nbf();
   // The MPI DLB counter walks the Screening's bra-grouped pair list:
@@ -67,9 +69,11 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
   pairs_ = 0;
   quartets_ = 0;
   density_screened_ = 0;
+  static_screened_ = 0;
   fi_flushes_ = 0;
 
   const int nt = opt_.nthreads;
+  thread_quartets_.assign(static_cast<std::size_t>(nt), 0);
   // mxsize = ubound(Fock) * shellSize (+ padding against false sharing);
   // one column per thread (Algorithm 3 lines 1-3).
   const std::size_t col_stride =
@@ -104,11 +108,15 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
   {
     MC_TSAN_ACQUIRE(&plan);
     const int tid = omp_get_thread_num();
+    // OpenMP workers do not inherit the rank thread's attribution; scope it
+    // so trace events and tracked buffers land on this rank's lane.
+    RankScope rank_scope(ddi_->rank());
     double* fi_mine = fi.data() + static_cast<std::size_t>(tid) * col_stride;
     double* fj_mine = fj.data() + static_cast<std::size_t>(tid) * col_stride;
     std::vector<double> batch;
     std::size_t my_quartets = 0;
     std::size_t my_density_screened = 0;
+    std::size_t my_static_screened = 0;
 
     for (;;) {
 #pragma omp master
@@ -144,6 +152,9 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
       if (my_plan.ij >= static_cast<long>(nlist)) break;
       if (my_plan.skip) continue;
 
+      // One span per claimed ij pair per thread: the per-thread lanes of
+      // the chrome trace make the kl-loop load split visible directly.
+      MC_OBS_TRACE("fock:shared:ij_task");
       const ints::ScreenedPair& my_pair =
           bra_pairs[static_cast<std::size_t>(my_plan.ij)];
       const std::size_t i = my_pair.i;
@@ -169,7 +180,10 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
       for (long kl = 0; kl <= ij; ++kl) {
         const auto [k, l] =
             screen_->pair_shells(static_cast<std::size_t>(kl));
-        if (!screen_->keep(i, j, k, l)) continue;  // Schwartz screening
+        if (!screen_->keep(i, j, k, l)) {  // Schwartz screening
+          ++my_static_screened;
+          continue;
+        }
         if (weighted && !screen_->keep(i, j, k, l,
                                        ctx.quartet_dmax(i, j, k, l), scale)) {
           ++my_density_screened;
@@ -240,9 +254,15 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
     quartets_ += my_quartets;
 #pragma omp atomic
     density_screened_ += my_density_screened;
+#pragma omp atomic
+    static_screened_ += my_static_screened;
+    // Distinct slot per thread; the master reads after the join (published
+    // by the region-edge TSAN annotations like the atomics above).
+    thread_quartets_[static_cast<std::size_t>(tid)] = my_quartets;
     MC_TSAN_RELEASE(&plan);
   }
   MC_TSAN_ACQUIRE(&plan);
+  MC_TSAN_OMP_QUIESCE();  // fresh workers for the next region under TSan
 
   // 2e-Fock matrix reduction over MPI ranks.
   ddi_->gsumf(g);

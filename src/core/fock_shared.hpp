@@ -54,12 +54,24 @@ class FockBuilderShared : public scf::FockBuilder {
   void build(const la::Matrix& density, la::Matrix& g,
              const scf::FockContext& ctx) override;
 
-  [[nodiscard]] std::size_t last_pairs_claimed() const { return pairs_; }
+  [[nodiscard]] std::size_t last_pairs_claimed() const override {
+    return pairs_;
+  }
   [[nodiscard]] std::size_t last_quartets_computed() const override {
     return quartets_;
   }
   [[nodiscard]] std::size_t last_density_screened() const override {
     return density_screened_;
+  }
+  [[nodiscard]] std::size_t last_static_screened() const override {
+    return static_screened_;
+  }
+  [[nodiscard]] std::vector<std::size_t> last_thread_quartets()
+      const override {
+    return thread_quartets_;
+  }
+  [[nodiscard]] std::size_t screening_predicted_quartets() const override {
+    return screen_->count_surviving_quartets();
   }
   [[nodiscard]] double screening_threshold() const override {
     return screen_->threshold();
@@ -76,7 +88,9 @@ class FockBuilderShared : public scf::FockBuilder {
   std::size_t pairs_ = 0;
   std::size_t quartets_ = 0;
   std::size_t density_screened_ = 0;
+  std::size_t static_screened_ = 0;
   std::size_t fi_flushes_ = 0;
+  std::vector<std::size_t> thread_quartets_;
 };
 
 }  // namespace mc::core

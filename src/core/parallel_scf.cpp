@@ -15,6 +15,8 @@
 #include "la/blas_lite.hpp"
 #include "la/orthogonalizer.hpp"
 #include "la/sym_eig.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/ddi.hpp"
 #include "par/runtime.hpp"
 #include "scf/diis.hpp"
@@ -72,7 +74,25 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
   result.quartets_per_rank.assign(static_cast<std::size_t>(config.nranks), 0);
   result.peak_bytes_per_rank.assign(static_cast<std::size_t>(config.nranks),
                                     0);
+  result.dlb_wait_seconds_per_rank.assign(
+      static_cast<std::size_t>(config.nranks), 0.0);
+  result.gsum_seconds_per_rank.assign(static_cast<std::size_t>(config.nranks),
+                                      0.0);
   std::mutex result_mu;
+
+  // --profile: the session lives on the host thread; ranks deposit their
+  // per-iteration metrics into distinct slots of this shared vector and
+  // rank 0 assembles + writes the aggregated record. The deposit/read
+  // cycle is ordered by two profiling-only barriers (gated so runs without
+  // profiling -- e.g. the fault-injection tests, which count collective
+  // ops -- see an unchanged op sequence).
+  std::unique_ptr<obs::ProfileSession> profile;
+  if (!config.scf.profile_path.empty()) {
+    profile = std::make_unique<obs::ProfileSession>(config.scf.profile_path);
+  }
+  const bool profiling = profile != nullptr;
+  std::vector<obs::RankIterationMetrics> iter_metrics(
+      static_cast<std::size_t>(config.nranks));
 
   MemoryTracker::instance().reset();
   WallTimer wall;
@@ -109,8 +129,21 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
     scf::ScfResult res;
     res.nuclear_repulsion = mol.nuclear_repulsion();
 
+    // Profiling-time state: the screening-predicted quartet total (pure
+    // local computation, identical on every rank; only rank 0 reports it)
+    // and the previous channel-accumulator snapshots for per-iteration
+    // deltas.
+    std::size_t predicted_quartets = 0;
+    if (profiling && rank == 0) {
+      predicted_quartets = builder->screening_predicted_quartets();
+    }
+    double prev_dlb = 0.0;
+    double prev_gsum = 0.0;
+    double prev_barrier = 0.0;
+
     double e_prev = 0.0;
     for (int iter = 1; iter <= config.scf.max_iterations; ++iter) {
+      MC_OBS_TRACE("scf:iteration");
       const bool full_rebuild =
           !config.scf.incremental_fock || iter == 1 ||
           builds_since_full >= config.scf.fock_rebuild_interval ||
@@ -196,6 +229,53 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
       info.density_screened = static_cast<std::size_t>(counts(0, 1));
       res.history.push_back(info);
 
+      if (profiling) {
+        // This rank's share of the iteration. Channel accumulators are
+        // global; report deltas. The two profiling barriers below also add
+        // to the barrier channel -- that time lands in the *next*
+        // iteration's delta, a deliberate (and tiny) attribution skew.
+        obs::RankIterationMetrics rm;
+        rm.rank = rank;
+        rm.pairs_claimed = builder->last_pairs_claimed();
+        rm.quartets = builder->last_quartets_computed();
+        rm.static_screened = builder->last_static_screened();
+        rm.density_screened = builder->last_density_screened();
+        rm.thread_quartets = builder->last_thread_quartets();
+        const double dlb = obs::channel_seconds(obs::Channel::kDlbWait, rank);
+        const double gsum = obs::channel_seconds(obs::Channel::kGsum, rank);
+        const double bar = obs::channel_seconds(obs::Channel::kBarrier, rank);
+        rm.dlb_wait_seconds = dlb - prev_dlb;
+        rm.gsum_seconds = gsum - prev_gsum;
+        rm.barrier_seconds = bar - prev_barrier;
+        prev_dlb = dlb;
+        prev_gsum = gsum;
+        prev_barrier = bar;
+        rm.peak_bytes = MemoryTracker::instance().rank_peak_bytes(rank);
+        iter_metrics[static_cast<std::size_t>(rank)] = std::move(rm);
+        comm.barrier();  // all deposits visible to rank 0
+        if (rank == 0) {
+          obs::IterationRecord rec;
+          rec.algorithm = builder->name();
+          rec.nranks = config.nranks;
+          rec.nthreads = config.nthreads;
+          rec.iteration = iter;
+          rec.energy = e_total;
+          rec.delta_energy = info.delta_energy;
+          rec.density_rms = rms;
+          rec.full_rebuild = full_rebuild;
+          rec.fock_seconds = t_fock;
+          rec.quartets = info.quartets_computed;
+          rec.density_screened = info.density_screened;
+          rec.screening_predicted_quartets = predicted_quartets;
+          rec.ranks = iter_metrics;
+          for (const auto& r : iter_metrics) {
+            rec.static_screened += r.static_screened;
+          }
+          profile->write_iteration(rec);
+        }
+        comm.barrier();  // rank 0 read before the next iteration's rewrite
+      }
+
       d.copy_values_from(d_new);
       res.iterations = iter;
       res.energy = e_total;
@@ -219,6 +299,10 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
           builder->last_quartets_computed();
       result.peak_bytes_per_rank[static_cast<std::size_t>(rank)] =
           MemoryTracker::instance().rank_peak_bytes(rank);
+      result.dlb_wait_seconds_per_rank[static_cast<std::size_t>(rank)] =
+          obs::channel_seconds(obs::Channel::kDlbWait, rank);
+      result.gsum_seconds_per_rank[static_cast<std::size_t>(rank)] =
+          obs::channel_seconds(obs::Channel::kGsum, rank);
       if (rank == 0) result.scf = std::move(res);
     }
     comm.barrier();

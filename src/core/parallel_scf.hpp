@@ -41,6 +41,11 @@ struct ParallelScfResult {
   std::vector<std::size_t> quartets_per_rank;
   /// Tracked-allocation peak per rank over the whole run.
   std::vector<std::size_t> peak_bytes_per_rank;
+  /// Cumulative per-rank wait times over the whole run, from the obs
+  /// channel accumulators (all zero unless metrics are enabled -- i.e. a
+  /// --profile run or MC_OBS=1 in the environment).
+  std::vector<double> dlb_wait_seconds_per_rank;
+  std::vector<double> gsum_seconds_per_rank;
   /// max/mean of quartets_per_rank (1.0 = perfect balance).
   [[nodiscard]] double load_imbalance() const;
 };

@@ -65,6 +65,7 @@ Screening::Screening(const EriEngine& eri, double threshold)
     MC_TSAN_RELEASE(q_.data());
   }
   MC_TSAN_ACQUIRE(q_.data());
+  MC_TSAN_OMP_QUIESCE();  // fresh workers for the next region under TSan
 
   for (std::size_t i = 0; i < nshells_; ++i) {
     for (std::size_t j = 0; j <= i; ++j) qmax_ = std::max(qmax_, q(i, j));

@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mc::obs {
+
+namespace {
+
+bool env_obs_enabled() {
+  const char* v = std::getenv("MC_OBS");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+std::atomic<bool>& metrics_flag() {
+  static std::atomic<bool> flag{env_obs_enabled()};
+  return flag;
+}
+
+/// Fixed per-rank accumulator slots: ranks 0..kMaxTrackedRanks-1, with one
+/// shared overflow/unattributed slot at the end (rank < 0 or beyond the
+/// table -- far past the scale minimpi jobs reach in-process).
+constexpr int kMaxTrackedRanks = 256;
+constexpr int kSlots = kMaxTrackedRanks + 1;
+
+int slot_of(int rank) {
+  return (rank < 0 || rank >= kMaxTrackedRanks) ? kMaxTrackedRanks : rank;
+}
+
+std::atomic<std::uint64_t>& acc(Channel c, int rank) {
+  static std::atomic<std::uint64_t> table[kChannelCount][kSlots] = {};
+  return table[static_cast<int>(c)][slot_of(rank)];
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_size(std::string& out, std::size_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::kDlbWait: return "dlb_wait";
+    case Channel::kGsum: return "gsum";
+    case Channel::kBarrier: return "barrier";
+    case Channel::kBroadcast: return "broadcast";
+  }
+  return "unknown";
+}
+
+bool metrics_enabled() {
+  return metrics_flag().load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  metrics_flag().store(on, std::memory_order_relaxed);
+}
+
+void reset_metrics() {
+  for (int c = 0; c < kChannelCount; ++c) {
+    for (int s = -1; s < kMaxTrackedRanks; ++s) {
+      acc(static_cast<Channel>(c), s).store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void add_channel_ns(Channel c, int rank, std::uint64_t ns) {
+  acc(c, rank).fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t channel_ns(Channel c, int rank) {
+  return acc(c, rank).load(std::memory_order_relaxed);
+}
+
+double channel_seconds(Channel c, int rank) {
+  return static_cast<double>(channel_ns(c, rank)) * 1e-9;
+}
+
+double IterationRecord::load_imbalance() const {
+  if (ranks.empty()) return 1.0;
+  std::size_t total = 0;
+  std::size_t mx = 0;
+  for (const auto& r : ranks) {
+    total += r.quartets;
+    mx = std::max(mx, r.quartets);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(ranks.size());
+  return static_cast<double>(mx) / mean;
+}
+
+std::string iteration_json(const IterationRecord& rec) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"type\":\"scf_iteration\",\"algorithm\":\"";
+  out += rec.algorithm;
+  out += "\",\"nranks\":";
+  append_size(out, static_cast<std::size_t>(rec.nranks));
+  out += ",\"nthreads\":";
+  append_size(out, static_cast<std::size_t>(rec.nthreads));
+  out += ",\"iter\":";
+  append_size(out, static_cast<std::size_t>(rec.iteration));
+  out += ",\"energy\":";
+  append_double(out, rec.energy);
+  out += ",\"delta_energy\":";
+  append_double(out, rec.delta_energy);
+  out += ",\"density_rms\":";
+  append_double(out, rec.density_rms);
+  out += ",\"full_rebuild\":";
+  out += rec.full_rebuild ? "true" : "false";
+  out += ",\"fock_seconds\":";
+  append_double(out, rec.fock_seconds);
+  out += ",\"quartets\":";
+  append_size(out, rec.quartets);
+  out += ",\"static_screened\":";
+  append_size(out, rec.static_screened);
+  out += ",\"density_screened\":";
+  append_size(out, rec.density_screened);
+  out += ",\"screening_predicted_quartets\":";
+  append_size(out, rec.screening_predicted_quartets);
+  out += ",\"load_imbalance\":";
+  append_double(out, rec.load_imbalance());
+  out += ",\"ranks\":[";
+  for (std::size_t i = 0; i < rec.ranks.size(); ++i) {
+    const RankIterationMetrics& r = rec.ranks[i];
+    if (i > 0) out += ",";
+    out += "{\"rank\":";
+    char rankbuf[16];
+    std::snprintf(rankbuf, sizeof(rankbuf), "%d", r.rank);
+    out += rankbuf;
+    out += ",\"pairs_claimed\":";
+    append_size(out, r.pairs_claimed);
+    out += ",\"quartets\":";
+    append_size(out, r.quartets);
+    out += ",\"static_screened\":";
+    append_size(out, r.static_screened);
+    out += ",\"density_screened\":";
+    append_size(out, r.density_screened);
+    out += ",\"thread_quartets\":[";
+    for (std::size_t t = 0; t < r.thread_quartets.size(); ++t) {
+      if (t > 0) out += ",";
+      append_size(out, r.thread_quartets[t]);
+    }
+    out += "],\"dlb_wait_seconds\":";
+    append_double(out, r.dlb_wait_seconds);
+    out += ",\"gsum_seconds\":";
+    append_double(out, r.gsum_seconds);
+    out += ",\"barrier_seconds\":";
+    append_double(out, r.barrier_seconds);
+    out += ",\"peak_bytes\":";
+    append_size(out, r.peak_bytes);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void write_iteration_json(std::ostream& os, const IterationRecord& rec) {
+  os << iteration_json(rec);
+}
+
+ProfileSession::ProfileSession(const std::string& base_path)
+    : metrics_path_(base_path + ".metrics.jsonl"),
+      trace_path_(base_path + ".trace.json"),
+      prev_trace_(trace_enabled()),
+      prev_metrics_(metrics_enabled()) {
+  out_ = std::make_unique<std::ofstream>(metrics_path_, std::ios::trunc);
+  MC_CHECK(static_cast<bool>(*out_),
+           "cannot open profile metrics file: " + metrics_path_);
+  set_trace_enabled(true);
+  set_metrics_enabled(true);
+  reset_trace();
+  reset_metrics();
+}
+
+ProfileSession::~ProfileSession() {
+  out_->flush();
+  write_chrome_trace_file(trace_path_);
+  set_trace_enabled(prev_trace_);
+  set_metrics_enabled(prev_metrics_);
+}
+
+void ProfileSession::write_iteration(const IterationRecord& rec) {
+  *out_ << iteration_json(rec) << "\n";
+  out_->flush();
+}
+
+}  // namespace mc::obs

@@ -1,0 +1,149 @@
+#pragma once
+// Load-balance metrics (DESIGN.md section 10): per-rank accumulators for
+// the time categories the paper's evaluation is built on -- DLB-counter
+// wait, gsumf/allreduce, barrier, broadcast -- plus the per-iteration
+// record the SCF drivers emit as machine-readable JSON lines when run
+// with --profile (one record per SCF iteration, schema in DESIGN.md
+// section 10.2, mapped to the paper's Tables 2-3 in EXPERIMENTS.md).
+//
+// Gating mirrors obs/trace.hpp: MC_OBS=0 collapses ScopedChannelTimer to
+// an empty type; with MC_OBS=1 the timer costs one relaxed atomic load
+// until metrics are enabled at runtime.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mc::obs {
+
+/// Communication/wait-time categories, accumulated per rank.
+enum class Channel : int {
+  kDlbWait = 0,   ///< time spent claiming from the shared DLB counter
+  kGsum = 1,      ///< ddi_gsumf / allreduce (sum and max)
+  kBarrier = 2,   ///< explicit barriers
+  kBroadcast = 3, ///< ddi_bcast
+};
+inline constexpr int kChannelCount = 4;
+[[nodiscard]] const char* channel_name(Channel c);
+
+[[nodiscard]] bool metrics_enabled();
+void set_metrics_enabled(bool on);
+/// Zero every (channel, rank) accumulator.
+void reset_metrics();
+
+/// Accumulate `ns` into (channel, rank). rank < 0 = unattributed/serial.
+void add_channel_ns(Channel c, int rank, std::uint64_t ns);
+[[nodiscard]] std::uint64_t channel_ns(Channel c, int rank);
+[[nodiscard]] double channel_seconds(Channel c, int rank);
+
+/// RAII channel accumulation: adds the scope's duration to (c, rank).
+class ScopedChannelTimerImpl {
+ public:
+  ScopedChannelTimerImpl(Channel c, int rank) {
+    if (metrics_enabled()) {
+      active_ = true;
+      c_ = c;
+      rank_ = rank;
+      t0_ = monotonic_ns();
+    }
+  }
+  ~ScopedChannelTimerImpl() {
+    if (active_) add_channel_ns(c_, rank_, monotonic_ns() - t0_);
+  }
+  ScopedChannelTimerImpl(const ScopedChannelTimerImpl&) = delete;
+  ScopedChannelTimerImpl& operator=(const ScopedChannelTimerImpl&) = delete;
+
+ private:
+  bool active_ = false;
+  Channel c_ = Channel::kDlbWait;
+  int rank_ = -1;
+  std::uint64_t t0_ = 0;
+};
+
+struct ScopedChannelTimerNoop {
+  ScopedChannelTimerNoop(Channel /*c*/, int /*rank*/) {}
+};
+
+#if MC_OBS
+using ScopedChannelTimer = ScopedChannelTimerImpl;
+#else
+using ScopedChannelTimer = ScopedChannelTimerNoop;
+#endif
+
+// ---------------------------------------------------------------------------
+// Per-iteration metrics records (the --profile JSON-lines schema).
+
+/// One rank's share of one SCF iteration's Fock build.
+struct RankIterationMetrics {
+  int rank = 0;
+  std::size_t pairs_claimed = 0;   ///< MPI-level tasks this rank claimed
+  std::size_t quartets = 0;        ///< shell quartets computed
+  std::size_t static_screened = 0; ///< killed by the static Schwarz bound
+  std::size_t density_screened = 0;///< killed by the density-weighted bound
+  std::vector<std::size_t> thread_quartets;  ///< per-OpenMP-thread split
+  double dlb_wait_seconds = 0.0;
+  double gsum_seconds = 0.0;
+  double barrier_seconds = 0.0;
+  std::size_t peak_bytes = 0;      ///< MemoryTracker high-water mark
+};
+
+/// One SCF iteration, aggregated across ranks.
+struct IterationRecord {
+  std::string algorithm;
+  int nranks = 1;
+  int nthreads = 1;
+  int iteration = 0;
+  double energy = 0.0;
+  double delta_energy = 0.0;
+  double density_rms = 0.0;
+  bool full_rebuild = true;
+  double fock_seconds = 0.0;
+  std::size_t quartets = 0;          ///< summed over ranks
+  std::size_t static_screened = 0;   ///< summed over ranks
+  std::size_t density_screened = 0;  ///< summed over ranks
+  /// Static-survivor quartet count predicted by the Schwarz screening;
+  /// full-rebuild iterations must compute exactly this many (0 = unknown).
+  std::size_t screening_predicted_quartets = 0;
+  std::vector<RankIterationMetrics> ranks;
+
+  /// max/mean of per-rank quartet counts (1.0 = perfect balance).
+  [[nodiscard]] double load_imbalance() const;
+};
+
+/// One record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string iteration_json(const IterationRecord& rec);
+void write_iteration_json(std::ostream& os, const IterationRecord& rec);
+
+/// RAII profile session backing the SCF drivers' --profile=<base> flag:
+/// enables tracing + metrics (restoring the previous flags on
+/// destruction), resets both, streams iteration records to
+/// <base>.metrics.jsonl, and writes <base>.trace.json at the end.
+/// One session at a time -- construction resets the global accumulators.
+class ProfileSession {
+ public:
+  explicit ProfileSession(const std::string& base_path);
+  ~ProfileSession();
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+  void write_iteration(const IterationRecord& rec);
+
+  [[nodiscard]] const std::string& metrics_path() const {
+    return metrics_path_;
+  }
+  [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<std::ofstream> out_;
+  bool prev_trace_ = false;
+  bool prev_metrics_ = false;
+};
+
+}  // namespace mc::obs

@@ -1,0 +1,108 @@
+#pragma once
+// Scoped trace events (DESIGN.md section 10): per rank x thread spans on
+// the monotonic clock, held in per-thread ring buffers and exported as
+// chrome-trace JSON (open in chrome://tracing or https://ui.perfetto.dev).
+//
+// Two gates keep this off the hot path:
+//  * Compile time: MC_OBS (default 1). An MC_OBS=0 translation unit sees
+//    the MC_OBS_TRACE macro expand to nothing and the ScopedTrace alias
+//    collapse to an empty type -- zero trace code is generated
+//    (test_obs_overhead builds itself both ways and asserts this).
+//  * Run time: even when compiled in, a ScopedTrace constructor is a
+//    single relaxed atomic load until tracing is enabled -- by MC_OBS=1 in
+//    the environment, a --profile run (obs::ProfileSession), or
+//    set_trace_enabled(true).
+//
+// Threading contract: each thread writes only its own ring buffer (the
+// buffer outlives the thread; OpenMP pool threads reuse theirs across
+// parallel regions). The event payload is published with a release store
+// of the event count and read back with an acquire load, so exporting
+// from a quiescent point (after run_spmd joins / outside parallel
+// regions) is race-free, including under TSan. Rank attribution comes
+// from MemoryTracker::current_rank() -- the same thread-local the memory
+// accounting uses -- so rank threads and RankScope'd OpenMP workers tag
+// their events correctly; serial code records rank -1.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#ifndef MC_OBS
+#define MC_OBS 1
+#endif
+
+namespace mc::obs {
+
+/// Nanoseconds on the process-wide monotonic (steady) clock.
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+[[nodiscard]] bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// Drop all recorded events. Buffers stay registered with their threads;
+/// call only from a quiescent point (no concurrent recording).
+void reset_trace();
+/// Events currently held across all thread buffers (caps at the total
+/// ring capacity once buffers wrap).
+[[nodiscard]] std::size_t trace_event_count();
+/// Events lost to ring-buffer wraparound since the last reset.
+[[nodiscard]] std::size_t trace_events_dropped();
+
+/// Write every recorded event as chrome-trace JSON ("X" duration events,
+/// pid = rank, tid = per-thread buffer id, ts/dur in microseconds).
+void write_chrome_trace(std::ostream& os);
+/// write_chrome_trace to a file; returns false if the file cannot be
+/// opened.
+bool write_chrome_trace_file(const std::string& path);
+
+namespace detail {
+/// Append one completed span to the calling thread's ring buffer.
+/// `name` must have static storage duration (string literal).
+void record_event(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns);
+}  // namespace detail
+
+/// RAII span: records [construction, destruction) under `name` (a string
+/// literal) when tracing is enabled.
+class ScopedTraceImpl {
+ public:
+  explicit ScopedTraceImpl(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      t0_ = monotonic_ns();
+    }
+  }
+  ~ScopedTraceImpl() {
+    if (name_ != nullptr) detail::record_event(name_, t0_, monotonic_ns());
+  }
+  ScopedTraceImpl(const ScopedTraceImpl&) = delete;
+  ScopedTraceImpl& operator=(const ScopedTraceImpl&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t t0_ = 0;
+};
+
+/// The MC_OBS=0 stand-in: empty, does nothing, optimizes away entirely.
+struct ScopedTraceNoop {
+  explicit ScopedTraceNoop(const char* /*name*/) {}
+};
+
+#if MC_OBS
+using ScopedTrace = ScopedTraceImpl;
+#else
+using ScopedTrace = ScopedTraceNoop;
+#endif
+
+}  // namespace mc::obs
+
+#define MC_OBS_CONCAT2(a, b) a##b
+#define MC_OBS_CONCAT(a, b) MC_OBS_CONCAT2(a, b)
+
+/// Trace the enclosing scope: MC_OBS_TRACE("fock_build");
+#if MC_OBS
+#define MC_OBS_TRACE(name) \
+  ::mc::obs::ScopedTrace MC_OBS_CONCAT(mc_obs_scope_, __LINE__)(name)
+#else
+#define MC_OBS_TRACE(name) static_cast<void>(0)
+#endif

@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/fault_injection.hpp"
 
 namespace mc::par {
@@ -97,11 +99,14 @@ int Comm::size() const { return st_->nranks; }
 void Comm::sync() { st_->barrier.arrive_and_wait(); }
 
 void Comm::barrier() {
+  obs::ScopedChannelTimer ct(obs::Channel::kBarrier, rank_);
   maybe_inject_fault(rank_, FaultOp::kBarrier);
   sync();
 }
 
 void Comm::allreduce_sum(double* data, std::size_t n) {
+  obs::ScopedChannelTimer ct(obs::Channel::kGsum, rank_);
+  MC_OBS_TRACE("gsumf");
   maybe_inject_fault(rank_, FaultOp::kAllreduceSum);
   detail::SharedState& st = *st_;
   st.contrib[static_cast<std::size_t>(rank_)] = data;
@@ -131,6 +136,7 @@ void Comm::allreduce_sum(double* data, std::size_t n) {
 }
 
 double Comm::allreduce_max(double v) {
+  obs::ScopedChannelTimer ct(obs::Channel::kGsum, rank_);
   maybe_inject_fault(rank_, FaultOp::kAllreduceMax);
   detail::SharedState& st = *st_;
   // Entry barrier: guarantees every rank has consumed the previous call's
@@ -157,6 +163,7 @@ double Comm::allreduce_max(double v) {
 }
 
 void Comm::broadcast(double* data, std::size_t n, int root) {
+  obs::ScopedChannelTimer ct(obs::Channel::kBroadcast, rank_);
   maybe_inject_fault(rank_, FaultOp::kBroadcast);
   detail::SharedState& st = *st_;
   MC_CHECK(root >= 0 && root < st.nranks, "broadcast root out of range");
@@ -170,6 +177,10 @@ void Comm::broadcast(double* data, std::size_t n, int root) {
 }
 
 long Comm::dlb_next() {
+  // The shared-counter claim is the whole DLB cost in minimpi (no message
+  // round-trip); attribute it to the DLB-wait channel anyway so the metric
+  // has the same meaning it would have over real DDI.
+  obs::ScopedChannelTimer ct(obs::Channel::kDlbWait, rank_);
   return st_->dlb_counter.fetch_add(1, std::memory_order_relaxed);
 }
 

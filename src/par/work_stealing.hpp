@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "par/runtime.hpp"
 
 namespace mc::par {
@@ -53,7 +54,11 @@ class WorkStealingScheduler {
   WorkStealingScheduler(Comm& comm, const std::string& key, long ntasks);
 
   /// Next task index for this rank, or -1 when the whole range is done.
-  long next() { return counters_->next(comm_->rank()); }
+  /// Charged to the DLB-wait channel: same role as the global counter claim.
+  long next() {
+    obs::ScopedChannelTimer ct(obs::Channel::kDlbWait, comm_->rank());
+    return counters_->next(comm_->rank());
+  }
   [[nodiscard]] long steals() const { return counters_->steals(comm_->rank()); }
 
   /// Collective: drop the shared counters (barrier + erase + barrier).

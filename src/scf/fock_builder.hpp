@@ -102,6 +102,29 @@ class FockBuilder {
   [[nodiscard]] virtual std::size_t last_density_screened() const {
     return 0;
   }
+  /// Quartet candidates this builder visited and killed with the static
+  /// Schwarz bound in the last build. Counted at quartet granularity, so
+  /// builders that prescreen whole bra pairs (private-Fock) report fewer
+  /// visits than ones that enumerate every kl under a surviving pair --
+  /// the count is comparable across rank counts of one algorithm, not
+  /// across algorithms (DESIGN.md section 10).
+  [[nodiscard]] virtual std::size_t last_static_screened() const { return 0; }
+  /// MPI-level tasks (bra pairs or bra shells) this rank claimed in the
+  /// last build. 0 for builders without an MPI task loop.
+  [[nodiscard]] virtual std::size_t last_pairs_claimed() const { return 0; }
+  /// Per-OpenMP-thread split of last_quartets_computed() for this rank
+  /// (size = thread count; single-threaded builders report one entry).
+  /// Empty for builders that do not count.
+  [[nodiscard]] virtual std::vector<std::size_t> last_thread_quartets()
+      const {
+    return {};
+  }
+  /// Exact static-survivor quartet count of the attached screening -- the
+  /// number a trivial-context build must compute (summed over ranks).
+  /// O(Nshells^4/8); profiling-time use only. 0 = unknown.
+  [[nodiscard]] virtual std::size_t screening_predicted_quartets() const {
+    return 0;
+  }
   /// Schwarz threshold of the attached Screening (0 = unscreened builder);
   /// the SCF drivers' incremental error estimate scales with it.
   [[nodiscard]] virtual double screening_threshold() const { return 0.0; }

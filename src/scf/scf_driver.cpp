@@ -1,13 +1,17 @@
 #include "scf/scf_driver.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
+#include "common/memory_tracker.hpp"
 #include "common/timer.hpp"
 #include "ints/one_electron.hpp"
 #include "la/blas_lite.hpp"
 #include "la/orthogonalizer.hpp"
 #include "la/sym_eig.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scf/diis.hpp"
 
 namespace mc::scf {
@@ -65,8 +69,30 @@ ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
   double err_acc = 0.0;
   Diis diis(options.diis_max_vectors);
 
+  // --profile: stream one JSON record per iteration plus a chrome-trace
+  // timeline (DESIGN.md section 10). The serial driver reports a single
+  // rank slot; when called from inside an SPMD body (the test fixtures do
+  // this) the calling rank's slot is used, so only one rank of a team may
+  // profile. The distributed profiled path is core::run_parallel_scf.
+  std::unique_ptr<obs::ProfileSession> profile;
+  if (!options.profile_path.empty()) {
+    profile = std::make_unique<obs::ProfileSession>(options.profile_path);
+  }
+  const int cur_rank = MemoryTracker::current_rank();
+  const int prof_rank = cur_rank < 0 ? 0 : cur_rank;
+  std::size_t predicted_quartets = 0;
+  if (profile) {
+    // Profiling-time only: O(surviving pairs^2) sweep over the pair list.
+    predicted_quartets = builder.screening_predicted_quartets();
+  }
+  // Channel accumulators are global; per-iteration values are deltas.
+  double prev_dlb = 0.0;
+  double prev_gsum = 0.0;
+  double prev_barrier = 0.0;
+
   double e_prev = 0.0;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    MC_OBS_TRACE("scf:iteration");
     const bool full_rebuild = !options.incremental_fock || iter == 1 ||
                               builds_since_full >=
                                   options.fock_rebuild_interval ||
@@ -185,6 +211,48 @@ ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
     info.density_screened = builder.last_density_screened();
     res.history.push_back(info);
     if (callbacks.on_iteration) callbacks.on_iteration(info);
+
+    if (profile) {
+      obs::IterationRecord rec;
+      rec.algorithm = builder.name();
+      rec.nranks = 1;
+      obs::RankIterationMetrics rm;
+      rm.rank = prof_rank;
+      rm.pairs_claimed = builder.last_pairs_claimed();
+      rm.quartets = info.quartets_computed;
+      rm.static_screened = builder.last_static_screened();
+      rm.density_screened = info.density_screened;
+      rm.thread_quartets = builder.last_thread_quartets();
+      const double dlb =
+          obs::channel_seconds(obs::Channel::kDlbWait, prof_rank);
+      const double gsum = obs::channel_seconds(obs::Channel::kGsum, prof_rank);
+      const double barrier =
+          obs::channel_seconds(obs::Channel::kBarrier, prof_rank);
+      rm.dlb_wait_seconds = dlb - prev_dlb;
+      rm.gsum_seconds = gsum - prev_gsum;
+      rm.barrier_seconds = barrier - prev_barrier;
+      prev_dlb = dlb;
+      prev_gsum = gsum;
+      prev_barrier = barrier;
+      rm.peak_bytes = cur_rank >= 0
+                          ? MemoryTracker::instance().rank_peak_bytes(cur_rank)
+                          : MemoryTracker::instance().peak_bytes();
+      rec.nthreads = rm.thread_quartets.empty()
+                         ? 1
+                         : static_cast<int>(rm.thread_quartets.size());
+      rec.iteration = iter;
+      rec.energy = e_total;
+      rec.delta_energy = info.delta_energy;
+      rec.density_rms = rms;
+      rec.full_rebuild = full_rebuild;
+      rec.fock_seconds = t_fock;
+      rec.quartets = rm.quartets;
+      rec.static_screened = rm.static_screened;
+      rec.density_screened = rm.density_screened;
+      rec.screening_predicted_quartets = predicted_quartets;
+      rec.ranks.push_back(std::move(rm));
+      profile->write_iteration(rec);
+    }
 
     d = std::move(d_new);
     res.iterations = iter;

@@ -49,6 +49,13 @@ struct ScfOptions {
   /// current update* is small, so the cut must sit well below the static
   /// budget for the accumulated Fock to stay accurate.
   double incremental_threshold_scale = 0.01;
+
+  /// When non-empty, profile the run: stream one machine-readable JSON
+  /// record per SCF iteration to <profile_path>.metrics.jsonl and write a
+  /// chrome-trace timeline to <profile_path>.trace.json (DESIGN.md
+  /// section 10). Honoured by run_scf and by core::run_parallel_scf (via
+  /// ParallelScfConfig::scf).
+  std::string profile_path;
 };
 
 struct ScfIterationInfo {

@@ -3,27 +3,35 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace mc::scf {
 
 void SerialFockBuilder::build(const la::Matrix& density, la::Matrix& g,
                               const FockContext& ctx) {
+  MC_OBS_TRACE("fock:serial");
   const basis::BasisSet& bs = eri_->basis_set();
   quartets_ = 0;
   density_screened_ = 0;
+  static_screened_ = 0;
+  pairs_ = 0;
   const bool weighted = ctx.weighted();
   const double scale = ctx.threshold_scale;
   std::vector<double> batch;
   for (const ints::ScreenedPair& pr : screen_->sorted_pairs()) {
     const std::size_t i = pr.i;
     const std::size_t j = pr.j;
+    ++pairs_;
     // Pair-level density prescreen: bounds every quartet under this bra
     // pair by q_ij * qmax * 4*max|D|, the loosest quartet bound below.
     if (weighted && !screen_->keep_pair(i, j, 4.0 * ctx.dmax_max, scale)) {
       continue;
     }
     for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
-      if (!screen_->keep(i, j, k, l)) return;
+      if (!screen_->keep(i, j, k, l)) {
+        ++static_screened_;
+        return;
+      }
       if (weighted &&
           !screen_->keep(i, j, k, l, ctx.quartet_dmax(i, j, k, l), scale)) {
         ++density_screened_;

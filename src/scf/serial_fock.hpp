@@ -31,6 +31,19 @@ class SerialFockBuilder : public FockBuilder {
   [[nodiscard]] std::size_t last_density_screened() const override {
     return density_screened_;
   }
+  [[nodiscard]] std::size_t last_static_screened() const override {
+    return static_screened_;
+  }
+  [[nodiscard]] std::size_t last_pairs_claimed() const override {
+    return pairs_;
+  }
+  [[nodiscard]] std::vector<std::size_t> last_thread_quartets()
+      const override {
+    return {quartets_};
+  }
+  [[nodiscard]] std::size_t screening_predicted_quartets() const override {
+    return screen_->count_surviving_quartets();
+  }
   [[nodiscard]] double screening_threshold() const override {
     return screen_->threshold();
   }
@@ -40,6 +53,8 @@ class SerialFockBuilder : public FockBuilder {
   const ints::Screening* screen_;
   std::size_t quartets_ = 0;
   std::size_t density_screened_ = 0;
+  std::size_t static_screened_ = 0;
+  std::size_t pairs_ = 0;
 };
 
 class BruteForceFockBuilder : public FockBuilder {

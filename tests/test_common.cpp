@@ -37,6 +37,20 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_LT(t.seconds(), 0.015);
 }
 
+TEST(Timer, ClockIsMonotonic) {
+  // The timers must run on a steady clock: an NTP step during a timed
+  // region would otherwise produce negative or wildly wrong durations
+  // (the static_assert in timer.hpp enforces the same at compile time).
+  EXPECT_TRUE(WallTimer::kIsSteady);
+}
+
+TEST(Timer, ScopedDurationsAreNonNegative) {
+  for (int i = 0; i < 1000; ++i) {
+    WallTimer t;
+    EXPECT_GE(t.seconds(), 0.0);
+  }
+}
+
 TEST(Timer, AccumTimerSumsLaps) {
   AccumTimer t;
   for (int i = 0; i < 3; ++i) {

@@ -1,0 +1,478 @@
+// Observability-layer tests (DESIGN.md section 10): trace ring buffers and
+// chrome-trace export, channel accumulators, the per-iteration metrics
+// records, and the counter properties the profiling output relies on --
+// per-thread quartet counters summing to the screening prediction, and
+// rank-aggregated counters invariant under the rank count. The final test
+// is the PR's acceptance criterion: a profiled benzene/STO-3G run emits a
+// metrics stream whose per-rank quartet counts sum to the
+// screening-predicted total, plus a chrome-trace JSON.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chem/builders.hpp"
+#include "core/parallel_scf.hpp"
+#include "fock_fixture.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mc::core {
+namespace {
+
+/// Save/restore the global trace + metrics flags around a test so the
+/// binary's tests stay order-independent.
+struct ObsFlagGuard {
+  bool trace = obs::trace_enabled();
+  bool metrics = obs::metrics_enabled();
+  ~ObsFlagGuard() {
+    obs::set_trace_enabled(trace);
+    obs::set_metrics_enabled(metrics);
+  }
+};
+
+// --- trace -----------------------------------------------------------------
+
+TEST(Trace, DisabledRecordsNothing) {
+  ObsFlagGuard guard;
+  obs::set_trace_enabled(false);
+  obs::reset_trace();
+  { MC_OBS_TRACE("should-not-appear"); }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Trace, RecordsScopedEventsAndExportsChromeTrace) {
+  ObsFlagGuard guard;
+  obs::set_trace_enabled(true);
+  obs::reset_trace();
+  {
+    MC_OBS_TRACE("outer-span");
+    { MC_OBS_TRACE("inner-span"); }
+  }
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 2u);
+  EXPECT_EQ(obs::trace_events_dropped(), 0u);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);      // duration events
+  EXPECT_NE(json.find("process_name"), std::string::npos);     // rank metadata
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_EQ(json[json.size() - 2], '}');
+}
+
+TEST(Trace, SpanDurationsAreNonNegativeAndOrdered) {
+  ObsFlagGuard guard;
+  obs::set_trace_enabled(true);
+  obs::reset_trace();
+  const std::uint64_t a = obs::monotonic_ns();
+  { MC_OBS_TRACE("ordered"); }
+  const std::uint64_t b = obs::monotonic_ns();
+  EXPECT_LE(a, b);
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(obs::trace_event_count(), 1u);
+}
+
+TEST(Trace, RingBufferWrapCountsDrops) {
+  ObsFlagGuard guard;
+  obs::set_trace_enabled(true);
+  obs::reset_trace();
+  // Well past the per-thread ring capacity: the newest events survive, the
+  // overflow is reported instead of silently vanishing.
+  constexpr int kEvents = 40000;
+  for (int i = 0; i < kEvents; ++i) {
+    MC_OBS_TRACE("wrap");
+  }
+  obs::set_trace_enabled(false);
+  EXPECT_GT(obs::trace_events_dropped(), 0u);
+  EXPECT_LT(obs::trace_event_count(), static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(obs::trace_event_count() + obs::trace_events_dropped(),
+            static_cast<std::size_t>(kEvents));
+}
+
+// --- channel metrics -------------------------------------------------------
+
+TEST(Metrics, ChannelAccumulationAndReset) {
+  ObsFlagGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+  obs::add_channel_ns(obs::Channel::kGsum, 3, 1500);
+  obs::add_channel_ns(obs::Channel::kGsum, 3, 500);
+  EXPECT_EQ(obs::channel_ns(obs::Channel::kGsum, 3), 2000u);
+  EXPECT_DOUBLE_EQ(obs::channel_seconds(obs::Channel::kGsum, 3), 2e-6);
+  EXPECT_EQ(obs::channel_ns(obs::Channel::kGsum, 4), 0u);
+  EXPECT_EQ(obs::channel_ns(obs::Channel::kBarrier, 3), 0u);
+  obs::reset_metrics();
+  EXPECT_EQ(obs::channel_ns(obs::Channel::kGsum, 3), 0u);
+}
+
+TEST(Metrics, UnattributedAndOverflowRanksShareTheSpillSlot) {
+  ObsFlagGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+  obs::add_channel_ns(obs::Channel::kDlbWait, -1, 100);   // unattributed
+  obs::add_channel_ns(obs::Channel::kDlbWait, 1000, 10);  // beyond the table
+  EXPECT_EQ(obs::channel_ns(obs::Channel::kDlbWait, -1), 110u);
+  EXPECT_EQ(obs::channel_ns(obs::Channel::kDlbWait, 1000), 110u);
+  obs::reset_metrics();
+}
+
+TEST(Metrics, ScopedTimerIsInertWhenDisabled) {
+  ObsFlagGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+  obs::set_metrics_enabled(false);
+  { obs::ScopedChannelTimer t(obs::Channel::kBarrier, 0); }
+  EXPECT_EQ(obs::channel_ns(obs::Channel::kBarrier, 0), 0u);
+}
+
+TEST(Metrics, IterationJsonCarriesTheSchema) {
+  obs::IterationRecord rec;
+  rec.algorithm = "shared-fock";
+  rec.nranks = 2;
+  rec.nthreads = 2;
+  rec.iteration = 3;
+  rec.energy = -227.5;
+  rec.full_rebuild = false;
+  rec.quartets = 40;
+  rec.screening_predicted_quartets = 42;
+  obs::RankIterationMetrics r0;
+  r0.rank = 0;
+  r0.quartets = 10;
+  r0.thread_quartets = {4, 6};
+  obs::RankIterationMetrics r1;
+  r1.rank = 1;
+  r1.quartets = 30;
+  r1.thread_quartets = {15, 15};
+  rec.ranks = {r0, r1};
+
+  EXPECT_DOUBLE_EQ(rec.load_imbalance(), 1.5);  // max 30 / mean 20
+
+  const std::string json = obs::iteration_json(rec);
+  EXPECT_NE(json.find("\"type\":\"scf_iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\":\"shared-fock\""), std::string::npos);
+  EXPECT_NE(json.find("\"iter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"full_rebuild\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"screening_predicted_quartets\":42"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"thread_quartets\":[4,6]"), std::string::npos);
+  EXPECT_NE(json.find("\"thread_quartets\":[15,15]"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Metrics, EmptyRecordHasUnitImbalance) {
+  const obs::IterationRecord rec;
+  EXPECT_DOUBLE_EQ(rec.load_imbalance(), 1.0);
+}
+
+// --- counter properties ----------------------------------------------------
+
+const FockFixture& fixture() {
+  static const FockFixture fx(chem::builders::water(), "6-31G");
+  return fx;
+}
+
+struct BuildCounts {
+  std::size_t quartets = 0;
+  std::size_t static_screened = 0;
+  std::size_t density_screened = 0;
+  std::size_t thread_sum = 0;
+  std::size_t pairs_claimed = 0;
+};
+
+/// Run one distributed build and return the rank-aggregated counters.
+template <typename MakeBuilder>
+BuildCounts count_distributed(const FockFixture& fx, int nranks, bool delta,
+                              MakeBuilder&& make) {
+  BuildCounts total;
+  std::mutex mu;
+  par::run_spmd(nranks, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    auto builder = make(ddi);
+    la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+    if (delta) {
+      builder->build(fx.d_delta, g, fx.delta_ctx);
+    } else {
+      builder->build(fx.d, g);
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    total.quartets += builder->last_quartets_computed();
+    total.static_screened += builder->last_static_screened();
+    total.density_screened += builder->last_density_screened();
+    total.pairs_claimed += builder->last_pairs_claimed();
+    for (const std::size_t q : builder->last_thread_quartets()) {
+      total.thread_sum += q;
+    }
+  });
+  return total;
+}
+
+template <typename MakeBuilder>
+void expect_rank_invariant(const char* what, MakeBuilder&& make) {
+  const FockFixture& fx = fixture();
+  for (const bool delta : {false, true}) {
+    const BuildCounts one = count_distributed(fx, 1, delta, make);
+    for (const int nranks : {2, 4}) {
+      const BuildCounts many = count_distributed(fx, nranks, delta, make);
+      const std::string ctx = std::string(what) +
+                              (delta ? " (delta ctx, " : " (trivial ctx, ") +
+                              std::to_string(nranks) + " ranks)";
+      EXPECT_EQ(many.quartets, one.quartets) << ctx;
+      EXPECT_EQ(many.static_screened, one.static_screened) << ctx;
+      EXPECT_EQ(many.density_screened, one.density_screened) << ctx;
+      EXPECT_EQ(many.thread_sum, many.quartets) << ctx;
+    }
+    EXPECT_EQ(one.thread_sum, one.quartets) << what;
+  }
+}
+
+TEST(ObsCounters, SerialThreadSumMatchesScreeningPrediction) {
+  const FockFixture& fx = fixture();
+  scf::SerialFockBuilder builder(fx.eri, fx.screen);
+  la::Matrix g(fx.bs.nbf(), fx.bs.nbf());
+  builder.build(fx.d, g);
+  const std::size_t predicted = fx.screen.count_surviving_quartets();
+  EXPECT_EQ(builder.last_quartets_computed(), predicted);
+  std::size_t thread_sum = 0;
+  for (const std::size_t q : builder.last_thread_quartets()) thread_sum += q;
+  EXPECT_EQ(thread_sum, predicted);
+  EXPECT_EQ(builder.screening_predicted_quartets(), predicted);
+}
+
+TEST(ObsCounters, MpiThreadSumMatchesScreeningPrediction) {
+  const FockFixture& fx = fixture();
+  const BuildCounts c = count_distributed(fx, 1, false, [&](par::Ddi& ddi) {
+    return std::make_unique<FockBuilderMpi>(fx.eri, fx.screen, ddi);
+  });
+  EXPECT_EQ(c.thread_sum, fx.screen.count_surviving_quartets());
+  EXPECT_EQ(c.quartets, fx.screen.count_surviving_quartets());
+}
+
+TEST(ObsCounters, PrivateFockThreadSumMatchesScreeningPrediction) {
+  const FockFixture& fx = fixture();
+  const BuildCounts c = count_distributed(fx, 1, false, [&](par::Ddi& ddi) {
+    PrivateFockOptions opt;
+    opt.nthreads = 3;
+    return std::make_unique<FockBuilderPrivate>(fx.eri, fx.screen, ddi, opt);
+  });
+  EXPECT_EQ(c.thread_sum, fx.screen.count_surviving_quartets());
+  EXPECT_EQ(c.quartets, fx.screen.count_surviving_quartets());
+}
+
+TEST(ObsCounters, SharedFockThreadSumMatchesScreeningPrediction) {
+  const FockFixture& fx = fixture();
+  const BuildCounts c = count_distributed(fx, 1, false, [&](par::Ddi& ddi) {
+    SharedFockOptions opt;
+    opt.nthreads = 3;
+    return std::make_unique<FockBuilderShared>(fx.eri, fx.screen, ddi, opt);
+  });
+  EXPECT_EQ(c.thread_sum, fx.screen.count_surviving_quartets());
+  EXPECT_EQ(c.quartets, fx.screen.count_surviving_quartets());
+}
+
+TEST(ObsCounters, MpiCountersInvariantUnderRankCount) {
+  const FockFixture& fx = fixture();
+  expect_rank_invariant("mpi-only", [&](par::Ddi& ddi) {
+    return std::make_unique<FockBuilderMpi>(fx.eri, fx.screen, ddi);
+  });
+}
+
+TEST(ObsCounters, PrivateFockCountersInvariantUnderRankCount) {
+  const FockFixture& fx = fixture();
+  expect_rank_invariant("private-fock", [&](par::Ddi& ddi) {
+    PrivateFockOptions opt;
+    opt.nthreads = 2;
+    return std::make_unique<FockBuilderPrivate>(fx.eri, fx.screen, ddi, opt);
+  });
+}
+
+TEST(ObsCounters, SharedFockCountersInvariantUnderRankCount) {
+  const FockFixture& fx = fixture();
+  expect_rank_invariant("shared-fock", [&](par::Ddi& ddi) {
+    SharedFockOptions opt;
+    opt.nthreads = 2;
+    return std::make_unique<FockBuilderShared>(fx.eri, fx.screen, ddi, opt);
+  });
+}
+
+// --- profile sessions ------------------------------------------------------
+
+std::size_t extract_size(const std::string& s, const std::string& key,
+                         std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = s.find(needle, from);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+  return static_cast<std::size_t>(
+      std::stoull(s.substr(pos + needle.size())));
+}
+
+std::vector<std::size_t> extract_all_sizes(const std::string& s,
+                                           const std::string& key) {
+  std::vector<std::size_t> out;
+  const std::string needle = "\"" + key + "\":";
+  for (std::size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + 1)) {
+    out.push_back(static_cast<std::size_t>(
+        std::stoull(s.substr(pos + needle.size()))));
+  }
+  return out;
+}
+
+std::vector<std::size_t> sum_of_each_thread_array(const std::string& s) {
+  std::vector<std::size_t> sums;
+  const std::string needle = "\"thread_quartets\":[";
+  for (std::size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + 1)) {
+    std::size_t p = pos + needle.size();
+    std::size_t sum = 0;
+    while (p < s.size() && s[p] != ']') {
+      if (s[p] == ',') {
+        ++p;
+        continue;
+      }
+      std::size_t used = 0;
+      sum += static_cast<std::size_t>(std::stoull(s.substr(p), &used));
+      p += used;
+    }
+    sums.push_back(sum);
+  }
+  return sums;
+}
+
+TEST(Profile, SerialSessionEmitsMetricsAndRestoresFlags) {
+  ObsFlagGuard guard;
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(false);
+  const std::string base = ::testing::TempDir() + "mc_obs_serial";
+  {
+    auto mol = chem::builders::water();
+    auto bs = basis::BasisSet::build(mol, "STO-3G");
+    ints::EriEngine eri(bs);
+    ints::Screening screen(eri, 1e-10);
+    scf::SerialFockBuilder builder(eri, screen);
+    scf::ScfOptions opt;
+    opt.profile_path = base;
+    const scf::ScfResult res = scf::run_scf(mol, bs, builder, opt);
+    EXPECT_TRUE(res.converged);
+  }
+  // The session restored the flags it flipped on.
+  EXPECT_FALSE(obs::trace_enabled());
+  EXPECT_FALSE(obs::metrics_enabled());
+
+  std::ifstream in(base + ".metrics.jsonl");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_NE(line.find("\"algorithm\":\"serial\""), std::string::npos);
+  EXPECT_NE(line.find("\"full_rebuild\":true"), std::string::npos);
+  EXPECT_EQ(extract_size(line, "quartets"),
+            extract_size(line, "screening_predicted_quartets"));
+
+  std::ifstream trace(base + ".trace.json");
+  ASSERT_TRUE(trace.good());
+  std::stringstream buf;
+  buf << trace.rdbuf();
+  EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(buf.str().find("scf:iteration"), std::string::npos);
+}
+
+// The PR's acceptance criterion: a profiled benzene/STO-3G run emits (a) a
+// metrics stream whose full-rebuild records satisfy
+// sum(rank quartets) == total quartets == screening-predicted quartets and
+// whose per-rank thread counters sum to the rank totals, and (b) a
+// chrome-trace JSON with the per-algorithm spans.
+TEST(Profile, ParallelBenzeneRunSatisfiesAcceptanceChecks) {
+  ObsFlagGuard guard;
+  const std::string base = ::testing::TempDir() + "mc_obs_accept";
+  ParallelScfConfig cfg;
+  cfg.algorithm = ScfAlgorithm::kSharedFock;
+  cfg.nranks = 2;
+  cfg.nthreads = 2;
+  cfg.basis = "STO-3G";
+  cfg.scf.max_iterations = 4;  // the checks don't need convergence
+  cfg.scf.profile_path = base;
+  const ParallelScfResult res =
+      run_parallel_scf(chem::builders::benzene(), cfg);
+  EXPECT_EQ(res.scf.iterations, 4);
+
+  std::ifstream in(base + ".metrics.jsonl");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int records = 0;
+  while (std::getline(in, line)) {
+    ++records;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(extract_size(line, "nranks"), 2u);
+
+    const std::size_t total = extract_size(line, "quartets");
+    const std::size_t ranks_start = line.find("\"ranks\":[");
+    ASSERT_NE(ranks_start, std::string::npos);
+    const std::string ranks = line.substr(ranks_start);
+    const std::vector<std::size_t> per_rank =
+        extract_all_sizes(ranks, "quartets");
+    ASSERT_EQ(per_rank.size(), 2u);
+    EXPECT_EQ(per_rank[0] + per_rank[1], total) << "record " << records;
+
+    const std::vector<std::size_t> thread_sums =
+        sum_of_each_thread_array(ranks);
+    ASSERT_EQ(thread_sums.size(), 2u);
+    EXPECT_EQ(thread_sums[0], per_rank[0]) << "record " << records;
+    EXPECT_EQ(thread_sums[1], per_rank[1]) << "record " << records;
+
+    if (line.find("\"full_rebuild\":true") != std::string::npos) {
+      EXPECT_EQ(total, extract_size(line, "screening_predicted_quartets"))
+          << "record " << records;
+    }
+  }
+  EXPECT_EQ(records, 4);
+
+  std::ifstream trace(base + ".trace.json");
+  ASSERT_TRUE(trace.good());
+  std::stringstream buf;
+  buf << trace.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"fock:shared\""), std::string::npos);
+  EXPECT_NE(json.find("\"fock:shared:ij_task\""), std::string::npos);
+  EXPECT_NE(json.find("\"gsumf\""), std::string::npos);
+  EXPECT_NE(json.find("\"scf:iteration\""), std::string::npos);
+}
+
+TEST(Profile, ParallelResultCarriesPerRankWaitTimes) {
+  ObsFlagGuard guard;
+  const std::string base = ::testing::TempDir() + "mc_obs_waits";
+  ParallelScfConfig cfg;
+  cfg.algorithm = ScfAlgorithm::kMpiOnly;
+  cfg.nranks = 2;
+  cfg.nthreads = 1;
+  cfg.basis = "STO-3G";
+  cfg.scf.max_iterations = 3;
+  cfg.scf.profile_path = base;
+  const ParallelScfResult res =
+      run_parallel_scf(chem::builders::water(), cfg);
+  ASSERT_EQ(res.dlb_wait_seconds_per_rank.size(), 2u);
+  ASSERT_EQ(res.gsum_seconds_per_rank.size(), 2u);
+  for (int r = 0; r < 2; ++r) {
+    // Every rank claimed from the counter and hit the gsumf reduction at
+    // least once per iteration, so both channels accumulated time.
+    EXPECT_GT(res.dlb_wait_seconds_per_rank[static_cast<std::size_t>(r)],
+              0.0);
+    EXPECT_GT(res.gsum_seconds_per_rank[static_cast<std::size_t>(r)], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mc::core

@@ -1,0 +1,102 @@
+// Observability overhead guarantees (DESIGN.md section 10.3). This file is
+// compiled twice: as test_obs_overhead with the build default MC_OBS=1,
+// and as test_obs_overhead_off with -DMC_OBS=0 (ctest prefix "obs_off.").
+// The off build asserts -- at compile time -- that the trace/metrics RAII
+// types collapse to empty no-ops and that MC_OBS_TRACE generates no code,
+// so an MC_OBS=0 translation unit carries zero tracing on its hot path
+// even though the prebuilt libraries keep the (runtime-gated) probes.
+// Both builds assert the runtime guarantee: enabling tracing + metrics
+// perturbs the SCF trajectory by exactly 0 ULP, because the probes only
+// read clocks and counters and never touch a floating-point input.
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "ints/eri.hpp"
+#include "ints/screening.hpp"
+#include "la/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scf/scf_driver.hpp"
+#include "scf/serial_fock.hpp"
+
+namespace mc::obs {
+namespace {
+
+#if !MC_OBS
+// The MC_OBS=0 contract, enforced where it matters -- at compile time.
+static_assert(std::is_same_v<ScopedTrace, ScopedTraceNoop>,
+              "MC_OBS=0 must select the no-op trace type");
+static_assert(std::is_empty_v<ScopedTrace>,
+              "the no-op trace type must carry no state");
+static_assert(std::is_same_v<ScopedChannelTimer, ScopedChannelTimerNoop>,
+              "MC_OBS=0 must select the no-op channel timer");
+static_assert(std::is_empty_v<ScopedChannelTimer>,
+              "the no-op channel timer must carry no state");
+
+TEST(ObsOff, TraceMacroGeneratesNoEvents) {
+  // The libraries are built with MC_OBS=1, so the global trace machinery
+  // exists and is queryable -- but this TU's MC_OBS_TRACE is a no-op even
+  // with tracing force-enabled.
+  const bool prev = trace_enabled();
+  set_trace_enabled(true);
+  reset_trace();
+  {
+    MC_OBS_TRACE("must-not-appear");
+    MC_OBS_TRACE("must-not-appear-either");
+  }
+  set_trace_enabled(prev);
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+#else
+TEST(ObsOn, TraceMacroRecords) {
+  const bool prev = trace_enabled();
+  set_trace_enabled(true);
+  reset_trace();
+  { MC_OBS_TRACE("appears"); }
+  set_trace_enabled(prev);
+  EXPECT_EQ(trace_event_count(), 1u);
+}
+#endif
+
+/// Benzene/STO-3G SCF prefix (4 iterations, the checks don't need
+/// convergence); returns the last iteration's total energy.
+double benzene_energy_prefix() {
+  auto mol = chem::builders::benzene();
+  auto bs = basis::BasisSet::build(mol, "STO-3G");
+  ints::EriEngine eri(bs);
+  ints::Screening screen(eri, 1e-10);
+  scf::SerialFockBuilder builder(eri, screen);
+  scf::ScfOptions opt;
+  opt.max_iterations = 4;
+  return scf::run_scf(mol, bs, builder, opt).energy;
+}
+
+TEST(ObsOverhead, TracingPerturbsBenzeneEnergyByZeroUlp) {
+  const bool prev_trace = trace_enabled();
+  const bool prev_metrics = metrics_enabled();
+
+  set_trace_enabled(false);
+  set_metrics_enabled(false);
+  const double e_off = benzene_energy_prefix();
+
+  set_trace_enabled(true);
+  set_metrics_enabled(true);
+  reset_trace();
+  reset_metrics();
+  const double e_on = benzene_energy_prefix();
+
+  set_trace_enabled(prev_trace);
+  set_metrics_enabled(prev_metrics);
+
+  EXPECT_EQ(la::ulp_distance(e_off, e_on), 0u)
+      << "tracing must not perturb the SCF numerics: " << e_off << " vs "
+      << e_on;
+  EXPECT_EQ(e_off, e_on);
+}
+
+}  // namespace
+}  // namespace mc::obs
