@@ -1,0 +1,167 @@
+#include "common/access_check.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mc::check {
+
+namespace {
+
+// -1 = follow build mode + environment; 0/1 = forced by ScopedForce.
+std::atomic<int> g_force{-1};
+
+bool env_default() {
+#if defined(MC_ACCESS_CHECK) && MC_ACCESS_CHECK
+  const bool build_default = true;
+#else
+  const bool build_default = false;
+#endif
+  const char* env = std::getenv("MC_CHECK");
+  if (env == nullptr || env[0] == '\0') return build_default;
+  return env[0] != '0';
+}
+
+}  // namespace
+
+bool enabled() {
+  const int f = g_force.load(std::memory_order_relaxed);
+  if (f >= 0) return f != 0;
+  // Re-read the environment each call (cheap relative to a Fock build's
+  // setup); tests flip it between runs.
+  return env_default();
+}
+
+ScopedForce::ScopedForce(bool on)
+    : prev_(g_force.exchange(on ? 1 : 0, std::memory_order_relaxed)) {}
+
+ScopedForce::~ScopedForce() { g_force.store(prev_, std::memory_order_relaxed); }
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "rank " << rank << " region " << region << " element " << index
+     << ": " << (read_write ? "write/read" : "write/write")
+     << " conflict between thread " << tid_a << " (task " << task_a
+     << ") and thread " << tid_b << " (task " << task_b << ") in epoch "
+     << epoch << " -- no team barrier orders these accesses";
+  return os.str();
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::record(const Violation& v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  violations_.push_back(v);
+}
+
+std::size_t Registry::count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return violations_.size();
+}
+
+std::vector<Violation> Registry::violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return violations_;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  violations_.clear();
+}
+
+ShadowLedger::ShadowLedger(int rank, int nthreads)
+    : rank_(rank), nthreads_(nthreads) {
+  MC_CHECK(nthreads >= 1, "ShadowLedger needs at least one thread");
+}
+
+int ShadowLedger::add_region(std::string name, std::size_t nelems) {
+  Region reg;
+  reg.name = std::move(name);
+  reg.nelems = nelems;
+  reg.last_write = std::make_unique<std::atomic<std::uint64_t>[]>(nelems);
+  reg.last_read = std::make_unique<std::atomic<std::uint64_t>[]>(nelems);
+  for (std::size_t i = 0; i < nelems; ++i) {
+    reg.last_write[i].store(0, std::memory_order_relaxed);
+    reg.last_read[i].store(0, std::memory_order_relaxed);
+  }
+  regions_.push_back(std::move(reg));
+  return static_cast<int>(regions_.size()) - 1;
+}
+
+// Layout: [occupied:1][epoch:23][tid:10][task:30].
+std::uint64_t ShadowLedger::pack(int tid, long task, std::uint32_t epoch) {
+  const std::uint64_t t = static_cast<std::uint64_t>(tid) & 0x3FFU;
+  const std::uint64_t k =
+      static_cast<std::uint64_t>(task < 0 ? (1LL << 30) - 1 : task) &
+      0x3FFFFFFFU;
+  const std::uint64_t e = static_cast<std::uint64_t>(epoch) & 0x7FFFFFU;
+  return kOccupied | (e << 40) | (t << 30) | k;
+}
+
+void ShadowLedger::unpack(std::uint64_t rec, int& tid, long& task,
+                          std::uint32_t& epoch) {
+  task = static_cast<long>(rec & 0x3FFFFFFFU);
+  if (task == (1L << 30) - 1) task = -1;
+  tid = static_cast<int>((rec >> 30) & 0x3FFU);
+  epoch = static_cast<std::uint32_t>((rec >> 40) & 0x7FFFFFU);
+}
+
+void ShadowLedger::note(int region, std::size_t index, int tid, long task,
+                        std::uint32_t epoch, bool is_write) {
+  Region& reg = regions_[static_cast<std::size_t>(region)];
+  MC_CHECK(index < reg.nelems, "shadow-ledger access out of region bounds");
+  const std::uint64_t mine = pack(tid, task, epoch);
+  if (is_write) {
+    // Publish this write, then test the displaced write and the standing
+    // read record for same-epoch/other-thread conflicts.
+    const std::uint64_t prev_w =
+        reg.last_write[index].exchange(mine, std::memory_order_relaxed);
+    report(reg, index, prev_w, tid, task, epoch, /*read_write=*/false);
+    const std::uint64_t prev_r =
+        reg.last_read[index].load(std::memory_order_relaxed);
+    report(reg, index, prev_r, tid, task, epoch, /*read_write=*/true);
+  } else {
+    reg.last_read[index].store(mine, std::memory_order_relaxed);
+    const std::uint64_t prev_w =
+        reg.last_write[index].load(std::memory_order_relaxed);
+    report(reg, index, prev_w, tid, task, epoch, /*read_write=*/true);
+  }
+}
+
+void ShadowLedger::report(const Region& reg, std::size_t index,
+                          std::uint64_t prev, int tid, long task,
+                          std::uint32_t epoch, bool read_write) {
+  if ((prev & kOccupied) == 0) return;
+  int ptid = 0;
+  long ptask = 0;
+  std::uint32_t pepoch = 0;
+  unpack(prev, ptid, ptask, pepoch);
+  if (ptid == tid || pepoch != epoch) return;  // ordered or same thread
+
+  Violation v;
+  v.rank = rank_;
+  v.region = reg.name;
+  v.index = index;
+  v.tid_a = ptid;
+  v.tid_b = tid;
+  v.task_a = ptask;
+  v.task_b = task;
+  v.epoch = epoch;
+  v.read_write = read_write;
+  if (nviolations_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    std::lock_guard<std::mutex> lk(first_mu_);
+    first_ = v;
+  }
+  Registry::instance().record(v);
+}
+
+Violation ShadowLedger::first_violation() const {
+  std::lock_guard<std::mutex> lk(first_mu_);
+  return first_;
+}
+
+}  // namespace mc::check

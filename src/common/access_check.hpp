@@ -1,0 +1,180 @@
+#pragma once
+// MC_CHECK shadow-ownership verifier (DESIGN.md section 11.3).
+//
+// ShadowLedger is an exact, deterministic race detector specialized to the
+// paper's Algorithm 3 update protocol. It shadows every element of the
+// shared Fock matrix (and of the FI/FJ team buffers) with a last-accessor
+// record -- (thread, kl-task, barrier-epoch) inside one rank's build -- and
+// flags any pair of same-element accesses, at least one of them a write,
+// performed by *different threads in the same barrier-delimited epoch*.
+//
+// Why epochs make this exact rather than probabilistic: every thread of the
+// team passes the same ordered sequence of barriers (the protocol's phase
+// structure), so two accesses carry the same epoch number if and only if no
+// team barrier separates them -- i.e. if and only if the OpenMP memory model
+// provides no happens-before edge between them. TSan samples interleavings
+// and can miss a racy pair that happens to be scheduled apart; the ledger
+// classifies every executed access pair, so a protocol violation is caught
+// on its *first* occurrence, deterministically, on any schedule.
+//
+// The ledger is engaged by the builders only in MC_ACCESS_CHECK builds
+// (-DMC_CHECK=ON), and within such builds can be disabled per-run with the
+// MC_CHECK=0 environment variable (or forced either way with ScopedForce,
+// which the 0-ULP impact test uses). This header is macro-independent and
+// always compiled, so test binaries can drive ledgers directly whatever the
+// build mode.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mc::check {
+
+/// True when shadow-ownership checking should run. In MC_ACCESS_CHECK
+/// builds defaults to on, switchable off with MC_CHECK=0 in the
+/// environment; in normal builds the builders compile the hooks out, so
+/// this only matters for test code driving ledgers directly.
+bool enabled();
+
+/// True when the core Fock builders were compiled with the access-check
+/// hooks live (-DMC_CHECK=ON). Defined in src/core/fock_shared.cpp, so it
+/// reports the *library's* build mode even when the asking test TU compiled
+/// its own checked instantiations. Tests use it to skip builder-level
+/// ledger assertions in normal builds.
+bool core_hooks_compiled();
+
+/// Force checking on/off for a scope regardless of build mode and
+/// environment (process-global; tests are single-threaded at setup time).
+class ScopedForce {
+ public:
+  explicit ScopedForce(bool on);
+  ~ScopedForce();
+  ScopedForce(const ScopedForce&) = delete;
+  ScopedForce& operator=(const ScopedForce&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// One detected protocol violation: two same-epoch accesses to the same
+/// element from different threads, at least one of them a write.
+struct Violation {
+  int rank = -1;
+  std::string region;     // "F", "FI", "FJ", ...
+  std::size_t index = 0;  // element index within the region
+  int tid_a = -1;         // earlier recorded accessor
+  int tid_b = -1;         // accessor that exposed the conflict
+  long task_a = -1;       // kl/ij task ids active at each access
+  long task_b = -1;
+  std::uint32_t epoch = 0;
+  bool read_write = false;  // true: write vs read; false: write vs write
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Process-global violation sink, aggregated across ranks so tests can
+/// reset before a distributed build and inspect afterwards.
+class Registry {
+ public:
+  static Registry& instance();
+  void record(const Violation& v);
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::vector<Violation> violations() const;
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::vector<Violation> violations_;
+};
+
+/// Per-rank, per-build shadow of the protocol's shared objects. Regions are
+/// registered up front (shared Fock matrix, FI/FJ buffers, per-thread
+/// result slots); threads obtain a Thread handle and report barriers,
+/// task claims, and element accesses through it.
+class ShadowLedger {
+ public:
+  ShadowLedger(int rank, int nthreads);
+
+  /// Register a shared region of `nelems` elements; returns its id.
+  int add_region(std::string name, std::size_t nelems);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] std::size_t violations() const {
+    return nviolations_.load(std::memory_order_relaxed);
+  }
+  /// First violation recorded by this ledger (meaningful when
+  /// violations() > 0; the conflicting element of the first bad write).
+  [[nodiscard]] Violation first_violation() const;
+
+  /// Per-thread reporting handle. Epoch counting is thread-local: each
+  /// thread increments its own count at every team barrier it passes, so
+  /// matching program points carry matching epochs with no extra
+  /// synchronization (and therefore no perturbation of the schedule under
+  /// test beyond the per-element atomics themselves).
+  class Thread {
+   public:
+    Thread() = default;
+    Thread(ShadowLedger* ledger, int tid) : ledger_(ledger), tid_(tid) {}
+
+    /// Call immediately after every team barrier.
+    void barrier() { ++epoch_; }
+    /// Set the task id (DLB list position / kl index) attributed to
+    /// subsequent accesses in diagnostics.
+    void set_task(long task) { task_ = task; }
+
+    void on_write(int region, std::size_t index) {
+      if (ledger_ != nullptr) ledger_->note(region, index, tid_, task_, epoch_, true);
+    }
+    void on_read(int region, std::size_t index) {
+      if (ledger_ != nullptr) ledger_->note(region, index, tid_, task_, epoch_, false);
+    }
+    [[nodiscard]] bool active() const { return ledger_ != nullptr; }
+    [[nodiscard]] int tid() const { return tid_; }
+
+   private:
+    ShadowLedger* ledger_ = nullptr;
+    int tid_ = 0;
+    std::uint32_t epoch_ = 0;
+    long task_ = -1;
+  };
+
+  [[nodiscard]] Thread thread(int tid) { return Thread(this, tid); }
+
+ private:
+  friend class Thread;
+
+  // Packed last-accessor record: [epoch:24][tid:10][task:30]. A zero word
+  // means "never accessed" -- real records always have the sentinel bit set
+  // (bit 63) so epoch 0 / tid 0 / task 0 is distinguishable from empty.
+  static constexpr std::uint64_t kOccupied = 1ULL << 63;
+  static std::uint64_t pack(int tid, long task, std::uint32_t epoch);
+  static void unpack(std::uint64_t rec, int& tid, long& task,
+                     std::uint32_t& epoch);
+
+  struct Region {
+    std::string name;
+    // Separate last-write and last-read shadows so write/read conflicts
+    // are detected exactly (a read record never hides a write record).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> last_write;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> last_read;
+    std::size_t nelems = 0;
+  };
+
+  void note(int region, std::size_t index, int tid, long task,
+            std::uint32_t epoch, bool is_write);
+  void report(const Region& reg, std::size_t index, std::uint64_t prev,
+              int tid, long task, std::uint32_t epoch, bool read_write);
+
+  int rank_;
+  int nthreads_;
+  std::vector<Region> regions_;
+  std::atomic<std::size_t> nviolations_{0};
+  mutable std::mutex first_mu_;
+  Violation first_;
+};
+
+}  // namespace mc::check

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "common/access.hpp"
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/tsan_annotations.hpp"
@@ -38,6 +39,18 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
   std::vector<la::Matrix*> thread_g(static_cast<std::size_t>(nt), nullptr);
   long shared_i = 0;
 
+  // Shadow-ownership verifier (MC_CHECK builds; DESIGN.md section 11.3).
+  // Algorithm 2 touches far less shared state than Algorithm 3: the rank
+  // Fock matrix (written only in the row-chunked reduction), the matrix
+  // pointer slots, and the per-thread quartet counters.
+  acc::BuildChecker<> checker(ddi_->rank(), nt);
+  const int reg_g = checker.region("G", g.size());
+  const int reg_slots = checker.region("thread_g", thread_g.size());
+  const int reg_tq = checker.region("thread_quartets", thread_quartets_.size());
+
+  // Team-shared, read-only for the whole region.
+  const acc::SharedReadOnly<const la::Matrix&> den(density);
+
   omp_set_schedule(opt_.dynamic_schedule ? omp_sched_dynamic
                                          : omp_sched_static,
                    1);
@@ -52,10 +65,18 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
     // OpenMP workers do not inherit the rank thread's memory attribution;
     // scope it so thread-private buffers are charged to this rank.
     RankScope rank_scope(ddi_->rank());
+    acc::ThreadCtx<> th(checker, tid);
     // The thread-private replicated Fock matrix: the memory cost that
     // distinguishes Algorithm 2 (eq. 3b) from Algorithm 3 (eq. 3c).
     la::Matrix gp(nbf, nbf, "fock_thread_private");
-    thread_g[static_cast<std::size_t>(tid)] = &gp;
+    {
+      // Publish this thread's copy for the end-of-region reduction:
+      // distinct slot per thread, claimed through the checked slice.
+      const acc::OwnedSlice<la::Matrix*> slots(thread_g.data(),
+                                               thread_g.size(), &th,
+                                               reg_slots, 0);
+      slots.set(static_cast<std::size_t>(tid), &gp);
+    }
     std::vector<double> batch;
     std::size_t my_quartets = 0;
     std::size_t my_density_screened = 0;
@@ -64,13 +85,14 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
     for (;;) {
 #pragma omp master
       shared_i = ddi_->dlbnext();  // MPI DLB: get new I task
-      MC_OMP_ANNOTATED_BARRIER(&shared_i);
+      MC_PROTOCOL_BARRIER(&shared_i, th);
       const long claimed = shared_i;
       if (claimed >= static_cast<long>(bra_order.size())) break;
       const long i =
           static_cast<long>(bra_order[static_cast<std::size_t>(claimed)]);
 #pragma omp master
       ++i_claimed_;
+      th.set_task(claimed);
       // One span per claimed i task per thread: the per-thread lanes of
       // the chrome trace make the (j,k) load split visible directly.
       MC_OBS_TRACE("fock:private:i_task");
@@ -107,15 +129,15 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
                                     eri_->batch_size(si, sj, sk, sl));
             eri_->compute(si, sj, sk, sl, batch.data());
             // Update the *private* 2e-Fock matrix: no synchronization.
-            scf::scatter_quartet(bs, si, sj, sk, sl, batch.data(), density,
-                                 gp);
+            scf::scatter_quartet(bs, si, sj, sk, sl, batch.data(),
+                                 den.get(), gp);
             ++my_quartets;
           }
         }
       }
       // Keeps the team in lockstep with the master: iteration N's reads of
       // shared_i must be ordered before the master's iteration-N+1 rewrite.
-      MC_OMP_ANNOTATED_BARRIER(&shared_i);
+      MC_PROTOCOL_BARRIER(&shared_i, th);
     }
 
 #pragma omp atomic
@@ -126,27 +148,38 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
     static_screened_ += my_static_screened;
     // Distinct slot per thread; the master reads after the join (the
     // region-edge TSAN annotations publish it like the atomics above).
-    thread_quartets_[static_cast<std::size_t>(tid)] = my_quartets;
+    {
+      const acc::OwnedSlice<std::size_t> tq(thread_quartets_.data(),
+                                            thread_quartets_.size(), &th,
+                                            reg_tq, 0);
+      tq.set(static_cast<std::size_t>(tid), my_quartets);
+    }
 
     // Reduce the thread-private copies into the rank matrix, row-chunked so
     // threads write disjoint cache lines.
-    MC_OMP_ANNOTATED_BARRIER(&shared_i);
+    MC_PROTOCOL_BARRIER(&shared_i, th);
+    const acc::OwnedSlice<double> g_acc(g.data(), g.size(), &th, reg_g, 0);
 #pragma omp for schedule(static) nowait
     for (long row = 0; row < static_cast<long>(nbf); ++row) {
-      double* grow = g.row(static_cast<std::size_t>(row));
+      const acc::OwnedSlice<double> grow =
+          g_acc.slice(static_cast<std::size_t>(row) * nbf, nbf);
       for (int t = 0; t < nt; ++t) {
         const double* prow =
             thread_g[static_cast<std::size_t>(t)]->row(
                 static_cast<std::size_t>(row));
-        for (std::size_t c = 0; c < nbf; ++c) grow[c] += prow[c];
+        for (std::size_t c = 0; c < nbf; ++c) grow.add(c, prow[c]);
       }
     }
     // Nobody frees gp before the reduction completes.
-    MC_OMP_ANNOTATED_BARRIER(&shared_i);
+    MC_PROTOCOL_BARRIER(&shared_i, th);
     MC_TSAN_RELEASE(&shared_i);
   }
   MC_TSAN_ACQUIRE(&shared_i);
   MC_TSAN_OMP_QUIESCE();  // fresh workers for the next region under TSan
+
+  // Surface any recorded ownership violation before the cross-rank
+  // reduction publishes a corrupted matrix.
+  checker.finalize();
 
   // 2e-Fock matrix reduction over MPI ranks.
   ddi_->gsumf(g);

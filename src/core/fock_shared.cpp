@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/access.hpp"
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/tsan_annotations.hpp"
@@ -15,15 +16,22 @@ namespace mc::core {
 namespace {
 
 /// Chunked parallel reduction of one buffer (all thread columns) into the
-/// shell-s stripe of g, then per-thread re-zeroing. Must be called by
-/// every thread of the team (contains worksharing constructs). This is the
-/// tree-reduction flush of the paper's Figure 1B; the "column" of the
-/// paper's Fortran storage is the row stripe g(off+a, :) in our row-major
-/// matrices, which also keeps the raw skeleton bit-comparable with the
-/// serial reference scatter.
-void flush_buffer(double* buf, std::size_t col_stride, int nt,
-                  const basis::Shell& sh, std::size_t nbf, la::Matrix& g,
-                  int tid) {
+/// shell-s stripe of the shared Fock matrix, then per-thread re-zeroing.
+/// Must be called by every thread of the team (contains worksharing
+/// constructs). This is the tree-reduction flush of the paper's Figure 1B;
+/// the "column" of the paper's Fortran storage is the row stripe
+/// g(off+a, :) in our row-major matrices, which also keeps the raw
+/// skeleton bit-comparable with the serial reference scatter.
+///
+/// Access protocol (annotated via the types, verified under MC_CHECK):
+/// cross-thread reads of the lanes via TeamBuffer::read, exclusive column
+/// writes into the shared matrix via OwnedSlice::add, a barrier, then the
+/// owner's lane re-zero -- all reads done before anyone re-zeroes.
+void flush_buffer(const acc::TeamBuffer<double>& buf,
+                  const acc::ThreadPrivate<double>& mine, int nt,
+                  const basis::Shell& sh, std::size_t nbf,
+                  const acc::OwnedSlice<double>& f_acc,
+                  acc::ThreadCtx<>& th, const volatile void* tag) {
   const int nf = sh.nfunc();
   const std::size_t off = sh.first_bf;
 #pragma omp for schedule(static) nowait
@@ -32,19 +40,18 @@ void flush_buffer(double* buf, std::size_t col_stride, int nt,
     for (int a = 0; a < nf; ++a) {
       double sum = 0.0;
       for (int t = 0; t < nt; ++t) {
-        sum += buf[static_cast<std::size_t>(t) * col_stride +
-                   static_cast<std::size_t>(a) * nbf + c];
+        sum += buf.read(t, static_cast<std::size_t>(a) * nbf + c);
       }
-      g(off + static_cast<std::size_t>(a), c) += sum;
+      f_acc.add((off + static_cast<std::size_t>(a)) * nbf + c, sum);
     }
   }
   // All reads done before anyone re-zeroes. Annotated (rather than the
   // worksharing construct's implicit barrier) so TSan sees the ordering
-  // between cross-thread buffer reads and the owner's re-zeroing writes.
-  MC_OMP_ANNOTATED_BARRIER(buf);
-  double* mine = buf + static_cast<std::size_t>(tid) * col_stride;
-  std::fill(mine, mine + static_cast<std::size_t>(nf) * nbf, 0.0);
-  MC_OMP_ANNOTATED_BARRIER(buf);
+  // between cross-thread buffer reads and the owner's re-zeroing writes;
+  // the same barrier advances the shadow ledger's epoch.
+  MC_PROTOCOL_BARRIER(tag, th);
+  mine.zero(static_cast<std::size_t>(nf) * nbf);
+  MC_PROTOCOL_BARRIER(tag, th);
 }
 
 }  // namespace
@@ -82,6 +89,20 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
   TrackedBuffer fi("fock_fi_buffer", col_stride * static_cast<std::size_t>(nt));
   TrackedBuffer fj("fock_fj_buffer", col_stride * static_cast<std::size_t>(nt));
 
+  // Shadow-ownership verifier (MC_CHECK builds; DESIGN.md section 11.3):
+  // the shared Fock matrix, both team buffers, and the per-thread result
+  // slots are registered as checked regions. In normal builds BuildChecker
+  // is an empty type and every hook below compiles to nothing.
+  acc::BuildChecker<> checker(ddi_->rank(), nt);
+  const int reg_f = checker.region("F", g.size());
+  const int reg_fi = checker.region("FI", fi.size());
+  const int reg_fj = checker.region("FJ", fj.size());
+  const int reg_tq = checker.region("thread_quartets", thread_quartets_.size());
+
+  // The density is team-shared and read-only for the whole region; the
+  // type has no mutating accessor, so a misrouted update cannot compile.
+  const acc::SharedReadOnly<const la::Matrix&> den(density);
+
   // Per-iteration decisions are taken once, by the master thread, and
   // published through these shared slots. Threads snapshot them between
   // two barriers, so the whole team always agrees on which worksharing
@@ -111,8 +132,18 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
     // OpenMP workers do not inherit the rank thread's attribution; scope it
     // so trace events and tracked buffers land on this rank's lane.
     RankScope rank_scope(ddi_->rank());
-    double* fi_mine = fi.data() + static_cast<std::size_t>(tid) * col_stride;
-    double* fj_mine = fj.data() + static_cast<std::size_t>(tid) * col_stride;
+    // Per-thread protocol views: the thread's own FI/FJ lanes (mutable
+    // only through these handles), the whole-lane-array views for the
+    // flush reduction, and the shared-Fock window for the direct F_kl
+    // updates whose exclusivity the kl loop guarantees.
+    acc::ThreadCtx<> th(checker, tid);
+    const acc::TeamBuffer<double> fi_buf(fi.data(), nt, col_stride, &th,
+                                         reg_fi);
+    const acc::TeamBuffer<double> fj_buf(fj.data(), nt, col_stride, &th,
+                                         reg_fj);
+    const acc::ThreadPrivate<double> fi_lane = fi_buf.lane(tid);
+    const acc::ThreadPrivate<double> fj_lane = fj_buf.lane(tid);
+    const acc::OwnedSlice<double> f_acc(g.data(), g.size(), &th, reg_f, 0);
     std::vector<double> batch;
     std::size_t my_quartets = 0;
     std::size_t my_density_screened = 0;
@@ -145,12 +176,13 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
           }
         }
       }
-      MC_OMP_ANNOTATED_BARRIER(&plan);
+      MC_PROTOCOL_BARRIER(&plan, th);
       const IterPlan my_plan = plan;
       // All snapshots taken before the master's next rewrite.
-      MC_OMP_ANNOTATED_BARRIER(&plan);
+      MC_PROTOCOL_BARRIER(&plan, th);
       if (my_plan.ij >= static_cast<long>(nlist)) break;
       if (my_plan.skip) continue;
+      th.set_task(my_plan.ij);
 
       // One span per claimed ij pair per thread: the per-thread lanes of
       // the chrome trace make the kl-loop load split visible directly.
@@ -166,9 +198,9 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
       const basis::Shell& shj = bs.shell(j);
 
       if (my_plan.flush_shell >= 0) {
-        flush_buffer(fi.data(), col_stride, nt,
+        flush_buffer(fi_buf, fi_lane, nt,
                      bs.shell(static_cast<std::size_t>(my_plan.flush_shell)),
-                     nbf, g, tid);
+                     nbf, f_acc, th, fi.data());
       }
 
       const std::size_t oi = shi.first_bf;
@@ -178,6 +210,7 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
 
 #pragma omp for schedule(runtime) nowait
       for (long kl = 0; kl <= ij; ++kl) {
+        th.set_task(kl);
         const auto [k, l] =
             screen_->pair_shells(static_cast<std::size_t>(kl));
         if (!screen_->keep(i, j, k, l)) {  // Schwartz screening
@@ -202,31 +235,32 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
         const double w = scf::quartet_degeneracy(i, j, k, l);
 
         // The six updates of eqs. (2a)-(2f), routed per Algorithm 3:
-        //   FI (thread-private):  F_ij, F_ik, F_il
-        //   FJ (thread-private):  F_jl, F_jk
-        //   shared Fock (direct): F_kl  -- distinct kl per thread, no race.
+        //   FI (ThreadPrivate lane):   F_ij, F_ik, F_il
+        //   FJ (ThreadPrivate lane):   F_jl, F_jk
+        //   shared Fock (OwnedSlice):  F_kl -- distinct kl per thread, so
+        //   the written row stripes are disjoint; MC_CHECK verifies it.
         std::size_t idx = 0;
         for (int a = 0; a < ni; ++a) {
           const std::size_t fa = oi + static_cast<std::size_t>(a);
-          double* fia = fi_mine + static_cast<std::size_t>(a) * nbf;
+          const std::size_t abase = static_cast<std::size_t>(a) * nbf;
           for (int b = 0; b < nj; ++b) {
             const std::size_t fb = oj + static_cast<std::size_t>(b);
-            double* fjb = fj_mine + static_cast<std::size_t>(b) * nbf;
+            const std::size_t bbase = static_cast<std::size_t>(b) * nbf;
             for (int c = 0; c < nk; ++c) {
               const std::size_t fc = ok + static_cast<std::size_t>(c);
-              double* gk = g.row(fc);
+              const acc::OwnedSlice<double> gk = f_acc.slice(fc * nbf, nbf);
               for (int dd = 0; dd < nl; ++dd, ++idx) {
                 const double v = batch[idx];
                 if (v == 0.0) continue;
                 const std::size_t fd = ol + static_cast<std::size_t>(dd);
                 const double x = 0.5 * w * v;
                 const double x4 = 0.25 * x;
-                fia[fb] += x * density(fc, fd);    // F_ij
-                gk[fd] += x * density(fa, fb);     // F_kl (shared, direct)
-                fia[fc] -= x4 * density(fb, fd);   // F_ik
-                fjb[fd] -= x4 * density(fa, fc);   // F_jl
-                fia[fd] -= x4 * density(fb, fc);   // F_il
-                fjb[fc] -= x4 * density(fa, fd);   // F_jk
+                fi_lane.add(abase + fb, x * den(fc, fd));    // F_ij
+                gk.add(fd, x * den(fa, fb));                 // F_kl (shared)
+                fi_lane.add(abase + fc, -x4 * den(fb, fd));  // F_ik
+                fj_lane.add(bbase + fd, -x4 * den(fa, fc));  // F_jl
+                fi_lane.add(abase + fd, -x4 * den(fb, fc));  // F_il
+                fj_lane.add(bbase + fc, -x4 * den(fa, fd));  // F_jk
               }
             }
           }
@@ -234,18 +268,19 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
       }
       // End of kl loop (nowait + explicit barrier): orders the direct
       // shared-Fock F_kl writes against the FJ flush that follows.
-      MC_OMP_ANNOTATED_BARRIER(&plan);
+      MC_PROTOCOL_BARRIER(&plan, th);
 
       // Flush FJ after every kl loop (Algorithm 3 line 31).
-      flush_buffer(fj.data(), col_stride, nt, shj, nbf, g, tid);
+      flush_buffer(fj_buf, fj_lane, nt, shj, nbf, f_acc, th, fj.data());
     }
 
     // Flush the remaining FI contribution (Algorithm 3 line 36). iold was
     // last written by the master before the loop-exit barriers, so every
     // thread observes the same final value here.
     if (iold >= 0) {
-      flush_buffer(fi.data(), col_stride, nt,
-                   bs.shell(static_cast<std::size_t>(iold)), nbf, g, tid);
+      flush_buffer(fi_buf, fi_lane, nt,
+                   bs.shell(static_cast<std::size_t>(iold)), nbf, f_acc, th,
+                   fi.data());
 #pragma omp master
       ++fi_flushes_;
     }
@@ -256,16 +291,30 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
     density_screened_ += my_density_screened;
 #pragma omp atomic
     static_screened_ += my_static_screened;
-    // Distinct slot per thread; the master reads after the join (published
-    // by the region-edge TSAN annotations like the atomics above).
-    thread_quartets_[static_cast<std::size_t>(tid)] = my_quartets;
+    // Distinct slot per thread, claimed through the checked slice; the
+    // master reads after the join (published by the region-edge TSAN
+    // annotations like the atomics above).
+    const acc::OwnedSlice<std::size_t> tq(thread_quartets_.data(),
+                                          thread_quartets_.size(), &th,
+                                          reg_tq, 0);
+    tq.set(static_cast<std::size_t>(tid), my_quartets);
     MC_TSAN_RELEASE(&plan);
   }
   MC_TSAN_ACQUIRE(&plan);
   MC_TSAN_OMP_QUIESCE();  // fresh workers for the next region under TSan
+
+  // Surface any recorded ownership violation before the cross-rank
+  // reduction publishes a corrupted matrix.
+  checker.finalize();
 
   // 2e-Fock matrix reduction over MPI ranks.
   ddi_->gsumf(g);
 }
 
 }  // namespace mc::core
+
+namespace mc::check {
+// This TU's kAccessChecked reflects the library's build mode, which is what
+// tests need to know before asserting on builder-driven ledgers.
+bool core_hooks_compiled() { return acc::kAccessChecked; }
+}  // namespace mc::check

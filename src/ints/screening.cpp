@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/access.hpp"
 #include "common/error.hpp"
 #include "common/tsan_annotations.hpp"
 
@@ -39,6 +40,10 @@ Screening::Screening(const EriEngine& eri, double threshold)
 #pragma omp parallel default(shared)
   {
     MC_TSAN_ACQUIRE(q_.data());
+    // Every iteration writes a disjoint q_ pair; the slice annotation
+    // (common/access.hpp) is the sanctioned route for such exclusive
+    // writes to shared state inside a parallel region (MC-OMP-002).
+    const acc::OwnedSlice<double> qv(q_.data(), q_.size());
     std::vector<double> batch;
 #pragma omp for schedule(dynamic)
     for (long p = 0; p < static_cast<long>(npairs); ++p) {
@@ -59,8 +64,8 @@ Screening::Screening(const EriEngine& eri, double threshold)
         }
       }
       const double bound = std::sqrt(m);
-      q_[s1 * nshells_ + s2] = bound;
-      q_[s2 * nshells_ + s1] = bound;
+      qv.set(s1 * nshells_ + s2, bound);
+      qv.set(s2 * nshells_ + s1, bound);
     }
     MC_TSAN_RELEASE(q_.data());
   }

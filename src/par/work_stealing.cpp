@@ -13,15 +13,15 @@ StealingCounters::StealingCounters(int nranks, long ntasks)
     const long hi = ntasks * (r + 1) / nranks;
     ranges_[static_cast<std::size_t>(r)].next.store(
         lo, std::memory_order_relaxed);
-    ranges_[static_cast<std::size_t>(r)].end = hi;
+    ranges_[static_cast<std::size_t>(r)].end.init_once(hi);
   }
 }
 
 long StealingCounters::next(int rank) {
   Range& own = ranges_[static_cast<std::size_t>(rank)];
   const long mine = own.next.fetch_add(1, std::memory_order_relaxed);
-  if (mine < own.end) return mine;
-  own.next.store(own.end, std::memory_order_relaxed);  // undo overshoot
+  if (mine < own.end.get()) return mine;
+  own.next.store(own.end.get(), std::memory_order_relaxed);  // undo overshoot
 
   // Steal: repeatedly pick the victim with the most remaining work. The
   // claim itself is a fetch_add on the victim's counter, so races with the
@@ -33,7 +33,8 @@ long StealingCounters::next(int rank) {
     for (int r = 0; r < static_cast<int>(ranges_.size()); ++r) {
       if (r == rank) continue;
       const Range& cand = ranges_[static_cast<std::size_t>(r)];
-      const long rem = cand.end - cand.next.load(std::memory_order_relaxed);
+      const long rem =
+          cand.end.get() - cand.next.load(std::memory_order_relaxed);
       if (rem > best_remaining) {
         best_remaining = rem;
         victim = r;
@@ -42,17 +43,17 @@ long StealingCounters::next(int rank) {
     if (victim < 0) return -1;  // everything exhausted
     Range& v = ranges_[static_cast<std::size_t>(victim)];
     const long got = v.next.fetch_add(1, std::memory_order_relaxed);
-    if (got < v.end) {
+    if (got < v.end.get()) {
       own.stolen_by_me.fetch_add(1, std::memory_order_relaxed);
       return got;
     }
-    v.next.store(v.end, std::memory_order_relaxed);
+    v.next.store(v.end.get(), std::memory_order_relaxed);
   }
 }
 
 long StealingCounters::remaining(int rank) const {
   const Range& r = ranges_[static_cast<std::size_t>(rank)];
-  const long rem = r.end - r.next.load(std::memory_order_relaxed);
+  const long rem = r.end.get() - r.next.load(std::memory_order_relaxed);
   return rem > 0 ? rem : 0;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/access.hpp"
 #include "obs/metrics.hpp"
 #include "par/runtime.hpp"
 
@@ -39,7 +40,11 @@ class StealingCounters {
  private:
   struct alignas(64) Range {
     std::atomic<long> next{0};
-    long end = 0;
+    // Fixed at construction, then read concurrently by every thief with no
+    // ordering: correct only because it is never written again. The
+    // annotation type makes that one-shot publication explicit (mutation
+    // after init_once() has no API, and checked builds trap double-init).
+    acc::SharedReadOnly<long> end;
     std::atomic<long> stolen_by_me{0};
   };
   std::vector<Range> ranges_;

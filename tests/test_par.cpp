@@ -145,7 +145,9 @@ TEST(ParRuntime, ExceptionInOneRankPropagatesWithoutDeadlock) {
                    throw mc::Error("rank 2 exploded");
                  }
                  // Other ranks head into a barrier; the abort must wake them.
+                 // mc-lint: allow(MC-COLL-001): rank 2 throws by design
                  comm.barrier();
+                 // mc-lint: allow(MC-COLL-001): rank 2 throws by design
                  comm.barrier();
                }),
       mc::Error);

@@ -1,0 +1,42 @@
+// Fixture: every check must stay quiet. Exercises the sanctioned forms:
+// rank-uniform collectives, rank branches without collectives, master and
+// atomic constructs, annotation-type method calls, in-region declarations,
+// and an explicit allow directive. (Not compiled; consumed by
+// run_tests.py.)
+struct Comm {
+  int rank() const;
+  void barrier();
+  void free_shared(const char* key);
+};
+
+struct Lane {
+  void add(long i, double v) const;
+};
+
+long quartets = 0;
+long debug_probe = 0;
+
+void clean_build(Comm* comm, Lane lane, const double* x, long n, int nt) {
+  if (comm->rank() == 0) {
+    comm->free_shared("counters");  // rank-local op: not a collective
+  }
+  comm->barrier();  // uniform: every rank passes
+  long claimed = 0;
+#pragma omp parallel num_threads(nt) default(shared)
+  {
+    long mine = 0;
+    double partial = 0.0;
+    for (long i = 0; i < n; ++i) {
+      partial += x[i];       // private accumulation
+      lane.add(i, partial);  // annotation-type method call
+      ++mine;
+    }
+#pragma omp master
+    claimed = mine;  // master-sanctioned publication
+#pragma omp atomic
+    quartets += mine;  // integer counter merge
+    // mc-lint: allow(MC-OMP-002): debug probe, ordering covered by tests
+    debug_probe = mine;
+  }
+  comm->barrier();
+}

@@ -1,0 +1,20 @@
+// Fixture: MC-COLL-001 divergent-exit sub-rule must fire exactly once --
+// after a rank-dependent branch returns, a later collective in the same
+// scope is only reached by the ranks that did not take the early exit.
+// (Not compiled; consumed by tools/mc-lint/tests/run_tests.py.)
+struct Comm {
+  int rank() const;
+  void barrier();
+};
+
+void skip_nonroot_then_sync(Comm* comm, bool verbose) {
+  if (comm->rank() != 0) return;  // divergent exit
+  if (verbose) {
+    // rank-uniform work on the surviving rank only
+  }
+  comm->barrier();  // SEEDED VIOLATION: MC-COLL-001 (unreachable on rank!=0)
+}
+
+void uniform_sync(Comm* comm) {
+  comm->barrier();  // different scope: clean
+}

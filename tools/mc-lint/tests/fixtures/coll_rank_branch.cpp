@@ -1,0 +1,17 @@
+// Fixture: MC-COLL-001 must fire exactly once -- a collective lexically
+// inside a rank-dependent branch deadlocks every other rank at the next
+// sync point. (Not compiled; consumed by tools/mc-lint/tests/run_tests.py.)
+struct Comm {
+  int rank() const;
+  int size() const;
+  void barrier();
+  void log_line(const char* msg);
+};
+
+void report_and_sync(Comm* comm) {
+  if (comm->rank() == 0) {
+    comm->log_line("iteration done");  // rank-local work: fine
+    comm->barrier();                   // SEEDED VIOLATION: MC-COLL-001
+  }
+  comm->log_line("after");  // collective outside the branch would be fine
+}

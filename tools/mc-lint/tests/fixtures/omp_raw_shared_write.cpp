@@ -1,0 +1,19 @@
+// Fixture: MC-OMP-002 must fire exactly once -- a raw compound assignment
+// to team-shared state inside an omp parallel region, not routed through
+// an annotation type or a sanctioned construct. The target is an integer
+// so MC-RED-003 stays quiet. (Not compiled; consumed by run_tests.py.)
+long tasks_done = 0;
+
+void count_tasks(int nt, long n) {
+  long published = 0;
+#pragma omp parallel num_threads(nt) default(shared)
+  {
+    long mine = 0;
+    for (long i = 0; i < n; ++i) {
+      ++mine;  // private: declared in the region
+    }
+    tasks_done += mine;  // SEEDED VIOLATION: MC-OMP-002
+#pragma omp master
+    published = mine;  // master-sanctioned: clean
+  }
+}

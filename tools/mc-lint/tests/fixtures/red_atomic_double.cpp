@@ -1,0 +1,18 @@
+// Fixture: MC-RED-003 must fire exactly once -- `omp atomic` on a double
+// accumulates in schedule order, which breaks bit-reproducible golden
+// trajectories. The atomic sanction keeps MC-OMP-002 quiet, so the FP rule
+// is what fires. (Not compiled; consumed by run_tests.py.)
+void sum_energies(const double* e, long n, int nt) {
+  double total = 0.0;
+  long visited = 0;
+#pragma omp parallel num_threads(nt) default(shared)
+  {
+#pragma omp for
+    for (long i = 0; i < n; ++i) {
+#pragma omp atomic
+      total += e[i];  // SEEDED VIOLATION: MC-RED-003
+#pragma omp atomic
+      ++visited;  // integer counter: clean
+    }
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: MC-RED-003 must fire exactly once -- a floating-point
+// reduction clause combines partial sums in an unspecified order. The
+// clause also privatizes the variable, so MC-OMP-002 stays quiet by the
+// reduction-clause rule. (Not compiled; consumed by run_tests.py.)
+double grid_integral(const double* w, long n, int nt) {
+  double acc = 0.0;
+  long hits = 0;
+#pragma omp parallel for num_threads(nt) reduction(+ : acc) \
+    reduction(+ : hits)
+  for (long i = 0; i < n; ++i) {
+    acc += w[i];  // SEEDED VIOLATION via the clause above: MC-RED-003
+    ++hits;       // integer reduction: clean
+  }
+  return acc;
+}

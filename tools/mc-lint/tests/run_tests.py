@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Self-test for mc-lint: every fixture's seeded violation fires exactly
+once (and nothing else fires on it), and the real tree is clean.
+
+Run from anywhere: paths are resolved relative to this file. Wired into
+ctest as `mc_lint_selftest` and into the CI lint job.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+MC_LINT = os.path.join(HERE, "..", "mc_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO = os.path.abspath(os.path.join(HERE, "..", "..", ".."))
+
+# fixture -> list of expected (check, substring-of-message) findings.
+EXPECTED = {
+    "coll_rank_branch.cpp": [("MC-COLL-001", "rank-dependent branch")],
+    "coll_divergent_exit.cpp": [("MC-COLL-001", "unreachable on some ranks")],
+    "omp_raw_shared_write.cpp": [("MC-OMP-002", "tasks_done")],
+    "red_atomic_double.cpp": [("MC-RED-003", "total")],
+    "red_reduction_clause.cpp": [("MC-RED-003", "acc")],
+    "clean.cpp": [],
+}
+
+
+def run_lint(args):
+    proc = subprocess.run(
+        [sys.executable, MC_LINT, "--json", *args],
+        capture_output=True, text=True, check=False)
+    if proc.returncode not in (0, 1):
+        raise SystemExit(
+            f"mc-lint crashed (exit {proc.returncode}):\n{proc.stderr}")
+    return json.loads(proc.stdout), proc.returncode
+
+
+def main():
+    failures = []
+
+    for name, expected in sorted(EXPECTED.items()):
+        path = os.path.join(FIXTURES, name)
+        findings, rc = run_lint([path, "--omp-scope", "", "--engine", "text"])
+        got = [(f["check"], f["message"]) for f in findings]
+        if len(got) != len(expected):
+            failures.append(
+                f"{name}: expected {len(expected)} finding(s), got "
+                f"{len(got)}: {json.dumps(findings, indent=2)}")
+            continue
+        for (check, frag), (gcheck, gmsg) in zip(expected, got):
+            if check != gcheck or frag not in gmsg:
+                failures.append(
+                    f"{name}: expected ({check}, *{frag}*), got "
+                    f"({gcheck}, {gmsg})")
+        if expected and rc != 1:
+            failures.append(f"{name}: expected exit 1, got {rc}")
+        if not expected and rc != 0:
+            failures.append(f"{name}: expected exit 0, got {rc}")
+
+    # The real tree must be clean with the default scoping (MC-OMP-002
+    # applies to src/). tests/ rides along: its deliberately-divergent
+    # fault-injection collectives carry allow directives.
+    src = os.path.join(REPO, "src")
+    tests = os.path.join(REPO, "tests")
+    findings, rc = run_lint([src, tests, "--engine", "text"])
+    if findings or rc != 0:
+        failures.append(
+            f"real tree not clean (exit {rc}): "
+            f"{json.dumps(findings, indent=2)}")
+
+    # The allow directive requires a reason.
+    import tempfile
+    with tempfile.TemporaryDirectory() as td:
+        bad = os.path.join(td, "bad_allow.cpp")
+        with open(bad, "w") as f:
+            f.write("// mc-lint: allow(MC-OMP-002)\nint x;\n")
+        findings, rc = run_lint([bad, "--omp-scope", ""])
+        if not any(f["check"] == "MC-LINT-DIRECTIVE" for f in findings):
+            failures.append(
+                "allow directive without a reason was not reported")
+
+    if failures:
+        print("mc-lint selftest FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"mc-lint selftest: {len(EXPECTED)} fixtures + tree scan OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
