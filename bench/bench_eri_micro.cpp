@@ -11,6 +11,7 @@
 #include "basis/basis_set.hpp"
 #include "chem/molecule.hpp"
 #include "ints/eri.hpp"
+#include "ints/eri_batch.hpp"
 
 namespace {
 
@@ -64,6 +65,55 @@ void BM_EriQuartet(benchmark::State& state) {
                  benchmark::Counter::kInvert);
 }
 
+// Batched pipeline over a full QuartetBatch of one class: measures the
+// per-quartet cost including class grouping, the single boys_batch sweep,
+// and the shared kernel -- the apples-to-apples counterpart of
+// BM_EriQuartet for the same (bra, ket) class.
+void BM_EriQuartetBatched(benchmark::State& state) {
+  Setup& s = Setup::instance();
+  const PairRep bra = kReps[state.range(0)];
+  const PairRep ket = kReps[state.range(1)];
+  mc::ints::QuartetBatch batch(s.eri);
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < batch.capacity(); ++q) {
+      batch.add(bra.a, bra.b, ket.a, ket.b);
+    }
+    batch.evaluate();
+    benchmark::DoNotOptimize(batch.result(0));
+    batch.clear();
+  }
+  state.SetLabel(std::string(bra.name) + "|" + ket.name);
+  // Per-quartet time: one iteration evaluates `capacity` quartets.
+  state.counters["s_per_quartet"] = benchmark::Counter(
+      static_cast<double>(batch.capacity()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+// A mixed-class fill (every class pairing in one batch): measures the
+// grouping overhead the homogeneous benchmarks cannot see.
+void BM_EriBatchMixedClasses(benchmark::State& state) {
+  Setup& s = Setup::instance();
+  mc::ints::QuartetBatch batch(s.eri);
+  for (auto _ : state) {
+    std::size_t q = 0;
+    while (q < batch.capacity()) {
+      for (int b = 0; b < 5 && q < batch.capacity(); ++b) {
+        for (int k = 0; k < 5 && q < batch.capacity(); ++k, ++q) {
+          batch.add(kReps[b].a, kReps[b].b, kReps[k].a, kReps[k].b);
+        }
+      }
+    }
+    batch.evaluate();
+    benchmark::DoNotOptimize(batch.result(0));
+    batch.clear();
+  }
+  state.counters["s_per_quartet"] = benchmark::Counter(
+      static_cast<double>(batch.capacity()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
 void RegisterAll() {
   for (int b = 0; b < 5; ++b) {
     for (int k = 0; k < 5; ++k) {
@@ -72,6 +122,17 @@ void RegisterAll() {
           ->Unit(benchmark::kMicrosecond);
     }
   }
+  for (int b = 0; b < 5; ++b) {
+    for (int k = 0; k < 5; ++k) {
+      benchmark::RegisterBenchmark("BM_EriQuartetBatched",
+                                   BM_EriQuartetBatched)
+          ->Args({b, k})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::RegisterBenchmark("BM_EriBatchMixedClasses",
+                               BM_EriBatchMixedClasses)
+      ->Unit(benchmark::kMicrosecond);
 }
 
 }  // namespace

@@ -8,11 +8,25 @@
 
 namespace mc::core {
 
+void FockBuilderMpi::flush_batch(ints::QuartetBatch& batch,
+                                 const la::Matrix& density, la::Matrix& g) {
+  const basis::BasisSet& bs = eri_->basis_set();
+  batch.evaluate();
+  for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+    const ints::QuartetBatch::Entry& e = batch.quartets()[idx];
+    // Update the process-local replicated 2e-Fock matrix. Scatter runs in
+    // discovery order, so G matches the scalar per-quartet path bitwise
+    // (and a single rank matches SerialFockBuilder exactly).
+    scf::scatter_quartet(bs, e.si, e.sj, e.sk, e.sl, batch.result(idx),
+                         density, g);
+  }
+  batch.clear();
+}
+
 void FockBuilderMpi::process_pair(const ints::ScreenedPair& pair,
                                   const la::Matrix& density, la::Matrix& g,
                                   const scf::FockContext& ctx,
-                                  std::vector<double>& batch) {
-  const basis::BasisSet& bs = eri_->basis_set();
+                                  ints::QuartetBatch& batch) {
   ++pairs_;
   const std::size_t i = pair.i;
   const std::size_t j = pair.j;
@@ -33,11 +47,9 @@ void FockBuilderMpi::process_pair(const ints::ScreenedPair& pair,
       ++density_screened_;
       return;
     }
-    ints::ensure_batch_size(batch, eri_->batch_size(i, j, k, l));
-    eri_->compute(i, j, k, l, batch.data());  // calculate (i,j|k,l)
-    // Update the process-local replicated 2e-Fock matrix.
-    scf::scatter_quartet(bs, i, j, k, l, batch.data(), density, g);
+    batch.add(i, j, k, l);  // (i,j|k,l) queued for batched evaluation
     ++quartets_;
+    if (batch.full()) flush_batch(batch, density, g);
   });
 }
 
@@ -51,13 +63,14 @@ void FockBuilderMpi::build_dlb(const la::Matrix& density, la::Matrix& g,
 
   // GAMESS-style DLB: the loop body runs only for iterations whose global
   // index matches the next value handed out by the shared counter.
-  std::vector<double> batch;
+  ints::QuartetBatch batch(*eri_);
   long next = ddi_->dlbnext();
   for (std::size_t p = 0; p < pairs.size(); ++p) {
     if (static_cast<long>(p) != next) continue;
     next = ddi_->dlbnext();
     process_pair(pairs[p], density, g, ctx, batch);
   }
+  flush_batch(batch, density, g);
 }
 
 void FockBuilderMpi::build_stealing(const la::Matrix& density, la::Matrix& g,
@@ -65,10 +78,11 @@ void FockBuilderMpi::build_stealing(const la::Matrix& density, la::Matrix& g,
   const auto& pairs = screen_->sorted_pairs();
   par::WorkStealingScheduler sched(ddi_->comm(), "fock-mpi-ws",
                                    static_cast<long>(pairs.size()));
-  std::vector<double> batch;
+  ints::QuartetBatch batch(*eri_);
   for (long p = sched.next(); p >= 0; p = sched.next()) {
     process_pair(pairs[static_cast<std::size_t>(p)], density, g, ctx, batch);
   }
+  flush_batch(batch, density, g);
   steals_ = static_cast<std::size_t>(sched.steals());
   sched.release();
 }

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "ints/eri_batch.hpp"
 #include "par/ddi.hpp"
 #include "scf/fock_builder.hpp"
 
@@ -79,9 +80,15 @@ class FockBuilderMpi : public scf::FockBuilder {
                  const scf::FockContext& ctx);
   void build_stealing(const la::Matrix& density, la::Matrix& g,
                       const scf::FockContext& ctx);
+  /// Queue the pair's surviving quartets into `batch`, flushing (evaluate
+  /// + scatter into g, in discovery order) whenever it fills. The caller
+  /// owns the batch across pairs and must flush_batch() once after its
+  /// claim loop drains.
   void process_pair(const ints::ScreenedPair& pair, const la::Matrix& density,
                     la::Matrix& g, const scf::FockContext& ctx,
-                    std::vector<double>& batch);
+                    ints::QuartetBatch& batch);
+  void flush_batch(ints::QuartetBatch& batch, const la::Matrix& density,
+                   la::Matrix& g);
 
   const ints::EriEngine* eri_;
   const ints::Screening* screen_;

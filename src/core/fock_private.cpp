@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/tsan_annotations.hpp"
+#include "ints/eri_batch.hpp"
 #include "obs/trace.hpp"
 
 namespace mc::core {
@@ -77,7 +78,21 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
                                                reg_slots, 0);
       slots.set(static_cast<std::size_t>(tid), &gp);
     }
-    std::vector<double> batch;
+    // Thread-private quartet batch for the batched ERI pipeline: digesting
+    // into the private gp needs no synchronization, so flushes may happen
+    // at any point before the end-of-region reduction. Scatter runs in
+    // discovery order, keeping the per-thread summation order identical to
+    // the scalar per-quartet path.
+    ints::QuartetBatch batch(*eri_);
+    auto flush_batch = [&](la::Matrix& gp_ref) {
+      batch.evaluate();
+      for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+        const ints::QuartetBatch::Entry& e = batch.quartets()[idx];
+        scf::scatter_quartet(bs, e.si, e.sj, e.sk, e.sl, batch.result(idx),
+                             den.get(), gp_ref);
+      }
+      batch.clear();
+    };
     std::size_t my_quartets = 0;
     std::size_t my_density_screened = 0;
     std::size_t my_static_screened = 0;
@@ -125,13 +140,11 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
               ++my_density_screened;
               continue;
             }
-            ints::ensure_batch_size(batch,
-                                    eri_->batch_size(si, sj, sk, sl));
-            eri_->compute(si, sj, sk, sl, batch.data());
-            // Update the *private* 2e-Fock matrix: no synchronization.
-            scf::scatter_quartet(bs, si, sj, sk, sl, batch.data(),
-                                 den.get(), gp);
+            // Queue for batched evaluation; digest updates the *private*
+            // 2e-Fock matrix, so no synchronization on flush either.
+            batch.add(si, sj, sk, sl);
             ++my_quartets;
+            if (batch.full()) flush_batch(gp);
           }
         }
       }
@@ -139,6 +152,8 @@ void FockBuilderPrivate::build(const la::Matrix& density, la::Matrix& g,
       // shared_i must be ordered before the master's iteration-N+1 rewrite.
       MC_PROTOCOL_BARRIER(&shared_i, th);
     }
+    // Drain quartets queued by the final i tasks before gp is reduced.
+    flush_batch(gp);
 
 #pragma omp atomic
     quartets_ += my_quartets;

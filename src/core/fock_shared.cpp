@@ -3,9 +3,11 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/access.hpp"
+#include "ints/eri_batch.hpp"
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/tsan_annotations.hpp"
@@ -144,7 +146,68 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
     const acc::ThreadPrivate<double> fi_lane = fi_buf.lane(tid);
     const acc::ThreadPrivate<double> fj_lane = fj_buf.lane(tid);
     const acc::OwnedSlice<double> f_acc(g.data(), g.size(), &th, reg_f, 0);
-    std::vector<double> batch;
+    // Thread-private quartet batch of the batched ERI pipeline. The digest
+    // replays the six-update routing per entry -- including th.set_task on
+    // the entry's kl tag, so the shadow ledger attributes the F_kl writes
+    // to the kl task that owns them. Every batch is drained before the
+    // end-of-kl-loop barrier: the direct F_kl writes rely on this thread's
+    // exclusive ownership of its claimed kl values, which only holds inside
+    // that epoch.
+    ints::QuartetBatch qbatch(*eri_);
+    auto digest_batch = [&]() {
+      qbatch.evaluate();
+      for (std::size_t qi = 0; qi < qbatch.size(); ++qi) {
+        const ints::QuartetBatch::Entry& e = qbatch.quartets()[qi];
+        th.set_task(static_cast<long>(e.tag));
+        const double* vals = qbatch.result(qi);
+        const basis::Shell& shi = bs.shell(e.si);
+        const basis::Shell& shj = bs.shell(e.sj);
+        const basis::Shell& shk = bs.shell(e.sk);
+        const basis::Shell& shl = bs.shell(e.sl);
+        const std::size_t oi = shi.first_bf;
+        const std::size_t oj = shj.first_bf;
+        const std::size_t ok = shk.first_bf;
+        const std::size_t ol = shl.first_bf;
+        const int ni = shi.nfunc();
+        const int nj = shj.nfunc();
+        const int nk = shk.nfunc();
+        const int nl = shl.nfunc();
+        const double w = scf::quartet_degeneracy(e.si, e.sj, e.sk, e.sl);
+
+        // The six updates of eqs. (2a)-(2f), routed per Algorithm 3:
+        //   FI (ThreadPrivate lane):   F_ij, F_ik, F_il
+        //   FJ (ThreadPrivate lane):   F_jl, F_jk
+        //   shared Fock (OwnedSlice):  F_kl -- distinct kl per thread, so
+        //   the written row stripes are disjoint; MC_CHECK verifies it.
+        std::size_t idx = 0;
+        for (int a = 0; a < ni; ++a) {
+          const std::size_t fa = oi + static_cast<std::size_t>(a);
+          const std::size_t abase = static_cast<std::size_t>(a) * nbf;
+          for (int b = 0; b < nj; ++b) {
+            const std::size_t fb = oj + static_cast<std::size_t>(b);
+            const std::size_t bbase = static_cast<std::size_t>(b) * nbf;
+            for (int c = 0; c < nk; ++c) {
+              const std::size_t fc = ok + static_cast<std::size_t>(c);
+              const acc::OwnedSlice<double> gk = f_acc.slice(fc * nbf, nbf);
+              for (int dd = 0; dd < nl; ++dd, ++idx) {
+                const double v = vals[idx];
+                if (v == 0.0) continue;
+                const std::size_t fd = ol + static_cast<std::size_t>(dd);
+                const double x = 0.5 * w * v;
+                const double x4 = 0.25 * x;
+                fi_lane.add(abase + fb, x * den(fc, fd));    // F_ij
+                gk.add(fd, x * den(fa, fb));                 // F_kl (shared)
+                fi_lane.add(abase + fc, -x4 * den(fb, fd));  // F_ik
+                fj_lane.add(bbase + fd, -x4 * den(fa, fc));  // F_jl
+                fi_lane.add(abase + fd, -x4 * den(fb, fc));  // F_il
+                fj_lane.add(bbase + fc, -x4 * den(fa, fd));  // F_jk
+              }
+            }
+          }
+        }
+      }
+      qbatch.clear();
+    };
     std::size_t my_quartets = 0;
     std::size_t my_density_screened = 0;
     std::size_t my_static_screened = 0;
@@ -194,7 +257,6 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
       // Canonical pair index of (i,j); the kl loop stays triangular over
       // canonical pair indices regardless of the list's claim order.
       const long ij = static_cast<long>(my_pair.canonical);
-      const basis::Shell& shi = bs.shell(i);
       const basis::Shell& shj = bs.shell(j);
 
       if (my_plan.flush_shell >= 0) {
@@ -202,11 +264,6 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
                      bs.shell(static_cast<std::size_t>(my_plan.flush_shell)),
                      nbf, f_acc, th, fi.data());
       }
-
-      const std::size_t oi = shi.first_bf;
-      const std::size_t oj = shj.first_bf;
-      const int ni = shi.nfunc();
-      const int nj = shj.nfunc();
 
 #pragma omp for schedule(runtime) nowait
       for (long kl = 0; kl <= ij; ++kl) {
@@ -222,50 +279,15 @@ void FockBuilderShared::build(const la::Matrix& density, la::Matrix& g,
           ++my_density_screened;
           continue;
         }
-        ints::ensure_batch_size(batch, eri_->batch_size(i, j, k, l));
-        eri_->compute(i, j, k, l, batch.data());  // calculate (i,j|k,l)
+        // Queue (i,j|k,l); the kl tag routes the digest's F_kl writes back
+        // to this task in the shadow ledger.
+        qbatch.add(i, j, k, l, static_cast<std::uint64_t>(kl));
         ++my_quartets;
-
-        const basis::Shell& shk = bs.shell(k);
-        const basis::Shell& shl = bs.shell(l);
-        const std::size_t ok = shk.first_bf;
-        const std::size_t ol = shl.first_bf;
-        const int nk = shk.nfunc();
-        const int nl = shl.nfunc();
-        const double w = scf::quartet_degeneracy(i, j, k, l);
-
-        // The six updates of eqs. (2a)-(2f), routed per Algorithm 3:
-        //   FI (ThreadPrivate lane):   F_ij, F_ik, F_il
-        //   FJ (ThreadPrivate lane):   F_jl, F_jk
-        //   shared Fock (OwnedSlice):  F_kl -- distinct kl per thread, so
-        //   the written row stripes are disjoint; MC_CHECK verifies it.
-        std::size_t idx = 0;
-        for (int a = 0; a < ni; ++a) {
-          const std::size_t fa = oi + static_cast<std::size_t>(a);
-          const std::size_t abase = static_cast<std::size_t>(a) * nbf;
-          for (int b = 0; b < nj; ++b) {
-            const std::size_t fb = oj + static_cast<std::size_t>(b);
-            const std::size_t bbase = static_cast<std::size_t>(b) * nbf;
-            for (int c = 0; c < nk; ++c) {
-              const std::size_t fc = ok + static_cast<std::size_t>(c);
-              const acc::OwnedSlice<double> gk = f_acc.slice(fc * nbf, nbf);
-              for (int dd = 0; dd < nl; ++dd, ++idx) {
-                const double v = batch[idx];
-                if (v == 0.0) continue;
-                const std::size_t fd = ol + static_cast<std::size_t>(dd);
-                const double x = 0.5 * w * v;
-                const double x4 = 0.25 * x;
-                fi_lane.add(abase + fb, x * den(fc, fd));    // F_ij
-                gk.add(fd, x * den(fa, fb));                 // F_kl (shared)
-                fi_lane.add(abase + fc, -x4 * den(fb, fd));  // F_ik
-                fj_lane.add(bbase + fd, -x4 * den(fa, fc));  // F_jl
-                fi_lane.add(abase + fd, -x4 * den(fb, fc));  // F_il
-                fj_lane.add(bbase + fc, -x4 * den(fa, fd));  // F_jk
-              }
-            }
-          }
-        }
+        if (qbatch.full()) digest_batch();
       }
+      // Drain before the epoch ends: F_kl exclusivity only holds until the
+      // end-of-kl-loop barrier below.
+      digest_batch();
       // End of kl loop (nowait + explicit barrier): orders the direct
       // shared-Fock F_kl writes against the FJ flush that follows.
       MC_PROTOCOL_BARRIER(&plan, th);

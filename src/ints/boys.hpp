@@ -1,6 +1,16 @@
 #pragma once
 // Boys function F_m(T) = int_0^1 t^(2m) exp(-T t^2) dt, the radial kernel of
 // all Gaussian Coulomb integrals (nuclear attraction and ERIs).
+//
+// Evaluation scheme (DESIGN.md section 12.2): for T below kBoysTableTmax the
+// top order F_mmax is seeded by a 7-term Taylor expansion off a precomputed
+// uniform grid (pitch 0.05, relative error ~1e-15), followed by the stable
+// downward recursion F_{m-1} = (2T F_m + e^-T)/(2m-1); above the switch the
+// e^-T term is negligible and the closed-form asymptotic F_0 plus upward
+// recursion is exact to rounding. boys_batch() applies the identical
+// per-element arithmetic over a contiguous batch of T values so the
+// downward recursion runs branch-free across the batch (the ERI pipeline's
+// SIMD axis); boys() and boys_batch() agree bitwise element for element.
 
 #include <cstddef>
 
@@ -10,9 +20,20 @@ namespace mc::ints {
 /// margin. (The built-in bases stop at d, but the engine is general.)
 inline constexpr int kMaxBoysOrder = 32;
 
+/// Table/asymptotic switch: below, grid Taylor seed + downward recursion;
+/// at or above, closed-form F_0 + upward recursion (e^-T < 2e-22).
+inline constexpr double kBoysTableTmax = 50.0;
+
 /// Fill out[0..mmax] with F_m(T). Accurate to ~1e-14 relative for the
 /// supported range. Handles T = 0 and very large T.
 void boys(int mmax, double t, double* out);
+
+/// Batched evaluation: fm[m * n + e] = F_m(t[e]) for 0 <= m <= mmax,
+/// 0 <= e < n (structure-of-arrays so the downward recursion's inner loop
+/// runs unit-stride over the batch). Bitwise identical, element for
+/// element, to boys(mmax, t[e], ...) -- the property the batched ERI
+/// pipeline's scalar-vs-batched 1-ULP contract rests on.
+void boys_batch(int mmax, std::size_t n, const double* t, double* fm);
 
 /// Convenience: single order.
 double boys_single(int m, double t);

@@ -1,30 +1,12 @@
 #include "ints/eri.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <vector>
 
-#include "common/constants.hpp"
-#include "common/error.hpp"
+#include "ints/eri_kernel.hpp"
 #include "ints/hermite.hpp"
 
 namespace mc::ints {
-
-namespace {
-
-// MD Coulomb kernel normalization 2*pi^2.5, hoisted out of the primitive
-// pair loops (it used to be recomputed via std::pow per ket primitive).
-const double kTwoPiToFiveHalves = 2.0 * std::pow(kPi, 2.5);
-
-// Primitive-level prescreen: a primitive pair's contribution to any batch
-// element is bounded (up to the Boys/Hermite recursion factors) by
-// pref * max|H_bra| * max|H_ket|. The recursion can amplify by a few
-// orders for high L, so the cutoff sits ~9 orders below the loosest
-// Schwarz threshold in use (1e-10); dropped terms are far beneath both
-// the screening error budget and double rounding of accumulated batches.
-constexpr double kPrimPairCutoff = 1e-19;
-
-}  // namespace
 
 EriEngine::EriEngine(const basis::BasisSet& bs) : bs_(&bs), pairs_(bs) {}
 
@@ -45,86 +27,13 @@ double EriEngine::quartet_cost_weight(std::size_t si, std::size_t sj,
 
 void compute_eri_canonical(const ShellPairData& bra,
                            const ShellPairData& ket, double* out) {
-  const int ncomp_ab = bra.ncomp();
-  const int ncomp_cd = ket.ncomp();
-  const std::size_t herm_ab = bra.herm_size();
-  const std::size_t herm_cd = ket.herm_size();
-  const int hab = bra.hd;
-  const int hcd = ket.hd;
-  const int ltot = (bra.l1 + bra.l2) + (ket.l1 + ket.l2);
-  const int hr = ltot + 1;
-
-  const std::size_t nout =
-      static_cast<std::size_t>(ncomp_ab) * static_cast<std::size_t>(ncomp_cd);
-  for (std::size_t i = 0; i < nout; ++i) out[i] = 0.0;
-
-  // Per-thread scratch: G[cd][t,u,v] over the *bra* Hermite range, and a
-  // reused Hermite Coulomb table (no allocations in the quartet loop).
+  // Per-thread scratch: G accumulator and a reused Hermite Coulomb table
+  // (no allocations in the quartet loop).
   thread_local std::vector<double> g;
   thread_local RTable r;
-  const std::size_t gsize = static_cast<std::size_t>(ncomp_cd) * herm_ab;
-  ensure_batch_size(g, gsize);
-
-  for (const PrimPairData& bp : bra.prims) {
-    std::fill_n(g.data(), gsize, 0.0);
-
-    for (const PrimPairData& kp : ket.prims) {
-      const double p = bp.p;
-      const double q = kp.p;
-      // Contraction coefficients live in the Hermite tables; the remaining
-      // prefactor is the MD Coulomb kernel normalization.
-      const double pref = kTwoPiToFiveHalves / (p * q * std::sqrt(p + q));
-      // Primitive-pair prescreen on the combined Hermite weight.
-      if (pref * bp.hmax * kp.hmax < kPrimPairCutoff) continue;
-      const double alpha = p * q / (p + q);
-      const double pq[3] = {bp.P[0] - kp.P[0], bp.P[1] - kp.P[1],
-                            bp.P[2] - kp.P[2]};
-      r.build(ltot, alpha, pq);
-
-      for (int cd = 0; cd < ncomp_cd; ++cd) {
-        const double* hk = kp.hermite.data() +
-                           static_cast<std::size_t>(cd) * herm_cd;
-        double* gc = g.data() + static_cast<std::size_t>(cd) * herm_ab;
-        for (int tau = 0; tau < hcd; ++tau) {
-          for (int nu = 0; nu < hcd; ++nu) {
-            for (int phi = 0; phi < hcd; ++phi) {
-              const double hval = hk[(tau * hcd + nu) * hcd + phi];
-              if (hval == 0.0) continue;
-              const double w =
-                  pref * (((tau + nu + phi) & 1) ? -hval : hval);
-              for (int t = 0; t < hab; ++t) {
-                const int rt = t + tau;
-                if (rt >= hr) break;
-                for (int u = 0; u < hab; ++u) {
-                  const int ru = u + nu;
-                  if (ru >= hr) break;
-                  double* grow = gc + (t * hab + u) * hab;
-                  for (int v = 0; v < hab; ++v) {
-                    const int rv = v + phi;
-                    if (rv >= hr) break;
-                    grow[v] += w * r(rt, ru, rv);
-                  }
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-
-    // Contract the bra Hermite coefficients against G.
-    for (int ab = 0; ab < ncomp_ab; ++ab) {
-      const double* hb =
-          bp.hermite.data() + static_cast<std::size_t>(ab) * herm_ab;
-      double* orow = out + static_cast<std::size_t>(ab) * ncomp_cd;
-      for (int cd = 0; cd < ncomp_cd; ++cd) {
-        const double* gc = g.data() + static_cast<std::size_t>(cd) * herm_ab;
-        double s = 0.0;
-        for (std::size_t h = 0; h < herm_ab; ++h) s += hb[h] * gc[h];
-        orow[cd] += s;
-      }
-    }
-  }
+  detail::ScalarBoys src;
+  src.ltot = (bra.l1 + bra.l2) + (ket.l1 + ket.l2);
+  detail::eri_quartet_kernel(bra, ket, src, g, r, out);
 }
 
 void EriEngine::compute(std::size_t si, std::size_t sj, std::size_t sk,
@@ -136,41 +45,21 @@ void EriEngine::compute(std::size_t si, std::size_t sj, std::size_t sk,
   const ShellPairData& ket =
       pairs_.pair(std::max(sk, sl), std::min(sk, sl));
 
-  const int ni = bs_->shell(si).nfunc();
-  const int nj = bs_->shell(sj).nfunc();
-  const int nk = bs_->shell(sk).nfunc();
-  const int nl = bs_->shell(sl).nfunc();
-
   if (!swap_ij && !swap_kl) {
     compute_eri_canonical(bra, ket, out);
     return;
   }
 
+  const int ni = bs_->shell(si).nfunc();
+  const int nj = bs_->shell(sj).nfunc();
+  const int nk = bs_->shell(sk).nfunc();
+  const int nl = bs_->shell(sl).nfunc();
+
   thread_local std::vector<double> tmp;
   ensure_batch_size(tmp, static_cast<std::size_t>(ni) * nj * nk * nl);
   compute_eri_canonical(bra, ket, tmp.data());
-
-  // tmp is laid out in canonical orientation [b1][b2][k1][k2] where
-  // b1 = max(si,sj) etc.; permute into the caller's [i][j][k][l].
-  const int nb1 = swap_ij ? nj : ni;
-  const int nb2 = swap_ij ? ni : nj;
-  const int nk1 = swap_kl ? nl : nk;
-  const int nk2 = swap_kl ? nk : nl;
-  for (int a = 0; a < nb1; ++a) {
-    for (int b = 0; b < nb2; ++b) {
-      const int ii = swap_ij ? b : a;
-      const int jj = swap_ij ? a : b;
-      for (int c = 0; c < nk1; ++c) {
-        for (int d = 0; d < nk2; ++d) {
-          const int kk = swap_kl ? d : c;
-          const int ll = swap_kl ? c : d;
-          out[((static_cast<std::size_t>(ii) * nj + jj) * nk + kk) * nl + ll] =
-              tmp[((static_cast<std::size_t>(a) * nb2 + b) * nk1 + c) * nk2 +
-                  d];
-        }
-      }
-    }
-  }
+  detail::permute_to_caller(tmp.data(), swap_ij, swap_kl, ni, nj, nk, nl,
+                            out);
 }
 
 }  // namespace mc::ints

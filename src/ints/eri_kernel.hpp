@@ -1,0 +1,220 @@
+#pragma once
+// Internal McMurchie-Davidson quartet kernel shared by the scalar ERI path
+// (eri.cpp) and the batched pipeline (eri_batch.cpp). Both paths execute
+// the *same* per-quartet instruction sequence -- primitive-pair geometry,
+// prescreen, Hermite Coulomb recursion, ket accumulation, bra contraction
+// -- and differ only in where the Boys values come from (computed inline
+// vs consumed from a boys_batch block). That shared structure is what
+// makes the scalar-vs-batched agreement bitwise (tested at a 1-ULP bound
+// in test_ints.cpp) instead of approximate.
+//
+// Not part of the public ints API; include from src/ints only.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "ints/boys.hpp"
+#include "ints/hermite.hpp"
+#include "ints/shell_pair.hpp"
+
+namespace mc::ints::detail {
+
+// MD Coulomb kernel normalization 2*pi^2.5, hoisted out of the primitive
+// pair loops (it used to be recomputed via std::pow per ket primitive).
+inline const double kTwoPiToFiveHalves = 2.0 * std::pow(kPi, 2.5);
+
+// Primitive-level prescreen: a primitive pair's contribution to any batch
+// element is bounded (up to the Boys/Hermite recursion factors) by
+// pref * max|H_bra| * max|H_ket|. The recursion can amplify by a few
+// orders for high L, so the cutoff sits ~9 orders below the loosest
+// Schwarz threshold in use (1e-10); dropped terms are far beneath both
+// the screening error budget and double rounding of accumulated batches.
+inline constexpr double kPrimPairCutoff = 1e-19;
+
+/// Per-primitive-quartet geometry: the MD Coulomb prefactor, the reduced
+/// exponent, the P - Q vector, and the Boys argument T = alpha |PQ|^2.
+/// Deterministic in (bp, kp) alone, so phase 1 (Boys-argument collection)
+/// and phase 3 (consumption) of the batched pipeline recompute identical
+/// values.
+struct PrimGeom {
+  double pref = 0.0;
+  double alpha = 0.0;
+  double t = 0.0;
+  double pq[3] = {0.0, 0.0, 0.0};
+};
+
+inline PrimGeom prim_geom(const PrimPairData& bp, const PrimPairData& kp) {
+  PrimGeom g;
+  const double p = bp.p;
+  const double q = kp.p;
+  // Contraction coefficients live in the Hermite tables; the remaining
+  // prefactor is the MD Coulomb kernel normalization.
+  g.pref = kTwoPiToFiveHalves / (p * q * std::sqrt(p + q));
+  g.alpha = p * q / (p + q);
+  g.pq[0] = bp.P[0] - kp.P[0];
+  g.pq[1] = bp.P[1] - kp.P[1];
+  g.pq[2] = bp.P[2] - kp.P[2];
+  const double r2 =
+      g.pq[0] * g.pq[0] + g.pq[1] * g.pq[1] + g.pq[2] * g.pq[2];
+  g.t = g.alpha * r2;
+  return g;
+}
+
+/// Primitive-pair prescreen on the combined Hermite weight.
+inline bool prim_skipped(const PrimPairData& bp, const PrimPairData& kp,
+                         double pref) {
+  return pref * bp.hmax * kp.hmax < kPrimPairCutoff;
+}
+
+/// View into a block of Boys values for one primitive quartet:
+/// fm[m * stride] = F_m(T), m = 0..ltot.
+struct FmView {
+  const double* fm = nullptr;
+  std::size_t stride = 1;
+};
+
+/// Boys source for the scalar path: evaluates inline per primitive quartet.
+struct ScalarBoys {
+  int ltot = 0;
+  double buf[kMaxBoysOrder + 1];
+  FmView operator()(const PrimGeom& pg) {
+    boys(ltot, pg.t, buf);
+    return {buf, 1};
+  }
+};
+
+/// Boys source for the batched path: consumes consecutive columns of a
+/// boys_batch SoA block (fm[m * n + e]). The kernel requests columns only
+/// for surviving primitive quartets, in enumeration order -- exactly the
+/// order phase 1 appended T values -- so a monotone cursor suffices.
+struct BatchedBoys {
+  const double* fm = nullptr;
+  std::size_t n = 0;       ///< batch width (SoA stride)
+  std::size_t cursor = 0;  ///< next column to hand out
+  FmView operator()(const PrimGeom& /*pg*/) { return {fm + cursor++, n}; }
+};
+
+/// Contracted ERI batch for one (bra, ket) shell-pair quartet in canonical
+/// orientation [bra.s1][bra.s2][ket.s1][ket.s2]; `boys_src(pg)` supplies
+/// the Boys values for each surviving primitive quartet. Fully initializes
+/// `out`. All inner loops are bounded by the Hermite triangles
+/// (t+u+v <= l1+l2 per side): iterations outside them multiply exactly-zero
+/// Hermite coefficients and are dropped, which also keeps every RTable read
+/// inside the region build_from writes.
+template <typename BoysSource>
+void eri_quartet_kernel(const ShellPairData& bra, const ShellPairData& ket,
+                        BoysSource&& boys_src, std::vector<double>& g_scratch,
+                        RTable& r, double* out) {
+  const int ncomp_ab = bra.ncomp();
+  const int ncomp_cd = ket.ncomp();
+  const std::size_t herm_ab = bra.herm_size();
+  const int hab = bra.hd;
+  const int hcd = ket.hd;
+  const std::size_t herm_cd = static_cast<std::size_t>(hcd) * hcd * hcd;
+  const int lb = hab - 1;  // bra.l1 + bra.l2
+  const int lk = hcd - 1;  // ket.l1 + ket.l2
+  const int ltot = lb + lk;
+
+  const std::size_t nout =
+      static_cast<std::size_t>(ncomp_ab) * static_cast<std::size_t>(ncomp_cd);
+  for (std::size_t i = 0; i < nout; ++i) out[i] = 0.0;
+
+  // G[cd][t,u,v] over the *bra* Hermite range, reused across primitives.
+  const std::size_t gsize = static_cast<std::size_t>(ncomp_cd) * herm_ab;
+  if (g_scratch.size() < gsize) g_scratch.resize(gsize);
+  double* g = g_scratch.data();
+
+  for (const PrimPairData& bp : bra.prims) {
+    std::fill_n(g, gsize, 0.0);
+
+    for (const PrimPairData& kp : ket.prims) {
+      const PrimGeom pg = prim_geom(bp, kp);
+      if (prim_skipped(bp, kp, pg.pref)) continue;
+      const FmView fv = boys_src(pg);
+      r.build_from(ltot, pg.alpha, pg.pq, fv.fm, fv.stride);
+
+      for (int cd = 0; cd < ncomp_cd; ++cd) {
+        const double* hk = kp.hermite.data() +
+                           static_cast<std::size_t>(cd) * herm_cd;
+        double* gc = g + static_cast<std::size_t>(cd) * herm_ab;
+        for (int tau = 0; tau <= lk; ++tau) {
+          for (int nu = 0; nu <= lk - tau; ++nu) {
+            for (int phi = 0; phi <= lk - tau - nu; ++phi) {
+              const double hval = hk[(tau * hcd + nu) * hcd + phi];
+              if (hval == 0.0) continue;
+              const double w =
+                  pg.pref * (((tau + nu + phi) & 1) ? -hval : hval);
+              for (int t = 0; t <= lb; ++t) {
+                const int rt = t + tau;
+                for (int u = 0; u <= lb - t; ++u) {
+                  const int ru = u + nu;
+                  double* grow = gc + (t * hab + u) * hab;
+                  const int vend = lb - t - u;
+#pragma omp simd
+                  for (int v = 0; v <= vend; ++v) {
+                    grow[v] += w * r(rt, ru, v + phi);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Contract the bra Hermite coefficients against G, triangle-bounded:
+    // hb entries with t+u+v > lb are exactly zero by construction.
+    for (int ab = 0; ab < ncomp_ab; ++ab) {
+      const double* hb =
+          bp.hermite.data() + static_cast<std::size_t>(ab) * herm_ab;
+      double* orow = out + static_cast<std::size_t>(ab) * ncomp_cd;
+      for (int cd = 0; cd < ncomp_cd; ++cd) {
+        const double* gc = g + static_cast<std::size_t>(cd) * herm_ab;
+        double s = 0.0;
+        for (int t = 0; t <= lb; ++t) {
+          for (int u = 0; u <= lb - t; ++u) {
+            const std::size_t base = static_cast<std::size_t>(t * hab + u) *
+                                     static_cast<std::size_t>(hab);
+            for (int v = 0; v <= lb - t - u; ++v) {
+              s += hb[base + static_cast<std::size_t>(v)] *
+                   gc[base + static_cast<std::size_t>(v)];
+            }
+          }
+        }
+        orow[cd] += s;
+      }
+    }
+  }
+}
+
+/// Permute a canonical-orientation quartet batch ([b1][b2][k1][k2] with
+/// b1 = max(si,sj), etc.) into the caller's [i][j][k][l] layout.
+inline void permute_to_caller(const double* canonical, bool swap_ij,
+                              bool swap_kl, int ni, int nj, int nk, int nl,
+                              double* out) {
+  const int nb1 = swap_ij ? nj : ni;
+  const int nb2 = swap_ij ? ni : nj;
+  const int nk1 = swap_kl ? nl : nk;
+  const int nk2 = swap_kl ? nk : nl;
+  for (int a = 0; a < nb1; ++a) {
+    for (int b = 0; b < nb2; ++b) {
+      const int ii = swap_ij ? b : a;
+      const int jj = swap_ij ? a : b;
+      for (int c = 0; c < nk1; ++c) {
+        for (int d = 0; d < nk2; ++d) {
+          const int kk = swap_kl ? d : c;
+          const int ll = swap_kl ? c : d;
+          out[((static_cast<std::size_t>(ii) * nj + jj) * nk + kk) * nl +
+              ll] =
+              canonical[((static_cast<std::size_t>(a) * nb2 + b) * nk1 + c) *
+                            nk2 +
+                        d];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mc::ints::detail

@@ -47,35 +47,26 @@ ETable::ETable(int imax, int jmax, double a, double b, double ab)
   }
 }
 
-void RTable::build(int ltot, double alpha, const double* pq) {
-  MC_CHECK(ltot <= kMaxBoysOrder, "RTable order exceeds Boys table");
-  dim_ = ltot + 1;
-  const double r2 = pq[0] * pq[0] + pq[1] * pq[1] + pq[2] * pq[2];
-
-  double fm[kMaxBoysOrder + 1];
-  boys(ltot, alpha * r2, fm);
-
-  // aux[n][t][u][v]; R_{000}^{(n)} = (-2 alpha)^n F_n(alpha R^2).
+void RTable::fill_triangle(int ltot, const double* pq, const double* seeds) {
+  // Level n of the auxiliary recursion lives in data_ (n even) or scratch_
+  // (n odd): level n reads only level n+1 (the other buffer), and by the
+  // time it overwrites level n+2's cells they are dead. Level 0 -- the
+  // result -- therefore lands in data_ with no final copy.
+  //
   // Recursions (Helgaker et al. eq. 9.9.18-20):
   //   R_{t+1,u,v}^{(n)} = t R_{t-1,u,v}^{(n+1)} + X_PQ R_{t,u,v}^{(n+1)}
-  // and cyclic for u, v.
+  // and cyclic for u, v. Only the t+u+v <= ltot - n triangle of each level
+  // is written, and only the t+u+v <= ltot - n - 1 triangle of the level
+  // above is read.
   const int d = dim_;
-  const std::size_t sz = static_cast<std::size_t>(d) * d * d;
   auto idx = [d](int t, int u, int v) {
     return static_cast<std::size_t>((t * d + u) * d + v);
   };
-
-  // Level n lives in scratch_[n * sz ...); only R_{000}^{(n)} seeds it.
-  scratch_.assign(sz * static_cast<std::size_t>(ltot + 1), 0.0);
-  double pref = 1.0;
-  for (int n = 0; n <= ltot; ++n) {
-    scratch_[static_cast<std::size_t>(n) * sz + idx(0, 0, 0)] = pref * fm[n];
-    pref *= -2.0 * alpha;
-  }
-  // Work downward: fill level n using level n+1.
-  for (int n = ltot - 1; n >= 0; --n) {
-    double* lo = scratch_.data() + static_cast<std::size_t>(n) * sz;
-    const double* hi = scratch_.data() + static_cast<std::size_t>(n + 1) * sz;
+  for (int n = ltot; n >= 0; --n) {
+    double* lo = (n % 2 == 0) ? data_.data() : scratch_.data();
+    lo[idx(0, 0, 0)] = seeds[n];
+    if (n == ltot) continue;
+    const double* hi = (n % 2 == 0) ? scratch_.data() : data_.data();
     const int lmax = ltot - n;
     for (int t = 0; t <= lmax; ++t) {
       for (int u = 0; u + t <= lmax; ++u) {
@@ -97,8 +88,49 @@ void RTable::build(int ltot, double alpha, const double* pq) {
       }
     }
   }
-  data_.assign(scratch_.begin(),
-               scratch_.begin() + static_cast<std::ptrdiff_t>(sz));
+}
+
+void RTable::build(int ltot, double alpha, const double* pq) {
+  MC_CHECK(ltot <= kMaxBoysOrder, "RTable order exceeds Boys table");
+  dim_ = ltot + 1;
+  const double r2 = pq[0] * pq[0] + pq[1] * pq[1] + pq[2] * pq[2];
+
+  double fm[kMaxBoysOrder + 1];
+  boys(ltot, alpha * r2, fm);
+
+  // Zero the full cube so out-of-triangle reads (general consumers like
+  // the nuclear-attraction driver index by per-axis bounds) see exact 0.0.
+  const std::size_t sz =
+      static_cast<std::size_t>(dim_) * dim_ * dim_;
+  data_.assign(sz, 0.0);
+  if (scratch_.size() < sz) scratch_.resize(sz);
+
+  // R_{000}^{(n)} = (-2 alpha)^n F_n(alpha R^2).
+  double seeds[kMaxBoysOrder + 1];
+  double pref = 1.0;
+  for (int n = 0; n <= ltot; ++n) {
+    seeds[n] = pref * fm[n];
+    pref *= -2.0 * alpha;
+  }
+  fill_triangle(ltot, pq, seeds);
+}
+
+void RTable::build_from(int ltot, double alpha, const double* pq,
+                        const double* fm, std::size_t fm_stride) {
+  MC_CHECK(ltot <= kMaxBoysOrder, "RTable order exceeds Boys table");
+  dim_ = ltot + 1;
+  const std::size_t sz =
+      static_cast<std::size_t>(dim_) * dim_ * dim_;
+  if (data_.size() < sz) data_.resize(sz);
+  if (scratch_.size() < sz) scratch_.resize(sz);
+
+  double seeds[kMaxBoysOrder + 1];
+  double pref = 1.0;
+  for (int n = 0; n <= ltot; ++n) {
+    seeds[n] = pref * fm[static_cast<std::size_t>(n) * fm_stride];
+    pref *= -2.0 * alpha;
+  }
+  fill_triangle(ltot, pq, seeds);
 }
 
 }  // namespace mc::ints

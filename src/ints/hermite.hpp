@@ -6,6 +6,7 @@
 // Reference: McMurchie & Davidson, J. Comput. Phys. 26, 218 (1978); see also
 // Helgaker/Jorgensen/Olsen "Molecular Electronic-Structure Theory" ch. 9.
 
+#include <cstddef>
 #include <vector>
 
 namespace mc::ints {
@@ -35,8 +36,9 @@ class ETable {
 /// 0 <= t+u+v <= ltot. Built from the Boys function by the standard
 /// auxiliary-index recursion.
 ///
-/// build() reuses internal storage, so a long-lived (e.g. thread_local)
-/// instance performs no allocations in the hot primitive-quartet loop.
+/// build() and build_from() reuse internal storage, so a long-lived (e.g.
+/// thread_local) instance performs no allocations in the hot
+/// primitive-quartet loop.
 class RTable {
  public:
   RTable() = default;
@@ -44,7 +46,18 @@ class RTable {
   RTable(int ltot, double alpha, const double* pq) { build(ltot, alpha, pq); }
 
   /// alpha: reduced exponent of the Coulomb kernel; pq = P - Q vector.
+  /// Evaluates the Boys function internally and zero-fills the cube, so
+  /// reads outside the t+u+v <= ltot triangle return exactly 0.0.
   void build(int ltot, double alpha, const double* pq);
+
+  /// Hot-path variant for callers that batch the Boys evaluation: seeds the
+  /// recursion from fm[m * fm_stride] = F_m(alpha |PQ|^2), m = 0..ltot, and
+  /// fills ONLY the t+u+v <= ltot triangle (no cube zeroing, no copy) --
+  /// entries outside the triangle are stale. The ERI kernel's loops are
+  /// triangle-bounded, which is what makes this safe; arithmetic is
+  /// identical to build(), so in-triangle values match it bitwise.
+  void build_from(int ltot, double alpha, const double* pq, const double* fm,
+                  std::size_t fm_stride);
 
   [[nodiscard]] double operator()(int t, int u, int v) const {
     return data_[static_cast<std::size_t>((t * dim_ + u) * dim_ + v)];
@@ -53,9 +66,13 @@ class RTable {
   [[nodiscard]] int dim() const { return dim_; }
 
  private:
+  /// Downward auxiliary-index recursion over ping-ponged level buffers;
+  /// seeds[n] must hold (-2 alpha)^n F_n. Writes level 0 into data_.
+  void fill_triangle(int ltot, const double* pq, const double* seeds);
+
   int dim_ = 0;  // ltot + 1
   std::vector<double> data_;
-  std::vector<double> scratch_;  // (ltot+1) auxiliary levels
+  std::vector<double> scratch_;  // odd recursion levels
 };
 
 }  // namespace mc::ints

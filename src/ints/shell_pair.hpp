@@ -39,6 +39,9 @@ struct ShellPairData {
   [[nodiscard]] std::size_t herm_size() const {
     return static_cast<std::size_t>(hd) * hd * hd;
   }
+  /// Combined angular momentum l1 + l2: one side of the batched pipeline's
+  /// (Lbra, Lket) class key, and the side's Hermite triangle bound.
+  [[nodiscard]] int lsum() const { return l1 + l2; }
 };
 
 /// Build the pair data for two shells. Primitive pairs whose Gaussian

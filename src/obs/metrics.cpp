@@ -39,6 +39,21 @@ std::atomic<std::uint64_t>& acc(Channel c, int rank) {
   return table[static_cast<int>(c)][slot_of(rank)];
 }
 
+constexpr int kEriClassDim = kMaxEriClassL + 1;
+
+struct AtomicEriClassStats {
+  std::atomic<std::uint64_t> quartets{0};
+  std::atomic<std::uint64_t> boys_elements{0};
+  std::atomic<std::uint64_t> ns{0};
+};
+
+AtomicEriClassStats& eri_class_acc(int lbra, int lket) {
+  static AtomicEriClassStats table[kEriClassDim][kEriClassDim] = {};
+  const int a = std::clamp(lbra, 0, kMaxEriClassL);
+  const int b = std::clamp(lket, 0, kMaxEriClassL);
+  return table[a][b];
+}
+
 void append_double(std::string& out, double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -77,6 +92,42 @@ void reset_metrics() {
       acc(static_cast<Channel>(c), s).store(0, std::memory_order_relaxed);
     }
   }
+  for (int a = 0; a <= kMaxEriClassL; ++a) {
+    for (int b = 0; b <= kMaxEriClassL; ++b) {
+      AtomicEriClassStats& s = eri_class_acc(a, b);
+      s.quartets.store(0, std::memory_order_relaxed);
+      s.boys_elements.store(0, std::memory_order_relaxed);
+      s.ns.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void add_eri_class(int lbra, int lket, std::uint64_t quartets,
+                   std::uint64_t boys_elements, std::uint64_t ns) {
+  AtomicEriClassStats& s = eri_class_acc(lbra, lket);
+  s.quartets.fetch_add(quartets, std::memory_order_relaxed);
+  s.boys_elements.fetch_add(boys_elements, std::memory_order_relaxed);
+  s.ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+EriClassStats eri_class_stats(int lbra, int lket) {
+  const AtomicEriClassStats& s = eri_class_acc(lbra, lket);
+  return {s.quartets.load(std::memory_order_relaxed),
+          s.boys_elements.load(std::memory_order_relaxed),
+          s.ns.load(std::memory_order_relaxed)};
+}
+
+EriClassStats eri_class_totals() {
+  EriClassStats total;
+  for (int a = 0; a <= kMaxEriClassL; ++a) {
+    for (int b = 0; b <= kMaxEriClassL; ++b) {
+      const EriClassStats s = eri_class_stats(a, b);
+      total.quartets += s.quartets;
+      total.boys_elements += s.boys_elements;
+      total.ns += s.ns;
+    }
+  }
+  return total;
 }
 
 void add_channel_ns(Channel c, int rank, std::uint64_t ns) {

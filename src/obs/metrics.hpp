@@ -76,6 +76,31 @@ using ScopedChannelTimer = ScopedChannelTimerNoop;
 #endif
 
 // ---------------------------------------------------------------------------
+// Per-angular-class ERI batch statistics (DESIGN.md section 12.5): the
+// batched pipeline groups quartets by (Lbra, Lket) = (l1+l2, l3+l4), and
+// accumulates per class how many contracted quartets were digested, how
+// many primitive quartets went through boys_batch, and the wall time spent
+// in batch evaluation. Callers gate on metrics_enabled(); accumulation is
+// relaxed-atomic like the channel table.
+
+/// Largest tracked l1+l2 per side (engine supports l <= 4 per shell).
+inline constexpr int kMaxEriClassL = 8;
+
+struct EriClassStats {
+  std::uint64_t quartets = 0;       ///< contracted shell quartets evaluated
+  std::uint64_t boys_elements = 0;  ///< primitive quartets through boys_batch
+  std::uint64_t ns = 0;             ///< wall time in batch evaluation
+};
+
+/// Accumulate one class-group evaluation. Out-of-range classes clamp to
+/// the top slot. Thread-safe (relaxed atomics).
+void add_eri_class(int lbra, int lket, std::uint64_t quartets,
+                   std::uint64_t boys_elements, std::uint64_t ns);
+[[nodiscard]] EriClassStats eri_class_stats(int lbra, int lket);
+/// Sum over all classes (convenience for tests/reporting).
+[[nodiscard]] EriClassStats eri_class_totals();
+
+// ---------------------------------------------------------------------------
 // Per-iteration metrics records (the --profile JSON-lines schema).
 
 /// One rank's share of one SCF iteration's Fock build.

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "ints/eri_batch.hpp"
 #include "obs/trace.hpp"
 
 namespace mc::scf {
@@ -17,13 +18,58 @@ void SerialFockBuilder::build(const la::Matrix& density, la::Matrix& g,
   pairs_ = 0;
   const bool weighted = ctx.weighted();
   const double scale = ctx.threshold_scale;
-  std::vector<double> batch;
+
+  if (batch_capacity_ == 0) {
+    // Legacy scalar path: per-quartet compute + scatter. Kept selectable so
+    // tests can pin the two engines against each other (results and
+    // screening counters must agree; see test_incremental.cpp).
+    std::vector<double> batch;
+    for (const ints::ScreenedPair& pr : screen_->sorted_pairs()) {
+      const std::size_t i = pr.i;
+      const std::size_t j = pr.j;
+      ++pairs_;
+      // Pair-level density prescreen: bounds every quartet under this bra
+      // pair by q_ij * qmax * 4*max|D|, the loosest quartet bound below.
+      if (weighted && !screen_->keep_pair(i, j, 4.0 * ctx.dmax_max, scale)) {
+        continue;
+      }
+      for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
+        if (!screen_->keep(i, j, k, l)) {
+          ++static_screened_;
+          return;
+        }
+        if (weighted &&
+            !screen_->keep(i, j, k, l, ctx.quartet_dmax(i, j, k, l), scale)) {
+          ++density_screened_;
+          return;
+        }
+        ints::ensure_batch_size(batch, eri_->batch_size(i, j, k, l));
+        eri_->compute(i, j, k, l, batch.data());
+        scatter_quartet(bs, i, j, k, l, batch.data(), density, g);
+        ++quartets_;
+      });
+    }
+    return;
+  }
+
+  // Batched path: identical screening decisions; surviving quartets queue
+  // into a QuartetBatch and are digested in discovery order at each flush,
+  // so the scatter summation order -- and therefore G -- matches the
+  // scalar path bitwise (flush boundaries never change a value).
+  ints::QuartetBatch batch(*eri_, batch_capacity_);
+  auto flush = [&] {
+    batch.evaluate();
+    for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+      const ints::QuartetBatch::Entry& e = batch.quartets()[idx];
+      scatter_quartet(bs, e.si, e.sj, e.sk, e.sl, batch.result(idx), density,
+                      g);
+    }
+    batch.clear();
+  };
   for (const ints::ScreenedPair& pr : screen_->sorted_pairs()) {
     const std::size_t i = pr.i;
     const std::size_t j = pr.j;
     ++pairs_;
-    // Pair-level density prescreen: bounds every quartet under this bra
-    // pair by q_ij * qmax * 4*max|D|, the loosest quartet bound below.
     if (weighted && !screen_->keep_pair(i, j, 4.0 * ctx.dmax_max, scale)) {
       continue;
     }
@@ -37,12 +83,12 @@ void SerialFockBuilder::build(const la::Matrix& density, la::Matrix& g,
         ++density_screened_;
         return;
       }
-      ints::ensure_batch_size(batch, eri_->batch_size(i, j, k, l));
-      eri_->compute(i, j, k, l, batch.data());
-      scatter_quartet(bs, i, j, k, l, batch.data(), density, g);
+      batch.add(i, j, k, l);
       ++quartets_;
+      if (batch.full()) flush();
     });
   }
+  flush();
 }
 
 void BruteForceFockBuilder::build(const la::Matrix& density, la::Matrix& g,

@@ -14,10 +14,20 @@
 
 namespace mc::scf {
 
+/// Default quartet-batch capacity of the serial builder's batched ERI
+/// pipeline (= ints::kDefaultBatchCapacity; restated here so the header
+/// need not pull in eri_batch.hpp).
+inline constexpr std::size_t kSerialFockBatchCapacity = 64;
+
 class SerialFockBuilder : public FockBuilder {
  public:
-  SerialFockBuilder(const ints::EriEngine& eri, const ints::Screening& screen)
-      : eri_(&eri), screen_(&screen) {}
+  /// `batch_capacity` sizes the quartet batch of the SIMD-friendly batched
+  /// ERI pipeline (DESIGN.md section 12); 0 selects the legacy per-quartet
+  /// scalar path. Both paths make identical screening decisions and
+  /// produce bitwise-identical G.
+  SerialFockBuilder(const ints::EriEngine& eri, const ints::Screening& screen,
+                    std::size_t batch_capacity = kSerialFockBatchCapacity)
+      : eri_(&eri), screen_(&screen), batch_capacity_(batch_capacity) {}
 
   [[nodiscard]] std::string name() const override { return "serial"; }
   using FockBuilder::build;
@@ -51,6 +61,7 @@ class SerialFockBuilder : public FockBuilder {
  private:
   const ints::EriEngine* eri_;
   const ints::Screening* screen_;
+  std::size_t batch_capacity_ = kSerialFockBatchCapacity;
   std::size_t quartets_ = 0;
   std::size_t density_screened_ = 0;
   std::size_t static_screened_ = 0;

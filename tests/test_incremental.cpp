@@ -205,6 +205,37 @@ TEST(WeightedScreening, SerialWeightedDeltaMatchesUnweightedDelta) {
   EXPECT_LT(g_small_weighted.max_abs_diff(g_small_unweighted), 1e-10);
 }
 
+TEST(WeightedScreening, BatchedEngineScreensIdenticallyToScalar) {
+  // The batched ERI pipeline queues quartets *after* every screening
+  // decision, so the scalar (batch capacity 0) and batched serial builders
+  // must agree exactly: same pair/static/density-weighted skip counters,
+  // same surviving-quartet count, and -- since the batch digests in
+  // discovery order with bitwise-identical integrals -- the same G to the
+  // bit. Run on a near-convergence delta so the density-weighted bound
+  // actually fires.
+  const FockFixture& fx = benzene_fx();
+  la::Matrix d_small = fx.d_delta;
+  d_small *= 1e-8;
+  const scf::FockContext small_ctx =
+      scf::FockContext::from_density(fx.bs, d_small, /*incremental=*/true);
+
+  scf::SerialFockBuilder scalar(fx.eri, fx.screen, /*batch_capacity=*/0);
+  scf::SerialFockBuilder batched(fx.eri, fx.screen);
+  la::Matrix g_scalar(fx.bs.nbf(), fx.bs.nbf());
+  la::Matrix g_batched(fx.bs.nbf(), fx.bs.nbf());
+  scalar.build(d_small, g_scalar, small_ctx);
+  batched.build(d_small, g_batched, small_ctx);
+
+  EXPECT_GT(scalar.last_density_screened(), 0u);
+  EXPECT_EQ(batched.last_density_screened(), scalar.last_density_screened());
+  EXPECT_EQ(batched.last_static_screened(), scalar.last_static_screened());
+  EXPECT_EQ(batched.last_quartets_computed(),
+            scalar.last_quartets_computed());
+  EXPECT_EQ(batched.last_pairs_claimed(), scalar.last_pairs_claimed());
+  expect_bit_comparable(g_batched, g_scalar, 0,
+                        "batched vs scalar serial delta exact");
+}
+
 // ---- Incremental equivalence across the parallel builders ----
 
 TEST(IncrementalEquivalence, SingleRankMpiDeltaIsBitIdenticalToSerial) {

@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "basis/basis_set.hpp"
@@ -12,9 +17,12 @@
 #include "common/constants.hpp"
 #include "ints/boys.hpp"
 #include "ints/eri.hpp"
+#include "ints/eri_batch.hpp"
 #include "ints/hermite.hpp"
 #include "ints/one_electron.hpp"
 #include "ints/screening.hpp"
+#include "la/matrix.hpp"
+#include "obs/metrics.hpp"
 
 namespace mc::ints {
 namespace {
@@ -481,6 +489,163 @@ TEST(Screening, DistantPairsAreScreenedOut) {
   EXPECT_LT(sc.q(0, bs.nshells() - 1), 1e-12);
   const std::size_t kept = sc.count_surviving_quartets();
   EXPECT_LT(kept, sc.total_quartets() / 2);
+}
+
+// ---- Batched ERI pipeline (DESIGN.md section 12) ----
+
+// Deterministic 64-bit LCG (Knuth constants); fixed seeds keep these tests
+// reproducible run to run and machine to machine.
+struct Lcg {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return s >> 11;
+  }
+  double uniform() {  // in [0, 1)
+    return static_cast<double>(next() % 1000000007ull) / 1000000007.0;
+  }
+};
+
+TEST(Boys, BatchMatchesScalarBitwiseAllTable) {
+  // All arguments below the table/asymptotic switch: exercises the
+  // branch-free SIMD recursion. Every element must match boys() exactly.
+  Lcg rng{0x243f6a8885a308d3ull};
+  for (int mmax : {0, 1, 4, 8, 16, kMaxBoysOrder}) {
+    const std::size_t n = 97;
+    std::vector<double> t(n), fm(static_cast<std::size_t>(mmax + 1) * n);
+    for (std::size_t e = 0; e < n; ++e) t[e] = rng.uniform() * 49.99;
+    boys_batch(mmax, n, t.data(), fm.data());
+    for (std::size_t e = 0; e < n; ++e) {
+      double ref[kMaxBoysOrder + 1];
+      boys(mmax, t[e], ref);
+      for (int m = 0; m <= mmax; ++m) {
+        EXPECT_EQ(fm[static_cast<std::size_t>(m) * n + e], ref[m])
+            << "mmax=" << mmax << " m=" << m << " T=" << t[e];
+      }
+    }
+  }
+}
+
+TEST(Boys, BatchMatchesScalarBitwiseMixedAsymptotic) {
+  // Arguments straddling kBoysTableTmax: exercises the per-element
+  // fallback that skips completed asymptotic elements. Still exact.
+  Lcg rng{0x13198a2e03707344ull};
+  const int mmax = 12;
+  const std::size_t n = 64;
+  std::vector<double> t(n), fm(static_cast<std::size_t>(mmax + 1) * n);
+  for (std::size_t e = 0; e < n; ++e) {
+    t[e] = (e % 3 == 0) ? kBoysTableTmax + rng.uniform() * 200.0
+                        : rng.uniform() * kBoysTableTmax;
+  }
+  boys_batch(mmax, n, t.data(), fm.data());
+  for (std::size_t e = 0; e < n; ++e) {
+    double ref[kMaxBoysOrder + 1];
+    boys(mmax, t[e], ref);
+    for (int m = 0; m <= mmax; ++m) {
+      EXPECT_EQ(fm[static_cast<std::size_t>(m) * n + e], ref[m])
+          << "m=" << m << " T=" << t[e];
+    }
+  }
+}
+
+TEST(EriBatch, BatchedMatchesScalarWithinOneUlpAllClasses) {
+  // Randomized shell quartets on C2/6-31G(d) (s, p, and d shells on both
+  // atoms), compared entry by entry against the scalar EriEngine::compute
+  // path at a 1-ULP bound. The quartets are drawn in arbitrary caller
+  // orientation, so the batch's permutation path is covered too, and the
+  // mixed-class fills exercise the (Lbra, Lket) grouping. The 1-ULP bound
+  // (instead of EXPECT_EQ) exists only for signed zeros: the triangle-
+  // bounded kernel can produce -0.0 where an older full-cube sweep made
+  // +0.0; every nonzero element must agree exactly.
+  chem::Molecule mol;
+  mol.add_atom(6, 0.0, 0.0, 0.0);
+  mol.add_atom(6, 0.0, 0.0, 2.68);
+  auto bs = basis::BasisSet::build(mol, "6-31G(d)");
+  EriEngine eri(bs);
+  const std::size_t ns = bs.nshells();
+
+  QuartetBatch batch(eri, 32);
+  Lcg rng{0xa4093822299f31d0ull};
+  std::vector<std::array<std::size_t, 4>> pending;
+  std::vector<double> ref;
+  std::set<std::pair<int, int>> classes_seen;
+
+  auto check_flush = [&]() {
+    batch.evaluate();
+    ASSERT_EQ(batch.size(), pending.size());
+    for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+      const auto [i, j, k, l] = std::tuple{pending[qi][0], pending[qi][1],
+                                           pending[qi][2], pending[qi][3]};
+      ref.assign(eri.batch_size(i, j, k, l), 0.0);
+      eri.compute(i, j, k, l, ref.data());
+      const double* got = batch.result(qi);
+      for (std::size_t x = 0; x < ref.size(); ++x) {
+        EXPECT_LE(la::ulp_distance(got[x], ref[x]), 1u)
+            << "(" << i << j << "|" << k << l << ") element " << x << ": "
+            << got[x] << " vs " << ref[x];
+      }
+    }
+    batch.clear();
+    pending.clear();
+  };
+
+  const std::size_t kQuartets = 400;
+  for (std::size_t q = 0; q < kQuartets; ++q) {
+    const std::size_t i = rng.next() % ns;
+    const std::size_t j = rng.next() % ns;
+    const std::size_t k = rng.next() % ns;
+    const std::size_t l = rng.next() % ns;
+    const int lb = bs.shell(i).l + bs.shell(j).l;
+    const int lk = bs.shell(k).l + bs.shell(l).l;
+    classes_seen.insert({lb, lk});
+    batch.add(i, j, k, l, q);
+    pending.push_back({i, j, k, l});
+    if (batch.full()) check_flush();
+  }
+  check_flush();
+
+  // C2/6-31G(d) spans l = 0, 1, 2 per shell, so Lbra and Lket each reach
+  // 0..4: all 25 angular classes must have been sampled (deterministic
+  // given the fixed seed).
+  EXPECT_EQ(classes_seen.size(), 25u);
+}
+
+TEST(EriBatch, ClassCountersTrackQuartetsAndBoysElements) {
+  // With metrics enabled, each class-group evaluation records its quartet
+  // and boys_batch element counts; totals must add up across flushes.
+  chem::Molecule mol;
+  mol.add_atom(6, 0.0, 0.0, 0.0);
+  mol.add_atom(6, 0.0, 0.0, 2.68);
+  auto bs = basis::BasisSet::build(mol, "6-31G(d)");
+  EriEngine eri(bs);
+  const std::size_t ns = bs.nshells();
+
+  const bool prev = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+
+  QuartetBatch batch(eri, 8);
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t k = 0; k < ns; k += 2) {
+      batch.add(i, i, k, k);
+      ++added;
+      if (batch.full()) {
+        batch.evaluate();
+        batch.clear();
+      }
+    }
+  }
+  batch.evaluate();
+  batch.clear();
+
+  const obs::EriClassStats totals = obs::eri_class_totals();
+  obs::set_metrics_enabled(prev);
+  EXPECT_EQ(totals.quartets, added);
+  EXPECT_GT(totals.boys_elements, 0u);
+  // (ss|ss) quartets exist in this sweep, and their class slot must have
+  // been hit specifically (not just the aggregate).
+  EXPECT_GT(obs::eri_class_stats(0, 0).quartets, 0u);
 }
 
 }  // namespace

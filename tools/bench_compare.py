@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Diff two distilled BENCH_*.json files kernel by kernel.
+
+Used two ways:
+  * locally, to eyeball a change:  bench_compare.py old.json new.json
+  * by the CI perf gate:           bench_compare.py baseline.json new.json
+                                       --gate --tolerance 0.20
+
+Gate policy (DESIGN.md section 12.6): a kernel whose median real time
+regressed by more than the tolerance FAILS the gate (exit 1); a kernel
+that got faster than the tolerance only WARNS, with a reminder to refresh
+the committed baseline from the uploaded artifact. If the two files carry
+different machine fingerprints the timings are not comparable: the tool
+prints the table, warns, and exits 0 regardless of deltas.
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "mc-bench-v1":
+        raise SystemExit(f"{path}: not an mc-bench-v1 file")
+    return doc
+
+
+def to_ns(entry):
+    return entry["real_time"] * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3g} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def compare(base, new, tolerance):
+    """Returns (rows, regressions, improvements, only_in_one)."""
+    rows = []
+    regressions = []
+    improvements = []
+    bk, nk = base["kernels"], new["kernels"]
+    for name in sorted(set(bk) | set(nk)):
+        if name not in bk:
+            rows.append((name, None, to_ns(nk[name]), None, "new"))
+            continue
+        if name not in nk:
+            rows.append((name, to_ns(bk[name]), None, None, "removed"))
+            continue
+        b, n = to_ns(bk[name]), to_ns(nk[name])
+        delta = (n - b) / b if b > 0 else 0.0
+        status = "ok"
+        if delta > tolerance:
+            status = "SLOWER"
+            regressions.append((name, delta))
+        elif delta < -tolerance:
+            status = "faster"
+            improvements.append((name, delta))
+        rows.append((name, b, n, delta, status))
+    only = [r for r in rows if r[4] in ("new", "removed")]
+    return rows, regressions, improvements, only
+
+
+def print_table(rows):
+    name_w = max([len(r[0]) for r in rows] + [len("kernel")])
+    header = (
+        f"{'kernel':<{name_w}}  {'baseline':>10}  {'current':>10}"
+        f"  {'delta':>8}  status"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, b, n, delta, status in rows:
+        bs = fmt_ns(b) if b is not None else "-"
+        ns = fmt_ns(n) if n is not None else "-"
+        ds = f"{delta * 100:+.1f}%" if delta is not None else "-"
+        print(f"{name:<{name_w}}  {bs:>10}  {ns:>10}  {ds:>8}  {status}")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="relative gate width (default 0.20 = +/-20%%)",
+    )
+    ap.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 on regressions beyond tolerance (CI mode)",
+    )
+    args = ap.parse_args(argv)
+
+    base = load(args.baseline)
+    new = load(args.current)
+    rows, regressions, improvements, _ = compare(base, new, args.tolerance)
+    print(
+        f"baseline: {args.baseline} (sha {base.get('git_sha', '?')[:12]})\n"
+        f"current:  {args.current} (sha {new.get('git_sha', '?')[:12]})\n"
+    )
+    print_table(rows)
+    print()
+
+    if base.get("fingerprint") != new.get("fingerprint"):
+        print("WARNING: machine fingerprints differ; timings are not")
+        print(f"  baseline: {base.get('fingerprint')}")
+        print(f"  current:  {new.get('fingerprint')}")
+        print("comparable and the gate does not apply. If the new machine")
+        print("type is here to stay, refresh bench/baselines/ from the")
+        print("uploaded BENCH artifact of this run.")
+        return 0
+
+    for name, delta in improvements:
+        print(
+            f"note: {name} is {-delta * 100:.1f}% faster than the baseline; "
+            "consider refreshing bench/baselines/ from this run's artifact."
+        )
+    if regressions:
+        for name, delta in regressions:
+            print(
+                f"FAIL: {name} regressed {delta * 100:.1f}% "
+                f"(tolerance {args.tolerance * 100:.0f}%)"
+            )
+        return 1 if args.gate else 0
+    print(f"gate: all kernels within {args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Distill google-benchmark JSON output into a committed BENCH_*.json.
+
+Reads the raw JSON produced by a benchmark binary run with
+``--benchmark_format=json --benchmark_repetitions=N`` and keeps only what
+the perf gate needs: the median real/CPU time per kernel, a machine
+fingerprint, and the git sha the numbers were measured at. The distilled
+file is what CI uploads as an artifact and what bench/baselines/ commits;
+tools/bench_compare.py diffs two of them.
+
+Usage:
+    bench_distill.py RAW_JSON -o BENCH_out.json [--compiler STR] [--sha STR]
+
+Stdlib only (runs on a bare CI image and locally).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def git_sha(repo_dir):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def fingerprint(context, compiler):
+    """Machine identity for gate applicability: timings are only comparable
+    when the benchmark ran on the same kind of machine with the same
+    toolchain. Deliberately excludes host_name (CI runners rotate) and
+    date."""
+    return {
+        "num_cpus": context.get("num_cpus"),
+        "mhz_per_cpu": context.get("mhz_per_cpu"),
+        "build_type": context.get("library_build_type", "unknown"),
+        "compiler": compiler,
+    }
+
+
+def kernel_name(bench):
+    """Strip the aggregate decoration: 'BM_X/1/2_median' -> 'BM_X/1/2'."""
+    run_name = bench.get("run_name")
+    if run_name:
+        return run_name
+    name = bench["name"]
+    suffix = "_" + bench.get("aggregate_name", "")
+    return name[: -len(suffix)] if name.endswith(suffix) else name
+
+
+def distill(raw, compiler, sha):
+    context = raw.get("context", {})
+    kernels = {}
+    repetitions = 0
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+        elif any(
+            b.get("run_type") == "aggregate" for b in raw.get("benchmarks", [])
+        ):
+            continue  # per-repetition entry; the aggregate will cover it
+        repetitions = max(repetitions, int(bench.get("repetitions", 1) or 1))
+        kernels[kernel_name(bench)] = {
+            "real_time": bench["real_time"],
+            "cpu_time": bench["cpu_time"],
+            "time_unit": bench.get("time_unit", "ns"),
+        }
+    if not kernels:
+        raise SystemExit("no benchmark entries found in input JSON")
+    return {
+        "schema": "mc-bench-v1",
+        "git_sha": sha,
+        "repetitions": repetitions,
+        "fingerprint": fingerprint(context, compiler),
+        "kernels": kernels,
+    }
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("raw", help="google-benchmark JSON file")
+    ap.add_argument("-o", "--output", required=True)
+    ap.add_argument(
+        "--compiler",
+        default=os.environ.get("CXX", "unknown"),
+        help="toolchain tag for the fingerprint (default: $CXX)",
+    )
+    ap.add_argument("--sha", default=None, help="override git sha")
+    args = ap.parse_args(argv)
+
+    with open(args.raw, "r", encoding="utf-8") as f:
+        raw = json.load(f)
+    sha = args.sha or git_sha(os.path.dirname(os.path.abspath(args.output)))
+    doc = distill(raw, args.compiler, sha)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(
+        f"wrote {args.output}: {len(doc['kernels'])} kernels, "
+        f"median of {doc['repetitions']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
