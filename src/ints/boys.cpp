@@ -103,6 +103,13 @@ void boys(int mmax, double t, double* out) {
     boys_asymptotic(mmax, t, out, 1);
     return;
   }
+  // F_0 alone needs no downward recursion, hence no exp(-T); this is the
+  // (ssss) hot case. Value unchanged: boys_seed is the mmax-independent
+  // table evaluation all orders use.
+  if (mmax == 0) {
+    out[0] = boys_seed(0, t);
+    return;
+  }
   const double emt = std::exp(-t);
   out[mmax] = boys_seed(mmax, t);
   for (int m = mmax; m > 0; --m) {
@@ -112,6 +119,17 @@ void boys(int mmax, double t, double* out) {
 
 void boys_batch(int mmax, std::size_t n, const double* t, double* fm) {
   MC_CHECK(mmax >= 0 && mmax <= kMaxBoysOrder, "boys order out of range");
+
+  // Order-0 batches ((ssss) classes) skip the recursion entirely, so no
+  // exp(-T) is needed; matches boys() element for element.
+  if (mmax == 0) {
+    for (std::size_t e = 0; e < n; ++e) {
+      MC_CHECK(t[e] >= 0.0, "boys argument must be non-negative");
+      fm[e] = (t[e] >= kBoysTableTmax) ? 0.5 * std::sqrt(kPi / t[e])
+                                       : boys_seed(0, t[e]);
+    }
+    return;
+  }
 
   // Pass 1: per-element top-order seed and exp(-T); the (rare, usually
   // Schwarz-screened) asymptotic elements are finished here and excluded

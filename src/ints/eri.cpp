@@ -21,19 +21,20 @@ double EriEngine::quartet_cost_weight(std::size_t si, std::size_t sj,
                                       std::size_t sk, std::size_t sl) const {
   const auto& bra = pairs_.pair(std::max(si, sj), std::min(si, sj));
   const auto& ket = pairs_.pair(std::max(sk, sl), std::min(sk, sl));
-  return static_cast<double>(bra.prims.size()) * ket.prims.size() *
-         bra.ncomp() * ket.ncomp();
+  return static_cast<double>(bra.prims.size()) *
+         static_cast<double>(ket.prims.size()) * bra.ncomp() * ket.ncomp();
 }
 
 void compute_eri_canonical(const ShellPairData& bra,
                            const ShellPairData& ket, double* out) {
-  // Per-thread scratch: G accumulator and a reused Hermite Coulomb table
-  // (no allocations in the quartet loop).
+  // Per-thread scratch: G accumulator, gathered R matrix, and a reused
+  // Hermite Coulomb table (no allocations in the quartet loop).
   thread_local std::vector<double> g;
+  thread_local std::vector<double> rmat;
   thread_local RTable r;
-  detail::ScalarBoys src;
+  detail::ScalarPrimSource src;
   src.ltot = (bra.l1 + bra.l2) + (ket.l1 + ket.l2);
-  detail::eri_quartet_kernel(bra, ket, src, g, r, out);
+  detail::eri_quartet_kernel(bra, ket, src, g, rmat, r, out);
 }
 
 void EriEngine::compute(std::size_t si, std::size_t sj, std::size_t sk,

@@ -67,10 +67,15 @@ void QuartetBatch::evaluate_class(int lbra, int lket,
   const ShellPairList& pairs = eng_->pairs();
   const basis::BasisSet& bs = eng_->basis_set();
 
-  // Phase 1: collect Boys arguments of every surviving primitive quartet,
-  // in entry-then-primitive enumeration order -- the exact order the kernel
-  // will request Boys columns in phase 3.
+  // Phase 1: sweep the primitive-pair loops once, recording per primitive
+  // quartet the prescreen verdict and, for survivors, the Boys argument
+  // plus the geometry the kernel needs (pref, alpha, PQ) -- all in
+  // entry-then-primitive enumeration order, the exact order phase 3
+  // replays. Phase 3 then never recomputes prim_geom (one sqrt + divide
+  // per primitive quartet for the whole pipeline).
   t_buf_.clear();
+  surv_.clear();
+  geom_buf_.clear();
   for (const std::uint32_t i : idxs) {
     const Entry& e = entries_[i];
     const ShellPairData& bra =
@@ -80,8 +85,15 @@ void QuartetBatch::evaluate_class(int lbra, int lket,
     for (const PrimPairData& bp : bra.prims) {
       for (const PrimPairData& kp : ket.prims) {
         const detail::PrimGeom pg = detail::prim_geom(bp, kp);
-        if (detail::prim_skipped(bp, kp, pg.pref)) continue;
+        const bool skip = detail::prim_skipped(bp, kp, pg.pref);
+        surv_.push_back(static_cast<std::uint8_t>(!skip));
+        if (skip) continue;
         t_buf_.push_back(pg.t);
+        geom_buf_.push_back(pg.pref);
+        geom_buf_.push_back(pg.alpha);
+        geom_buf_.push_back(pg.pq[0]);
+        geom_buf_.push_back(pg.pq[1]);
+        geom_buf_.push_back(pg.pq[2]);
       }
     }
   }
@@ -94,10 +106,13 @@ void QuartetBatch::evaluate_class(int lbra, int lket,
     boys_batch(ltot, nsurv, t_buf_.data(), fm_buf_.data());
   }
 
-  // Phase 3: per-quartet kernel consuming the Boys columns in lockstep.
-  detail::BatchedBoys src;
+  // Phase 3: per-quartet kernel replaying phase-1 verdicts/geometry and
+  // consuming the Boys columns in lockstep.
+  detail::BatchedPrimSource src;
   src.fm = fm_buf_.data();
   src.n = nsurv;
+  src.survived = surv_.data();
+  src.geom = geom_buf_.data();
   for (const std::uint32_t i : idxs) {
     const Entry& e = entries_[i];
     const bool swap_ij = e.si < e.sj;
@@ -108,10 +123,10 @@ void QuartetBatch::evaluate_class(int lbra, int lket,
         pairs.pair(std::max(e.sk, e.sl), std::min(e.sk, e.sl));
     double* dst = results_.data() + e.offset;
     if (!swap_ij && !swap_kl) {
-      detail::eri_quartet_kernel(bra, ket, src, g_, r_, dst);
+      detail::eri_quartet_kernel(bra, ket, src, g_, rmat_, r_, dst);
     } else {
       ensure_batch_size(tmp_, e.size);
-      detail::eri_quartet_kernel(bra, ket, src, g_, r_, tmp_.data());
+      detail::eri_quartet_kernel(bra, ket, src, g_, rmat_, r_, tmp_.data());
       detail::permute_to_caller(tmp_.data(), swap_ij, swap_kl,
                                 bs.shell(e.si).nfunc(),
                                 bs.shell(e.sj).nfunc(),
@@ -119,7 +134,7 @@ void QuartetBatch::evaluate_class(int lbra, int lket,
                                 bs.shell(e.sl).nfunc(), dst);
     }
   }
-  MC_CHECK(src.cursor == nsurv,
+  MC_CHECK(src.cursor == nsurv && src.flag_cursor == surv_.size(),
            "batched ERI pipeline consumed a different primitive-quartet "
            "count than it collected");
 

@@ -95,7 +95,10 @@ class QuartetBatch {
   // Evaluation scratch (reused across flushes, no hot-loop allocations).
   std::vector<double> t_buf_;   ///< phase-1 Boys arguments
   std::vector<double> fm_buf_;  ///< boys_batch output, SoA [m][element]
-  std::vector<double> g_;       ///< kernel G accumulator
+  std::vector<std::uint8_t> surv_;  ///< phase-1 per-(bp,kp) prescreen verdict
+  std::vector<double> geom_buf_;    ///< phase-1 geometry per survivor
+  std::vector<double> g_;       ///< kernel G accumulator (compact triangle)
+  std::vector<double> rmat_;    ///< gathered R matrix [ket tri][bra tri]
   std::vector<double> tmp_;     ///< canonical-orientation staging
   RTable r_;
 };

@@ -8,13 +8,33 @@
 // makes the scalar-vs-batched agreement bitwise (tested at a 1-ULP bound
 // in test_ints.cpp) instead of approximate.
 //
+// Kernel form (DESIGN.md section 12.7): the Hermite contractions run over
+// *compact triangles*. For each angular class, precomputed side tables
+// (class_tab) enumerate one side's Hermite triangle {(t,u,v): t+u+v <= L}
+// in lexicographic order and record each entry's linear offset into the
+// combined R cube. Because the cube index is linear,
+//   offset(t+tau, u+nu, v+phi) = offset_bra(t,u,v) + offset_ket(tau,nu,phi),
+// so the Hermite Coulomb tensor of one primitive quartet gathers into a
+// dense [ket-tri][bra-tri] matrix in one pass, and both the ket
+// accumulation (G += w * R-row) and the bra contraction (out += Hb . G)
+// become unit-stride inner loops over the bra triangle -- the SIMD axis
+// within one primitive quartet, complementing the Boys batch axis across
+// quartets. Iteration orders match the pre-restructure kernel exactly
+// (tau,nu,phi and t,u,v ascending), so results are bitwise unchanged;
+// eri_quartet_kernel_ref below preserves the original nested-loop form
+// and test_ints pins new == ref at 0 ULP.
+//
 // Not part of the public ints API; include from src/ints only.
 
+#include <array>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/constants.hpp"
+#include "common/error.hpp"
 #include "ints/boys.hpp"
 #include "ints/hermite.hpp"
 #include "ints/shell_pair.hpp"
@@ -76,6 +96,7 @@ struct FmView {
 };
 
 /// Boys source for the scalar path: evaluates inline per primitive quartet.
+/// (Functor interface retained for eri_quartet_kernel_ref / tests.)
 struct ScalarBoys {
   int ltot = 0;
   double buf[kMaxBoysOrder + 1];
@@ -85,28 +106,314 @@ struct ScalarBoys {
   }
 };
 
-/// Boys source for the batched path: consumes consecutive columns of a
-/// boys_batch SoA block (fm[m * n + e]). The kernel requests columns only
-/// for surviving primitive quartets, in enumeration order -- exactly the
-/// order phase 1 appended T values -- so a monotone cursor suffices.
-struct BatchedBoys {
-  const double* fm = nullptr;
-  std::size_t n = 0;       ///< batch width (SoA stride)
-  std::size_t cursor = 0;  ///< next column to hand out
-  FmView operator()(const PrimGeom& /*pg*/) { return {fm + cursor++, n}; }
+/// Primitive source for the scalar path: computes geometry, prescreen, and
+/// Boys values inline per primitive quartet.
+struct ScalarPrimSource {
+  int ltot = 0;
+  double buf[kMaxBoysOrder + 1];
+  bool next(const PrimPairData& bp, const PrimPairData& kp, PrimGeom& pg,
+            FmView& fv) {
+    pg = prim_geom(bp, kp);
+    if (prim_skipped(bp, kp, pg.pref)) return false;
+    boys(ltot, pg.t, buf);
+    fv = {buf, 1};
+    return true;
+  }
 };
 
+/// Primitive source for the batched path: replays the survival decisions
+/// and geometry phase 1 computed (one prim_geom per primitive quartet for
+/// the whole pipeline -- the values are bitwise the ones the scalar path
+/// recomputes, being a deterministic function of the same pair data), and
+/// consumes consecutive columns of a boys_batch SoA block (fm[m * n + e]).
+/// Phase 1 appended flags/geometry/T in enumeration order -- exactly the
+/// order the kernel walks the primitive loops -- so monotone cursors
+/// suffice.
+struct BatchedPrimSource {
+  static constexpr std::size_t kGeomStride = 5;  // pref, alpha, pq[3]
+  const double* fm = nullptr;      ///< boys_batch block
+  std::size_t n = 0;               ///< batch width (SoA stride)
+  const std::uint8_t* survived = nullptr;  ///< per-(bp,kp) phase-1 verdicts
+  const double* geom = nullptr;    ///< per-survivor geometry records
+  std::size_t cursor = 0;          ///< next survivor column
+  std::size_t flag_cursor = 0;     ///< next (bp, kp) flag
+  bool next(const PrimPairData& /*bp*/, const PrimPairData& /*kp*/,
+            PrimGeom& pg, FmView& fv) {
+    if (!survived[flag_cursor++]) return false;
+    const double* rec = geom + cursor * kGeomStride;
+    pg.pref = rec[0];
+    pg.alpha = rec[1];
+    pg.pq[0] = rec[2];
+    pg.pq[1] = rec[3];
+    pg.pq[2] = rec[4];
+    fv = {fm + cursor, n};
+    ++cursor;
+    return true;
+  }
+};
+
+/// Largest per-side L (= l1 + l2) the class tables cover: shells up to
+/// l = 8, comfortably past every built-in basis, and the matching
+/// QuartetBatch class-dim bound. ltot then tops out at kMaxBoysOrder.
+inline constexpr int kMaxSideL = 16;
+
+/// Per-(L, ltot) side table: one side's Hermite triangle
+/// {(t,u,v) : t+u+v <= L} enumerated lexicographically, with each entry's
+/// linear offset into the combined R cube of dimension d = ltot + 1 and
+/// the (-1)^(t+u+v) ket parity.
+struct ClassTab {
+  int n = 0;                     ///< triangle size: hermite_tri_size(L)
+  std::vector<int> r_off;        ///< [(t*d + u)*d + v]
+  std::vector<std::uint8_t> neg; ///< (t + u + v) & 1
+};
+
+/// Lazily-built read-only store of every side table (thread-safe magic
+/// static; built once, ~350 KB, then read-shared by all threads).
+inline const ClassTab& class_tab(int l, int ltot) {
+  static const auto tabs = [] {
+    auto t = std::make_unique<
+        std::array<ClassTab, (kMaxSideL + 1) * (kMaxBoysOrder + 1)>>();
+    for (int l2 = 0; l2 <= kMaxSideL; ++l2) {
+      for (int lt = l2; lt <= kMaxBoysOrder; ++lt) {
+        ClassTab& tab = (*t)[static_cast<std::size_t>(
+            l2 * (kMaxBoysOrder + 1) + lt)];
+        const int d = lt + 1;
+        tab.n = hermite_tri_size(l2);
+        tab.r_off.reserve(static_cast<std::size_t>(tab.n));
+        tab.neg.reserve(static_cast<std::size_t>(tab.n));
+        for (int tt = 0; tt <= l2; ++tt) {
+          for (int u = 0; u <= l2 - tt; ++u) {
+            for (int v = 0; v <= l2 - tt - u; ++v) {
+              tab.r_off.push_back((tt * d + u) * d + v);
+              tab.neg.push_back(
+                  static_cast<std::uint8_t>((tt + u + v) & 1));
+            }
+          }
+        }
+      }
+    }
+    return t;
+  }();
+  MC_CHECK(l >= 0 && l <= kMaxSideL && ltot >= l && ltot <= kMaxBoysOrder,
+           "ERI class outside the side-table range");
+  return (*tabs)[static_cast<std::size_t>(l * (kMaxBoysOrder + 1) + ltot)];
+}
+
+/// Compile-time variant of ClassTab for the constant-L kernel
+/// instantiations: same enumeration, same values, but the offsets and
+/// parities are constexpr so the unrolled loops see immediates (and the
+/// hot path skips the class_tab magic-static guard).
+template <int L, int LTOT>
+struct StaticClassTab {
+  static constexpr int kN = hermite_tri_size(L);
+  int off[static_cast<std::size_t>(kN)] = {};
+  std::uint8_t neg[static_cast<std::size_t>(kN)] = {};
+  constexpr StaticClassTab() {
+    int i = 0;
+    constexpr int d = LTOT + 1;
+    for (int t = 0; t <= L; ++t) {
+      for (int u = 0; u <= L - t; ++u) {
+        for (int v = 0; v <= L - t - u; ++v) {
+          off[static_cast<std::size_t>(i)] = (t * d + u) * d + v;
+          neg[static_cast<std::size_t>(i)] =
+              static_cast<std::uint8_t>((t + u + v) & 1);
+          ++i;
+        }
+      }
+    }
+  }
+};
+
+template <int L, int LTOT>
+inline constexpr StaticClassTab<L, LTOT> kStaticClassTab{};
+
+/// Kernel body shared by every angular class. LB / LK are the side L
+/// values when known at compile time (the dominant low-L classes are
+/// dispatched to constant instantiations below, which lets the inlined
+/// build_from recursion and the tiny gather/accumulate loops fully unroll)
+/// or -1 for the runtime-L fallback. Identical loop structure and
+/// arithmetic either way, so the specializations are bitwise-identical to
+/// the fallback by construction.
+template <int LB, int LK, typename PrimSource>
+void eri_quartet_kernel_impl(const ShellPairData& bra,
+                             const ShellPairData& ket, PrimSource&& src,
+                             std::vector<double>& g_scratch,
+                             std::vector<double>& rmat_scratch, RTable& r,
+                             double* out) {
+  constexpr bool kStatic = (LB >= 0 && LK >= 0);
+  const int ncomp_ab = bra.ncomp();
+  const int ncomp_cd = ket.ncomp();
+  const int lb = kStatic ? LB : bra.lsum();
+  const int lk = kStatic ? LK : ket.lsum();
+  const int ltot = lb + lk;
+
+  const std::size_t nout =
+      static_cast<std::size_t>(ncomp_ab) * static_cast<std::size_t>(ncomp_cd);
+  for (std::size_t i = 0; i < nout; ++i) out[i] = 0.0;
+
+  const int nb = kStatic ? hermite_tri_size(LB < 0 ? 0 : LB)
+                         : class_tab(lb, ltot).n;
+  const int nq = kStatic ? hermite_tri_size(LK < 0 ? 0 : LK)
+                         : class_tab(lk, ltot).n;
+  const int* bra_off;
+  const int* ket_off;
+  const std::uint8_t* ket_neg;
+  if constexpr (kStatic) {
+    bra_off = kStaticClassTab<LB, LB + LK>.off;
+    ket_off = kStaticClassTab<LK, LB + LK>.off;
+    ket_neg = kStaticClassTab<LK, LB + LK>.neg;
+  } else {
+    const ClassTab& tb = class_tab(lb, ltot);
+    const ClassTab& tk = class_tab(lk, ltot);
+    bra_off = tb.r_off.data();
+    ket_off = tk.r_off.data();
+    ket_neg = tk.neg.data();
+  }
+
+  // G[cd][p] over the compact bra triangle, reused across primitives.
+  const std::size_t gsize =
+      static_cast<std::size_t>(ncomp_cd) * static_cast<std::size_t>(nb);
+  if (g_scratch.size() < gsize) g_scratch.resize(gsize);
+  double* g = g_scratch.data();
+  const std::size_t rsize =
+      static_cast<std::size_t>(nq) * static_cast<std::size_t>(nb);
+  if (rmat_scratch.size() < rsize) rmat_scratch.resize(rsize);
+  double* rmat = rmat_scratch.data();
+
+  PrimGeom pg;
+  FmView fv;
+  for (const PrimPairData& bp : bra.prims) {
+    std::fill_n(g, gsize, 0.0);
+
+    for (const PrimPairData& kp : ket.prims) {
+      if (!src.next(bp, kp, pg, fv)) continue;
+      r.build_from(ltot, pg.alpha, pg.pq, fv.fm, fv.stride);
+
+      // Gather the Hermite Coulomb tensor into a dense [q][p] matrix:
+      // element (q, p) = R_{t+tau, u+nu, v+phi} at cube offset
+      // ket_off[q] + bra_off[p] (linearity of the cube index). One pass,
+      // shared by every ket component below.
+      const double* rd = r.data();
+      for (int q = 0; q < nq; ++q) {
+        const int qoff = ket_off[q];
+        double* rrow = rmat + static_cast<std::size_t>(q) * nb;
+        for (int p = 0; p < nb; ++p) {
+          rrow[p] = rd[static_cast<std::size_t>(qoff + bra_off[p])];
+        }
+      }
+
+      // Ket accumulation: G[cd][:] += w * R-row, unit stride over the bra
+      // triangle. Same (tau,nu,phi) term order and the same products
+      // w * R as the reference kernel -- bitwise identical G.
+      for (int cd = 0; cd < ncomp_cd; ++cd) {
+        const double* hk = kp.hermite_tri.data() +
+                           static_cast<std::size_t>(cd) * nq;
+        double* gc = g + static_cast<std::size_t>(cd) * nb;
+        for (int q = 0; q < nq; ++q) {
+          const double hval = hk[q];
+          if (hval == 0.0) continue;
+          const double w = pg.pref * (ket_neg[q] ? -hval : hval);
+          const double* rrow = rmat + static_cast<std::size_t>(q) * nb;
+#pragma omp simd
+          for (int p = 0; p < nb; ++p) {
+            gc[p] += w * rrow[p];
+          }
+        }
+      }
+    }
+
+    // Bra contraction against compact G: sequential p-order dot products,
+    // summation order identical to the reference kernel's (t,u,v) walk.
+    for (int ab = 0; ab < ncomp_ab; ++ab) {
+      const double* hb = bp.hermite_tri.data() +
+                         static_cast<std::size_t>(ab) * nb;
+      double* orow = out + static_cast<std::size_t>(ab) * ncomp_cd;
+      for (int cd = 0; cd < ncomp_cd; ++cd) {
+        const double* gc = g + static_cast<std::size_t>(cd) * nb;
+        double s = 0.0;
+        for (int p = 0; p < nb; ++p) {
+          s += hb[p] * gc[p];
+        }
+        orow[cd] += s;
+      }
+    }
+  }
+}
+
 /// Contracted ERI batch for one (bra, ket) shell-pair quartet in canonical
-/// orientation [bra.s1][bra.s2][ket.s1][ket.s2]; `boys_src(pg)` supplies
-/// the Boys values for each surviving primitive quartet. Fully initializes
-/// `out`. All inner loops are bounded by the Hermite triangles
-/// (t+u+v <= l1+l2 per side): iterations outside them multiply exactly-zero
-/// Hermite coefficients and are dropped, which also keeps every RTable read
-/// inside the region build_from writes.
-template <typename BoysSource>
+/// orientation [bra.s1][bra.s2][ket.s1][ket.s2]; `src.next(bp, kp, pg, fv)`
+/// decides survival and supplies geometry plus Boys values for each
+/// primitive quartet (ScalarPrimSource computes them inline,
+/// BatchedPrimSource replays phase-1 state). Fully initializes `out`.
+/// `g_scratch` holds the compact G accumulator (ncomp_cd x bra triangle),
+/// `rmat_scratch` the gathered R matrix (ket triangle x bra triangle); both
+/// grow once and are reused across quartets.
+///
+/// Dispatches on the angular class: (ssss) collapses to one multiply-add
+/// per primitive quartet (R_000 = F_0 exactly -- build_from seeds level 0
+/// with 1.0 * fm[0] -- and every triangle is the single point (0,0,0));
+/// classes with both sides <= L=2 (s/p/d shell pairs, all of STO-3G and
+/// the bulk of any quartet distribution) run constant-L instantiations of
+/// the shared body; everything else takes the runtime-L fallback.
+template <typename PrimSource>
 void eri_quartet_kernel(const ShellPairData& bra, const ShellPairData& ket,
-                        BoysSource&& boys_src, std::vector<double>& g_scratch,
-                        RTable& r, double* out) {
+                        PrimSource&& src, std::vector<double>& g_scratch,
+                        std::vector<double>& rmat_scratch, RTable& r,
+                        double* out) {
+  const int lb = bra.lsum();
+  const int lk = ket.lsum();
+
+  if (lb + lk == 0) {
+    // Term order and product association match the general body
+    // ((pref * hval) then * F_0; hb * g; += into out[0]) -- bitwise
+    // identical, just without touching the RTable.
+    PrimGeom pg;
+    FmView fv;
+    out[0] = 0.0;
+    for (const PrimPairData& bp : bra.prims) {
+      double g0 = 0.0;
+      for (const PrimPairData& kp : ket.prims) {
+        if (!src.next(bp, kp, pg, fv)) continue;
+        const double hval = kp.hermite_tri[0];
+        if (hval == 0.0) continue;
+        g0 += (pg.pref * hval) * fv.fm[0];
+      }
+      out[0] += bp.hermite_tri[0] * g0;
+    }
+    return;
+  }
+
+  switch (lb * (kMaxSideL + 1) + lk) {
+#define MC_ERI_CLASS_CASE(B, K)                                            \
+  case (B) * (kMaxSideL + 1) + (K):                                        \
+    eri_quartet_kernel_impl<B, K>(bra, ket, src, g_scratch, rmat_scratch,  \
+                                  r, out);                                 \
+    return;
+    MC_ERI_CLASS_CASE(0, 1)
+    MC_ERI_CLASS_CASE(0, 2)
+    MC_ERI_CLASS_CASE(1, 0)
+    MC_ERI_CLASS_CASE(1, 1)
+    MC_ERI_CLASS_CASE(1, 2)
+    MC_ERI_CLASS_CASE(2, 0)
+    MC_ERI_CLASS_CASE(2, 1)
+    MC_ERI_CLASS_CASE(2, 2)
+#undef MC_ERI_CLASS_CASE
+    default:
+      eri_quartet_kernel_impl<-1, -1>(bra, ket, src, g_scratch,
+                                      rmat_scratch, r, out);
+      return;
+  }
+}
+
+/// Reference kernel: the original nested-loop form over the full Hermite
+/// cubes, kept verbatim as the oracle for the restructured kernel above
+/// (test_ints pins eri_quartet_kernel == eri_quartet_kernel_ref at 0 ULP
+/// per element). Not used by any production path.
+template <typename BoysSource>
+void eri_quartet_kernel_ref(const ShellPairData& bra,
+                            const ShellPairData& ket, BoysSource&& boys_src,
+                            std::vector<double>& g_scratch, RTable& r,
+                            double* out) {
   const int ncomp_ab = bra.ncomp();
   const int ncomp_cd = ket.ncomp();
   const std::size_t herm_ab = bra.herm_size();
@@ -152,7 +459,6 @@ void eri_quartet_kernel(const ShellPairData& bra, const ShellPairData& ket,
                   const int ru = u + nu;
                   double* grow = gc + (t * hab + u) * hab;
                   const int vend = lb - t - u;
-#pragma omp simd
                   for (int v = 0; v <= vend; ++v) {
                     grow[v] += w * r(rt, ru, v + phi);
                   }

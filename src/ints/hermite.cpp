@@ -47,49 +47,6 @@ ETable::ETable(int imax, int jmax, double a, double b, double ab)
   }
 }
 
-void RTable::fill_triangle(int ltot, const double* pq, const double* seeds) {
-  // Level n of the auxiliary recursion lives in data_ (n even) or scratch_
-  // (n odd): level n reads only level n+1 (the other buffer), and by the
-  // time it overwrites level n+2's cells they are dead. Level 0 -- the
-  // result -- therefore lands in data_ with no final copy.
-  //
-  // Recursions (Helgaker et al. eq. 9.9.18-20):
-  //   R_{t+1,u,v}^{(n)} = t R_{t-1,u,v}^{(n+1)} + X_PQ R_{t,u,v}^{(n+1)}
-  // and cyclic for u, v. Only the t+u+v <= ltot - n triangle of each level
-  // is written, and only the t+u+v <= ltot - n - 1 triangle of the level
-  // above is read.
-  const int d = dim_;
-  auto idx = [d](int t, int u, int v) {
-    return static_cast<std::size_t>((t * d + u) * d + v);
-  };
-  for (int n = ltot; n >= 0; --n) {
-    double* lo = (n % 2 == 0) ? data_.data() : scratch_.data();
-    lo[idx(0, 0, 0)] = seeds[n];
-    if (n == ltot) continue;
-    const double* hi = (n % 2 == 0) ? scratch_.data() : data_.data();
-    const int lmax = ltot - n;
-    for (int t = 0; t <= lmax; ++t) {
-      for (int u = 0; u + t <= lmax; ++u) {
-        for (int v = 0; v + u + t <= lmax; ++v) {
-          if (t + u + v == 0) continue;
-          double val;
-          if (t > 0) {
-            val = pq[0] * hi[idx(t - 1, u, v)];
-            if (t > 1) val += (t - 1) * hi[idx(t - 2, u, v)];
-          } else if (u > 0) {
-            val = pq[1] * hi[idx(t, u - 1, v)];
-            if (u > 1) val += (u - 1) * hi[idx(t, u - 2, v)];
-          } else {
-            val = pq[2] * hi[idx(t, u, v - 1)];
-            if (v > 1) val += (v - 1) * hi[idx(t, u, v - 2)];
-          }
-          lo[idx(t, u, v)] = val;
-        }
-      }
-    }
-  }
-}
-
 void RTable::build(int ltot, double alpha, const double* pq) {
   MC_CHECK(ltot <= kMaxBoysOrder, "RTable order exceeds Boys table");
   dim_ = ltot + 1;
@@ -110,24 +67,6 @@ void RTable::build(int ltot, double alpha, const double* pq) {
   double pref = 1.0;
   for (int n = 0; n <= ltot; ++n) {
     seeds[n] = pref * fm[n];
-    pref *= -2.0 * alpha;
-  }
-  fill_triangle(ltot, pq, seeds);
-}
-
-void RTable::build_from(int ltot, double alpha, const double* pq,
-                        const double* fm, std::size_t fm_stride) {
-  MC_CHECK(ltot <= kMaxBoysOrder, "RTable order exceeds Boys table");
-  dim_ = ltot + 1;
-  const std::size_t sz =
-      static_cast<std::size_t>(dim_) * dim_ * dim_;
-  if (data_.size() < sz) data_.resize(sz);
-  if (scratch_.size() < sz) scratch_.resize(sz);
-
-  double seeds[kMaxBoysOrder + 1];
-  double pref = 1.0;
-  for (int n = 0; n <= ltot; ++n) {
-    seeds[n] = pref * fm[static_cast<std::size_t>(n) * fm_stride];
     pref *= -2.0 * alpha;
   }
   fill_triangle(ltot, pq, seeds);

@@ -87,6 +87,23 @@ ShellPairData make_shell_pair(const basis::Shell& sh1,
       for (const double h : pp.hermite) {
         pp.hmax = std::max(pp.hmax, std::abs(h));
       }
+      // Compact triangle copy (bitwise: values are copied, not
+      // recomputed), in the kernel's lexicographic (t, u, v) order.
+      const int lsum = sh1.l + sh2.l;
+      pp.hermite_tri.resize(static_cast<std::size_t>(sp.ncomp()) *
+                            static_cast<std::size_t>(hermite_tri_size(lsum)));
+      double* tri = pp.hermite_tri.data();
+      for (int c = 0; c < sp.ncomp(); ++c) {
+        const double* h = pp.hermite.data() +
+                          static_cast<std::size_t>(c) * herm;
+        for (int t = 0; t <= lsum; ++t) {
+          for (int u = 0; u <= lsum - t; ++u) {
+            for (int v = 0; v <= lsum - t - u; ++v) {
+              *tri++ = h[(t * hd + u) * hd + v];
+            }
+          }
+        }
+      }
       sp.prims.push_back(std::move(pp));
     }
   }

@@ -27,7 +27,19 @@ struct PrimPairData {
   /// Hermite product coefficients, layout [comp][t*hd*hd + u*hd + v] with
   /// hd = l1 + l2 + 1 and comp = a_comp * ncart(l2) + b_comp.
   std::vector<double> hermite;
+  /// The same coefficients compacted to the t+u+v <= l1+l2 triangle,
+  /// layout [comp][p] with p enumerating (t, u, v) lexicographically
+  /// (hermite_tri_size(l1+l2) entries per component). Every entry of
+  /// `hermite` outside the triangle is exactly zero, so this carries the
+  /// full information; the ERI kernel contracts against it with
+  /// unit-stride inner loops (DESIGN.md section 12.7).
+  std::vector<double> hermite_tri;
 };
+
+/// Number of Hermite triangle entries {(t,u,v) : t+u+v <= l}: C(l+3, 3).
+constexpr int hermite_tri_size(int l) {
+  return (l + 1) * (l + 2) * (l + 3) / 6;
+}
 
 struct ShellPairData {
   std::size_t s1 = 0, s2 = 0;    ///< shell indices (s1 >= s2 by convention)

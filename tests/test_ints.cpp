@@ -5,6 +5,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <set>
@@ -18,6 +19,7 @@
 #include "ints/boys.hpp"
 #include "ints/eri.hpp"
 #include "ints/eri_batch.hpp"
+#include "ints/eri_kernel.hpp"
 #include "ints/hermite.hpp"
 #include "ints/one_electron.hpp"
 #include "ints/screening.hpp"
@@ -608,6 +610,137 @@ TEST(EriBatch, BatchedMatchesScalarWithinOneUlpAllClasses) {
   // 0..4: all 25 angular classes must have been sampled (deterministic
   // given the fixed seed).
   EXPECT_EQ(classes_seen.size(), 25u);
+}
+
+TEST(Eri, RestructuredKernelMatchesReferenceExactly) {
+  // The compact-triangle kernel (including its (ssss) fast path and
+  // constant-L class dispatch) against the original nested-loop reference
+  // form, over every canonical (bra, ket) pair combination of C2/6-31G(d)
+  // -- classes (0..4, 0..4), so both the static instantiations and the
+  // runtime-L fallback run. Iteration orders and product associations were
+  // preserved exactly, so every element must be bit-identical, signed
+  // zeros included.
+  chem::Molecule mol;
+  mol.add_atom(6, 0.0, 0.0, 0.0);
+  mol.add_atom(6, 0.0, 0.0, 2.68);
+  auto bs = basis::BasisSet::build(mol, "6-31G(d)");
+  ShellPairList pairs(bs);
+  std::vector<const ShellPairData*> plist;
+  for (std::size_t s1 = 0; s1 < bs.nshells(); ++s1) {
+    for (std::size_t s2 = 0; s2 <= s1; ++s2) {
+      plist.push_back(&pairs.pair(s1, s2));
+    }
+  }
+  const std::size_t np = plist.size();
+
+  std::vector<double> g_new, rmat, g_ref, out_new, out_ref;
+  RTable r_new, r_ref;
+  for (std::size_t pb = 0; pb < np; ++pb) {
+    for (std::size_t pk = 0; pk < np; ++pk) {
+      const ShellPairData& bra = *plist[pb];
+      const ShellPairData& ket = *plist[pk];
+      const std::size_t n = static_cast<std::size_t>(bra.ncomp()) *
+                            static_cast<std::size_t>(ket.ncomp());
+      // Distinct sentinel prefills verify both kernels fully initialize
+      // their output.
+      out_new.assign(n, 7.5);
+      out_ref.assign(n, -3.25);
+
+      detail::ScalarPrimSource src_new;
+      src_new.ltot = bra.lsum() + ket.lsum();
+      detail::eri_quartet_kernel(bra, ket, src_new, g_new, rmat, r_new,
+                                 out_new.data());
+
+      detail::ScalarBoys src_ref;
+      src_ref.ltot = bra.lsum() + ket.lsum();
+      detail::eri_quartet_kernel_ref(bra, ket, src_ref, g_ref, r_ref,
+                                     out_ref.data());
+
+      for (std::size_t x = 0; x < n; ++x) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(out_new[x]),
+                  std::bit_cast<std::uint64_t>(out_ref[x]))
+            << "pair (" << pb << ", " << pk << ") element " << x << ": "
+            << out_new[x] << " vs " << out_ref[x];
+      }
+    }
+  }
+}
+
+TEST(EriBatch, EightFoldSymmetryAudit) {
+  // All eight permutational images of representative quartets evaluated
+  // *through the batched path* in a single batch: the (ij|kl) = (ji|kl) =
+  // (ij|lk) = (kl|ij) = ... physics must survive the class grouping and
+  // the canonical-orientation + permute-back plumbing. Tolerance matches
+  // the scalar permutation audit (the images are distinct floating-point
+  // summations, not bitwise copies).
+  auto mol = chem::builders::water();
+  auto bs = basis::BasisSet::build(mol, "6-31G(d)");
+  EriEngine eri(bs);
+  const std::size_t ns = bs.nshells();
+  QuartetBatch batch(eri, 16);
+
+  for (std::size_t i = 0; i < ns; i += 2) {
+    for (std::size_t k = 0; k < ns; k += 3) {
+      const std::size_t j = (i + 1) % ns;
+      const std::size_t l = (k + 2) % ns;
+
+      // ax[t] = which axis of the reference (ij|kl) batch the t-th axis of
+      // this permutational image corresponds to.
+      struct Image {
+        std::array<std::size_t, 4> sh;
+        std::array<int, 4> ax;
+      };
+      const std::array<Image, 8> images = {{
+          {{i, j, k, l}, {0, 1, 2, 3}},
+          {{j, i, k, l}, {1, 0, 2, 3}},
+          {{i, j, l, k}, {0, 1, 3, 2}},
+          {{j, i, l, k}, {1, 0, 3, 2}},
+          {{k, l, i, j}, {2, 3, 0, 1}},
+          {{l, k, i, j}, {3, 2, 0, 1}},
+          {{k, l, j, i}, {2, 3, 1, 0}},
+          {{l, k, j, i}, {3, 2, 1, 0}},
+      }};
+
+      batch.clear();
+      for (const Image& im : images) {
+        batch.add(im.sh[0], im.sh[1], im.sh[2], im.sh[3]);
+      }
+      batch.evaluate();
+
+      const double* ref = batch.result(0);
+      const int nd[4] = {bs.shell(i).nfunc(), bs.shell(j).nfunc(),
+                         bs.shell(k).nfunc(), bs.shell(l).nfunc()};
+      for (std::size_t m = 1; m < images.size(); ++m) {
+        const Image& im = images[m];
+        const double* got = batch.result(m);
+        const int pd[4] = {
+            bs.shell(im.sh[0]).nfunc(), bs.shell(im.sh[1]).nfunc(),
+            bs.shell(im.sh[2]).nfunc(), bs.shell(im.sh[3]).nfunc()};
+        int idx[4];
+        for (idx[0] = 0; idx[0] < nd[0]; ++idx[0])
+          for (idx[1] = 0; idx[1] < nd[1]; ++idx[1])
+            for (idx[2] = 0; idx[2] < nd[2]; ++idx[2])
+              for (idx[3] = 0; idx[3] < nd[3]; ++idx[3]) {
+                const std::size_t rflat =
+                    ((static_cast<std::size_t>(idx[0]) * nd[1] + idx[1]) *
+                         nd[2] +
+                     idx[2]) *
+                        nd[3] +
+                    idx[3];
+                const std::size_t pflat =
+                    ((static_cast<std::size_t>(idx[im.ax[0]]) * pd[1] +
+                      idx[im.ax[1]]) *
+                         pd[2] +
+                     idx[im.ax[2]]) *
+                        pd[3] +
+                    idx[im.ax[3]];
+                EXPECT_NEAR(ref[rflat], got[pflat], 1e-11)
+                    << "image " << m << " of (" << i << j << "|" << k << l
+                    << ")";
+              }
+      }
+    }
+  }
 }
 
 TEST(EriBatch, ClassCountersTrackQuartetsAndBoysElements) {

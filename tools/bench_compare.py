@@ -4,30 +4,54 @@
 Used two ways:
   * locally, to eyeball a change:  bench_compare.py old.json new.json
   * by the CI perf gate:           bench_compare.py baseline.json new.json
-                                       --gate --tolerance 0.20
+                                       --gate --strict-fingerprint
+                                       --tolerance 0.20
 
 Gate policy (DESIGN.md section 12.6): a kernel whose median real time
 regressed by more than the tolerance FAILS the gate (exit 1); a kernel
 that got faster than the tolerance only WARNS, with a reminder to refresh
-the committed baseline from the uploaded artifact. If the two files carry
-different machine fingerprints the timings are not comparable: the tool
-prints the table, warns, and exits 0 regardless of deltas.
+the committed baseline from the uploaded artifact.
+
+Fingerprint policy: if the two files carry different machine+build
+fingerprints the timings are not comparable. Under --strict-fingerprint
+(the CI default) that is a HARD FAILURE (exit 2) — a gate that silently
+skips itself guards nothing. Without it (local eyeballing) the tool
+prints the table, warns, and exits 0. The one-command refresh flow is
+documented in bench/baselines/README.md.
+
+When $GITHUB_STEP_SUMMARY is set, the comparison table and the gate
+decision are always appended there as markdown — including on the
+mismatch and failure paths, so every gate decision is visible in the job
+summary.
 
 Stdlib only.
 """
 
 import argparse
 import json
+import os
 import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_FINGERPRINT = 2
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
-    if doc.get("schema") != "mc-bench-v1":
-        raise SystemExit(f"{path}: not an mc-bench-v1 file")
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{path}: not valid JSON ({e})")
+    if doc.get("schema") != "mc-bench-v2":
+        raise SystemExit(
+            f"{path}: not an mc-bench-v2 file (schema "
+            f"{doc.get('schema')!r}); re-distill with tools/bench_distill.py"
+        )
+    if not isinstance(doc.get("kernels"), dict):
+        raise SystemExit(f"{path}: malformed: no kernels table")
     return doc
 
 
@@ -69,6 +93,18 @@ def compare(base, new, tolerance):
     return rows, regressions, improvements, only
 
 
+def fingerprint_diff(base_fp, new_fp):
+    """Human-readable list of fingerprint keys that disagree."""
+    base_fp = base_fp or {}
+    new_fp = new_fp or {}
+    lines = []
+    for key in sorted(set(base_fp) | set(new_fp)):
+        b, n = base_fp.get(key), new_fp.get(key)
+        if b != n:
+            lines.append(f"  {key}: baseline={b!r} current={n!r}")
+    return lines
+
+
 def print_table(rows):
     name_w = max([len(r[0]) for r in rows] + [len("kernel")])
     header = (
@@ -82,6 +118,32 @@ def print_table(rows):
         ns = fmt_ns(n) if n is not None else "-"
         ds = f"{delta * 100:+.1f}%" if delta is not None else "-"
         print(f"{name:<{name_w}}  {bs:>10}  {ns:>10}  {ds:>8}  {status}")
+
+
+def step_summary_markdown(title, rows, verdict):
+    lines = [f"### {title}", ""]
+    lines.append("| kernel | baseline | current | delta | status |")
+    lines.append("|---|---:|---:|---:|---|")
+    for name, b, n, delta, status in rows:
+        bs = fmt_ns(b) if b is not None else "-"
+        ns = fmt_ns(n) if n is not None else "-"
+        ds = f"{delta * 100:+.1f}%" if delta is not None else "-"
+        lines.append(f"| `{name}` | {bs} | {ns} | {ds} | {status} |")
+    lines.append("")
+    lines.append(verdict)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_step_summary(text):
+    """Append to the GitHub Actions job summary when running in CI. Done
+    unconditionally on every exit path so the summary always shows what
+    the gate decided and why."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(text + "\n")
 
 
 def main(argv):
@@ -99,26 +161,65 @@ def main(argv):
         action="store_true",
         help="exit 1 on regressions beyond tolerance (CI mode)",
     )
+    ap.add_argument(
+        "--strict-fingerprint",
+        action="store_true",
+        help="exit 2 when the fingerprints differ instead of skipping the "
+        "gate (CI mode; a skipped gate guards nothing)",
+    )
     args = ap.parse_args(argv)
 
     base = load(args.baseline)
     new = load(args.current)
     rows, regressions, improvements, _ = compare(base, new, args.tolerance)
+    title = f"Perf gate: {os.path.basename(args.baseline)}"
     print(
-        f"baseline: {args.baseline} (sha {base.get('git_sha', '?')[:12]})\n"
-        f"current:  {args.current} (sha {new.get('git_sha', '?')[:12]})\n"
+        f"baseline: {args.baseline} (sha {base.get('git_sha', '?')[:12]}"
+        f"{', dirty' if base.get('git_dirty') else ''})\n"
+        f"current:  {args.current} (sha {new.get('git_sha', '?')[:12]}"
+        f"{', dirty' if new.get('git_dirty') else ''})\n"
     )
     print_table(rows)
     print()
 
     if base.get("fingerprint") != new.get("fingerprint"):
-        print("WARNING: machine fingerprints differ; timings are not")
-        print(f"  baseline: {base.get('fingerprint')}")
-        print(f"  current:  {new.get('fingerprint')}")
-        print("comparable and the gate does not apply. If the new machine")
-        print("type is here to stay, refresh bench/baselines/ from the")
-        print("uploaded BENCH artifact of this run.")
-        return 0
+        diff = fingerprint_diff(base.get("fingerprint"), new.get("fingerprint"))
+        print("fingerprints differ; timings are NOT comparable:")
+        for line in diff:
+            print(line)
+        if args.strict_fingerprint:
+            print(
+                "FAIL: strict fingerprint mode — refusing to skip the gate.\n"
+                "If the machine type or build configuration changed on\n"
+                "purpose, refresh the pinned baselines (one command, see\n"
+                "bench/baselines/README.md):\n"
+                "  tools/refresh_baselines.sh <run-id>"
+            )
+            write_step_summary(
+                step_summary_markdown(
+                    title,
+                    rows,
+                    "**FAIL — fingerprint mismatch (strict mode):**\n```\n"
+                    + "\n".join(diff)
+                    + "\n```",
+                )
+            )
+            return EXIT_FINGERPRINT
+        print(
+            "warning: gate skipped (non-strict mode). If the new machine\n"
+            "type is here to stay, refresh bench/baselines/ from the\n"
+            "uploaded BENCH artifact of this run."
+        )
+        write_step_summary(
+            step_summary_markdown(
+                title,
+                rows,
+                "**SKIPPED — fingerprint mismatch (non-strict mode):**\n```\n"
+                + "\n".join(diff)
+                + "\n```",
+            )
+        )
+        return EXIT_OK
 
     for name, delta in improvements:
         print(
@@ -131,9 +232,22 @@ def main(argv):
                 f"FAIL: {name} regressed {delta * 100:.1f}% "
                 f"(tolerance {args.tolerance * 100:.0f}%)"
             )
-        return 1 if args.gate else 0
+        verdict = "**FAIL:** " + ", ".join(
+            f"`{name}` +{delta * 100:.1f}%" for name, delta in regressions
+        )
+        write_step_summary(step_summary_markdown(title, rows, verdict))
+        return EXIT_REGRESSION if args.gate else EXIT_OK
+    verdict = (
+        f"**PASS:** all kernels within {args.tolerance * 100:.0f}% of baseline"
+    )
+    if improvements:
+        verdict += "; " + ", ".join(
+            f"`{name}` {-delta * 100:.1f}% faster (consider refreshing)"
+            for name, delta in improvements
+        )
     print(f"gate: all kernels within {args.tolerance * 100:.0f}% of baseline")
-    return 0
+    write_step_summary(step_summary_markdown(title, rows, verdict))
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -3,13 +3,28 @@
 
 Reads the raw JSON produced by a benchmark binary run with
 ``--benchmark_format=json --benchmark_repetitions=N`` and keeps only what
-the perf gate needs: the median real/CPU time per kernel, a machine
-fingerprint, and the git sha the numbers were measured at. The distilled
+the perf gate needs: the median real time per kernel, a machine+build
+fingerprint, and the git state the numbers were measured at. The distilled
 file is what CI uploads as an artifact and what bench/baselines/ commits;
 tools/bench_compare.py diffs two of them.
 
+The fingerprint must identify *everything* that makes two timings
+comparable: machine shape (num_cpus, mhz_per_cpu) AND how the binary was
+compiled (build type, optimization flags, -march, compiler version). The
+build half comes from ``--build-info build/build_fingerprint.json``, a
+file the CMake configure step writes (see CMakeLists.txt); without it the
+fingerprint is marked unpinned and bench_compare --strict-fingerprint
+will refuse to gate on it.
+
+cpu_time is deliberately NOT distilled: the SPMD benchmarks do their work
+on spawned threads, so the parent-process cpu_time google-benchmark
+reports is meaningless there (0.07 ms "cpu" vs 337 ms real for the same
+kernel in the old baselines). Gate decisions use real_time only.
+
 Usage:
-    bench_distill.py RAW_JSON -o BENCH_out.json [--compiler STR] [--sha STR]
+    bench_distill.py RAW_JSON -o BENCH_out.json \
+        [--build-info build/build_fingerprint.json] \
+        [--compiler STR] [--sha STR] [--repo DIR]
 
 Stdlib only (runs on a bare CI image and locally).
 """
@@ -20,32 +35,80 @@ import os
 import subprocess
 import sys
 
+SCHEMA = "mc-bench-v2"
 
-def git_sha(repo_dir):
+# Keys bench_distill copies verbatim from the CMake-written build-info
+# file into the fingerprint. Anything else in that file is ignored.
+BUILD_INFO_KEYS = ("build_type", "compiler", "opt_flags", "march")
+
+
+def git_state(repo_dir):
+    """(sha, dirty) of the work tree the numbers were measured in.
+
+    A dirty tree means the sha alone does not identify the measured code;
+    baselines must never be refreshed from a dirty run.
+    """
     try:
-        out = subprocess.run(
+        sha = subprocess.run(
             ["git", "rev-parse", "HEAD"],
             cwd=repo_dir,
             capture_output=True,
             text=True,
             check=True,
-        )
-        return out.stdout.strip()
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return sha, bool(status.strip())
     except (OSError, subprocess.CalledProcessError):
-        return "unknown"
+        return "unknown", True
 
 
-def fingerprint(context, compiler):
-    """Machine identity for gate applicability: timings are only comparable
-    when the benchmark ran on the same kind of machine with the same
-    toolchain. Deliberately excludes host_name (CI runners rotate) and
-    date."""
-    return {
+def load_build_info(path):
+    """Build-configuration half of the fingerprint, from the file the
+    CMake configure step writes. Raises SystemExit on malformed input so
+    CI fails loudly instead of pinning a half-described baseline."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            info = json.load(f)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{path}: not valid JSON ({e})")
+    missing = [k for k in BUILD_INFO_KEYS if k not in info]
+    if missing:
+        raise SystemExit(
+            f"{path}: missing build-info keys {missing}; regenerate by "
+            "re-running the CMake configure step"
+        )
+    return {k: info[k] for k in BUILD_INFO_KEYS}
+
+
+def fingerprint(context, build_info, compiler_fallback):
+    """Identity for gate applicability: timings are only comparable when
+    the benchmark ran on the same kind of machine AND the binary was
+    compiled the same way. Deliberately excludes host_name (CI runners
+    rotate) and date."""
+    fp = {
         "num_cpus": context.get("num_cpus"),
         "mhz_per_cpu": context.get("mhz_per_cpu"),
-        "build_type": context.get("library_build_type", "unknown"),
-        "compiler": compiler,
     }
+    if build_info is not None:
+        fp.update(build_info)
+    else:
+        # No build info: record what little we know and say so. A strict
+        # gate will refuse to treat this as comparable to a pinned build.
+        fp.update(
+            {
+                "build_type": context.get("library_build_type", "unknown"),
+                "compiler": compiler_fallback,
+                "opt_flags": "unpinned",
+                "march": "unpinned",
+            }
+        )
+    return fp
 
 
 def kernel_name(bench):
@@ -58,7 +121,7 @@ def kernel_name(bench):
     return name[: -len(suffix)] if name.endswith(suffix) else name
 
 
-def distill(raw, compiler, sha):
+def distill(raw, build_info, compiler, sha, dirty):
     context = raw.get("context", {})
     kernels = {}
     repetitions = 0
@@ -73,16 +136,16 @@ def distill(raw, compiler, sha):
         repetitions = max(repetitions, int(bench.get("repetitions", 1) or 1))
         kernels[kernel_name(bench)] = {
             "real_time": bench["real_time"],
-            "cpu_time": bench["cpu_time"],
             "time_unit": bench.get("time_unit", "ns"),
         }
     if not kernels:
         raise SystemExit("no benchmark entries found in input JSON")
     return {
-        "schema": "mc-bench-v1",
+        "schema": SCHEMA,
         "git_sha": sha,
+        "git_dirty": dirty,
         "repetitions": repetitions,
-        "fingerprint": fingerprint(context, compiler),
+        "fingerprint": fingerprint(context, build_info, compiler),
         "kernels": kernels,
     }
 
@@ -92,23 +155,46 @@ def main(argv):
     ap.add_argument("raw", help="google-benchmark JSON file")
     ap.add_argument("-o", "--output", required=True)
     ap.add_argument(
+        "--build-info",
+        default=None,
+        help="build_fingerprint.json written by the CMake configure step; "
+        "supplies build_type/compiler/opt_flags/march for the fingerprint",
+    )
+    ap.add_argument(
         "--compiler",
         default=os.environ.get("CXX", "unknown"),
-        help="toolchain tag for the fingerprint (default: $CXX)",
+        help="toolchain tag used only when --build-info is absent "
+        "(default: $CXX)",
     )
     ap.add_argument("--sha", default=None, help="override git sha")
+    ap.add_argument(
+        "--repo",
+        default=None,
+        help="repository the measurement ran in (default: cwd); "
+        "source of the git sha + dirty flag",
+    )
     args = ap.parse_args(argv)
 
     with open(args.raw, "r", encoding="utf-8") as f:
-        raw = json.load(f)
-    sha = args.sha or git_sha(os.path.dirname(os.path.abspath(args.output)))
-    doc = distill(raw, args.compiler, sha)
+        try:
+            raw = json.load(f)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{args.raw}: not valid JSON ({e})")
+    build_info = (
+        load_build_info(args.build_info) if args.build_info else None
+    )
+    sha, dirty = git_state(args.repo or os.getcwd())
+    if args.sha:
+        sha = args.sha
+    doc = distill(raw, build_info, args.compiler, sha, dirty)
     with open(args.output, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
+    pinned = "pinned" if build_info else "UNPINNED build flags"
     print(
         f"wrote {args.output}: {len(doc['kernels'])} kernels, "
-        f"median of {doc['repetitions']}"
+        f"median of {doc['repetitions']}, {pinned}"
+        f"{', DIRTY tree' if dirty else ''}"
     )
     return 0
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# One-command refresh of the committed perf baselines from a CI run's
+# artifacts (bench/baselines/README.md documents when to refresh).
+#
+#   tools/refresh_baselines.sh <run-id>     # pull from a green perf run
+#   tools/refresh_baselines.sh --local BUILD_DIR
+#                                           # re-measure on this machine
+#
+# The CI path downloads the `bench-results` artifact of the given run (the
+# distilled files already carry the run's fingerprint and git sha) and
+# copies BENCH_{fock,eri}.json into bench/baselines/. The local path
+# re-runs the pinned benchmarks in an existing build tree and distills
+# them with that tree's build_fingerprint.json — use it only when the
+# gate runs on the same machine type (self-hosted / container CI).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+dest="$repo_root/bench/baselines"
+
+if [[ "${1:-}" == "--local" ]]; then
+  build_dir="${2:?usage: refresh_baselines.sh --local BUILD_DIR}"
+  [[ -f "$build_dir/build_fingerprint.json" ]] ||
+    { echo "error: $build_dir/build_fingerprint.json missing (configure first)" >&2; exit 1; }
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  "$build_dir/bench/bench_fock_builders" \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    --benchmark_format=json --benchmark_out="$tmp/raw_fock.json"
+  "$build_dir/bench/bench_eri_micro" \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    --benchmark_format=json --benchmark_out="$tmp/raw_eri.json"
+  python3 "$repo_root/tools/bench_distill.py" "$tmp/raw_fock.json" \
+    -o "$dest/BENCH_fock.json" \
+    --build-info "$build_dir/build_fingerprint.json" --repo "$repo_root"
+  python3 "$repo_root/tools/bench_distill.py" "$tmp/raw_eri.json" \
+    -o "$dest/BENCH_eri.json" \
+    --build-info "$build_dir/build_fingerprint.json" --repo "$repo_root"
+else
+  run_id="${1:?usage: refresh_baselines.sh <run-id> | --local BUILD_DIR}"
+  command -v gh >/dev/null ||
+    { echo "error: GitHub CLI (gh) required for the CI-artifact path" >&2; exit 1; }
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  gh run download "$run_id" --name bench-results --dir "$tmp"
+  for f in BENCH_fock.json BENCH_eri.json; do
+    [[ -f "$tmp/$f" ]] ||
+      { echo "error: artifact of run $run_id has no $f" >&2; exit 1; }
+    python3 - "$tmp/$f" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc.get("schema") == "mc-bench-v2", "artifact is not mc-bench-v2"
+assert not doc.get("git_dirty"), "refusing to pin a dirty-tree measurement"
+assert doc["fingerprint"].get("opt_flags") != "unpinned", \
+    "refusing to pin a baseline without recorded build flags"
+PY
+    cp "$tmp/$f" "$dest/$f"
+  done
+fi
+
+echo "refreshed $dest; review the diff and commit:"
+git -C "$repo_root" --no-pager diff --stat -- bench/baselines

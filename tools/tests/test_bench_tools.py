@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""Unit tests for the perf-gate tooling (tools/bench_distill.py and
+tools/bench_compare.py), wired into the lint CI job.
+
+These exist because of a real bug: the PR-5 gate compared debug-build
+baselines against Release-build measurements, and the fingerprint
+mismatch path exited 0 — the gate could never fail. Every policy branch
+of both tools is pinned here: strict/non-strict fingerprint handling,
+the +/-tolerance thresholds, the faster-warn path, malformed input, and
+the fingerprint contents themselves (build flags, dirty flag, dropped
+cpu_time).
+
+Run directly (python3 tools/tests/test_bench_tools.py) or via unittest
+discovery. Stdlib only.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+import bench_compare  # noqa: E402
+import bench_distill  # noqa: E402
+
+FP = {
+    "num_cpus": 4,
+    "mhz_per_cpu": 2100,
+    "build_type": "release",
+    "compiler": "GNU 12.2.0",
+    "opt_flags": "-O3 -DNDEBUG",
+    "march": "x86-64-v3",
+}
+
+
+def bench_doc(kernels, fingerprint=None, **overrides):
+    doc = {
+        "schema": "mc-bench-v2",
+        "git_sha": "a" * 40,
+        "git_dirty": False,
+        "repetitions": 5,
+        "fingerprint": dict(fingerprint or FP),
+        "kernels": {
+            name: {"real_time": t, "time_unit": "ms"}
+            for name, t in kernels.items()
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TempFiles(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def write_json(self, name, doc):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def write_text(self, name, text):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+
+class CompareTest(TempFiles):
+    def run_compare(self, base_doc, new_doc, *flags, env_summary=None):
+        base = self.write_json("base.json", base_doc)
+        new = self.write_json("new.json", new_doc)
+        old_env = os.environ.pop("GITHUB_STEP_SUMMARY", None)
+        if env_summary is not None:
+            os.environ["GITHUB_STEP_SUMMARY"] = env_summary
+        out = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(out):
+                rc = bench_compare.main([base, new, *flags])
+        finally:
+            os.environ.pop("GITHUB_STEP_SUMMARY", None)
+            if old_env is not None:
+                os.environ["GITHUB_STEP_SUMMARY"] = old_env
+        return rc, out.getvalue()
+
+    def test_within_tolerance_passes(self):
+        rc, out = self.run_compare(
+            bench_doc({"BM_A": 100.0}),
+            bench_doc({"BM_A": 115.0}),
+            "--gate",
+        )
+        self.assertEqual(rc, bench_compare.EXIT_OK)
+        self.assertIn("all kernels within", out)
+
+    def test_regression_beyond_tolerance_fails_gate(self):
+        rc, out = self.run_compare(
+            bench_doc({"BM_A": 100.0}),
+            bench_doc({"BM_A": 121.0}),
+            "--gate",
+        )
+        self.assertEqual(rc, bench_compare.EXIT_REGRESSION)
+        self.assertIn("FAIL: BM_A regressed 21.0%", out)
+
+    def test_regression_without_gate_reports_but_exits_zero(self):
+        rc, out = self.run_compare(
+            bench_doc({"BM_A": 100.0}), bench_doc({"BM_A": 200.0})
+        )
+        self.assertEqual(rc, bench_compare.EXIT_OK)
+        self.assertIn("FAIL: BM_A", out)
+
+    def test_faster_than_tolerance_warns_refresh_but_passes(self):
+        rc, out = self.run_compare(
+            bench_doc({"BM_A": 100.0}),
+            bench_doc({"BM_A": 60.0}),
+            "--gate",
+        )
+        self.assertEqual(rc, bench_compare.EXIT_OK)
+        self.assertIn("faster than the baseline", out)
+        self.assertIn("refreshing bench/baselines/", out)
+
+    def test_fingerprint_mismatch_strict_is_hard_failure(self):
+        debug_fp = dict(FP, build_type="debug", opt_flags="-g")
+        rc, out = self.run_compare(
+            bench_doc({"BM_A": 100.0}, fingerprint=debug_fp),
+            bench_doc({"BM_A": 100.0}),
+            "--gate",
+            "--strict-fingerprint",
+        )
+        self.assertEqual(rc, bench_compare.EXIT_FINGERPRINT)
+        self.assertIn("strict fingerprint mode", out)
+        self.assertIn("build_type", out)
+
+    def test_fingerprint_mismatch_nonstrict_skips_gate(self):
+        # The pre-fix behaviour, now restricted to explicit local use:
+        # without --strict-fingerprint a mismatch still exits 0.
+        rc, out = self.run_compare(
+            bench_doc({"BM_A": 100.0}, fingerprint=dict(FP, num_cpus=8)),
+            bench_doc({"BM_A": 1000.0}),
+            "--gate",
+        )
+        self.assertEqual(rc, bench_compare.EXIT_OK)
+        self.assertIn("gate skipped", out)
+
+    def test_strict_fingerprint_catches_march_change(self):
+        rc, _ = self.run_compare(
+            bench_doc({"BM_A": 100.0}, fingerprint=dict(FP, march="native")),
+            bench_doc({"BM_A": 100.0}),
+            "--strict-fingerprint",
+        )
+        self.assertEqual(rc, bench_compare.EXIT_FINGERPRINT)
+
+    def test_step_summary_written_on_all_paths(self):
+        for base, new, flags in [
+            (bench_doc({"BM_A": 100.0}), bench_doc({"BM_A": 100.0}), ["--gate"]),
+            (bench_doc({"BM_A": 100.0}), bench_doc({"BM_A": 130.0}), ["--gate"]),
+            (
+                bench_doc({"BM_A": 100.0}, fingerprint=dict(FP, num_cpus=8)),
+                bench_doc({"BM_A": 100.0}),
+                ["--gate", "--strict-fingerprint"],
+            ),
+        ]:
+            summary = self.write_text("summary.md", "")
+            self.run_compare(base, new, *flags, env_summary=summary)
+            with open(summary, "r", encoding="utf-8") as f:
+                text = f.read()
+            self.assertIn("| kernel |", text)
+            self.assertIn("| `BM_A` |", text)
+
+    def test_malformed_json_raises_systemexit(self):
+        bad = self.write_text("bad.json", "{not json")
+        good = self.write_json("good.json", bench_doc({"BM_A": 1.0}))
+        with self.assertRaises(SystemExit):
+            bench_compare.main([bad, good])
+
+    def test_wrong_schema_rejected(self):
+        v1 = self.write_json(
+            "v1.json", bench_doc({"BM_A": 1.0}, schema="mc-bench-v1")
+        )
+        good = self.write_json("good.json", bench_doc({"BM_A": 1.0}))
+        with self.assertRaises(SystemExit) as ctx:
+            bench_compare.main([v1, good])
+        self.assertIn("mc-bench-v2", str(ctx.exception))
+
+    def test_missing_kernels_table_rejected(self):
+        nok = self.write_json("nok.json", {"schema": "mc-bench-v2"})
+        good = self.write_json("good.json", bench_doc({"BM_A": 1.0}))
+        with self.assertRaises(SystemExit):
+            bench_compare.main([nok, good])
+
+    def test_unit_conversion_applies_to_thresholds(self):
+        base = bench_doc({"BM_A": 1.0})  # 1 ms
+        new = bench_doc({"BM_A": 1.0})
+        new["kernels"]["BM_A"] = {"real_time": 1300.0, "time_unit": "us"}
+        rc, _ = self.run_compare(base, new, "--gate")
+        self.assertEqual(rc, bench_compare.EXIT_REGRESSION)
+
+
+def raw_benchmark_json(entries, context=None):
+    return {
+        "context": context or {"num_cpus": 4, "mhz_per_cpu": 2100},
+        "benchmarks": entries,
+    }
+
+
+def aggregate(name, aggregate_name, real_time, cpu_time=0.01):
+    return {
+        "name": f"{name}_{aggregate_name}",
+        "run_name": name,
+        "run_type": "aggregate",
+        "aggregate_name": aggregate_name,
+        "repetitions": 5,
+        "real_time": real_time,
+        "cpu_time": cpu_time,
+        "time_unit": "ms",
+    }
+
+
+class DistillTest(TempFiles):
+    def distill_file(self, raw_doc, *args):
+        raw = self.write_json("raw.json", raw_doc)
+        out = os.path.join(self._tmp.name, "out.json")
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            bench_distill.main([raw, "-o", out, *args])
+        with open(out, "r", encoding="utf-8") as f:
+            return json.load(f)
+
+    def test_median_aggregate_selected_and_cpu_time_dropped(self):
+        doc = self.distill_file(
+            raw_benchmark_json(
+                [
+                    aggregate("BM_A", "mean", 110.0),
+                    aggregate("BM_A", "median", 100.0, cpu_time=0.07),
+                    aggregate("BM_A", "stddev", 5.0),
+                ]
+            )
+        )
+        self.assertEqual(doc["schema"], "mc-bench-v2")
+        self.assertEqual(doc["kernels"]["BM_A"]["real_time"], 100.0)
+        # The old schema recorded the parent process's cpu_time, which is
+        # meaningless for SPMD benchmarks (0.07 ms "cpu" vs 337 ms real).
+        self.assertNotIn("cpu_time", doc["kernels"]["BM_A"])
+
+    def test_build_info_lands_in_fingerprint(self):
+        info = self.write_json(
+            "bi.json",
+            {
+                "build_type": "release",
+                "compiler": "GNU 12.2.0",
+                "opt_flags": "-O3 -DNDEBUG",
+                "march": "x86-64-v3",
+            },
+        )
+        doc = self.distill_file(
+            raw_benchmark_json([aggregate("BM_A", "median", 1.0)]),
+            "--build-info",
+            info,
+        )
+        fp = doc["fingerprint"]
+        self.assertEqual(fp["build_type"], "release")
+        self.assertEqual(fp["opt_flags"], "-O3 -DNDEBUG")
+        self.assertEqual(fp["march"], "x86-64-v3")
+        self.assertEqual(fp["compiler"], "GNU 12.2.0")
+
+    def test_without_build_info_fingerprint_is_unpinned(self):
+        doc = self.distill_file(
+            raw_benchmark_json([aggregate("BM_A", "median", 1.0)])
+        )
+        self.assertEqual(doc["fingerprint"]["opt_flags"], "unpinned")
+        self.assertEqual(doc["fingerprint"]["march"], "unpinned")
+
+    def test_incomplete_build_info_rejected(self):
+        info = self.write_json("bi.json", {"build_type": "release"})
+        with self.assertRaises(SystemExit) as ctx:
+            self.distill_file(
+                raw_benchmark_json([aggregate("BM_A", "median", 1.0)]),
+                "--build-info",
+                info,
+            )
+        self.assertIn("missing build-info keys", str(ctx.exception))
+
+    def test_malformed_build_info_rejected(self):
+        info = self.write_text("bi.json", "{nope")
+        with self.assertRaises(SystemExit):
+            self.distill_file(
+                raw_benchmark_json([aggregate("BM_A", "median", 1.0)]),
+                "--build-info",
+                info,
+            )
+
+    def test_malformed_raw_json_rejected(self):
+        raw = self.write_text("raw.json", "not json at all")
+        out = os.path.join(self._tmp.name, "out.json")
+        with self.assertRaises(SystemExit):
+            bench_distill.main([raw, "-o", out])
+
+    def test_empty_benchmarks_rejected(self):
+        with self.assertRaises(SystemExit):
+            self.distill_file(raw_benchmark_json([]))
+
+    def test_git_state_records_sha_and_dirty_flag(self):
+        doc = self.distill_file(
+            raw_benchmark_json([aggregate("BM_A", "median", 1.0)]),
+            "--repo",
+            self._tmp.name,  # not a git repo -> unknown + dirty
+        )
+        self.assertEqual(doc["git_sha"], "unknown")
+        self.assertTrue(doc["git_dirty"])
+
+    def test_per_repetition_entries_skipped_when_aggregates_present(self):
+        rep = {
+            "name": "BM_A",
+            "run_name": "BM_A",
+            "run_type": "iteration",
+            "repetitions": 5,
+            "real_time": 999.0,
+            "cpu_time": 999.0,
+            "time_unit": "ms",
+        }
+        doc = self.distill_file(
+            raw_benchmark_json([rep, aggregate("BM_A", "median", 100.0)])
+        )
+        self.assertEqual(doc["kernels"]["BM_A"]["real_time"], 100.0)
+
+
+class EndToEndGateTest(TempFiles):
+    """The regression test for the original bug, end to end through both
+    tools: a debug-build measurement must not pass a gate whose baseline
+    was pinned from a Release build."""
+
+    def test_debug_vs_release_fails_strict_gate(self):
+        release_info = self.write_json(
+            "rel.json",
+            {
+                "build_type": "release",
+                "compiler": "GNU 12.2.0",
+                "opt_flags": "-O3 -DNDEBUG",
+                "march": "x86-64-v3",
+            },
+        )
+        debug_info = self.write_json(
+            "dbg.json",
+            {
+                "build_type": "debug",
+                "compiler": "GNU 12.2.0",
+                "opt_flags": "-g",
+                "march": "x86-64-v3",
+            },
+        )
+        raw = raw_benchmark_json([aggregate("BM_A", "median", 100.0)])
+
+        def distill(info, name):
+            raw_path = self.write_json(f"raw_{name}.json", raw)
+            out = os.path.join(self._tmp.name, f"{name}.json")
+            with contextlib.redirect_stdout(io.StringIO()):
+                bench_distill.main(
+                    [raw_path, "-o", out, "--build-info", info]
+                )
+            return out
+
+        baseline = distill(release_info, "baseline")
+        current = distill(debug_info, "current")
+        with contextlib.redirect_stdout(io.StringIO()):
+            rc = bench_compare.main(
+                [baseline, current, "--gate", "--strict-fingerprint"]
+            )
+        self.assertEqual(rc, bench_compare.EXIT_FINGERPRINT)
+
+
+if __name__ == "__main__":
+    unittest.main()
