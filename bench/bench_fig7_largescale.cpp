@@ -27,6 +27,13 @@ int main() {
     if (alg == ScfAlgorithm::kPrivateFock) cfg.threads_per_rank = 64;
     return sim.run(cfg);
   };
+  bench::banner("Figure 8 (extension)",
+                "dist-fock window footprint at scale, 5.0 nm");
+  bench::note(
+      "one rank per tile of D/F: per-rank windows shrink as N^2/ranks, so "
+      "the dataset the replicated codes cannot hold fits MCDRAM at scale");
+  bench::print_table(knlsim::figure8_dist_fock_projection(ctx));
+
   const auto prf = run(ScfAlgorithm::kPrivateFock, 1000);
   const auto mpi = run(ScfAlgorithm::kMpiOnly, 1000);
   const auto s256 = run(ScfAlgorithm::kSharedFock, 256);

@@ -9,6 +9,7 @@
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
+#include "core/fock_dist.hpp"
 #include "core/fock_mpi.hpp"
 #include "core/fock_private.hpp"
 #include "core/fock_shared.hpp"
@@ -116,6 +117,23 @@ BENCHMARK(BM_SharedFockBuild)
     ->Args({1, 2})
     ->Args({2, 2})
     ->Unit(benchmark::kMillisecond);
+
+// The block-distributed builder trades the replicated D/F for window
+// traffic (put/get/acc + tile cache); the perf gate holds it to within 20%
+// of the replicated MPI-only build at 4 ranks, the overhead budget the
+// memory ceiling is bought with.
+void BM_DistFockBuild(benchmark::State& state) {
+  Setup& s = Setup::instance();
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run_spmd_build(nranks, [&](mc::par::Ddi& ddi) {
+      return std::make_unique<mc::core::FockBuilderDist>(s.eri, s.screen,
+                                                         ddi);
+    });
+  }
+}
+BENCHMARK(BM_DistFockBuild)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,10 +7,14 @@
 #include <map>
 
 #include "harness_common.hpp"
+#include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
 #include "common/memory_tracker.hpp"
+#include "core/fock_dist.hpp"
 #include "core/parallel_scf.hpp"
 #include "knlsim/experiments.hpp"
+#include "par/ddi.hpp"
+#include "par/runtime.hpp"
 
 using namespace mc;
 
@@ -55,6 +59,49 @@ void measured_cross_check() {
               ordering ? "PASS" : "FAIL");
 }
 
+// The dist-fock builder replaces the replicated D and F with one window
+// segment of each per rank; the tracked "ddi-window" bytes must therefore
+// fall as N^2/ranks. Measured from live window allocations at the exact
+// tile layout the builder uses, and checked against the 2*N^2*8/ranks
+// model to within 15% (shell-aligned tiles cannot split a shell, so the
+// segments are only approximately even).
+void dist_window_footprint() {
+  bench::note(
+      "dist-fock window footprint (graphene C12/STO-3G, measured live "
+      "\"ddi-window\" bytes vs 2*N^2*8/ranks model):");
+  const chem::Molecule mol = chem::builders::graphene_flake(12);
+  const basis::BasisSet bs = basis::BasisSet::build(mol, "STO-3G");
+  const double n2 = static_cast<double>(bs.nbf() * bs.nbf());
+  Table t({"# ranks", "max bytes/rank", "model bytes/rank", "ratio"});
+  bool ok = true;
+  for (int nranks : {1, 2, 4}) {
+    std::vector<std::size_t> measured(static_cast<std::size_t>(nranks), 0);
+    par::run_spmd(nranks, [&](par::Comm& comm) {
+      par::Ddi ddi(comm);
+      const core::TileLayout lay =
+          core::TileLayout::build(bs, comm.size(), 0);
+      par::Window wd = ddi.create("bench:t2:D", lay.rank_elems);
+      par::Window wf = ddi.create("bench:t2:F", lay.rank_elems);
+      measured[static_cast<std::size_t>(comm.rank())] =
+          MemoryTracker::instance().bytes(comm.rank(), "ddi-window");
+      ddi.destroy(wd);
+      ddi.destroy(wf);
+    });
+    std::size_t worst = 0;
+    for (std::size_t b : measured) worst = std::max(worst, b);
+    const double model = 2.0 * n2 * sizeof(double) / nranks;
+    const double ratio = static_cast<double>(worst) / model;
+    ok = ok && ratio >= 0.85 && ratio <= 1.15;
+    t.add_row({std::to_string(nranks), std::to_string(worst),
+               std::to_string(static_cast<std::size_t>(model)),
+               fmt_double(ratio, 3)});
+  }
+  bench::print_table(t);
+  std::printf("shape check: per-rank D+F windows track 2N^2/ranks within "
+              "15%%: %s\n",
+              ok ? "PASS" : "FAIL");
+}
+
 }  // namespace
 
 int main() {
@@ -77,5 +124,7 @@ int main() {
       r183);
 
   measured_cross_check();
+  std::printf("\n");
+  dist_window_footprint();
   return 0;
 }

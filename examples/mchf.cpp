@@ -6,7 +6,7 @@
 //     --molecule NAME     built-in: water methane benzene h2 graphene:N
 //     --basis NAME        STO-3G | 6-31G | 6-31G(d) | 6-31G(d,p)
 //     --method M          rhf | uhf | mp2          (default rhf)
-//     --algorithm A       serial | mpi | private | shared   (default serial)
+//     --algorithm A       serial | mpi | private | shared | dist  (default serial)
 //     --ranks R           minimpi ranks            (default 1)
 //     --threads T         OpenMP threads per rank  (default 1)
 //     --charge Q          net charge               (default 0)
@@ -62,7 +62,7 @@ struct Args {
   std::printf(
       "usage: mchf [--xyz FILE | --molecule NAME] [--basis B] "
       "[--method rhf|uhf|mp2]\n"
-      "            [--algorithm serial|mpi|private|shared] [--ranks R] "
+      "            [--algorithm serial|mpi|private|shared|dist] [--ranks R] "
       "[--threads T]\n"
       "            [--charge Q] [--multiplicity M] [--guess-mix]\n"
       "            [--profile PATH]\n");
@@ -118,6 +118,7 @@ core::ScfAlgorithm algorithm_of(const std::string& name) {
   if (name == "mpi") return core::ScfAlgorithm::kMpiOnly;
   if (name == "private") return core::ScfAlgorithm::kPrivateFock;
   if (name == "shared") return core::ScfAlgorithm::kSharedFock;
+  if (name == "dist") return core::ScfAlgorithm::kDistFock;
   MC_CHECK(false, "unknown algorithm: " + name);
   return core::ScfAlgorithm::kSharedFock;
 }

@@ -1,0 +1,523 @@
+#include "core/fock_dist.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/access.hpp"
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+#include "obs/trace.hpp"
+
+namespace mc::core {
+
+TileLayout TileLayout::build(const basis::BasisSet& bs, int nranks,
+                             int target_rows) {
+  MC_CHECK(nranks >= 1, "TileLayout needs at least one rank");
+  TileLayout lay;
+  lay.nbf = bs.nbf();
+  const std::size_t nshells = bs.nshells();
+  MC_CHECK(nshells > 0, "TileLayout needs a non-empty basis");
+
+  std::size_t target = static_cast<std::size_t>(
+      target_rows > 0 ? target_rows : 0);
+  if (target == 0) {
+    // Auto: about four tiles per rank keeps the cyclic owner assignment
+    // balanced while tiles stay panel-sized; never below a shell width.
+    target = std::max<std::size_t>(
+        static_cast<std::size_t>(bs.max_shell_size()),
+        lay.nbf / (4 * static_cast<std::size_t>(nranks)));
+    target = std::max<std::size_t>(target, 1);
+  }
+
+  // Walk shells, closing a tile at the first shell boundary at or past
+  // `target` rows. Shells never straddle tiles, so a shell's rows live in
+  // exactly one tile (shell_tile below is well defined).
+  lay.tile_row0.push_back(0);
+  lay.tile_shell0.push_back(0);
+  lay.shell_tile.resize(nshells);
+  std::size_t rows_in_tile = 0;
+  for (std::size_t s = 0; s < nshells; ++s) {
+    lay.shell_tile[s] = static_cast<std::uint32_t>(lay.tile_row0.size() - 1);
+    rows_in_tile += static_cast<std::size_t>(bs.shell(s).nfunc());
+    const bool last = (s + 1 == nshells);
+    if (rows_in_tile >= target || last) {
+      lay.tile_row0.push_back(lay.tile_row0.back() + rows_in_tile);
+      lay.tile_shell0.push_back(s + 1);
+      rows_in_tile = 0;
+    }
+  }
+  lay.ntiles = lay.tile_row0.size() - 1;
+  MC_CHECK(lay.tile_row0.back() == lay.nbf, "tile rows must cover the basis");
+
+  lay.row_tile.resize(lay.nbf);
+  for (std::size_t t = 0; t < lay.ntiles; ++t) {
+    for (std::size_t r = lay.tile_row0[t]; r < lay.tile_row0[t + 1]; ++r) {
+      lay.row_tile[r] = static_cast<std::uint32_t>(t);
+    }
+  }
+
+  // Cyclic owners; window offsets rank-contiguous (each rank's segment is
+  // its tiles back to back, in tile order).
+  lay.owner.resize(lay.ntiles);
+  lay.rank_elems.assign(static_cast<std::size_t>(nranks), 0);
+  for (std::size_t t = 0; t < lay.ntiles; ++t) {
+    lay.owner[t] = static_cast<int>(t % static_cast<std::size_t>(nranks));
+  }
+  std::vector<std::size_t> next_in_rank(static_cast<std::size_t>(nranks), 0);
+  for (std::size_t t = 0; t < lay.ntiles; ++t) {
+    lay.rank_elems[static_cast<std::size_t>(lay.owner[t])] +=
+        lay.tile_elems(t);
+  }
+  std::vector<std::size_t> rank_base(static_cast<std::size_t>(nranks) + 1, 0);
+  for (int r = 0; r < nranks; ++r) {
+    rank_base[static_cast<std::size_t>(r) + 1] =
+        rank_base[static_cast<std::size_t>(r)] +
+        lay.rank_elems[static_cast<std::size_t>(r)];
+  }
+  lay.tile_offset.resize(lay.ntiles);
+  for (std::size_t t = 0; t < lay.ntiles; ++t) {
+    const auto r = static_cast<std::size_t>(lay.owner[t]);
+    lay.tile_offset[t] = rank_base[r] + next_in_rank[r];
+    next_in_rank[r] += lay.tile_elems(t);
+  }
+  return lay;
+}
+
+/// Rank-local cache of density tiles over the D window. Tiles become
+/// resident via request() (a one-sided get on miss) and are only evicted
+/// inside request() when a budget is set -- never while row pointers from
+/// a scatter are live (flush_batch pins the batch's tiles first). Tiles
+/// whose FockContext block norms are exactly zero are served from a shared
+/// all-zero row and never fetched.
+struct FockBuilderDist::DCache {
+  DCache(const TileLayout& lay, par::Ddi& ddi, const par::Window& win,
+         std::size_t budget)
+      : lay_(&lay), ddi_(&ddi), win_(&win), budget_(budget),
+        tiles_(lay.ntiles), stamp_(lay.ntiles, 0), pinned_(lay.ntiles, 0),
+        is_zero_(lay.ntiles, 0), zero_(lay.nbf, 0.0) {}
+
+  void request(std::uint32_t t) {
+    stamp_[t] = ++clock_;
+    if (is_zero_[t] != 0) {
+      ++zero_hits_;
+      return;
+    }
+    if (tiles_[t].data() != nullptr) {
+      ++hits_;
+      return;
+    }
+    ++misses_;
+    if (budget_ != 0 && resident_ >= budget_) evict_lru(budget_ - 1);
+    tiles_[t] = TrackedBuffer("dist-tile-cache", lay_->tile_elems(t));
+    ++resident_;
+    ddi_->get(*win_, lay_->tile_offset[t], tiles_[t].data(),
+              lay_->tile_elems(t));
+  }
+
+  void pin(std::uint32_t t) {
+    if (pinned_[t] == 0) {
+      pinned_[t] = 1;
+      pin_list_.push_back(t);
+    }
+  }
+  void unpin_all() {
+    for (std::uint32_t t : pin_list_) pinned_[t] = 0;
+    pin_list_.clear();
+  }
+
+  /// Row base pointer; the row's tile must be resident (request()ed).
+  [[nodiscard]] const double* row(std::size_t r) const {
+    const std::uint32_t t = lay_->row_tile[r];
+    if (is_zero_[t] != 0) return zero_.data();
+    return tiles_[t].data() + (r - lay_->tile_row0[t]) * lay_->nbf;
+  }
+
+  void evict_lru(std::size_t target) {
+    while (resident_ > target) {
+      std::size_t victim = lay_->ntiles;
+      std::uint64_t oldest = 0;
+      for (std::size_t t = 0; t < lay_->ntiles; ++t) {
+        if (tiles_[t].data() == nullptr || pinned_[t] != 0) continue;
+        if (victim == lay_->ntiles || stamp_[t] < oldest) {
+          victim = t;
+          oldest = stamp_[t];
+        }
+      }
+      if (victim == lay_->ntiles) break;  // everything resident is pinned
+      tiles_[victim] = TrackedBuffer();
+      --resident_;
+    }
+  }
+
+  const TileLayout* lay_;
+  par::Ddi* ddi_;
+  const par::Window* win_;
+  std::size_t budget_;
+  std::vector<TrackedBuffer> tiles_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::uint8_t> pinned_;
+  std::vector<std::uint8_t> is_zero_;
+  std::vector<double> zero_;  ///< one all-zero row serves every zero tile
+  std::vector<std::uint32_t> pin_list_;
+  std::uint64_t clock_ = 0;
+  std::size_t resident_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t zero_hits_ = 0;
+};
+
+/// Rank-local F panel accumulators. A panel opens zeroed on first touch
+/// and is flushed to the F window with one ddi_acc -- at the end of the
+/// build, or early (LRU) when max_open_f_tiles is exceeded. acc commutes,
+/// so early flushes only reassociate the per-element sums. Writes go
+/// through OwnedSlice so the MC_CHECK shadow ledger (and mc-lint) sees
+/// every update as sanctioned.
+struct FockBuilderDist::FAcc {
+  FAcc(const TileLayout& lay, par::Ddi& ddi, const par::Window& win,
+       std::size_t budget, acc::BuildChecker<>& checker, acc::ThreadCtx<>& th)
+      : lay_(&lay), ddi_(&ddi), win_(&win), budget_(budget),
+        checker_(&checker), th_(&th), tiles_(lay.ntiles),
+        region_(lay.ntiles, -1), stamp_(lay.ntiles, 0),
+        pinned_(lay.ntiles, 0) {}
+
+  void request(std::uint32_t t) {
+    stamp_[t] = ++clock_;
+    if (tiles_[t].data() != nullptr) return;
+    if (budget_ != 0 && resident_ >= budget_) {
+      flush_lru(budget_ - 1);
+    }
+    tiles_[t] = TrackedBuffer("dist-fock-acc", lay_->tile_elems(t));
+    region_[t] = checker_->region("dist-f-panel", lay_->tile_elems(t));
+    ++resident_;
+  }
+
+  void pin(std::uint32_t t) {
+    if (pinned_[t] == 0) {
+      pinned_[t] = 1;
+      pin_list_.push_back(t);
+    }
+  }
+  void unpin_all() {
+    for (std::uint32_t t : pin_list_) pinned_[t] = 0;
+    pin_list_.clear();
+  }
+
+  /// The row's panel as an annotated slice; must be request()ed first.
+  [[nodiscard]] acc::OwnedSlice<double> row(std::size_t r) {
+    const std::uint32_t t = lay_->row_tile[r];
+    const std::size_t off = (r - lay_->tile_row0[t]) * lay_->nbf;
+    return acc::OwnedSlice<double>(tiles_[t].data() + off, lay_->nbf, th_,
+                                   region_[t], off);
+  }
+
+  void flush_tile(std::size_t t) {
+    ddi_->acc(*win_, lay_->tile_offset[t], tiles_[t].data(),
+              lay_->tile_elems(t));
+    tiles_[t] = TrackedBuffer();
+    --resident_;
+  }
+
+  void flush_lru(std::size_t target) {
+    while (resident_ > target) {
+      std::size_t victim = lay_->ntiles;
+      std::uint64_t oldest = 0;
+      for (std::size_t t = 0; t < lay_->ntiles; ++t) {
+        if (tiles_[t].data() == nullptr || pinned_[t] != 0) continue;
+        if (victim == lay_->ntiles || stamp_[t] < oldest) {
+          victim = t;
+          oldest = stamp_[t];
+        }
+      }
+      if (victim == lay_->ntiles) break;
+      flush_tile(victim);
+      ++early_flushes_;
+    }
+  }
+
+  void flush_all() {
+    for (std::size_t t = 0; t < lay_->ntiles; ++t) {
+      if (tiles_[t].data() != nullptr) flush_tile(t);
+    }
+  }
+
+  const TileLayout* lay_;
+  par::Ddi* ddi_;
+  const par::Window* win_;
+  std::size_t budget_;
+  acc::BuildChecker<>* checker_;
+  acc::ThreadCtx<>* th_;
+  std::vector<TrackedBuffer> tiles_;
+  std::vector<int> region_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::uint8_t> pinned_;
+  std::vector<std::uint32_t> pin_list_;
+  std::uint64_t clock_ = 0;
+  std::size_t resident_ = 0;
+  std::size_t early_flushes_ = 0;
+};
+
+void FockBuilderDist::flush_batch(ints::QuartetBatch& batch, DCache& dcache,
+                                  FAcc& facc) {
+  if (batch.empty()) return;
+  const basis::BasisSet& bs = eri_->basis_set();
+  batch.evaluate();
+
+  // Residency pass before any row pointers are taken: pin, then
+  // materialize, every tile this batch touches. Rows used are those of
+  // shells i, j, k -- in eqs. 2a-2f the l index only ever appears as a
+  // column. Eviction/early-flush happens only here, so pointers and
+  // slices stay valid across the whole scatter below.
+  for (const auto& e : batch.quartets()) {
+    for (std::uint32_t s : {e.si, e.sj, e.sk}) {
+      const std::uint32_t t = layout_->shell_tile[s];
+      dcache.pin(t);
+      facc.pin(t);
+    }
+  }
+  for (const auto& e : batch.quartets()) {
+    for (std::uint32_t s : {e.si, e.sj, e.sk}) {
+      const std::uint32_t t = layout_->shell_tile[s];
+      dcache.request(t);
+      facc.request(t);
+    }
+  }
+
+  // Scatter in discovery order, mirroring scf::scatter_quartet exactly --
+  // same x/x4 per element, same order -- but routed through the tile
+  // caches (a -= b and a += (-b) are the same IEEE operation, so the
+  // contributions are bitwise identical to the replicated path's).
+  for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+    const ints::QuartetBatch::Entry& e = batch.quartets()[idx];
+    const double* vals = batch.result(idx);
+    const basis::Shell& shi = bs.shell(e.si);
+    const basis::Shell& shj = bs.shell(e.sj);
+    const basis::Shell& shk = bs.shell(e.sk);
+    const basis::Shell& shl = bs.shell(e.sl);
+    const int ni = shi.nfunc(), nj = shj.nfunc(), nk = shk.nfunc(),
+              nl = shl.nfunc();
+    const std::size_t oi = shi.first_bf, oj = shj.first_bf,
+                      ok = shk.first_bf, ol = shl.first_bf;
+    const double w = scf::quartet_degeneracy(e.si, e.sj, e.sk, e.sl);
+
+    std::size_t q = 0;
+    for (int a = 0; a < ni; ++a) {
+      const std::size_t fa = oi + static_cast<std::size_t>(a);
+      const double* d_a = dcache.row(fa);
+      const acc::OwnedSlice<double> f_a = facc.row(fa);
+      for (int b = 0; b < nj; ++b) {
+        const std::size_t fb = oj + static_cast<std::size_t>(b);
+        const double* d_b = dcache.row(fb);
+        const acc::OwnedSlice<double> f_b = facc.row(fb);
+        for (int c = 0; c < nk; ++c) {
+          const std::size_t fc = ok + static_cast<std::size_t>(c);
+          const double* d_c = dcache.row(fc);
+          const acc::OwnedSlice<double> f_c = facc.row(fc);
+          for (int dd = 0; dd < nl; ++dd, ++q) {
+            const std::size_t fd = ol + static_cast<std::size_t>(dd);
+            const double v = vals[q];
+            if (v == 0.0) continue;
+            const double x = 0.5 * w * v;
+            const double x4 = 0.25 * x;
+            f_a.add(fb, x * d_c[fd]);
+            f_c.add(fd, x * d_a[fb]);
+            f_a.add(fc, -(x4 * d_b[fd]));
+            f_b.add(fd, -(x4 * d_a[fc]));
+            f_a.add(fd, -(x4 * d_b[fc]));
+            f_b.add(fc, -(x4 * d_a[fd]));
+          }
+        }
+      }
+    }
+  }
+
+  dcache.unpin_all();
+  facc.unpin_all();
+  batch.clear();
+}
+
+void FockBuilderDist::process_pair(const ints::ScreenedPair& pair,
+                                   const scf::FockContext& ctx,
+                                   ints::QuartetBatch& batch, DCache& dcache,
+                                   FAcc& facc) {
+  ++pairs_;
+  const std::size_t i = pair.i;
+  const std::size_t j = pair.j;
+  const bool weighted = ctx.weighted();
+  // Identical screening cascade to FockBuilderMpi: the set of computed
+  // quartets must not depend on the data layout.
+  if (weighted &&
+      !screen_->keep_pair(i, j, 4.0 * ctx.dmax_max, ctx.threshold_scale)) {
+    return;
+  }
+  scf::for_each_kl(i, j, [&](std::size_t k, std::size_t l) {
+    if (!screen_->keep(i, j, k, l)) {
+      ++static_screened_;
+      return;
+    }
+    if (weighted && !screen_->keep(i, j, k, l, ctx.quartet_dmax(i, j, k, l),
+                                   ctx.threshold_scale)) {
+      ++density_screened_;
+      return;
+    }
+    batch.add(i, j, k, l);
+    ++quartets_;
+    if (batch.full()) flush_batch(batch, dcache, facc);
+  });
+}
+
+void FockBuilderDist::build_dlb(const scf::FockContext& ctx, DCache& dcache,
+                                FAcc& facc) {
+  const auto& pairs = screen_->sorted_pairs();
+  ddi_->dlb_reset();
+
+  // Claim-ahead pipeline: keep up to prefetch_depth claimed pairs in
+  // flight, issuing their bra-tile fetches at claim time so the gets
+  // overlap the ERI batches of the pairs ahead of them (the in-process
+  // analogue of double-buffered async prefetch).
+  const std::size_t depth =
+      opt_.prefetch_depth > 0 ? static_cast<std::size_t>(opt_.prefetch_depth)
+                              : 0;
+  ints::QuartetBatch batch(*eri_);
+  std::deque<std::size_t> claimed;
+  long next = ddi_->dlbnext();
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    if (static_cast<long>(p) != next) continue;
+    next = ddi_->dlbnext();
+    dcache.request(layout_->shell_tile[pairs[p].i]);
+    dcache.request(layout_->shell_tile[pairs[p].j]);
+    claimed.push_back(p);
+    if (claimed.size() > depth) {
+      process_pair(pairs[claimed.front()], ctx, batch, dcache, facc);
+      claimed.pop_front();
+    }
+  }
+  while (!claimed.empty()) {
+    process_pair(pairs[claimed.front()], ctx, batch, dcache, facc);
+    claimed.pop_front();
+  }
+  flush_batch(batch, dcache, facc);
+}
+
+void FockBuilderDist::build_static(const scf::FockContext& ctx,
+                                   DCache& dcache, FAcc& facc) {
+  // HONPAS-style static distribution: a cyclic slice of the Schwarz-sorted
+  // pair list. Sorting spreads the expensive pairs evenly over ranks, so
+  // the static split inherits most of the DLB counter's balance without
+  // any shared-counter traffic.
+  const auto& pairs = screen_->sorted_pairs();
+  const auto nranks = static_cast<std::size_t>(ddi_->size());
+  const auto rank = static_cast<std::size_t>(ddi_->rank());
+  const std::size_t depth =
+      opt_.prefetch_depth > 0 ? static_cast<std::size_t>(opt_.prefetch_depth)
+                              : 0;
+  ints::QuartetBatch batch(*eri_);
+  std::deque<std::size_t> claimed;
+  for (std::size_t p = rank; p < pairs.size(); p += nranks) {
+    dcache.request(layout_->shell_tile[pairs[p].i]);
+    dcache.request(layout_->shell_tile[pairs[p].j]);
+    claimed.push_back(p);
+    if (claimed.size() > depth) {
+      process_pair(pairs[claimed.front()], ctx, batch, dcache, facc);
+      claimed.pop_front();
+    }
+  }
+  while (!claimed.empty()) {
+    process_pair(pairs[claimed.front()], ctx, batch, dcache, facc);
+    claimed.pop_front();
+  }
+  flush_batch(batch, dcache, facc);
+}
+
+void FockBuilderDist::build(const la::Matrix& density, la::Matrix& g,
+                            const scf::FockContext& ctx) {
+  MC_OBS_TRACE("fock:dist");
+  const basis::BasisSet& bs = eri_->basis_set();
+  const std::size_t nbf = bs.nbf();
+  MC_CHECK(g.rows() == nbf && g.cols() == nbf, "G shape mismatch");
+  pairs_ = 0;
+  quartets_ = 0;
+  density_screened_ = 0;
+  static_screened_ = 0;
+  tile_hits_ = 0;
+  tile_misses_ = 0;
+  zero_hits_ = 0;
+  early_flushes_ = 0;
+
+  if (!layout_) {
+    layout_ = std::make_unique<TileLayout>(
+        TileLayout::build(bs, ddi_->size(), opt_.tile_rows));
+  }
+  const TileLayout& lay = *layout_;
+  const int rank = ddi_->rank();
+
+  // One one-sided epoch per build: create, publish D, compute + acc F,
+  // replicate, destroy. The windows hold 2 N^2 / nranks doubles per rank
+  // -- the footprint the replicated algorithms cannot shed.
+  par::Window dwin = ddi_->create("fock-dist:D", lay.rank_elems);
+  par::Window fwin = ddi_->create("fock-dist:F", lay.rank_elems);
+
+  // Publish this rank's D panels. Tiles are whole row panels, so each is
+  // one contiguous block of the (replicated) input density.
+  for (std::size_t t = 0; t < lay.ntiles; ++t) {
+    if (lay.owner[t] != rank) continue;
+    ddi_->put(dwin, lay.tile_offset[t],
+              density.data() + lay.tile_row0[t] * nbf, lay.tile_elems(t));
+  }
+  ddi_->fence(dwin);  // D readable by every rank
+
+  acc::BuildChecker<> checker(rank, /*nthreads=*/1);
+  acc::ThreadCtx<> th(checker, /*tid=*/0);
+  DCache dcache(lay, *ddi_, dwin, opt_.max_cached_tiles);
+  FAcc facc(lay, *ddi_, fwin, opt_.max_open_f_tiles, checker, th);
+
+  // Zero-tile map: a tile whose every shell-pair block norm is exactly
+  // zero contains only (+/-)0.0 entries, so reads can be served from a
+  // shared zero row without fetching (reassociation-safe: contributions
+  // of +0.0 vs -0.0 differ by at most 1 ULP in the accumulated result).
+  // This is what makes incremental builds cheap in tile traffic: most
+  // delta-density tiles go all-zero as SCF converges.
+  if (ctx.weighted()) {
+    for (std::size_t t = 0; t < lay.ntiles; ++t) {
+      bool zero = true;
+      for (std::size_t s = lay.tile_shell0[t];
+           zero && s < lay.tile_shell0[t + 1]; ++s) {
+        for (std::size_t u = 0; u < ctx.nshells; ++u) {
+          if (ctx.pair_dmax(s, u) != 0.0) {
+            zero = false;
+            break;
+          }
+        }
+      }
+      dcache.is_zero_[t] = zero ? 1 : 0;
+    }
+  }
+
+  if (opt_.dynamic_lb) {
+    build_dlb(ctx, dcache, facc);
+  } else {
+    build_static(ctx, dcache, facc);
+  }
+
+  facc.flush_all();
+  ddi_->fence(fwin);  // every rank's contributions accumulated
+
+  // Replicate the reduced skeleton into the caller's G (the FockBuilder
+  // contract; the drivers' diagonalization is replicated like the
+  // paper's codes). Panel gets write every row of G.
+  for (std::size_t t = 0; t < lay.ntiles; ++t) {
+    ddi_->get(fwin, lay.tile_offset[t], g.data() + lay.tile_row0[t] * nbf,
+              lay.tile_elems(t));
+  }
+  ddi_->fence(fwin);  // all copies out before the windows go away
+  ddi_->destroy(fwin);
+  ddi_->destroy(dwin);
+
+  tile_hits_ = dcache.hits_;
+  tile_misses_ = dcache.misses_;
+  zero_hits_ = dcache.zero_hits_;
+  early_flushes_ = facc.early_flushes_;
+  checker.finalize();
+}
+
+}  // namespace mc::core

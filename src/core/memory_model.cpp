@@ -9,6 +9,7 @@ std::string algorithm_name(ScfAlgorithm alg) {
     case ScfAlgorithm::kMpiOnly: return "mpi-only";
     case ScfAlgorithm::kPrivateFock: return "private-fock";
     case ScfAlgorithm::kSharedFock: return "shared-fock";
+    case ScfAlgorithm::kDistFock: return "dist-fock";
   }
   MC_CHECK(false, "unknown algorithm");
   return {};
@@ -26,9 +27,21 @@ double model_bytes_per_node(ScfAlgorithm alg, std::size_t nbf,
       return (2.0 + layout.threads_per_rank) * n2 * ranks;  // eq. 3b
     case ScfAlgorithm::kSharedFock:
       return 3.5 * n2 * ranks;  // eq. 3c
+    case ScfAlgorithm::kDistFock:
+      return model_dist_fock_bytes_per_node(nbf, layout, /*nnodes=*/1);
   }
   MC_CHECK(false, "unknown algorithm");
   return 0.0;
+}
+
+double model_dist_fock_bytes_per_node(std::size_t nbf,
+                                      const NodeLayout& layout, int nnodes) {
+  MC_CHECK(nnodes >= 1, "need at least one node");
+  const double n2 = static_cast<double>(nbf) * static_cast<double>(nbf) *
+                    sizeof(double);
+  const double ranks = layout.ranks_per_node;
+  const double total_ranks = ranks * static_cast<double>(nnodes);
+  return n2 * (2.0 * ranks / total_ranks + 0.5);
 }
 
 NodeLayout max_feasible_layout(ScfAlgorithm alg, std::size_t nbf,

@@ -17,7 +17,7 @@
 
 namespace mc::core {
 
-enum class ScfAlgorithm { kMpiOnly, kPrivateFock, kSharedFock };
+enum class ScfAlgorithm { kMpiOnly, kPrivateFock, kSharedFock, kDistFock };
 
 std::string algorithm_name(ScfAlgorithm alg);
 
@@ -29,9 +29,29 @@ struct NodeLayout {
   }
 };
 
-/// Paper eqs. 3a-3c: bytes per node for `nbf` basis functions.
+/// Paper eqs. 3a-3c: bytes per node for `nbf` basis functions. For
+/// kDistFock (this repo's Algorithm 4, not in the paper) this is the
+/// single-node evaluation of model_dist_fock_bytes_per_node below.
 double model_bytes_per_node(ScfAlgorithm alg, std::size_t nbf,
                             const NodeLayout& layout);
+
+/// Block-distributed Fock model (DESIGN.md section 13): the D and F
+/// windows hold 2 N^2 / N_total_ranks doubles per rank (so a node's
+/// ranks together hold 2 N^2 / N_nodes), plus about N^2 / 2 of
+/// *node-shared* working set -- the driver's gathered G / iterated
+/// density, which minimpi ranks share by construction (they are threads
+/// of one process) and a multi-node port would place in an MPI-3
+/// shared-memory window; symmetric, so half storage. Per node:
+///
+///   M_Dist = N^2 * (2 * N_mpi_per_node / N_total_ranks + 1/2)
+///          = N^2 * (2 / N_nodes + 1/2)
+///
+/// Unlike eqs. 3a-3c this does not grow with ranks-per-node and
+/// *decreases* with node count -- the terms the replicated algorithms
+/// cannot shed -- which is what makes the paper's 5 nm / 30,240-BF
+/// dataset fit MCDRAM at scale (knlsim experiment 8).
+double model_dist_fock_bytes_per_node(std::size_t nbf,
+                                      const NodeLayout& layout, int nnodes);
 
 /// Largest ranks-per-node that fits `capacity_bytes`, assuming the node's
 /// `hw_threads` hardware threads are split evenly (threads_per_rank =

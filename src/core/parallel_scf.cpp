@@ -53,6 +53,10 @@ std::unique_ptr<scf::FockBuilder> make_builder(
       opt.nthreads = cfg.nthreads;
       return std::make_unique<FockBuilderShared>(eri, screen, ddi, opt);
     }
+    case ScfAlgorithm::kDistFock:
+      // Single-threaded per rank (like MPI-only); cfg.nthreads is ignored.
+      return std::make_unique<FockBuilderDist>(eri, screen, ddi,
+                                               cfg.dist_options);
   }
   MC_CHECK(false, "unknown algorithm");
   return nullptr;
@@ -241,6 +245,8 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
         rm.static_screened = builder->last_static_screened();
         rm.density_screened = builder->last_density_screened();
         rm.thread_quartets = builder->last_thread_quartets();
+        rm.tile_hits = builder->last_tile_cache_hits();
+        rm.tile_misses = builder->last_tile_cache_misses();
         const double dlb = obs::channel_seconds(obs::Channel::kDlbWait, rank);
         const double gsum = obs::channel_seconds(obs::Channel::kGsum, rank);
         const double bar = obs::channel_seconds(obs::Channel::kBarrier, rank);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "chem/molecule.hpp"
+#include "core/fock_dist.hpp"
 #include "core/fock_private.hpp"
 #include "core/fock_shared.hpp"
 #include "core/memory_model.hpp"
@@ -31,6 +32,7 @@ struct ParallelScfConfig {
   /// Algorithm-specific tuning (nthreads fields are overridden).
   SharedFockOptions shared_options;
   PrivateFockOptions private_options;
+  DistFockOptions dist_options;
 };
 
 struct ParallelScfResult {

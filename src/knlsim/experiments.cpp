@@ -207,4 +207,32 @@ Table figure7_large_scale(ExperimentContext& ctx) {
   return t;
 }
 
+Table figure8_dist_fock_projection(ExperimentContext& ctx) {
+  using core::ScfAlgorithm;
+  const Workload& wl = ctx.workload("5.0nm");
+  Simulator sim(wl, ctx.machine(), ctx.calibration());
+  const double mcdram = 16.0 * kGiB;
+  Table t({"# Nodes", "dist GB/node", "fits MCDRAM", "dist (s)",
+           "shared Fock (s)"});
+  for (int nodes : {256, 512, 1000, 1500, 2000, 2500, 3000}) {
+    SimConfig cfg;
+    cfg.algorithm = ScfAlgorithm::kDistFock;
+    cfg.nodes = nodes;
+    const SimResult r = sim.run(cfg);
+    MC_CHECK(r.feasible, "5.0 nm must be feasible for dist Fock");
+    const double gb = core::model_dist_fock_bytes_per_node(
+        wl.nbf(), {r.ranks_per_node, 1}, nodes);
+
+    SimConfig sh_cfg = cfg;
+    sh_cfg.algorithm = ScfAlgorithm::kSharedFock;
+    const SimResult r_sh = sim.run(sh_cfg);
+
+    t.add_row({std::to_string(nodes), fmt_gb(gb),
+               gb <= mcdram ? "yes" : "no", fmt_double(r.seconds, 1),
+               r_sh.feasible ? fmt_double(r_sh.seconds, 1)
+                             : "n/a (memory)"});
+  }
+  return t;
+}
+
 }  // namespace mc::knlsim

@@ -64,4 +64,12 @@ Table figure6_table3_multinode(ExperimentContext& ctx);
 /// (the other codes are reported infeasible, as on Theta).
 Table figure7_large_scale(ExperimentContext& ctx);
 
+/// Figure 8 (this repo's extension, DESIGN.md section 13): the 5.0 nm /
+/// 30,240-BF dataset with the block-distributed Fock builder. Reports the
+/// modeled per-node D+F footprint vs node count -- the only curve that
+/// *decreases* with scale -- the node count where it first fits entirely
+/// in 16 GB MCDRAM (flat mode, no shared-Fock possible there), and the
+/// projected runtimes next to shared-Fock's.
+Table figure8_dist_fock_projection(ExperimentContext& ctx);
+
 }  // namespace mc::knlsim

@@ -115,12 +115,19 @@ SimResult Simulator::run(const SimConfig& cfg) const {
   int ranks = cfg.ranks_per_node;
   int threads = cfg.threads_per_rank;
   auto bytes_for = [&](int r, int t) {
-    return core::model_bytes_per_node(cfg.algorithm, wl.nbf(),
-                                      {r, std::max(1, t)}) +
-           node.fixed_bytes_per_rank * r;
+    // The dist-Fock footprint shrinks with the *total* rank count (the
+    // windows are block-distributed); the replicated models do not.
+    const double model =
+        cfg.algorithm == ScfAlgorithm::kDistFock
+            ? core::model_dist_fock_bytes_per_node(wl.nbf(), {r, 1},
+                                                   cfg.nodes)
+            : core::model_bytes_per_node(cfg.algorithm, wl.nbf(),
+                                         {r, std::max(1, t)});
+    return model + node.fixed_bytes_per_rank * r;
   };
 
-  if (cfg.algorithm == ScfAlgorithm::kMpiOnly) {
+  if (cfg.algorithm == ScfAlgorithm::kMpiOnly ||
+      cfg.algorithm == ScfAlgorithm::kDistFock) {
     threads = 1;
     if (ranks < 0) ranks = hw;
     while (ranks >= 1 && bytes_for(ranks, 1) > capacity) {
@@ -154,7 +161,11 @@ SimResult Simulator::run(const SimConfig& cfg) const {
 
   // ---- Memory & cluster multipliers on the quartet inner loop. ----
   const double stream_bytes =
-      core::model_bytes_per_node(cfg.algorithm, wl.nbf(), {ranks, threads});
+      cfg.algorithm == ScfAlgorithm::kDistFock
+          ? core::model_dist_fock_bytes_per_node(wl.nbf(), {ranks, 1},
+                                                 cfg.nodes)
+          : core::model_bytes_per_node(cfg.algorithm, wl.nbf(),
+                                       {ranks, threads});
   const double bw_eff =
       calib_.effective_bandwidth(node, cfg.memory_mode, stream_bytes);
   const double nominal_bw = 0.92 * node.mcdram_bw;
@@ -245,6 +256,31 @@ SimResult Simulator::run(const SimConfig& cfg) const {
                           static_cast<double>(wl.npairs_surviving());
       uniform_extra += dead * (calib_.dlb_rtt_s + barrier) / total_ranks;
       sync_total += dead * (calib_.dlb_rtt_s + barrier) / total_ranks;
+      break;
+    }
+    case ScfAlgorithm::kDistFock: {
+      // Algorithm 4 (this repo): the MPI-only pair loop -- single-threaded
+      // ranks, same DLB claims and kl sweeps -- but the N^2 gsumf is
+      // replaced by one-sided window traffic. Each rank streams about
+      // 2 N^2 / N_ranks doubles of density tiles in (cached, and half
+      // hidden behind the ERI pipeline by the claim-ahead prefetch) and
+      // accs the same volume of F panels out.
+      tasks.reserve(wl.pairs().size());
+      for (std::size_t p = 0; p < wl.pairs().size(); ++p) {
+        const double work = wl.task_cost()[p] * conv;
+        const double checks = (static_cast<double>(wl.pairs()[p].idx) + 1) *
+                              kKlIterSeconds * conv;
+        tasks.push_back(work + checks);
+      }
+      const double ns = static_cast<double>(wl.npairs_total());
+      const double surv = static_cast<double>(wl.npairs_surviving());
+      const double dead_checks =
+          (ns * ns / 2.0 - 0.5 * surv * ns) * kKlIterSeconds * conv;
+      uniform_extra += (dead_checks + ns * calib_.dlb_rtt_s) / total_ranks;
+      sync_total += ns * calib_.dlb_rtt_s / total_ranks;
+      const double win_bytes = 2.0 * static_cast<double>(wl.nbf()) *
+                               wl.nbf() * sizeof(double) / total_ranks;
+      flush_total += (2.0 - 0.5) * win_bytes / bw_eff;  // half the gets hide
       break;
     }
   }

@@ -74,6 +74,9 @@ const char* channel_name(Channel c) {
     case Channel::kGsum: return "gsum";
     case Channel::kBarrier: return "barrier";
     case Channel::kBroadcast: return "broadcast";
+    case Channel::kPut: return "put";
+    case Channel::kGet: return "get";
+    case Channel::kAcc: return "acc";
   }
   return "unknown";
 }
@@ -216,6 +219,10 @@ std::string iteration_json(const IterationRecord& rec) {
     append_double(out, r.barrier_seconds);
     out += ",\"peak_bytes\":";
     append_size(out, r.peak_bytes);
+    out += ",\"tile_hits\":";
+    append_size(out, r.tile_hits);
+    out += ",\"tile_misses\":";
+    append_size(out, r.tile_misses);
     out += "}";
   }
   out += "]}";

@@ -25,10 +25,13 @@ namespace mc::obs {
 enum class Channel : int {
   kDlbWait = 0,   ///< time spent claiming from the shared DLB counter
   kGsum = 1,      ///< ddi_gsumf / allreduce (sum and max)
-  kBarrier = 2,   ///< explicit barriers
+  kBarrier = 2,   ///< explicit barriers (and window fences)
   kBroadcast = 3, ///< ddi_bcast
+  kPut = 4,       ///< one-sided ddi_put into a window
+  kGet = 5,       ///< one-sided ddi_get from a window
+  kAcc = 6,       ///< one-sided ddi_acc accumulate into a window
 };
-inline constexpr int kChannelCount = 4;
+inline constexpr int kChannelCount = 7;
 [[nodiscard]] const char* channel_name(Channel c);
 
 [[nodiscard]] bool metrics_enabled();
@@ -115,6 +118,11 @@ struct RankIterationMetrics {
   double gsum_seconds = 0.0;
   double barrier_seconds = 0.0;
   std::size_t peak_bytes = 0;      ///< MemoryTracker high-water mark
+  /// Distributed-builder tile-cache traffic (all zero for the replicated
+  /// algorithms): density-tile reads served from the rank-local cache vs
+  /// fetched with ddi_get from the window.
+  std::size_t tile_hits = 0;
+  std::size_t tile_misses = 0;
 };
 
 /// One SCF iteration, aggregated across ranks.

@@ -35,6 +35,35 @@ class Ddi {
 
   void barrier() { comm_->barrier(); }
 
+  // -- One-sided distributed arrays (ddi_create / ddi_put / ddi_get /
+  // ddi_acc / ddi_sync / ddi_destroy). A Window is a block-distributed
+  // array of doubles, rank r owning rank_elems[r] contiguous elements;
+  // see par::Window for the completion/fence semantics.
+
+  /// ddi_create: collective; every rank passes the same per-rank layout.
+  [[nodiscard]] Window create(const std::string& key,
+                              const std::vector<std::size_t>& rank_elems) {
+    return comm_->win_create(key, rank_elems);
+  }
+  /// ddi_destroy: collective.
+  void destroy(Window& w) { comm_->win_free(w); }
+  /// ddi_put: one-sided write (visible to peers after the next fence).
+  void put(const Window& w, std::size_t offset, const double* src,
+           std::size_t n) {
+    comm_->win_put(w, offset, src, n);
+  }
+  /// ddi_get: one-sided read.
+  void get(const Window& w, std::size_t offset, double* dst, std::size_t n) {
+    comm_->win_get(w, offset, dst, n);
+  }
+  /// ddi_acc: one-sided element-atomic accumulate (+=).
+  void acc(const Window& w, std::size_t offset, const double* src,
+           std::size_t n) {
+    comm_->win_acc(w, offset, src, n);
+  }
+  /// ddi_sync on a window: closes the one-sided epoch (collective).
+  void fence(const Window& w) { comm_->win_fence(w); }
+
   [[nodiscard]] int rank() const { return comm_->rank(); }
   [[nodiscard]] int size() const { return comm_->size(); }
   [[nodiscard]] Comm& comm() { return *comm_; }

@@ -1,9 +1,11 @@
 #include "par/fault_injection.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 
@@ -46,6 +48,10 @@ const char* fault_op_name(FaultOp op) {
     case FaultOp::kDlbReset: return "dlb_reset";
     case FaultOp::kSend: return "send";
     case FaultOp::kRecv: return "recv";
+    case FaultOp::kWinPut: return "win_put";
+    case FaultOp::kWinGet: return "win_get";
+    case FaultOp::kWinAcc: return "win_acc";
+    case FaultOp::kWinFence: return "win_fence";
   }
   return "unknown";
 }
@@ -54,7 +60,8 @@ FaultOp fault_op_from_name(const std::string& name) {
   for (FaultOp op : {FaultOp::kNone, FaultOp::kSpawn, FaultOp::kBarrier,
                      FaultOp::kAllreduceSum, FaultOp::kAllreduceMax,
                      FaultOp::kBroadcast, FaultOp::kDlbReset, FaultOp::kSend,
-                     FaultOp::kRecv}) {
+                     FaultOp::kRecv, FaultOp::kWinPut, FaultOp::kWinGet,
+                     FaultOp::kWinAcc, FaultOp::kWinFence}) {
     if (name == fault_op_name(op)) return op;
   }
   throw mc::Error("fault injection: unknown MC_FAULT_OP '" + name + "'");
@@ -80,6 +87,14 @@ FaultPlan fault_plan_from_env() {
                       call + "'");
     }
   }
+  if (const char* delay = std::getenv("MC_FAULT_DELAY_MS")) {
+    try {
+      plan.delay_ms = std::stol(delay);
+    } catch (const std::exception&) {
+      throw mc::Error(std::string("fault injection: bad MC_FAULT_DELAY_MS '") +
+                      delay + "'");
+    }
+  }
   return plan;
 }
 
@@ -102,6 +117,13 @@ void maybe_inject_fault(int rank, FaultOp op) {
   // call_index means "the Nth time *this rank* enters *this op*".
   const long seen = g_calls.fetch_add(1, std::memory_order_relaxed);
   if (seen != plan.call_index) return;
+  if (plan.delay_ms > 0) {
+    // Delay fault: the op goes through, late. One-sided semantics promise
+    // callers nothing about completion timing before the next fence, so a
+    // correct program is unaffected (the tests assert exactly that).
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+    return;
+  }
   std::ostringstream msg;
   msg << "fault injection: rank " << rank << " failing at "
       << fault_op_name(op) << " call " << seen;

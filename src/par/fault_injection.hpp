@@ -26,7 +26,8 @@ namespace mc::par {
 
 /// Call sites that can be made to fail. kSpawn is the run_spmd thread
 /// creation loop (simulates std::thread resource exhaustion); the rest are
-/// the Comm entry points.
+/// the Comm entry points, including the one-sided window operations
+/// (win_put/win_get/win_acc/win_fence) the distributed Fock builder uses.
 enum class FaultOp {
   kNone,
   kSpawn,
@@ -37,14 +38,22 @@ enum class FaultOp {
   kDlbReset,
   kSend,
   kRecv,
+  kWinPut,
+  kWinGet,
+  kWinAcc,
+  kWinFence,
 };
 
 /// A single planned failure: `rank` throws mc::Error on its
-/// `call_index`-th (0-based) entry into `op`.
+/// `call_index`-th (0-based) entry into `op` -- unless `delay_ms > 0`, in
+/// which case the matching call *stalls* for that long instead of failing
+/// (models a slow/late one-sided get or acc; correctness must not depend
+/// on one-sided completion timing, only on fences).
 struct FaultPlan {
   int rank = -1;
   FaultOp op = FaultOp::kNone;
   long call_index = 0;
+  long delay_ms = 0;
 
   [[nodiscard]] bool enabled() const {
     return rank >= 0 && op != FaultOp::kNone;
@@ -58,9 +67,9 @@ void clear_fault_plan();
 /// The currently installed plan (disabled plan if none).
 [[nodiscard]] FaultPlan current_fault_plan();
 
-/// Parse MC_FAULT_RANK / MC_FAULT_OP / MC_FAULT_CALL. Returns a disabled
-/// plan when MC_FAULT_RANK or MC_FAULT_OP is unset; throws mc::Error on a
-/// malformed value.
+/// Parse MC_FAULT_RANK / MC_FAULT_OP / MC_FAULT_CALL / MC_FAULT_DELAY_MS.
+/// Returns a disabled plan when MC_FAULT_RANK or MC_FAULT_OP is unset;
+/// throws mc::Error on a malformed value.
 [[nodiscard]] FaultPlan fault_plan_from_env();
 
 /// One-shot: install fault_plan_from_env() the first time this is called

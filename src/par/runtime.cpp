@@ -1,5 +1,7 @@
 #include "par/runtime.hpp"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstring>
 #include <exception>
@@ -59,6 +61,44 @@ struct Mailbox {
   std::deque<Message> messages;
 };
 
+struct WindowState {
+  WindowState(std::string key_, const std::vector<std::size_t>& elems)
+      : key(std::move(key_)),
+        rank_elems(elems),
+        rank_base(elems.size() + 1, 0),
+        segments(elems.size()) {
+    for (std::size_t r = 0; r < elems.size(); ++r) {
+      rank_base[r + 1] = rank_base[r] + elems[r];
+    }
+  }
+
+  [[nodiscard]] int owner_of(std::size_t index) const {
+    // rank_base is the prefix-sum fence list [0, e0, e0+e1, ...]; the first
+    // entry strictly greater than `index` is the owner's upper fence.
+    return static_cast<int>(std::upper_bound(rank_base.begin(),
+                                             rank_base.end(), index) -
+                            rank_base.begin()) -
+           1;
+  }
+
+  std::string key;                     ///< blackboard key (for win_free)
+  std::vector<std::size_t> rank_elems; ///< segment sizes, indexed by rank
+  std::vector<std::size_t> rank_base;  ///< prefix sums, size nranks+1
+  /// Per-rank segments; segments[r] is allocated by rank r inside
+  /// win_create so MemoryTracker charges the bytes to the owning rank.
+  std::vector<TrackedBuffer> segments;
+
+  /// Striped accumulate locks: win_acc element-atomicity without a
+  /// per-window giant lock. Concurrent accs to regions more than
+  /// kStripeElems apart usually take different stripes.
+  static constexpr std::size_t kStripeElems = 2048;
+  static constexpr std::size_t kStripes = 64;
+  std::array<std::mutex, kStripes> acc_mu;
+  [[nodiscard]] std::mutex& stripe(std::size_t global_index) {
+    return acc_mu[(global_index / kStripeElems) % kStripes];
+  }
+};
+
 struct SharedState {
   explicit SharedState(int n)
       : nranks(n), barrier(n), contrib(static_cast<std::size_t>(n), nullptr),
@@ -97,6 +137,135 @@ std::atomic<bool> g_job_active{false};
 int Comm::size() const { return st_->nranks; }
 
 void Comm::sync() { st_->barrier.arrive_and_wait(); }
+
+std::size_t Window::size() const { return st_->rank_base.back(); }
+
+std::size_t Window::rank_base(int rank) const {
+  return st_->rank_base[static_cast<std::size_t>(rank)];
+}
+
+std::size_t Window::rank_elems(int rank) const {
+  return st_->rank_elems[static_cast<std::size_t>(rank)];
+}
+
+int Window::owner_of(std::size_t index) const {
+  return st_->owner_of(index);
+}
+
+Window Comm::win_create(const std::string& key,
+                        const std::vector<std::size_t>& rank_elems) {
+  MC_CHECK(rank_elems.size() == static_cast<std::size_t>(st_->nranks),
+           "win_create: rank_elems must have one entry per rank");
+  Window w;
+  w.st_ = get_or_create_shared<detail::WindowState>(key, key, rank_elems);
+  detail::WindowState& ws = *w.st_;
+  MC_CHECK(ws.rank_elems == rank_elems,
+           "win_create: ranks disagree on the window layout for '" + key +
+               "'");
+  // Each rank allocates its own zeroed segment on its own thread, so
+  // MemoryTracker attributes the bytes to the owning rank -- the
+  // distributed-footprint accounting the memory benchmarks assert on.
+  ws.segments[static_cast<std::size_t>(rank_)] = TrackedBuffer(
+      "ddi-window", rank_elems[static_cast<std::size_t>(rank_)]);
+  sync();  // every segment allocated before any one-sided access
+  return w;
+}
+
+void Comm::win_free(Window& w) {
+  MC_CHECK(w.valid(), "win_free on an invalid window");
+  sync();  // all one-sided access complete
+  // Release this rank's segment eagerly: the WindowState itself lives until
+  // the slowest rank drops its handle, and the per-rank tracked bytes must
+  // reach zero when win_free returns, not when a peer gets around to it.
+  w.st_->segments[static_cast<std::size_t>(rank_)] = TrackedBuffer();
+  // Single-rank erase + barrier: if every rank erased, a fast rank could
+  // re-create the key and have it yanked by a slow peer's erase.
+  if (rank_ == 0) free_shared(w.st_->key);
+  sync();  // entry gone before the key can be reused
+  w.st_.reset();
+}
+
+void Comm::win_put(const Window& w, std::size_t offset, const double* src,
+                   std::size_t n) {
+  obs::ScopedChannelTimer ct(obs::Channel::kPut, rank_);
+  maybe_inject_fault(rank_, FaultOp::kWinPut);
+  MC_CHECK(w.valid(), "win_put on an invalid window");
+  detail::WindowState& ws = *w.st_;
+  MC_CHECK(offset + n <= ws.rank_base.back(), "win_put out of range");
+  // Shared-memory fast path (all minimpi ranks are intra-node): a straight
+  // memcpy into the owner's segment, split only at segment boundaries.
+  // Visibility to other ranks is ordered by win_fence.
+  std::size_t done = 0;
+  while (done < n) {
+    const int owner = ws.owner_of(offset + done);
+    const std::size_t local =
+        offset + done - ws.rank_base[static_cast<std::size_t>(owner)];
+    const std::size_t chunk = std::min(
+        n - done,
+        ws.rank_elems[static_cast<std::size_t>(owner)] - local);
+    std::memcpy(ws.segments[static_cast<std::size_t>(owner)].data() + local,
+                src + done, chunk * sizeof(double));
+    done += chunk;
+  }
+}
+
+void Comm::win_get(const Window& w, std::size_t offset, double* dst,
+                   std::size_t n) {
+  obs::ScopedChannelTimer ct(obs::Channel::kGet, rank_);
+  maybe_inject_fault(rank_, FaultOp::kWinGet);
+  MC_CHECK(w.valid(), "win_get on an invalid window");
+  detail::WindowState& ws = *w.st_;
+  MC_CHECK(offset + n <= ws.rank_base.back(), "win_get out of range");
+  std::size_t done = 0;
+  while (done < n) {
+    const int owner = ws.owner_of(offset + done);
+    const std::size_t local =
+        offset + done - ws.rank_base[static_cast<std::size_t>(owner)];
+    const std::size_t chunk = std::min(
+        n - done,
+        ws.rank_elems[static_cast<std::size_t>(owner)] - local);
+    std::memcpy(dst + done,
+                ws.segments[static_cast<std::size_t>(owner)].data() + local,
+                chunk * sizeof(double));
+    done += chunk;
+  }
+}
+
+void Comm::win_acc(const Window& w, std::size_t offset, const double* src,
+                   std::size_t n) {
+  obs::ScopedChannelTimer ct(obs::Channel::kAcc, rank_);
+  maybe_inject_fault(rank_, FaultOp::kWinAcc);
+  MC_CHECK(w.valid(), "win_acc on an invalid window");
+  detail::WindowState& ws = *w.st_;
+  MC_CHECK(offset + n <= ws.rank_base.back(), "win_acc out of range");
+  // Walk the range in pieces bounded by both the lock-stripe width and the
+  // owning segment, taking one stripe lock at a time (never two locks held
+  // at once, so concurrent accs cannot deadlock).
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t g0 = offset + i;
+    const int owner = ws.owner_of(g0);
+    const std::size_t stripe_end =
+        (g0 / detail::WindowState::kStripeElems + 1) *
+        detail::WindowState::kStripeElems;
+    const std::size_t end =
+        std::min({offset + n, stripe_end,
+                  ws.rank_base[static_cast<std::size_t>(owner) + 1]});
+    double* dst =
+        ws.segments[static_cast<std::size_t>(owner)].data() +
+        (g0 - ws.rank_base[static_cast<std::size_t>(owner)]);
+    std::lock_guard<std::mutex> lk(ws.stripe(g0));
+    for (std::size_t k = 0; k < end - g0; ++k) dst[k] += src[i + k];
+    i += end - g0;
+  }
+}
+
+void Comm::win_fence(const Window& w) {
+  obs::ScopedChannelTimer ct(obs::Channel::kBarrier, rank_);
+  maybe_inject_fault(rank_, FaultOp::kWinFence);
+  MC_CHECK(w.valid(), "win_fence on an invalid window");
+  sync();
+}
 
 void Comm::barrier() {
   obs::ScopedChannelTimer ct(obs::Channel::kBarrier, rank_);

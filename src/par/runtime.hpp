@@ -11,10 +11,15 @@
 //   * broadcast                  (density distribution)
 //   * dlb_next / dlb_reset       (= ddi_dlbnext, the global DLB counter)
 //   * send/recv                  (completeness; point-to-point)
+//   * win_create/put/get/acc/fence (= ddi_create etc.: one-sided windows
+//                                 over block-distributed arrays, the DDI
+//                                 distributed-data layer; DESIGN.md s. 13)
 //
 // The replication *structure* of the real MPI code -- every rank owning
 // private copies of whatever it allocates -- is preserved, which is what
-// the paper's memory-footprint analysis (eqs. 3a-3c) is about.
+// the paper's memory-footprint analysis (eqs. 3a-3c) is about. Window
+// segments are the exception by design: each rank allocates (and is
+// charged for) only its own block of a distributed array.
 
 #include <condition_variable>
 #include <cstddef>
@@ -60,7 +65,43 @@ void run_spmd(int nranks, const std::function<void(Comm&)>& body);
 
 namespace detail {
 struct SharedState;
+struct WindowState;
 }
+
+/// Handle to a one-sided window: a global array of doubles split into one
+/// contiguous segment per rank (rank r owns global indices
+/// [rank_base(r), rank_base(r) + rank_elems(r))). Obtained collectively
+/// from Comm::win_create; cheap to copy (shared handle, like an MPI_Win).
+///
+/// Semantics (the MPI-3 / DDI one-sided model, reduced to what the paper's
+/// algorithms need):
+///   * put/get are unordered with respect to each other until the next
+///     win_fence; a get is only guaranteed to observe puts separated from
+///     it by a fence.
+///   * acc (+=) is element-atomic against other accs, so concurrent
+///     accumulates from many ranks need no fence between them -- only a
+///     fence before anyone *reads* the accumulated values.
+///   * In minimpi every rank lives in one process, so each transfer takes
+///     the intra-node shared-memory fast path (a memcpy into the owner's
+///     segment); the API still routes everything through offsets so code
+///     written against it has real one-sided structure.
+class Window {
+ public:
+  Window() = default;
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+  /// Total elements across all segments.
+  [[nodiscard]] std::size_t size() const;
+  /// First global element index of `rank`'s segment.
+  [[nodiscard]] std::size_t rank_base(int rank) const;
+  /// Elements in `rank`'s segment.
+  [[nodiscard]] std::size_t rank_elems(int rank) const;
+  /// Rank whose segment holds global element `index`.
+  [[nodiscard]] int owner_of(std::size_t index) const;
+
+ private:
+  friend class Comm;
+  std::shared_ptr<detail::WindowState> st_;
+};
 
 /// Per-rank communicator handle. Only valid inside run_spmd's body.
 class Comm {
@@ -84,6 +125,35 @@ class Comm {
   long dlb_next();
   /// Collective: reset the DLB counter to zero.
   void dlb_reset();
+
+  // -- One-sided windows (= DDI distributed arrays) --------------------
+
+  /// Collective: create (or attach to) the window named `key`, with
+  /// rank r owning `rank_elems[r]` doubles (identical vector on every
+  /// rank). Each rank allocates its own zero-initialized segment, so the
+  /// bytes are charged to the owning rank in MemoryTracker. Returns after
+  /// every segment is ready for one-sided access.
+  Window win_create(const std::string& key,
+                    const std::vector<std::size_t>& rank_elems);
+  /// Collective: release the window. No rank may access it afterwards;
+  /// the handle is invalidated.
+  void win_free(Window& w);
+  /// One-sided write of src[0..n) to global elements [offset, offset+n).
+  /// Visible to other ranks only after the next win_fence.
+  void win_put(const Window& w, std::size_t offset, const double* src,
+               std::size_t n);
+  /// One-sided read of global elements [offset, offset+n) into dst.
+  void win_get(const Window& w, std::size_t offset, double* dst,
+               std::size_t n);
+  /// One-sided accumulate: window[offset+i] += src[i]. Element-atomic
+  /// against concurrent accs (striped locks); see Window for the fence
+  /// rules.
+  void win_acc(const Window& w, std::size_t offset, const double* src,
+               std::size_t n);
+  /// Collective: close the current one-sided access epoch. All put/get/acc
+  /// issued before the fence (by any rank) are complete and visible after
+  /// it.
+  void win_fence(const Window& w);
 
   /// Point-to-point: copies the payload into dst's mailbox. Non-blocking.
   void send(int dst, int tag, const double* data, std::size_t n);

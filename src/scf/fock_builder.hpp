@@ -128,6 +128,13 @@ class FockBuilder {
   /// Schwarz threshold of the attached Screening (0 = unscreened builder);
   /// the SCF drivers' incremental error estimate scales with it.
   [[nodiscard]] virtual double screening_threshold() const { return 0.0; }
+  /// Density-tile reads of the last build served from the rank-local cache
+  /// vs fetched one-sidedly from the distributed window. Zero for the
+  /// replicated-matrix builders, which have no tile traffic.
+  [[nodiscard]] virtual std::size_t last_tile_cache_hits() const { return 0; }
+  [[nodiscard]] virtual std::size_t last_tile_cache_misses() const {
+    return 0;
+  }
 };
 
 /// Degeneracy weight of a canonical shell quartet (the size of its orbit

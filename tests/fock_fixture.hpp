@@ -24,6 +24,7 @@
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
+#include "core/fock_dist.hpp"
 #include "core/fock_mpi.hpp"
 #include "core/fock_private.hpp"
 #include "core/fock_shared.hpp"

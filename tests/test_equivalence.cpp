@@ -19,13 +19,14 @@
 namespace mc::core {
 namespace {
 
-enum class Alg { kMpi, kPrivate, kShared };
+enum class Alg { kMpi, kPrivate, kShared, kDist };
 
 const char* alg_name(Alg a) {
   switch (a) {
     case Alg::kMpi: return "mpi";
     case Alg::kPrivate: return "private";
     case Alg::kShared: return "shared";
+    case Alg::kDist: return "dist";
   }
   return "?";
 }
@@ -67,6 +68,21 @@ la::Matrix build(const FockFixture& fx, Alg alg, int nranks, int nthreads,
             return std::make_unique<FockBuilderShared>(fx.eri, fx.screen,
                                                        ddi, opt);
           }
+          case Alg::kDist: {
+            // Reuse the sweep dimensions: `dynamic_schedule` selects DLB vs
+            // the static cyclic pair split, and `lazy_fi_flush` pressure-
+            // tests the tile/panel budgets (evictions + early acc-flushes
+            // must not change a single summed term).
+            DistFockOptions opt;
+            opt.dynamic_lb = dynamic_schedule;
+            if (lazy_fi_flush) {
+              opt.tile_rows = 3;
+              opt.max_cached_tiles = 2;
+              opt.max_open_f_tiles = 2;
+            }
+            return std::make_unique<FockBuilderDist>(fx.eri, fx.screen, ddi,
+                                                     opt);
+          }
         }
         throw mc::Error("unreachable");
       });
@@ -84,6 +100,7 @@ class EquivalenceSweep : public ::testing::TestWithParam<SweepParam> {
     const auto [alg, nranks, nthreads, dyn, lazy] = p;
     if (alg == Alg::kMpi) return nthreads != 1 || dyn || lazy;
     if (alg == Alg::kPrivate) return lazy;  // no FI buffer to flush lazily
+    if (alg == Alg::kDist) return nthreads != 1;  // single-threaded ranks
     return false;
   }
 };
@@ -105,7 +122,7 @@ TEST_P(EquivalenceSweep, SkeletonBitComparableToSerial) {
 INSTANTIATE_TEST_SUITE_P(
     RankThreadScheduleGrid, EquivalenceSweep,
     ::testing::Combine(::testing::Values(Alg::kMpi, Alg::kPrivate,
-                                         Alg::kShared),
+                                         Alg::kShared, Alg::kDist),
                        ::testing::Values(1, 2, 4),   // ranks
                        ::testing::Values(1, 2, 4),   // threads
                        ::testing::Bool(),            // dynamic schedule
@@ -146,14 +163,31 @@ TEST(EquivalenceExact, SharedFockSingleThreadIsRunToRunDeterministic) {
   expect_bit_comparable(g1, fx.g_ref, kMaxSkeletonUlps, "shared r=1 t=1");
 }
 
+TEST(EquivalenceExact, SingleRankDistIsBitIdenticalToSerial) {
+  // One rank, dynamic LB: the DLB counter walks the serial builder's
+  // Schwarz-sorted pair list in order, every density row is a local tile,
+  // and each F element is accumulated in one panel then acc'd once -- the
+  // same additions in the same order, so the result must match bit for
+  // bit. This also holds with tight budgets: evictions refetch identical
+  // tile bytes and an early acc-flush only splits a sum that is later
+  // completed by the same +=.
+  const FockFixture& fx = water_631g();
+  const la::Matrix g = build(fx, Alg::kDist, 1, 1, true, false);
+  expect_bit_comparable(g, fx.g_ref, 0, "dist r=1 exact");
+  const la::Matrix g_tight = build(fx, Alg::kDist, 1, 1, true, true);
+  expect_bit_comparable(g_tight, fx.g_ref, 0, "dist r=1 tight budgets");
+}
+
 // ---- Larger systems: d shells and richer screening structure ----
 
 TEST(EquivalenceSystems, Water631GAllThreeAcrossRanksAndThreads) {
   const FockFixture& fx = water_631g();
   for (int nranks : {1, 2}) {
     for (int nthreads : {1, 4}) {
-      for (Alg alg : {Alg::kMpi, Alg::kPrivate, Alg::kShared}) {
-        if (alg == Alg::kMpi && nthreads != 1) continue;
+      for (Alg alg : {Alg::kMpi, Alg::kPrivate, Alg::kShared, Alg::kDist}) {
+        if ((alg == Alg::kMpi || alg == Alg::kDist) && nthreads != 1) {
+          continue;
+        }
         const la::Matrix g = build(fx, alg, nranks, nthreads, true, true);
         expect_bit_comparable(
             g, fx.g_ref, kMaxSkeletonUlps,
@@ -166,8 +200,9 @@ TEST(EquivalenceSystems, Water631GAllThreeAcrossRanksAndThreads) {
 
 TEST(EquivalenceSystems, MethaneDShellsAllThreeAgree) {
   const FockFixture& fx = methane_631gd();
-  for (Alg alg : {Alg::kMpi, Alg::kPrivate, Alg::kShared}) {
-    const la::Matrix g = build(fx, alg, 2, 2, true, true);
+  for (Alg alg : {Alg::kMpi, Alg::kPrivate, Alg::kShared, Alg::kDist}) {
+    const int nthreads = (alg == Alg::kMpi || alg == Alg::kDist) ? 1 : 2;
+    const la::Matrix g = build(fx, alg, 2, nthreads, true, true);
     expect_bit_comparable(g, fx.g_ref, kMaxSkeletonUlps,
                           std::string("6-31G(d) ") + alg_name(alg));
   }

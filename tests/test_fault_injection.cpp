@@ -117,6 +117,77 @@ TEST_F(FaultInjectionTest, SendFaultLeavesReceiverUnblocked) {
   });
 }
 
+// ---- One-sided window ops: faults and abort propagation ----
+
+TEST_F(FaultInjectionTest, WindowFenceFaultDoesNotHangPeers) {
+  // The fence is the windows' collective; a rank faulting there must
+  // unwind peers blocked in the same fence.
+  set_fault_plan({1, FaultOp::kWinFence, 0});
+  expect_fault_rethrown(4, [](Comm& comm) {
+    Window w = comm.win_create("t:fault-fence", {8, 8, 8, 8});
+    comm.win_fence(w);
+  });
+}
+
+TEST_F(FaultInjectionTest, WindowPutFaultAbortsPeersAtNextFence) {
+  // put/get/acc are one-sided: the fault fires on the calling rank only,
+  // and the peers -- already blocked in the epoch-closing fence -- must be
+  // woken by abort propagation, not left waiting for the dead rank.
+  set_fault_plan({2, FaultOp::kWinPut, 0});
+  expect_fault_rethrown(4, [](Comm& comm) {
+    Window w = comm.win_create("t:fault-put", {4, 4, 4, 4});
+    const double v = 1.0;
+    comm.win_put(w, w.rank_base(comm.rank()), &v, 1);  // rank 2 faults here
+    // mc-lint: allow(MC-COLL-001): rank 2 never reaches the fence
+    comm.win_fence(w);
+  });
+}
+
+TEST_F(FaultInjectionTest, WindowGetFaultAbortsPeersAtNextFence) {
+  set_fault_plan({0, FaultOp::kWinGet, 0});
+  expect_fault_rethrown(3, [](Comm& comm) {
+    Window w = comm.win_create("t:fault-get", {4, 4, 4});
+    double buf[4];
+    comm.win_get(w, 0, buf, 4);
+    // mc-lint: allow(MC-COLL-001): rank 0 never reaches the fence
+    comm.win_fence(w);
+  });
+}
+
+TEST_F(FaultInjectionTest, WindowAccFaultAbortsPeersAtNextFence) {
+  set_fault_plan({1, FaultOp::kWinAcc, 0});
+  expect_fault_rethrown(3, [](Comm& comm) {
+    Window w = comm.win_create("t:fault-acc", {4, 4, 4});
+    const double v = 2.0;
+    comm.win_acc(w, 0, &v, 1);
+    // mc-lint: allow(MC-COLL-001): rank 1 never reaches the fence
+    comm.win_fence(w);
+  });
+}
+
+TEST_F(FaultInjectionTest, DelayedAccChangesNothingBeforeTheFence) {
+  // MC_FAULT_DELAY_MS turns the fault into a stall instead of a throw: a
+  // delayed one-sided acc must be fully absorbed by the next fence --
+  // correctness depends only on the fence, never on timing.
+  FaultPlan plan{1, FaultOp::kWinAcc, 0};
+  plan.delay_ms = 50;
+  set_fault_plan(plan);
+  std::vector<double> out(4, -1.0);
+  run_spmd(2, [&](Comm& comm) {
+    Window w = comm.win_create("t:delay-acc", {2, 2});
+    const double ones[2] = {1.0, 1.0};
+    comm.win_acc(w, 0, ones, 2);  // rank 1 stalls 50ms first
+    comm.win_acc(w, 2, ones, 2);
+    comm.win_fence(w);
+    if (comm.rank() == 0) {
+      comm.win_get(w, 0, out.data(), 4);
+    }
+    comm.win_fence(w);
+    comm.win_free(w);
+  });
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
 // ---- call_index semantics ----
 
 TEST_F(FaultInjectionTest, CallIndexCountsOnlyTargetRankCalls) {
@@ -204,7 +275,8 @@ TEST_F(FaultInjectionTest, OpNamesRoundTrip) {
   for (FaultOp op :
        {FaultOp::kSpawn, FaultOp::kBarrier, FaultOp::kAllreduceSum,
         FaultOp::kAllreduceMax, FaultOp::kBroadcast, FaultOp::kDlbReset,
-        FaultOp::kSend, FaultOp::kRecv}) {
+        FaultOp::kSend, FaultOp::kRecv, FaultOp::kWinPut, FaultOp::kWinGet,
+        FaultOp::kWinAcc, FaultOp::kWinFence}) {
     EXPECT_EQ(fault_op_from_name(fault_op_name(op)), op);
   }
   EXPECT_THROW((void)fault_op_from_name("no-such-op"), mc::Error);
@@ -224,6 +296,13 @@ TEST_F(FaultInjectionTest, EnvPlanParsing) {
   EXPECT_EQ(p.rank, 2);
   EXPECT_EQ(p.op, FaultOp::kAllreduceSum);
   EXPECT_EQ(p.call_index, 3);
+
+  ::setenv("MC_FAULT_OP", "win_acc", 1);
+  ::setenv("MC_FAULT_DELAY_MS", "25", 1);
+  const FaultPlan pd = fault_plan_from_env();
+  EXPECT_EQ(pd.op, FaultOp::kWinAcc);
+  EXPECT_EQ(pd.delay_ms, 25);
+  ::unsetenv("MC_FAULT_DELAY_MS");
 
   ::setenv("MC_FAULT_OP", "bogus", 1);
   EXPECT_THROW((void)fault_plan_from_env(), mc::Error);

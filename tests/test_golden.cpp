@@ -52,7 +52,10 @@ scf::ScfResult run_parallel(ScfAlgorithm alg, const chem::Molecule& mol,
   ParallelScfConfig cfg;
   cfg.algorithm = alg;
   cfg.nranks = 2;
-  cfg.nthreads = alg == ScfAlgorithm::kMpiOnly ? 1 : 2;
+  cfg.nthreads = (alg == ScfAlgorithm::kMpiOnly ||
+                  alg == ScfAlgorithm::kDistFock)
+                     ? 1
+                     : 2;
   cfg.basis = basis;
   cfg.schwarz_threshold = kSchwarzThreshold;
   cfg.scf.incremental_fock = incremental;
@@ -135,6 +138,18 @@ TEST(GoldenBenzene, SharedFockFull) {
       mc::testing::kBenzeneSto3gFull, "shared-fock full");
 }
 
+TEST(GoldenBenzene, DistFockFull) {
+  expect_matches_golden(
+      run_parallel(ScfAlgorithm::kDistFock, kBenzene, "STO-3G", false),
+      mc::testing::kBenzeneSto3gFull, "dist-fock full");
+}
+
+TEST(GoldenBenzene, DistFockIncremental) {
+  expect_matches_golden(
+      run_parallel(ScfAlgorithm::kDistFock, kBenzene, "STO-3G", true),
+      mc::testing::kBenzeneSto3gIncremental, "dist-fock incremental");
+}
+
 TEST(GoldenBenzene, SharedFockIncremental) {
   expect_matches_golden(
       run_parallel(ScfAlgorithm::kSharedFock, kBenzene, "STO-3G", true),
@@ -178,6 +193,18 @@ TEST(GoldenWater, PrivateFockIncremental) {
   expect_matches_golden(
       run_parallel(ScfAlgorithm::kPrivateFock, kWater, "6-31G", true),
       mc::testing::kWater631gIncremental, "private-fock incremental");
+}
+
+TEST(GoldenWater, DistFockFull) {
+  expect_matches_golden(
+      run_parallel(ScfAlgorithm::kDistFock, kWater, "6-31G", false),
+      mc::testing::kWater631gFull, "dist-fock full");
+}
+
+TEST(GoldenWater, DistFockIncremental) {
+  expect_matches_golden(
+      run_parallel(ScfAlgorithm::kDistFock, kWater, "6-31G", true),
+      mc::testing::kWater631gIncremental, "dist-fock incremental");
 }
 
 TEST(GoldenWater, SharedFockFull) {

@@ -274,6 +274,67 @@ TEST(IncrementalEquivalence, AllThreeBuildersMatchSerialDelta) {
                         "shared delta r=2 t=2");
 }
 
+TEST(IncrementalEquivalence, DistDeltaMatchesSerial) {
+  // The dist builder must contract the delta density through the identical
+  // screening cascade: ULP-bounded at 2 ranks, bit-identical at 1.
+  FockFixture fx(chem::builders::water(), "6-31G");
+  const la::Matrix g = build_distributed_delta(fx, 2, [&](par::Ddi& ddi) {
+    DistFockOptions opt;
+    opt.tile_rows = 3;  // several tiles even on a small basis
+    return std::make_unique<FockBuilderDist>(fx.eri, fx.screen, ddi, opt);
+  });
+  expect_bit_comparable(g, fx.g_ref_delta, kMaxSkeletonUlps, "dist delta r=2");
+
+  const la::Matrix g1 = build_distributed_delta(fx, 1, [&](par::Ddi& ddi) {
+    return std::make_unique<FockBuilderDist>(fx.eri, fx.screen, ddi);
+  });
+  expect_bit_comparable(g1, fx.g_ref_delta, 0, "dist delta r=1 exact");
+}
+
+TEST(IncrementalEquivalence, DistZeroTileShortcutSkipsFetchesExactly) {
+  // A delta density that is nonzero only in the first shell block makes
+  // every other row tile's block norms exactly zero, so the dist builder
+  // must serve those tiles from the zero shortcut (no fetch) -- and the
+  // result must still match a serial build of the same sparse delta.
+  FockFixture fx(chem::builders::water(), "6-31G");
+  const std::size_t nbf = fx.bs.nbf();
+  la::Matrix d_sparse(nbf, nbf);
+  const int n0 = fx.bs.shell(0).nfunc();
+  for (int a = 0; a < n0; ++a) {
+    for (int b = 0; b < n0; ++b) {
+      d_sparse(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) =
+          fx.d(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+    }
+  }
+  const scf::FockContext ctx =
+      scf::FockContext::from_density(fx.bs, d_sparse, /*incremental=*/true);
+  scf::SerialFockBuilder serial(fx.eri, fx.screen);
+  la::Matrix g_ref(nbf, nbf);
+  serial.build(d_sparse, g_ref, ctx);
+
+  la::Matrix g(nbf, nbf);
+  std::size_t zero_hits = 0;
+  std::size_t misses = 0;
+  std::mutex mu;
+  par::run_spmd(2, [&](par::Comm& comm) {
+    par::Ddi ddi(comm);
+    DistFockOptions opt;
+    opt.tile_rows = 3;
+    FockBuilderDist builder(fx.eri, fx.screen, ddi, opt);
+    la::Matrix mine(nbf, nbf);
+    builder.build(d_sparse, mine, ctx);
+    std::lock_guard<std::mutex> lk(mu);
+    zero_hits += builder.last_zero_tile_hits();
+    misses += builder.last_tile_cache_misses();
+    if (comm.rank() == 0) g = mine;
+  });
+  expect_bit_comparable(g, g_ref, kMaxSkeletonUlps, "dist sparse delta r=2");
+  EXPECT_GT(zero_hits, 0u) << "zero tiles should be served without fetching";
+  // Only the tile holding shell 0's rows (plus any tile sharing it) can
+  // miss; with 3-row tiles over this basis that is a strict subset.
+  EXPECT_GT(zero_hits, misses);
+}
+
 // ---- Incremental SCF convergence ----
 
 TEST(IncrementalScf, ConvergesToFullRebuildEnergy) {

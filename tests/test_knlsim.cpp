@@ -354,6 +354,31 @@ TEST(Experiments, Table2RowsAndHeadlineRatio) {
   EXPECT_NE(s.find("45.7"), std::string::npos);  // MPI/Sh.F. model ratio
 }
 
+TEST(CostModel, DistFockFootprintShrinksWithScaleAndFitsMcdram) {
+  // The dist-Fock model is the only one that decreases with node count.
+  const std::size_t nbf = 30240;  // the paper's 5.0 nm dataset
+  const core::NodeLayout l{64, 1};
+  const double m1 = core::model_dist_fock_bytes_per_node(nbf, l, 1);
+  const double m256 = core::model_dist_fock_bytes_per_node(nbf, l, 256);
+  const double m3000 = core::model_dist_fock_bytes_per_node(nbf, l, 3000);
+  EXPECT_GT(m1, m256);
+  EXPECT_GT(m256, m3000);
+  // The replicated models are node-count independent; at 3,000 nodes the
+  // dist windows' share per node is far below even one replicated copy.
+  const double repl =
+      core::model_bytes_per_node(core::ScfAlgorithm::kMpiOnly, nbf, l);
+  EXPECT_LT(m3000, repl);
+  // The paper's Figure 7 scenario: 30,240 BF cannot fit flat MCDRAM with
+  // any replicated code (one N^2 matrix alone is ~7.3 GB, and eq. 3a-3c
+  // footprints start at 2.5x that per rank), but the distributed windows
+  // plus the ~N^2/2 working set do at 3,000 nodes.
+  const double mcdram = 16.0 * 1024.0 * 1024.0 * 1024.0;
+  EXPECT_GT(core::model_bytes_per_node(core::ScfAlgorithm::kSharedFock, nbf,
+                                       {4, 64}),
+            mcdram);
+  EXPECT_LT(core::model_dist_fock_bytes_per_node(nbf, {4, 1}, 3000), mcdram);
+}
+
 TEST(Experiments, Table4MatchesPaperExactly) {
   Table t = table4_dataset_characteristics();
   const std::string s = t.to_string();

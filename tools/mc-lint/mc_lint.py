@@ -29,6 +29,15 @@ rests on (DESIGN.md section 11.1):
                helpers (flush_buffer-style chunked reductions, Comm
                collectives, OwnedSlice::add). Integer counters are fine.
 
+  MC-WIN-004   One-sided window epoch hygiene. A translation unit that
+               issues one-sided window traffic (win_put/win_get/win_acc, or
+               put/get/acc calls through a Ddi handle) but never fences
+               (win_fence / .fence()) has no epoch boundary at all: put and
+               get visibility is ordered *only* by the fence collective, so
+               an unfenced file is reading or publishing unordered data.
+               win_acc is element-atomic but still needs a closing fence
+               before any reader.
+
 Findings on a line (or the line after) a directive of the form
 
     // mc-lint: allow(MC-XXX-NNN): <reason>
@@ -57,7 +66,21 @@ CHECKS = {
     "MC-COLL-001": "MPI collective under a rank-dependent branch",
     "MC-OMP-002": "raw shared-state write inside an omp parallel region",
     "MC-RED-003": "unordered floating-point accumulation",
+    "MC-WIN-004": "one-sided window access without a fence epoch",
 }
+
+# One-sided window traffic: the Comm primitives by name, or put/get/acc
+# member calls through an identifier that names a Ddi handle. The latter is
+# deliberately narrow (`ddi` must appear in the object name) so ordinary
+# containers' .get()/.put() never match.
+WIN_ACCESS_RE = re.compile(
+    r"\bwin_(?:put|get|acc)\s*\("
+    r"|\b\w*ddi\w*\s*(?:\.|->)\s*(?:put|get|acc)\s*\(",
+    re.IGNORECASE)
+
+# Any fence in the file closes the epoch argument: the Comm primitive or a
+# .fence()/->fence() member call.
+WIN_FENCE_RE = re.compile(r"\bwin_fence\s*\(|(?:\.|->)\s*fence\s*\(")
 
 COLLECTIVES = {
     "barrier",
@@ -727,6 +750,33 @@ def check_red(model, findings):
 
 
 # --------------------------------------------------------------------------
+# MC-WIN-004
+# --------------------------------------------------------------------------
+
+def check_win(model, findings):
+    """One-sided accesses in a file with no fence anywhere: flag each one.
+
+    File granularity is deliberate: the fence is a collective epoch
+    boundary, so code that fences *somewhere* has an ordering story the
+    linter cannot judge locally, while a file with traffic and no fence at
+    all provably relies on a peer to order its accesses -- the bug class
+    this check exists for.
+    """
+    text = model.cleaned
+    if WIN_FENCE_RE.search(text):
+        return
+    for m in WIN_ACCESS_RE.finditer(text):
+        line = model.line_of(m.start())
+        if not model.allowed("MC-WIN-004", line):
+            findings.append(Finding(
+                "MC-WIN-004", model.path, line,
+                "one-sided window access with no fence anywhere in this "
+                "file; put/get visibility is ordered only by win_fence "
+                "epochs (win_acc is element-atomic but still needs a "
+                "closing fence before readers)"))
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -807,6 +857,8 @@ def main(argv=None):
             check_omp(model, findings, scope_paths)
         if "MC-RED-003" in enabled:
             check_red(model, findings)
+        if "MC-WIN-004" in enabled:
+            check_win(model, findings)
 
     findings.sort(key=lambda f: (f.path, f.line, f.check))
     if args.json:

@@ -1,0 +1,23 @@
+// Fixture: the same one-sided traffic as win_unfenced_access.cpp but with
+// the fence epochs in place -- put, fence (publish), get, fence (close).
+// MC-WIN-004 must stay silent: the file has an ordering story.
+
+#include <cstddef>
+
+namespace par {
+class Window {};
+class Ddi {
+ public:
+  void put(const Window&, std::size_t, const double*, std::size_t) {}
+  void get(const Window&, std::size_t, double*, std::size_t) {}
+  void fence(const Window&) {}
+};
+}  // namespace par
+
+void publish_then_read(par::Ddi& ddi, par::Window& w, double* buf,
+                       std::size_t n) {
+  ddi.put(w, 0, buf, n);
+  ddi.fence(w);  // publish epoch closed: puts visible everywhere
+  ddi.get(w, 0, buf, n);
+  ddi.fence(w);  // read epoch closed before the window is reused
+}

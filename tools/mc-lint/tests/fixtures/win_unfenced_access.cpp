@@ -1,0 +1,23 @@
+// Fixture: one-sided window traffic with no fence anywhere in the file.
+// The put's visibility and the get's freshness are both unordered -- the
+// file relies on some *other* translation unit fencing on its behalf,
+// which is exactly the bug class MC-WIN-004 exists to catch. Seeded
+// violations: the put and the get (two findings, one per access).
+
+#include <cstddef>
+
+namespace par {
+class Window {};
+class Ddi {
+ public:
+  void put(const Window&, std::size_t, const double*, std::size_t) {}
+  void get(const Window&, std::size_t, double*, std::size_t) {}
+  void fence(const Window&) {}
+};
+}  // namespace par
+
+void publish_then_read(par::Ddi& ddi, par::Window& w, double* buf,
+                       std::size_t n) {
+  ddi.put(w, 0, buf, n);  // unordered publish
+  ddi.get(w, 0, buf, n);  // may read stale data
+}

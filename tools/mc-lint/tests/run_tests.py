@@ -23,6 +23,11 @@ EXPECTED = {
     "omp_raw_shared_write.cpp": [("MC-OMP-002", "tasks_done")],
     "red_atomic_double.cpp": [("MC-RED-003", "total")],
     "red_reduction_clause.cpp": [("MC-RED-003", "acc")],
+    "win_unfenced_access.cpp": [
+        ("MC-WIN-004", "no fence anywhere"),
+        ("MC-WIN-004", "no fence anywhere"),
+    ],
+    "win_fenced_clean.cpp": [],
     "clean.cpp": [],
 }
 
