@@ -9,12 +9,38 @@ namespace mc::basis {
 
 BasisSet BasisSet::build(const chem::Molecule& mol,
                          const std::string& basis_name) {
+  return build_mixed(
+      mol, std::vector<std::string>(mol.natoms(), basis_name));
+}
+
+BasisSet BasisSet::build_mixed(
+    const chem::Molecule& mol,
+    const std::vector<std::string>& basis_per_atom) {
+  MC_CHECK(basis_per_atom.size() == mol.natoms(),
+           "build_mixed: need one basis name per atom");
   BasisSet bs;
-  bs.name_ = basis_name;
+  // Uniform assignment keeps the plain name; a genuine mix is labeled with
+  // the sorted set of distinct names so reports stay deterministic.
+  std::vector<std::string> distinct(basis_per_atom);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (distinct.empty()) {
+    bs.name_ = "";
+  } else if (distinct.size() == 1) {
+    bs.name_ = distinct.front();
+  } else {
+    bs.name_ = "mixed[";
+    for (std::size_t n = 0; n < distinct.size(); ++n) {
+      if (n > 0) bs.name_ += ",";
+      bs.name_ += distinct[n];
+    }
+    bs.name_ += "]";
+  }
   std::size_t bf = 0;
   for (std::size_t a = 0; a < mol.natoms(); ++a) {
     const chem::Atom& atom = mol.atom(a);
-    for (const RawShell& raw : element_basis(basis_name, atom.z)) {
+    for (const RawShell& raw : element_basis(basis_per_atom[a], atom.z)) {
       ++bs.n_gamess_;
       auto push = [&](int l, const std::vector<double>& coefs, bool from_sp) {
         Shell sh;

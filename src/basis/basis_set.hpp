@@ -21,6 +21,15 @@ class BasisSet {
   static BasisSet build(const chem::Molecule& mol,
                         const std::string& basis_name);
 
+  /// Mixed-basis variant: `basis_per_atom[a]` names the basis assigned to
+  /// atom `a` (size must equal mol.natoms()). Shell ordering follows atom
+  /// order exactly as in build(); when every entry is the same name the
+  /// result is identical to build(mol, name). Used by the differential
+  /// fuzzing harness, which assigns random bases per atom (DESIGN.md
+  /// section 14).
+  static BasisSet build_mixed(const chem::Molecule& mol,
+                              const std::vector<std::string>& basis_per_atom);
+
   [[nodiscard]] const std::vector<Shell>& shells() const { return shells_; }
   [[nodiscard]] const Shell& shell(std::size_t s) const { return shells_[s]; }
   [[nodiscard]] std::size_t nshells() const { return shells_.size(); }

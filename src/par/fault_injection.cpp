@@ -67,6 +67,44 @@ FaultOp fault_op_from_name(const std::string& name) {
   throw mc::Error("fault injection: unknown MC_FAULT_OP '" + name + "'");
 }
 
+const std::vector<FaultOp>& injectable_fault_ops() {
+  static const std::vector<FaultOp> ops = {
+      FaultOp::kSpawn,        FaultOp::kBarrier,  FaultOp::kAllreduceSum,
+      FaultOp::kAllreduceMax, FaultOp::kBroadcast, FaultOp::kDlbReset,
+      FaultOp::kSend,         FaultOp::kRecv,     FaultOp::kWinPut,
+      FaultOp::kWinGet,       FaultOp::kWinAcc,   FaultOp::kWinFence};
+  return ops;
+}
+
+std::string fault_plan_env_string(const FaultPlan& plan) {
+  if (!plan.enabled()) return "";
+  std::ostringstream os;
+  os << "MC_FAULT_RANK=" << plan.rank
+     << " MC_FAULT_OP=" << fault_op_name(plan.op)
+     << " MC_FAULT_CALL=" << plan.call_index;
+  if (plan.delay_ms > 0) os << " MC_FAULT_DELAY_MS=" << plan.delay_ms;
+  return os.str();
+}
+
+FaultPlan random_fault_plan(std::uint64_t bits, int nranks) {
+  if (nranks < 1) nranks = 1;
+  // Pure bit-slicing keeps the mapping identical on every platform (no
+  // std::uniform_int_distribution, whose draws are stdlib-specific).
+  FaultPlan plan;
+  plan.rank = static_cast<int>((bits >> 0) % static_cast<std::uint64_t>(nranks));
+  // kSpawn is excluded: spawn faults kill the job before the body runs, so
+  // they exercise run_spmd's launch path (covered by its own test), not the
+  // protocols the soak is after.
+  const std::vector<FaultOp>& ops = injectable_fault_ops();
+  const std::size_t nops = ops.size() - 1;  // minus kSpawn at index 0
+  plan.op = ops[1 + static_cast<std::size_t>((bits >> 8) % nops)];
+  plan.call_index = static_cast<long>((bits >> 16) % 8);
+  if (((bits >> 24) & 0x3) == 0) {
+    plan.delay_ms = 1 + static_cast<long>((bits >> 32) % 16);
+  }
+  return plan;
+}
+
 FaultPlan fault_plan_from_env() {
   FaultPlan plan;
   const char* rank = std::getenv("MC_FAULT_RANK");

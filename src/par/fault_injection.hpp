@@ -20,7 +20,9 @@
 // installed, so leaving it compiled in costs nothing measurable next to an
 // ERI batch.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mc::par {
 
@@ -80,6 +82,23 @@ void install_env_fault_plan_once();
 /// Stable names used by MC_FAULT_OP and error messages.
 [[nodiscard]] const char* fault_op_name(FaultOp op);
 [[nodiscard]] FaultOp fault_op_from_name(const std::string& name);
+
+/// Every injectable op (everything except kNone), in a stable order. The
+/// soak harness draws from this list when randomizing fault plans.
+[[nodiscard]] const std::vector<FaultOp>& injectable_fault_ops();
+
+/// The MC_FAULT_* environment assignment that reproduces `plan`, e.g.
+/// "MC_FAULT_RANK=1 MC_FAULT_OP=win_acc MC_FAULT_CALL=3". Disabled plans
+/// render as "" (no fault). Failure messages print this so any randomized
+/// soak failure is a copy-paste deterministic repro.
+[[nodiscard]] std::string fault_plan_env_string(const FaultPlan& plan);
+
+/// Deterministically derive a fault plan from 64 random bits (the soak
+/// harness's per-job seed material -- pure function, no hidden RNG state):
+/// rank in [0, nranks), op drawn from injectable_fault_ops() minus kSpawn,
+/// call_index in [0, 8), and roughly one plan in four is a delay fault
+/// (1..16 ms stall) instead of a hard failure.
+[[nodiscard]] FaultPlan random_fault_plan(std::uint64_t bits, int nranks);
 
 /// Hook placed at every injectable call site: throws mc::Error if the
 /// installed plan matches (rank, op) and the call count has been reached.

@@ -8,19 +8,18 @@
 // On "bit-comparable": a race-free parallel Fock build computes exactly the
 // serial quartet set and only reassociates the additions, so every element
 // lands within a few dozen ULPs of the serial reference (measured: <= ~40
-// ULPs across the rank/thread/schedule sweep). A protocol regression -- a
-// lost update, a buffer flushed twice, a misrouted contribution -- changes
-// the *set* of summed terms and moves elements by whole quartet
-// contributions, i.e. >= the screening threshold and billions of ULPs.
-// kMaxSkeletonUlps sits orders of magnitude above rounding and orders of
-// magnitude below the smallest possible protocol error, making
-// "race-free by construction" an enforced invariant rather than a comment.
+// ULPs across the rank/thread/schedule sweep). The comparison core and the
+// full separation argument live in tests/fuzz/ulp_compare.hpp, shared with
+// the randomized differential fuzz harness; this header wraps it in gtest
+// assertions.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <mutex>
 #include <string>
+
+#include "fuzz/ulp_compare.hpp"
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
@@ -38,15 +37,9 @@
 
 namespace mc::core {
 
-/// ULP budget for a race-free parallel skeleton against the serial
-/// reference (see the header comment for the separation argument).
-inline constexpr std::uint64_t kMaxSkeletonUlps = 4096;
-
-/// Elements whose absolute gap is below this are compared as equal without
-/// consulting ULPs: around a catastrophic cancellation the same set of
-/// terms can sum to 1e-16-ish residuals of opposite sign, which are
-/// physically identical but ULP-distant.
-inline constexpr double kCancellationFloor = 1e-13;
+// kMaxSkeletonUlps and kCancellationFloor come from fuzz/ulp_compare.hpp
+// (same namespace), so every suite that included them from here is
+// unchanged.
 
 struct FockFixture {
   chem::Molecule mol;
@@ -145,24 +138,8 @@ inline void expect_bit_comparable(const la::Matrix& g, const la::Matrix& ref,
                                   const std::string& what) {
   ASSERT_EQ(g.rows(), ref.rows()) << what;
   ASSERT_EQ(g.cols(), ref.cols()) << what;
-  std::uint64_t worst = 0;
-  std::size_t worst_i = 0;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    const double a = g.data()[i];
-    const double b = ref.data()[i];
-    if (a == b) continue;
-    if (std::abs(a - b) <= kCancellationFloor && max_ulps > 0) continue;
-    const std::uint64_t u = la::ulp_distance(a, b);
-    if (u > worst) {
-      worst = u;
-      worst_i = i;
-    }
-  }
-  EXPECT_LE(worst, max_ulps)
-      << what << ": element " << worst_i << " differs by " << worst
-      << " ULPs (" << g.data()[worst_i] << " vs " << ref.data()[worst_i]
-      << ") -- a gap this large means a lost or duplicated contribution, "
-         "not rounding";
+  const UlpComparison cmp = compare_bit_comparable(g, ref, max_ulps);
+  EXPECT_TRUE(cmp.ok) << describe_ulp_failure(cmp, what);
 }
 
 }  // namespace mc::core

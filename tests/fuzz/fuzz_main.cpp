@@ -1,0 +1,165 @@
+// Differential fuzz driver (DESIGN.md section 14).
+//
+//   fuzz_differential [--samples N] [--seed S] [--replay SAMPLE_SEED]
+//                     [--replay-env] [--jsonl PATH] [--max-ranks R]
+//
+// Default: N samples derived from the master seed (MC_FUZZ_SEED env or
+// --seed; both accept 0x-hex), each run through the full cross-builder
+// differential sweep. Every failure prints the sample's own seed and the
+// one-line replay command, so a red CI run is a deterministic unit test:
+//
+//   MC_FUZZ_SEED=0x0123456789abcdef ctest --test-dir build -R fuzz_replay
+//
+// --replay runs exactly one sample from its printed seed; --replay-env
+// does the same from MC_FUZZ_SEED and exits 77 ("skip" to ctest) when the
+// variable is unset, which is how the fuzz_replay ctest entry stays green
+// until someone hands it a seed to reproduce.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fuzz/differential_harness.hpp"
+#include "fuzz/fuzz_rng.hpp"
+#include "fuzz/molecule_generator.hpp"
+
+namespace {
+
+constexpr int kSkipExitCode = 77;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--samples N] [--seed S] [--replay SAMPLE_SEED]\n"
+               "          [--replay-env] [--jsonl PATH] [--max-ranks R]\n",
+               argv0);
+  return 2;
+}
+
+struct Args {
+  std::uint64_t master_seed = 0x4D43485546ULL;  // default fixed seed
+  std::uint64_t replay_seed = 0;
+  bool replay = false;
+  bool replay_env = false;
+  long samples = 20;
+  int max_ranks = 4;
+  std::string jsonl_path;
+};
+
+void report_failure(const mc::fuzz::SampleReport& rep) {
+  std::fprintf(stderr, "FAIL %s\n", rep.sample.describe().c_str());
+  for (const std::string& f : rep.failures) {
+    std::fprintf(stderr, "  %s\n", f.c_str());
+  }
+  std::fprintf(stderr,
+               "  replay: MC_FUZZ_SEED=%s ctest --test-dir build -R "
+               "fuzz_replay\n",
+               mc::fuzz::format_seed(rep.sample.seed).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (const char* env = std::getenv("MC_FUZZ_SEED")) {
+    if (!mc::fuzz::parse_seed(env, args.master_seed)) {
+      std::fprintf(stderr, "bad MC_FUZZ_SEED '%s'\n", env);
+      return 2;
+    }
+  }
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    auto next = [&]() -> const char* {
+      return (a + 1 < argc) ? argv[++a] : nullptr;
+    };
+    if (std::strcmp(arg, "--samples") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      args.samples = std::strtol(v, nullptr, 10);
+      if (args.samples < 1) return usage(argv[0]);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = next();
+      if (v == nullptr || !mc::fuzz::parse_seed(v, args.master_seed)) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      const char* v = next();
+      if (v == nullptr || !mc::fuzz::parse_seed(v, args.replay_seed)) {
+        return usage(argv[0]);
+      }
+      args.replay = true;
+    } else if (std::strcmp(arg, "--replay-env") == 0) {
+      args.replay_env = true;
+    } else if (std::strcmp(arg, "--jsonl") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      args.jsonl_path = v;
+    } else if (std::strcmp(arg, "--max-ranks") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      args.max_ranks = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (args.max_ranks < 1) return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (args.replay_env) {
+    const char* env = std::getenv("MC_FUZZ_SEED");
+    if (env == nullptr) {
+      std::fprintf(stderr,
+                   "fuzz_replay: MC_FUZZ_SEED unset, nothing to replay "
+                   "(skip)\n");
+      return kSkipExitCode;
+    }
+    if (!mc::fuzz::parse_seed(env, args.replay_seed)) {
+      std::fprintf(stderr, "bad MC_FUZZ_SEED '%s'\n", env);
+      return 2;
+    }
+    args.replay = true;
+  }
+
+  mc::fuzz::MoleculeGenerator gen;
+  mc::fuzz::HarnessOptions hopt;
+  hopt.max_ranks = args.max_ranks;
+  const mc::fuzz::DifferentialHarness harness(hopt);
+
+  std::ofstream jsonl;
+  if (!args.jsonl_path.empty()) {
+    jsonl.open(args.jsonl_path);
+    if (!jsonl) {
+      std::fprintf(stderr, "cannot open %s\n", args.jsonl_path.c_str());
+      return 2;
+    }
+  }
+
+  long failed = 0;
+  const long total = args.replay ? 1 : args.samples;
+  for (long i = 0; i < total; ++i) {
+    const std::uint64_t sample_seed =
+        args.replay ? args.replay_seed
+                    : mc::fuzz::derive_seed(args.master_seed,
+                                            static_cast<std::uint64_t>(i));
+    mc::fuzz::SampleReport rep;
+    try {
+      rep = harness.run(gen.from_seed(sample_seed));
+    } catch (const std::exception& e) {
+      rep.sample.seed = sample_seed;
+      rep.failures.push_back(std::string("generator threw: ") + e.what());
+    }
+    if (jsonl.is_open()) jsonl << rep.json() << "\n";
+    if (!rep.ok()) {
+      ++failed;
+      report_failure(rep);
+    } else {
+      std::printf("ok   %s engines=%zu worst_ulps=%llu\n",
+                  rep.sample.describe().c_str(), rep.engines_run,
+                  static_cast<unsigned long long>(rep.worst_ulps));
+    }
+  }
+
+  std::printf("%ld/%ld samples passed (master seed %s)\n", total - failed,
+              total, mc::fuzz::format_seed(args.master_seed).c_str());
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+#pragma once
+// Deterministic RNG for the fuzz harness. splitmix64 (Steele, Lea &
+// Flood's SplittableRandom finalizer) rather than <random> distributions:
+// std::uniform_*_distribution draws are stdlib-specific, and the whole
+// point of MC_FUZZ_SEED is that a seed printed by a CI failure replays the
+// identical sample on any machine. Every derived quantity here is a pure
+// function of 64-bit integer arithmetic.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mc::fuzz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniform bits.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). n == 0 returns 0. The modulo bias at
+  /// n << 2^64 is far below anything the harness could observe.
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  /// Uniform double in [lo, hi) from the top 53 bits.
+  double uniform(double lo, double hi) {
+    const double u =
+        static_cast<double>(next() >> 11) * 0x1.0p-53;  // [0, 1)
+    return lo + u * (hi - lo);
+  }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Per-sample seed derived from the master seed and the sample index, so
+/// one master seed names a whole run while each sample remains
+/// independently replayable (`--replay <sample seed>`).
+inline std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) {
+  Rng r(master ^ (index + 1) * 0xD1B54A32D192ED03ULL);
+  r.next();
+  return r.next();
+}
+
+/// Seeds render as 0x-hex everywhere (failure messages, JSONL, --replay)
+/// so they round-trip through shells and logs without sign or base
+/// ambiguity.
+inline std::string format_seed(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+/// Parse a seed as printed by format_seed (or any strtoull base-0 form).
+/// Returns false on garbage rather than throwing: callers turn it into a
+/// usage error with context.
+inline bool parse_seed(const char* text, std::uint64_t& seed) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') return false;
+  seed = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace mc::fuzz

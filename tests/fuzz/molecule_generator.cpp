@@ -1,0 +1,265 @@
+#include "fuzz/molecule_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "basis/basis_library.hpp"
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "common/error.hpp"
+#include "fuzz/fuzz_rng.hpp"
+#include "ints/one_electron.hpp"
+#include "la/orthogonalizer.hpp"
+
+namespace mc::fuzz {
+
+namespace {
+
+// Template ids. Order is part of the seed contract: reordering changes
+// what every existing seed replays to.
+enum class Template {
+  kH2,
+  kHehPlus,
+  kWater,
+  kMethane,
+  kEthane,
+  kHChain,       // near-linear H chain (degenerate)
+  kWaterDimer,   // far-separated pair (screening sparsity)
+  kTightWater,   // compressed O-H bond (degenerate)
+  kCount,
+};
+
+const char* template_name(Template t) {
+  switch (t) {
+    case Template::kH2: return "h2";
+    case Template::kHehPlus: return "heh+";
+    case Template::kWater: return "water";
+    case Template::kMethane: return "methane";
+    case Template::kEthane: return "ethane";
+    case Template::kHChain: return "h-chain";
+    case Template::kWaterDimer: return "water-dimer";
+    case Template::kTightWater: return "tight-water";
+    case Template::kCount: break;
+  }
+  return "unknown";
+}
+
+bool is_degenerate(Template t) {
+  return t == Template::kHChain || t == Template::kTightWater;
+}
+
+/// Build the base geometry for a template (before global jitter).
+chem::Molecule build_template(Template t, Rng& r, int& base_charge) {
+  namespace b = chem::builders;
+  base_charge = 0;
+  switch (t) {
+    case Template::kH2:
+      return b::h2(r.uniform(1.0, 2.2));
+    case Template::kHehPlus:
+      base_charge = 1;
+      return b::heh_plus(r.uniform(1.2, 1.8));
+    case Template::kWater:
+      return b::water();
+    case Template::kMethane:
+      return b::methane();
+    case Template::kEthane:
+      return b::alkane(2);
+    case Template::kHChain: {
+      // 3..5 hydrogens along x at near-bonding spacing with only a tiny
+      // transverse displacement: overlapping diffuse functions drive S
+      // toward singularity, the canonical-orthogonalizer stress case.
+      const std::size_t n = 3 + r.below(3);
+      const double spacing = r.uniform(1.3, 1.8);
+      chem::Molecule mol;
+      for (std::size_t a = 0; a < n; ++a) {
+        mol.add_atom(1, static_cast<double>(a) * spacing,
+                     r.uniform(-0.05, 0.05), r.uniform(-0.05, 0.05));
+      }
+      return mol;
+    }
+    case Template::kWaterDimer: {
+      chem::Molecule w1 = b::water();
+      chem::Molecule w2 =
+          b::water().rotated(r.uniform(0.0, 3.1), r.uniform(0.0, 1.5));
+      w2 = w2.translated(r.uniform(6.0, 14.0), 0.4, 0.2);
+      chem::Molecule mol = w1;
+      for (const chem::Atom& atom : w2.atoms()) {
+        mol.add_atom(atom.z, atom.xyz[0], atom.xyz[1], atom.xyz[2]);
+      }
+      return mol;
+    }
+    case Template::kTightWater: {
+      // Pull one hydrogen radially toward the oxygen to ~25-45% of its
+      // bond length: severely overlapping shells without fusing atoms.
+      chem::Molecule w = b::water();
+      const double f = r.uniform(0.25, 0.45);
+      chem::Molecule mol;
+      const chem::Atom& o = w.atom(0);
+      mol.add_atom(o.z, o.xyz[0], o.xyz[1], o.xyz[2]);
+      for (std::size_t a = 1; a < w.natoms(); ++a) {
+        const chem::Atom& h = w.atom(a);
+        if (a == 1) {
+          mol.add_atom(h.z, o.xyz[0] + f * (h.xyz[0] - o.xyz[0]),
+                       o.xyz[1] + f * (h.xyz[1] - o.xyz[1]),
+                       o.xyz[2] + f * (h.xyz[2] - o.xyz[2]));
+        } else {
+          mol.add_atom(h.z, h.xyz[0], h.xyz[1], h.xyz[2]);
+        }
+      }
+      return mol;
+    }
+    case Template::kCount: break;
+  }
+  throw mc::Error("fuzz: bad template id");
+}
+
+chem::Molecule jittered(const chem::Molecule& mol, Rng& r, double max_jitter) {
+  const double j = r.uniform(0.0, max_jitter);
+  chem::Molecule out;
+  for (const chem::Atom& atom : mol.atoms()) {
+    out.add_atom(atom.z, atom.xyz[0] + r.uniform(-j, j),
+                 atom.xyz[1] + r.uniform(-j, j),
+                 atom.xyz[2] + r.uniform(-j, j));
+  }
+  return out;
+}
+
+/// Net charges giving an even, positive electron count, nearest-first.
+std::vector<int> valid_charges(const chem::Molecule& mol, int base_charge) {
+  std::vector<int> out;
+  for (int d : {0, 1, -1, 2, -2}) {
+    const int c = base_charge + d;
+    const int nelec = mol.nelectrons(c);
+    if (nelec > 0 && nelec % 2 == 0) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FuzzSample::basis_label() const {
+  std::vector<std::string> distinct(basis_per_atom);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (distinct.size() == 1) return distinct.front();
+  std::string label = "mixed[";
+  for (std::size_t n = 0; n < distinct.size(); ++n) {
+    if (n > 0) label += ",";
+    label += distinct[n];
+  }
+  return label + "]";
+}
+
+std::string FuzzSample::describe() const {
+  std::ostringstream os;
+  os << "seed=" << format_seed(seed) << " template=" << template_name
+     << " natoms=" << mol.natoms() << " charge=" << charge
+     << " basis=" << basis_label() << " threshold=" << schwarz_threshold;
+  if (degenerate) os << " degenerate";
+  return os.str();
+}
+
+FuzzSample MoleculeGenerator::from_seed(std::uint64_t sample_seed) const {
+  // Bounded, deterministic rejection loop: each attempt re-derives its RNG
+  // from (seed, attempt) so a rejected candidate never perturbs the next
+  // one's stream.
+  for (std::uint64_t attempt = 0; attempt < 32; ++attempt) {
+    Rng r(derive_seed(sample_seed, 0x5EED0000 + attempt));
+
+    Template t = static_cast<Template>(
+        r.below(static_cast<std::size_t>(Template::kCount)));
+    if (!opt_.degenerate_geometries && is_degenerate(t)) {
+      t = Template::kWater;  // deterministic stand-in, not a reroll
+    }
+
+    int base_charge = 0;
+    chem::Molecule mol = build_template(t, r, base_charge);
+    mol = jittered(mol, r, opt_.max_jitter_bohr);
+    if (mol.min_distance() < 0.3) continue;  // fused atoms: singular pairs
+
+    const std::vector<int> charges = valid_charges(mol, base_charge);
+    if (charges.empty()) continue;
+    const int charge =
+        opt_.random_charge
+            ? charges[r.below(charges.size())]
+            : charges.front();
+
+    // Per-atom basis: the subset of built-in sets covering this element.
+    // About a third of samples stay uniform so the plain-basis path keeps
+    // getting fuzzed too.
+    const std::vector<std::string> all = basis::available_basis_sets();
+    const bool uniform = !opt_.mixed_basis || r.chance(1, 3);
+    std::string uniform_name;
+    if (uniform) {
+      std::vector<std::string> usable;
+      for (const std::string& name : all) {
+        bool ok = true;
+        for (const chem::Atom& atom : mol.atoms()) {
+          if (!basis::has_element_basis(name, atom.z)) ok = false;
+        }
+        if (ok) usable.push_back(name);
+      }
+      if (usable.empty()) continue;
+      uniform_name = usable[r.below(usable.size())];
+    }
+    std::vector<std::string> basis_per_atom;
+    basis_per_atom.reserve(mol.natoms());
+    bool basis_ok = true;
+    for (const chem::Atom& atom : mol.atoms()) {
+      if (uniform) {
+        basis_per_atom.push_back(uniform_name);
+        continue;
+      }
+      std::vector<std::string> usable;
+      for (const std::string& name : all) {
+        if (basis::has_element_basis(name, atom.z)) usable.push_back(name);
+      }
+      if (usable.empty()) {
+        basis_ok = false;
+        break;
+      }
+      basis_per_atom.push_back(usable[r.below(usable.size())]);
+    }
+    if (!basis_ok) continue;
+
+    basis::BasisSet bs;
+    try {
+      bs = basis::BasisSet::build_mixed(mol, basis_per_atom);
+    } catch (const mc::Error&) {
+      continue;
+    }
+    if (bs.nbf() > opt_.max_nbf || bs.nbf() == 0) continue;
+
+    const int nocc = mol.nelectrons(charge) / 2;
+    // The orthogonalizer may drop near-dependent columns (the degenerate
+    // templates exist to force exactly that); the sample is only valid if
+    // the occupied space still fits.
+    la::Matrix s = ints::overlap_matrix(bs);
+    la::Matrix x = la::canonical_orthogonalizer(s);
+    if (static_cast<std::size_t>(nocc) > x.cols() || nocc < 1) continue;
+
+    FuzzSample sample;
+    sample.seed = sample_seed;
+    sample.template_name = template_name(t);
+    sample.mol = std::move(mol);
+    sample.basis_per_atom = std::move(basis_per_atom);
+    sample.charge = charge;
+    sample.nocc = nocc;
+    // Log-uniform Schwarz threshold over three decades around the GAMESS
+    // default: exercises both dense (keep everything) and sparse regimes.
+    sample.schwarz_threshold = std::pow(10.0, r.uniform(-11.0, -8.0));
+    sample.degenerate = is_degenerate(t);
+    return sample;
+  }
+  throw mc::Error("fuzz: seed " + format_seed(sample_seed) +
+                  " rejected 32 consecutive candidates -- generator bug");
+}
+
+FuzzSample MoleculeGenerator::sample(std::uint64_t master_seed,
+                                     std::uint64_t index) const {
+  return from_seed(derive_seed(master_seed, index));
+}
+
+}  // namespace mc::fuzz

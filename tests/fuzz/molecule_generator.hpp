@@ -1,0 +1,73 @@
+#pragma once
+// Seeded random sample space for the differential fuzz harness (DESIGN.md
+// section 14): template molecules under geometry jitter, random net
+// charge, per-atom mixed basis assignment, random Schwarz threshold, and
+// deliberately degenerate / near-linearly-dependent geometries. Every
+// sample is a pure function of its 64-bit seed, so a seed printed by a
+// failing CI run rebuilds the identical molecule anywhere.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace mc::fuzz {
+
+/// One generated job: everything the harness needs to build the basis,
+/// screening, and densities. `seed` replays it via
+/// MoleculeGenerator::from_seed.
+struct FuzzSample {
+  std::uint64_t seed = 0;
+  std::string template_name;
+  chem::Molecule mol;
+  std::vector<std::string> basis_per_atom;
+  int charge = 0;
+  int nocc = 0;  ///< occupied orbitals (validated: fits the orthogonalizer)
+  double schwarz_threshold = 1e-10;
+  /// True for samples built from a deliberately degenerate template
+  /// (compressed bonds / near-linear chains): expect dropped columns in
+  /// the canonical orthogonalizer.
+  bool degenerate = false;
+
+  /// Uniform basis name, or "mixed[...]" (matches BasisSet::name()).
+  [[nodiscard]] std::string basis_label() const;
+  /// One-line description for failure messages and the JSONL log.
+  [[nodiscard]] std::string describe() const;
+};
+
+struct GeneratorOptions {
+  /// Max per-coordinate jitter (Bohr) applied to every template geometry.
+  double max_jitter_bohr = 0.25;
+  /// Assign random bases per atom (about 2/3 of samples); false = uniform.
+  bool mixed_basis = true;
+  /// Draw a random valid net charge; false = smallest valid |charge|.
+  bool random_charge = true;
+  /// Include the compressed/near-linear templates.
+  bool degenerate_geometries = true;
+  /// Reject samples above this many basis functions (cost cap: the
+  /// harness runs ~20 full Fock builds per sample).
+  std::size_t max_nbf = 60;
+};
+
+class MoleculeGenerator {
+ public:
+  explicit MoleculeGenerator(GeneratorOptions opt = {}) : opt_(opt) {}
+
+  /// The sample named by `sample_seed` -- deterministic, including the
+  /// bounded rejection loop for geometries that fail validation (atom
+  /// fusion, odd electron count with no valid charge, nbf cap). Throws
+  /// mc::Error only if every attempt is rejected, which a correct
+  /// template set cannot produce.
+  [[nodiscard]] FuzzSample from_seed(std::uint64_t sample_seed) const;
+
+  /// Sample `index` of the run named by `master_seed`:
+  /// from_seed(derive_seed(master_seed, index)).
+  [[nodiscard]] FuzzSample sample(std::uint64_t master_seed,
+                                  std::uint64_t index) const;
+
+ private:
+  GeneratorOptions opt_;
+};
+
+}  // namespace mc::fuzz

@@ -1,0 +1,98 @@
+#pragma once
+// The bit-comparability predicate shared by the gtest equivalence suites
+// (tests/fock_fixture.hpp wraps it in ASSERT/EXPECT) and the fuzz/soak
+// binaries, which have no gtest and report through their own replay-seed
+// machinery.
+//
+// Separation argument (DESIGN.md section 14): a race-free parallel Fock
+// build computes exactly the serial quartet set and only reassociates the
+// additions, so every element lands within a few dozen ULPs of the serial
+// reference. A protocol regression -- a lost update, a buffer flushed
+// twice, a misrouted contribution -- changes the *set* of summed terms and
+// moves elements by whole quartet contributions, i.e. >= the screening
+// threshold and billions of ULPs. kMaxSkeletonUlps sits orders of
+// magnitude above rounding and orders of magnitude below the smallest
+// possible protocol error, and the randomized fuzz sweep checks that the
+// separation holds across the whole generated sample space, not just the
+// hand-picked fixture molecules.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace mc::core {
+
+/// ULP budget for a race-free parallel skeleton against the serial
+/// reference (see the header comment for the separation argument).
+inline constexpr std::uint64_t kMaxSkeletonUlps = 4096;
+
+/// Elements whose absolute gap is below this are compared as equal without
+/// consulting ULPs: around a catastrophic cancellation the same set of
+/// terms can sum to 1e-16-ish residuals of opposite sign, which are
+/// physically identical but ULP-distant.
+inline constexpr double kCancellationFloor = 1e-13;
+
+/// Result of comparing a candidate matrix against the reference.
+struct UlpComparison {
+  bool ok = false;
+  std::uint64_t worst_ulps = 0;  ///< worst element's ULP distance
+  std::size_t worst_index = 0;   ///< flat index of the worst element
+  double got = 0.0;              ///< candidate value at worst_index
+  double want = 0.0;             ///< reference value at worst_index
+  std::string shape_error;       ///< non-empty if the shapes disagree
+};
+
+/// Compare every element of `g` against `ref` under the skeleton
+/// equivalence contract: equal bits pass, gaps inside the cancellation
+/// floor pass (unless max_ulps == 0, which demands bit-identity), and
+/// otherwise the ULP distance must not exceed `max_ulps`.
+inline UlpComparison compare_bit_comparable(const la::Matrix& g,
+                                            const la::Matrix& ref,
+                                            std::uint64_t max_ulps) {
+  UlpComparison cmp;
+  if (g.rows() != ref.rows() || g.cols() != ref.cols()) {
+    std::ostringstream os;
+    os << "shape mismatch: " << g.rows() << "x" << g.cols() << " vs "
+       << ref.rows() << "x" << ref.cols();
+    cmp.shape_error = os.str();
+    return cmp;
+  }
+  std::uint64_t worst = 0;
+  std::size_t worst_i = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double a = g.data()[i];
+    const double b = ref.data()[i];
+    if (a == b) continue;
+    if (std::abs(a - b) <= kCancellationFloor && max_ulps > 0) continue;
+    const std::uint64_t u = la::ulp_distance(a, b);
+    if (u > worst) {
+      worst = u;
+      worst_i = i;
+    }
+  }
+  cmp.worst_ulps = worst;
+  cmp.worst_index = worst_i;
+  cmp.got = g.data()[worst_i];
+  cmp.want = ref.data()[worst_i];
+  cmp.ok = worst <= max_ulps;
+  return cmp;
+}
+
+/// Human-readable failure description ("" when cmp.ok).
+inline std::string describe_ulp_failure(const UlpComparison& cmp,
+                                        const std::string& what) {
+  if (cmp.ok) return "";
+  if (!cmp.shape_error.empty()) return what + ": " + cmp.shape_error;
+  std::ostringstream os;
+  os << what << ": element " << cmp.worst_index << " differs by "
+     << cmp.worst_ulps << " ULPs (" << cmp.got << " vs " << cmp.want
+     << ") -- a gap this large means a lost or duplicated contribution, "
+        "not rounding";
+  return os.str();
+}
+
+}  // namespace mc::core
