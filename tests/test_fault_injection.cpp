@@ -138,7 +138,6 @@ TEST_F(FaultInjectionTest, WindowPutFaultAbortsPeersAtNextFence) {
     Window w = comm.win_create("t:fault-put", {4, 4, 4, 4});
     const double v = 1.0;
     comm.win_put(w, w.rank_base(comm.rank()), &v, 1);  // rank 2 faults here
-    // mc-lint: allow(MC-COLL-001): rank 2 never reaches the fence
     comm.win_fence(w);
   });
 }
@@ -149,7 +148,6 @@ TEST_F(FaultInjectionTest, WindowGetFaultAbortsPeersAtNextFence) {
     Window w = comm.win_create("t:fault-get", {4, 4, 4});
     double buf[4];
     comm.win_get(w, 0, buf, 4);
-    // mc-lint: allow(MC-COLL-001): rank 0 never reaches the fence
     comm.win_fence(w);
   });
 }
@@ -160,7 +158,6 @@ TEST_F(FaultInjectionTest, WindowAccFaultAbortsPeersAtNextFence) {
     Window w = comm.win_create("t:fault-acc", {4, 4, 4});
     const double v = 2.0;
     comm.win_acc(w, 0, &v, 1);
-    // mc-lint: allow(MC-COLL-001): rank 1 never reaches the fence
     comm.win_fence(w);
   });
 }

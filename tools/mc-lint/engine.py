@@ -1,0 +1,381 @@
+"""Source model + lexing front ends shared by every mc-lint rule.
+
+A SourceModel is a file reduced to what the checks consume: `cleaned`
+text with comments/strings blanked (line structure preserved
+byte-for-byte), per-line allow directives, and malformed-directive
+notes. Two front ends produce it -- a libclang token stream when the
+`clang.cindex` bindings and a loadable libclang are available, and a
+regex lexer needing only the standard library -- so every analysis
+(lexical and interprocedural alike) reports identical findings under
+either engine.
+"""
+
+from __future__ import annotations
+
+import re
+
+CHECKS = {
+    "MC-COLL-001": "MPI collective under a rank-dependent branch",
+    "MC-OMP-002": "raw shared-state write inside an omp parallel region",
+    "MC-RED-003": "unordered floating-point accumulation",
+    "MC-WIN-004": "one-sided window access outside a fence epoch",
+    "MC-SEQ-005": "divergent collective sequences across rank-dependent "
+                  "sibling branches",
+    "MC-FP-006": "unordered FP accumulation reaching golden-checked state",
+}
+
+# Pseudo-check ids that can appear in findings but are not user-selectable.
+DIRECTIVE_CHECK = "MC-LINT-DIRECTIVE"
+
+COLLECTIVES = {
+    "barrier",
+    "gsumf",
+    "bcast",
+    "broadcast",
+    "allreduce_sum",
+    "allreduce_max",
+    "dlb_reset",
+    "arrive_and_wait",
+}
+
+# Epoch-bearing one-sided operations. `win_*` are the Comm primitives;
+# put/get/acc/fence/create/destroy member calls count only through an
+# identifier that names a Ddi handle (deliberately narrow so ordinary
+# containers' .get()/.put() never match).
+WIN_OPS = {"put", "get", "acc"}
+
+RANK_COND_RE = re.compile(r"\brank\b|\brank_(?![\w])|\bmy_rank\b|\brank\(\)")
+
+ALLOW_RE = re.compile(
+    r"//\s*mc-lint:\s*allow\(\s*(MC-[A-Z]+-\d+)\s*\)\s*(?::\s*(\S.*))?")
+
+SOURCE_EXTS = (".cpp", ".cc", ".cxx", ".hpp", ".h")
+
+KEYWORDS_NOT_TYPES = {
+    "return", "delete", "throw", "goto", "else", "break", "continue",
+    "case", "new", "sizeof", "typedef", "using", "co_return", "co_await",
+    "co_yield", "if", "while", "for", "do", "switch", "public", "private",
+    "protected", "template", "typename", "namespace", "operator",
+}
+
+TYPE_KEYWORDS = {
+    "auto", "int", "long", "double", "float", "bool", "unsigned", "signed",
+    "char", "short", "void", "const", "constexpr", "static", "size_t",
+}
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*|::|->|\+\+|--|<<=|>>=|[<>!=+\-*/&|^]=|&&|\|\||\S")
+
+ASSIGN_OP_RE_SRC = (
+    r"<<=|>>=|\+=|-=|\*=|/=|%=|&=|\|=|\^=|(?<![<>!=+\-*/%&|^=])=(?![=])")
+
+
+class Finding:
+    def __init__(self, check, path, line, message, suppression=None):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.message = message
+        # None, or {"kind": "ledger", "reason": ...} once a checked-in
+        # suppression claims the finding (inline allows drop findings
+        # before they are ever constructed).
+        self.suppression = suppression
+
+    def as_dict(self):
+        d = {
+            "check": self.check,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.suppression:
+            d["suppression"] = self.suppression
+        return d
+
+    def __str__(self):
+        tag = " (suppressed)" if self.suppression else ""
+        return f"{self.path}:{self.line}: [{self.check}]{tag} {self.message}"
+
+
+class SourceModel:
+    def __init__(self, path, cleaned, allows, directive_errors):
+        self.path = path
+        self.cleaned = cleaned
+        self.allows = allows  # directive line -> set of check ids
+        self.directive_errors = directive_errors  # [(line, message)]
+        # (directive_line, check) pairs consumed by a finding; the
+        # complement of this against `allows` is the stale-allow set that
+        # --audit-allows reports.
+        self.allow_hits = set()
+        self.line_starts = [0]
+        for i, ch in enumerate(cleaned):
+            if ch == "\n":
+                self.line_starts.append(i + 1)
+
+    def line_of(self, offset):
+        lo, hi = 0, len(self.line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def allowed(self, check, line):
+        for ln in (line, line - 1):
+            ids = self.allows.get(ln)
+            if ids and check in ids:
+                self.allow_hits.add((ln, check))
+                return True
+        return False
+
+    def stale_allows(self):
+        out = []
+        for ln, ids in sorted(self.allows.items()):
+            for check in sorted(ids):
+                if (ln, check) not in self.allow_hits:
+                    out.append((ln, check))
+        return out
+
+
+def _collect_allows(comment_text, line, allows, directive_errors):
+    m = ALLOW_RE.search(comment_text)
+    if not m:
+        return
+    check, reason = m.group(1), m.group(2)
+    if not reason:
+        directive_errors.append(
+            (line, f"allow({check}) directive is missing its reason"))
+        return
+    allows.setdefault(line, set()).add(check)
+
+
+def model_from_text(path, text):
+    """Regex lexer: blank comments, string and char literals (keeping
+    newlines) and collect mc-lint directives from comments."""
+    allows = {}
+    errors = []
+    out = []
+    i, n = 0, len(text)
+    line = 1
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            _collect_allows(text[i:j], line, allows, errors)
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            chunk = text[i:j]
+            _collect_allows("//" + chunk, line, allows, errors)
+            for c in chunk:
+                out.append("\n" if c == "\n" else " ")
+                if c == "\n":
+                    line += 1
+            i = j
+        elif ch == '"' or ch == "'":
+            if ch == '"' and i >= 1 and text[i - 1] == "R":
+                m = re.match(r'R"([^(\s]*)\(', text[i - 1:i + 20])
+                if m:
+                    end = text.find(f"){m.group(1)}\"", i)
+                    end = n if end < 0 else end + len(m.group(1)) + 2
+                    for c in text[i:end]:
+                        out.append("\n" if c == "\n" else " ")
+                        if c == "\n":
+                            line += 1
+                    i = end
+                    continue
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                if j < n and text[j] == "\n":
+                    break  # unterminated; bail at line end
+                j += 1
+            j = min(j + 1, n)
+            out.append(ch + " " * (j - i - 1))
+            i = j
+        else:
+            out.append(ch)
+            if ch == "\n":
+                line += 1
+            i += 1
+    return SourceModel(path, "".join(out), allows, errors)
+
+
+def model_from_clang(path, text):
+    """libclang lexing front end: rebuild the cleaned text from the token
+    stream (everything but comments/literals placed at its original
+    line/column), directives from comment tokens. Raises on any import or
+    parse problem; the caller falls back to the text engine."""
+    from clang import cindex  # noqa: PLC0415
+
+    index = cindex.Index.create()
+    tu = index.parse(path, args=["-std=c++20", "-fsyntax-only"],
+                     unsaved_files=[(path, text)],
+                     options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    lines = text.split("\n")
+    canvas = [[" "] * len(l) for l in lines]
+    allows = {}
+    errors = []
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        kind = tok.kind.name
+        loc = tok.location
+        row, col = loc.line - 1, loc.column - 1
+        if kind == "COMMENT":
+            _collect_allows(tok.spelling, loc.line, allows, errors)
+            continue
+        spelling = tok.spelling
+        if kind == "LITERAL" and (spelling.startswith('"')
+                                  or spelling.startswith("'")):
+            spelling = spelling[0]
+        for k, ch in enumerate(spelling):
+            if ch == "\n":
+                break
+            if row < len(canvas) and col + k < len(canvas[row]):
+                canvas[row][col + k] = ch
+    cleaned = "\n".join("".join(r) for r in canvas)
+    return SourceModel(path, cleaned, allows, errors)
+
+
+def tokenize(model):
+    """(text, line) token stream of the cleaned text."""
+    toks = []
+    for lineno, line in enumerate(model.cleaned.split("\n"), start=1):
+        for m in TOKEN_RE.finditer(line):
+            toks.append((m.group(0), lineno))
+    return toks
+
+
+def tokenize_offsets(text, model):
+    """(text, line, offset) token stream over an arbitrary cleaned text
+    sharing `model`'s line structure (used with blank_pragmas)."""
+    toks = []
+    for m in TOKEN_RE.finditer(text):
+        toks.append((m.group(0), model.line_of(m.start()), m.start()))
+    return toks
+
+
+# --------------------------------------------------------------------------
+# Pragma / region utilities
+# --------------------------------------------------------------------------
+
+PRAGMA_RE = re.compile(r"^[ \t]*#[ \t]*pragma[ \t]+omp\b.*$", re.MULTILINE)
+
+
+def pragmas(model):
+    """Logical `#pragma omp` directives: (start_offset, body_offset, text)
+    where body_offset is the first char after the directive (continuation
+    lines joined)."""
+    out = []
+    for m in PRAGMA_RE.finditer(model.cleaned):
+        start, end = m.start(), m.end()
+        text = m.group(0)
+        while text.rstrip().endswith("\\"):
+            nl = model.cleaned.find("\n", end)
+            if nl < 0:
+                break
+            nxt_end = model.cleaned.find("\n", nl + 1)
+            nxt_end = len(model.cleaned) if nxt_end < 0 else nxt_end
+            text = text.rstrip()[:-1] + " " + model.cleaned[nl + 1:nxt_end]
+            end = nxt_end
+        out.append((start, end, " ".join(text.split())))
+    return out
+
+
+def matching_brace(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def statement_end(text, pos):
+    depth = 0
+    for i in range(pos, len(text)):
+        c = text[i]
+        if c in "({[":
+            depth += 1
+        elif c in ")}]":
+            depth -= 1
+        elif c == ";" and depth <= 0:
+            return i + 1
+    return len(text)
+
+
+def construct_body(text, after):
+    """Span of the structured block following a pragma: the next `{`..`}`
+    if a brace comes before any `;`, else the single statement."""
+    i = after
+    while i < len(text) and text[i] in " \t\n":
+        i += 1
+    j = i
+    while j < len(text) and text[j] not in "{;":
+        j += 1
+    if j < len(text) and text[j] == "{":
+        return (j, matching_brace(text, j) + 1)
+    return (i, statement_end(text, i))
+
+
+CLAUSE_PRIVATE_RE = re.compile(
+    r"(?:firstprivate|lastprivate|private|linear)\s*\(([^)]*)\)")
+CLAUSE_REDUCTION_RE = re.compile(r"reduction\s*\(\s*[^:()]+:\s*([^)]*)\)")
+
+
+def clause_private_names(pragma_text):
+    names = set()
+    for m in CLAUSE_PRIVATE_RE.finditer(pragma_text):
+        names.update(x.strip() for x in m.group(1).split(",") if x.strip())
+    for m in CLAUSE_REDUCTION_RE.finditer(pragma_text):
+        names.update(x.strip() for x in m.group(1).split(",") if x.strip())
+    return names
+
+
+def blank_pragmas(model):
+    """model.cleaned with every `#pragma omp` directive's text replaced by
+    spaces (same length), so token scans cannot match into directives."""
+    text = list(model.cleaned)
+    for start, end, _ in pragmas(model):
+        for i in range(start, end):
+            if text[i] != "\n":
+                text[i] = " "
+    return "".join(text)
+
+
+def fp_declared(model, name):
+    return re.search(
+        rf"\b(?:double|float)\s+(?:[&*]\s*)?{re.escape(name)}\b",
+        model.cleaned) is not None
+
+
+def build_model(path, engine, warned):
+    import sys
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"mc-lint: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if engine in ("clang", "auto"):
+        try:
+            return model_from_clang(path, text)
+        except Exception as e:  # ImportError, LibclangError, parse errors
+            if engine == "clang":
+                print(f"mc-lint: clang engine unavailable ({e}); "
+                      "falling back to text engine", file=sys.stderr)
+            elif not warned:
+                warned.append(True)
+    return model_from_text(path, text)

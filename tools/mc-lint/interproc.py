@@ -1,0 +1,276 @@
+"""Interprocedural mc-lint rules over the ProgramIndex.
+
+  MC-COLL-001 (interprocedural half)
+      A *call* under a rank-dependent branch (or after a rank-dependent
+      early exit) whose callee transitively issues a collective --
+      including the window collectives fence/create/free -- deadlocks
+      exactly like a direct collective would. The refinement over the
+      lexical rule: if BOTH sibling arms of the rank test expand to the
+      same collective sequence, every rank issues the same sequence and
+      nothing is flagged.
+
+  MC-SEQ-005
+      Both sibling arms of a rank-dependent branch issue collectives,
+      but their expanded sequences differ: different ranks enter
+      different collectives and the job interlocks.
+
+  MC-WIN-004 (whole-program v2)
+      (a) unfenced-chain: one-sided traffic in a function none of whose
+          call paths (the function, its callees, or any transitive
+          caller) ever fences -- nobody owns an epoch boundary for it.
+      (b) epoch machine: in any function that frees a window, simulate
+          the linearized put/get/acc/fence/free stream per window name:
+          win_free with accesses pending since the last fence, and any
+          access after win_free, are findings.
+
+  MC-FP-006
+      Unordered FP accumulation (the MC-RED-003 event set) reachable
+      through any call chain from a golden-trajectory-checked entry
+      point (default: build / run_scf / run_parallel_scf). Reported at
+      the sink's call site with the full chain, independently of the
+      RED-003 finding at the accumulation itself.
+"""
+
+from __future__ import annotations
+
+import re
+
+from engine import Finding
+from summaries import walk_events
+
+GOLDEN_SINKS_DEFAULT = r"(?:^|::)(build|run_scf|run_parallel_scf)$"
+
+_SEQ_SHOW = 6
+
+
+def _fmt_seq(seq):
+    shown = seq[:_SEQ_SHOW]
+    tail = ", ..." if len(seq) > _SEQ_SHOW else ""
+    return "[" + ", ".join(shown) + tail + "]"
+
+
+def _fmt_chain(chain):
+    return " -> ".join(chain)
+
+
+def _arm_has_exit(events):
+    return any(ev[0] == "exit" for ev in walk_events(events))
+
+
+def check_coll_interproc(index, findings, enable_coll=True, enable_seq=True):
+    """Returns the set of (path, line) of collectives inside rank-symmetric
+    matched arms -- the driver drops lexical MC-COLL-001 findings there."""
+    symmetric = set()
+    for fn in index.functions:
+        model = index.models[fn.path]
+        _walk_coll(index, fn, model, fn.events, None, None, findings,
+                   enable_coll, enable_seq, symmetric)
+    return symmetric
+
+
+def _walk_coll(index, fn, model, events, rank_line, divergent_line,
+               findings, enable_coll, enable_seq, symmetric):
+    """Returns the (possibly updated) divergent_line after these events."""
+    for ev in events:
+        kind = ev[0]
+        if kind == "branch":
+            _, ln, cond, cond_calls, then_ev, else_ev = ev
+            rank_dep = index.cond_is_rank_dep(cond, cond_calls)
+            if rank_dep:
+                tseq = index.events_seq(then_ev)
+                eseq = index.events_seq(else_ev)
+                matched = tseq == eseq
+                if matched and tseq:
+                    # Both arms expand to the same collective sequence:
+                    # every rank issues it regardless of the arm taken,
+                    # so the direct collectives inside are not findings.
+                    for sub in walk_events(then_ev + else_ev):
+                        if sub[0] == "coll":
+                            symmetric.add((fn.path, sub[2]))
+                if (enable_seq and tseq and eseq and not matched
+                        and "<ambig>" not in tseq + eseq):
+                    if not model.allowed("MC-SEQ-005", ln):
+                        findings.append(Finding(
+                            "MC-SEQ-005", fn.path, ln,
+                            "rank-dependent sibling branches execute "
+                            "divergent collective sequences: "
+                            f"then {_fmt_seq(tseq)} vs else {_fmt_seq(eseq)}"
+                            " -- ranks taking different arms interlock on "
+                            "different collectives"))
+                if not matched:
+                    _walk_coll(index, fn, model, then_ev, ln,
+                               divergent_line, findings, enable_coll,
+                               enable_seq, symmetric)
+                    _walk_coll(index, fn, model, else_ev, ln,
+                               divergent_line, findings, enable_coll,
+                               enable_seq, symmetric)
+                t_exit = _arm_has_exit(then_ev)
+                e_exit = _arm_has_exit(else_ev)
+                if t_exit != e_exit:
+                    divergent_line = ln
+            else:
+                d1 = _walk_coll(index, fn, model, then_ev, rank_line,
+                                divergent_line, findings, enable_coll,
+                                enable_seq, symmetric)
+                d2 = _walk_coll(index, fn, model, else_ev, rank_line,
+                                divergent_line, findings, enable_coll,
+                                enable_seq, symmetric)
+                divergent_line = d1 or d2 or divergent_line
+        elif kind == "call" and enable_coll:
+            name, ln = ev[1], ev[2]
+            colly = [c for c in index.resolve(name) if index.may_coll(c)]
+            if not colly:
+                continue
+            chain = index.coll_chain(colly[0]) or [colly[0].qual, "?"]
+            if rank_line is not None:
+                if not model.allowed("MC-COLL-001", ln):
+                    findings.append(Finding(
+                        "MC-COLL-001", fn.path, ln,
+                        f"call to '{name}' inside the rank-dependent "
+                        f"branch opened at line {rank_line} transitively "
+                        f"issues a collective ({_fmt_chain(chain)}): not "
+                        "every rank executes it (deadlock)"))
+            elif divergent_line is not None:
+                if not model.allowed("MC-COLL-001", ln):
+                    findings.append(Finding(
+                        "MC-COLL-001", fn.path, ln,
+                        f"call to '{name}' transitively issues a "
+                        f"collective ({_fmt_chain(chain)}) that is "
+                        "unreachable on some ranks: the rank-dependent "
+                        f"branch at line {divergent_line} returns/throws "
+                        "before it"))
+    return divergent_line
+
+
+# --------------------------------------------------------------------------
+# MC-WIN-004 v2
+# --------------------------------------------------------------------------
+
+
+# Functions *named* like the one-sided primitives are facade forwarders
+# (par::Ddi::put -> Comm::win_put): every call site is already recorded
+# as a direct win event, so the epoch obligation is checked at each
+# caller and the forwarder body itself owes no fence.
+_FACADE_NAMES = frozenset(
+    {"put", "get", "acc", "win_put", "win_get", "win_acc"})
+
+
+def check_win(index, findings):
+    for fn in index.functions:
+        direct_wins = [ev for ev in walk_events(fn.events)
+                       if ev[0] == "win"]
+        if direct_wins and fn.name not in _FACADE_NAMES:
+            _check_win_unfenced_chain(index, fn, direct_wins, findings)
+        if any(ev[0] == "free" for ev in walk_events(fn.events)):
+            _check_win_epochs(index, fn, findings)
+
+
+def _check_win_unfenced_chain(index, fn, wins, findings):
+    reach = index.transitive_callers(fn)  # includes fn itself
+    if any(index.fences_down(g) for g in reach):
+        return
+    model = index.models[fn.path]
+    callers = sorted({g.qual for g in reach if g is not fn})
+    via = (f" (callers checked: {', '.join(callers[:4])})" if callers
+           else " (no callers fence on its behalf either)")
+    for ev in wins:
+        op, line = ev[1], ev[3]
+        if not model.allowed("MC-WIN-004", line):
+            findings.append(Finding(
+                "MC-WIN-004", fn.path, line,
+                f"one-sided '{op}' in '{fn.qual}' with no fence epoch "
+                "anywhere on its call paths -- put/get visibility is "
+                "ordered only by win_fence epochs (win_acc is "
+                "element-atomic but still needs a closing fence before "
+                f"readers){via}"))
+
+
+def _check_win_epochs(index, fn, findings):
+    """Per-window epoch state machine over the linearized, call-inlined
+    event stream of a window-freeing function."""
+    model = index.models[fn.path]
+    stream = index.inline_stream(fn)
+    pending = {}   # window name -> (count, first_line)
+    freed = {}     # window name -> free line
+    for ev in stream:
+        kind = ev[0]
+        if kind == "win":
+            _, op, win, line = ev
+            if win in freed:
+                if not model.allowed("MC-WIN-004", line):
+                    findings.append(Finding(
+                        "MC-WIN-004", fn.path, line,
+                        f"one-sided '{op}' to window '{win}' after its "
+                        f"win_free at line {freed[win]}"))
+                continue
+            cnt, first = pending.get(win, (0, line))
+            pending[win] = (cnt + 1, first)
+        elif kind == "fence":
+            win = ev[1]
+            if win == "?":
+                pending.clear()
+            else:
+                pending.pop(win, None)
+                pending.pop("?", None)
+        elif kind == "create":
+            # Re-creating a window handle (same variable, fresh storage)
+            # ends its freed state; an anonymous create conservatively
+            # resets every freed window.
+            win = ev[1]
+            if win == "?":
+                freed.clear()
+            else:
+                freed.pop(win, None)
+        elif kind == "free":
+            win, line = ev[1], ev[2]
+            if win == "?":
+                continue
+            if win in pending:
+                cnt, first = pending.pop(win)
+                if not model.allowed("MC-WIN-004", line):
+                    findings.append(Finding(
+                        "MC-WIN-004", fn.path, line,
+                        f"win_free of '{win}' inside an open epoch: "
+                        f"{cnt} access(es) since the last fence (first "
+                        f"at line {first}) are never closed by a fence "
+                        "before the window is destroyed"))
+            freed[win] = line
+
+
+# --------------------------------------------------------------------------
+# MC-FP-006
+# --------------------------------------------------------------------------
+
+
+def check_fp(index, findings, sink_regex=None):
+    sink_re = re.compile(sink_regex or GOLDEN_SINKS_DEFAULT)
+    seen = set()
+    for fn in index.functions:
+        if not sink_re.search(fn.qual):
+            continue
+        model = index.models[fn.path]
+        for ev in walk_events(fn.events):
+            if ev[0] != "call":
+                continue
+            name, ln = ev[1], ev[2]
+            for cand in index.resolve(name):
+                if not index.fp_down(cand):
+                    continue
+                chain = index.fp_chain(cand)
+                if chain is None:
+                    continue
+                names, fp_path, fp_line, fp_desc = chain
+                key = (fn.path, ln, fp_path, fp_line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if not model.allowed("MC-FP-006", ln):
+                    findings.append(Finding(
+                        "MC-FP-006", fn.path, ln,
+                        f"unordered FP accumulation ({fp_desc} at "
+                        f"{fp_path}:{fp_line}) flows into "
+                        f"golden-trajectory-checked '{fn.qual}' via "
+                        f"{_fmt_chain([fn.qual] + names)} -- ordered "
+                        "reduction helpers keep golden trajectories "
+                        "bit-reproducible"))
+                break

@@ -1,57 +1,72 @@
 #!/usr/bin/env python3
-"""mc-lint: project-specific static checks for the minichem-hf tree.
+"""mc-lint v2: whole-program static checks for the minichem-hf tree.
 
-The checks encode the concurrency protocols the code's correctness argument
-rests on (DESIGN.md section 11.1):
+The checks encode the concurrency protocols the code's correctness
+argument rests on (DESIGN.md section 11). v2 is *interprocedural*: every
+scanned file contributes per-function summaries (collectives issued in
+order, window ops issued, rank-dependence of control flow, unordered FP
+accumulation) to a project-wide call graph, and the protocol rules run
+over that whole-program model instead of one function at a time.
 
-  MC-COLL-001  MPI collective matching. Collective operations (barrier,
-               gsumf, allreduce_*, broadcast/bcast, dlb_reset,
-               arrive_and_wait) must be executed by every rank: a collective
-               lexically inside an `if` whose condition depends on the rank
-               is a deadlock, as is a collective that is unreachable on some
-               ranks because a rank-dependent branch returned or threw
-               earlier in the same scope.
+  MC-COLL-001  MPI collective matching. A collective inside a
+               rank-dependent branch -- lexically, or hidden behind any
+               chain of helper calls -- deadlocks the ranks that never
+               arrive. Also flagged after rank-dependent early exits.
+               Branches whose sibling arms expand to the *same*
+               collective sequence are rank-symmetric and pass.
 
-  MC-OMP-002   OpenMP capture audit (scoped to src/ by default). Inside a `#pragma omp parallel` region, raw
-               assignments / compound assignments / increments whose target
-               is not declared inside the region must be sanctioned: an
-               `omp master`/`single`/`critical` body, the statement under
-               `omp atomic`, or a variable privatized by a
-               private/firstprivate/lastprivate/reduction clause. Mutable
-               shared state is otherwise expected to go through the
-               annotation types of src/common/access.hpp (whose method
-               calls are not assignments and therefore pass naturally).
+  MC-OMP-002   OpenMP capture audit (scoped to src/ by default): raw
+               writes to state not declared inside an `omp parallel`
+               region must be sanctioned (master/single/critical/atomic,
+               privatization clauses, or the access annotation types of
+               src/common/access.hpp).
 
-  MC-RED-003   Accumulation-order hygiene. Floating-point accumulation via
-               `reduction(...)` clauses or `omp atomic` has no defined
-               combination order, which breaks this repo's bit-reproducible
-               golden trajectories; FP sums must use the sanctioned ordered
-               helpers (flush_buffer-style chunked reductions, Comm
-               collectives, OwnedSlice::add). Integer counters are fine.
+  MC-RED-003   Accumulation-order hygiene: FP `reduction(...)` clauses
+               and `omp atomic` FP updates have no defined combination
+               order and break the bit-reproducible golden trajectories.
 
-  MC-WIN-004   One-sided window epoch hygiene. A translation unit that
-               issues one-sided window traffic (win_put/win_get/win_acc, or
-               put/get/acc calls through a Ddi handle) but never fences
-               (win_fence / .fence()) has no epoch boundary at all: put and
-               get visibility is ordered *only* by the fence collective, so
-               an unfenced file is reading or publishing unordered data.
-               win_acc is element-atomic but still needs a closing fence
-               before any reader.
+  MC-WIN-004   One-sided window epoch hygiene, as a per-window epoch
+               state machine: every put/get/acc needs a fence epoch on
+               every call path (the function, its callees, or a caller),
+               and `win_free` inside an open epoch -- accesses pending
+               since the last fence -- is a finding, as is traffic after
+               the free.
+
+  MC-SEQ-005   Divergent collective *sequences*: sibling branches of a
+               rank test that both issue collectives but in different
+               orders/sets interlock different ranks on different
+               collectives.
+
+  MC-FP-006    Unordered FP accumulation flowing into golden-trajectory-
+               checked state (build / run_scf / run_parallel_scf by
+               default; --golden-sinks overrides) through any call chain.
 
 Findings on a line (or the line after) a directive of the form
 
     // mc-lint: allow(MC-XXX-NNN): <reason>
 
-are suppressed; the reason is mandatory.
+are suppressed; the reason is mandatory. Checked-in, cross-file
+suppressions live in tools/mc-lint/suppressions.json (the ledger): each
+entry names a check, a repo-relative path, an optional message
+substring, and a mandatory reason; matched findings are reported as
+suppressed (visible in SARIF with the justification) and do not fail
+the gate. `--audit-allows` reports stale inline directives and ledger
+entries that no longer suppress anything.
 
-Engine: a libclang lexing front end is used when the `clang.cindex` Python
-bindings and a loadable libclang are available (`--engine clang`); otherwise
-a regex lexer that strips comments/strings while preserving line structure
-produces the same source model (`--engine text`, the default fallback of
-`--engine auto`). All analyses run on the model, so the two engines report
-identical findings on well-formed sources.
+Inputs: explicit paths (default: src tests tools), plus `--compdb
+<build-dir>` to lint every translation unit named in the CMake-exported
+compile_commands.json. Output: text (default), `--json`, and `--sarif
+<file>` (SARIF 2.1.0, consumed by the CI lint gate for inline
+annotations); `--step-summary <file>` appends a rule-by-rule table.
 
-Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+Engine: a libclang lexing front end when the `clang.cindex` bindings
+and a loadable libclang are available (`--engine clang`); otherwise a
+regex lexer producing the same source model (`--engine text`). All
+analyses -- including the summaries and call graph -- run on the model,
+so the two engines report identical findings on well-formed sources.
+
+Exit status: 0 clean, 1 findings (or stale suppressions under
+--audit-allows), 2 usage or I/O error.
 """
 
 from __future__ import annotations
@@ -59,776 +74,147 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import re
 import sys
 
-CHECKS = {
-    "MC-COLL-001": "MPI collective under a rank-dependent branch",
-    "MC-OMP-002": "raw shared-state write inside an omp parallel region",
-    "MC-RED-003": "unordered floating-point accumulation",
-    "MC-WIN-004": "one-sided window access without a fence epoch",
-}
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# One-sided window traffic: the Comm primitives by name, or put/get/acc
-# member calls through an identifier that names a Ddi handle. The latter is
-# deliberately narrow (`ddi` must appear in the object name) so ordinary
-# containers' .get()/.put() never match.
-WIN_ACCESS_RE = re.compile(
-    r"\bwin_(?:put|get|acc)\s*\("
-    r"|\b\w*ddi\w*\s*(?:\.|->)\s*(?:put|get|acc)\s*\(",
-    re.IGNORECASE)
+from engine import (CHECKS, DIRECTIVE_CHECK, Finding, SOURCE_EXTS,
+                    build_model)  # noqa: E402
+import interproc  # noqa: E402
+import rules  # noqa: E402
+import sarif  # noqa: E402
+from summaries import ProgramIndex  # noqa: E402
 
-# Any fence in the file closes the epoch argument: the Comm primitive or a
-# .fence()/->fence() member call.
-WIN_FENCE_RE = re.compile(r"\bwin_fence\s*\(|(?:\.|->)\s*fence\s*\(")
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.abspath(os.path.join(HERE, "..", ".."))
+DEFAULT_PATHS = ["src", "tests", "tools"]
+DEFAULT_LEDGER = os.path.join(HERE, "suppressions.json")
 
-COLLECTIVES = {
-    "barrier",
-    "gsumf",
-    "bcast",
-    "broadcast",
-    "allreduce_sum",
-    "allreduce_max",
-    "dlb_reset",
-    "arrive_and_wait",
-}
 
-# Identifiers whose appearance in an `if` condition makes the branch
-# rank-dependent. Word-boundary matched, so `nranks`, `quartets_per_rank`
-# and `rank_live_` do not trigger.
-RANK_COND_RE = re.compile(r"\brank\b|\brank_(?![\w])|\bmy_rank\b|\brank\(\)")
+# The selftest fixtures violate the rules on purpose; directory scans
+# (and therefore the CI gate over tools/) must not trip over them.
+FIXTURE_DIR = os.path.join("mc-lint", "tests", "fixtures")
 
-ALLOW_RE = re.compile(
-    r"//\s*mc-lint:\s*allow\(\s*(MC-[A-Z]+-\d+)\s*\)\s*(?::\s*(\S.*))?")
-
-SOURCE_EXTS = (".cpp", ".cc", ".cxx", ".hpp", ".h")
-
-KEYWORDS_NOT_TYPES = {
-    "return", "delete", "throw", "goto", "else", "break", "continue",
-    "case", "new", "sizeof", "typedef", "using", "co_return", "co_await",
-    "co_yield", "if", "while", "for", "do", "switch", "public", "private",
-    "protected", "template", "typename", "namespace", "operator",
-}
-
-# Never the base of a shared write: seeing one of these as an "lvalue base"
-# means the match was actually a declaration or binding.
-TYPE_KEYWORDS = {
-    "auto", "int", "long", "double", "float", "bool", "unsigned", "signed",
-    "char", "short", "void", "const", "constexpr", "static", "size_t",
-}
-
-
-class Finding:
-    def __init__(self, check, path, line, message):
-        self.check = check
-        self.path = path
-        self.line = line
-        self.message = message
-
-    def as_dict(self):
-        return {
-            "check": self.check,
-            "path": self.path,
-            "line": self.line,
-            "message": self.message,
-        }
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
-
-
-class SourceModel:
-    """A file reduced to what the checks consume: `cleaned` text with
-    comments/strings blanked (line structure preserved byte-for-byte),
-    per-line allow directives, and malformed-directive notes."""
-
-    def __init__(self, path, cleaned, allows, directive_errors):
-        self.path = path
-        self.cleaned = cleaned
-        self.allows = allows  # line -> set of check ids
-        self.directive_errors = directive_errors  # [(line, message)]
-        self.line_starts = [0]
-        for i, ch in enumerate(cleaned):
-            if ch == "\n":
-                self.line_starts.append(i + 1)
-
-    def line_of(self, offset):
-        lo, hi = 0, len(self.line_starts) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self.line_starts[mid] <= offset:
-                lo = mid
-            else:
-                hi = mid - 1
-        return lo + 1
-
-    def allowed(self, check, line):
-        for ln in (line, line - 1):
-            ids = self.allows.get(ln)
-            if ids and check in ids:
-                return True
-        return False
-
-
-def _collect_allows(comment_text, line, allows, directive_errors):
-    m = ALLOW_RE.search(comment_text)
-    if not m:
-        return
-    check, reason = m.group(1), m.group(2)
-    if not reason:
-        directive_errors.append(
-            (line, f"allow({check}) directive is missing its reason"))
-        return
-    allows.setdefault(line, set()).add(check)
-
-
-def model_from_text(path, text):
-    """Regex lexer: blank comments, string and char literals (keeping
-    newlines) and collect mc-lint directives from comments."""
-    allows = {}
-    directive_errors = {}
-    errors = []
-    out = []
-    i, n = 0, len(text)
-    line = 1
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            j = text.find("\n", i)
-            if j < 0:
-                j = n
-            _collect_allows(text[i:j], line, allows, errors)
-            out.append(" " * (j - i))
-            i = j
-        elif ch == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            chunk = text[i:j]
-            _collect_allows("//" + chunk, line, allows, errors)
-            for c in chunk:
-                out.append("\n" if c == "\n" else " ")
-                if c == "\n":
-                    line += 1
-            i = j
-        elif ch == '"' or ch == "'":
-            if ch == '"' and i >= 1 and text[i - 1] == "R":
-                # Raw string literal R"delim( ... )delim".
-                m = re.match(r'R"([^(\s]*)\(', text[i - 1:i + 20])
-                if m:
-                    end = text.find(f"){m.group(1)}\"", i)
-                    end = n if end < 0 else end + len(m.group(1)) + 2
-                    for c in text[i:end]:
-                        out.append("\n" if c == "\n" else " ")
-                        if c == "\n":
-                            line += 1
-                    i = end
-                    continue
-            quote = ch
-            j = i + 1
-            while j < n and text[j] != quote:
-                if text[j] == "\\":
-                    j += 1
-                if j < n and text[j] == "\n":
-                    break  # unterminated; bail at line end
-                j += 1
-            j = min(j + 1, n)
-            out.append(ch + " " * (j - i - 1))
-            i = j
-        else:
-            out.append(ch)
-            if ch == "\n":
-                line += 1
-            i += 1
-    return SourceModel(path, "".join(out), allows, errors)
-
-
-def model_from_clang(path, text):
-    """libclang lexing front end: rebuild the cleaned text from the token
-    stream (everything but comments/literals placed at its original
-    line/column), directives from comment tokens. Raises on any import or
-    parse problem; the caller falls back to the text engine."""
-    from clang import cindex  # noqa: PLC0415
-
-    index = cindex.Index.create()
-    tu = index.parse(path, args=["-std=c++20", "-fsyntax-only"],
-                     unsaved_files=[(path, text)],
-                     options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
-    lines = text.split("\n")
-    canvas = [[" "] * len(l) for l in lines]
-    allows = {}
-    errors = []
-    for tok in tu.get_tokens(extent=tu.cursor.extent):
-        kind = tok.kind.name
-        loc = tok.location
-        row, col = loc.line - 1, loc.column - 1
-        if kind == "COMMENT":
-            _collect_allows(tok.spelling, loc.line, allows, errors)
-            continue
-        spelling = tok.spelling
-        if kind == "LITERAL" and (spelling.startswith('"')
-                                  or spelling.startswith("'")):
-            spelling = spelling[0]
-        for k, ch in enumerate(spelling):
-            if ch == "\n":
-                break
-            if row < len(canvas) and col + k < len(canvas[row]):
-                canvas[row][col + k] = ch
-    cleaned = "\n".join("".join(r) for r in canvas)
-    return SourceModel(path, cleaned, allows, errors)
-
-
-# --------------------------------------------------------------------------
-# MC-COLL-001
-# --------------------------------------------------------------------------
-
-TOKEN_RE = re.compile(
-    r"[A-Za-z_]\w*|::|->|\+\+|--|<<=|>>=|[<>!=+\-*/&|^]=|&&|\|\||\S")
-
-
-def tokenize(model):
-    toks = []
-    for lineno, line in enumerate(model.cleaned.split("\n"), start=1):
-        for m in TOKEN_RE.finditer(line):
-            toks.append((m.group(0), lineno))
-    return toks
-
-
-def check_coll(model, findings):
-    toks = tokenize(model)
-    n = len(toks)
-    # Scope stack entries:
-    #   kind 'brace' -- any {...} block; closes when bdepth drops back.
-    #   kind 'if'    -- a braced if/while body; rank flags rank-dependence.
-    #   kind 'ifstmt'-- an unbraced if/while body; closes at the ';' seen at
-    #                   its recorded brace/paren depth.
-    # divergent_line on a scope: a rank-dependent branch inside it
-    # returned/threw, so the rest of the scope is not reached by all ranks.
-    scopes = []
-    bdepth = 0
-    pdepth = 0
-    pending_if = None  # rank flag for a just-parsed if awaiting its '{'
-    check_coll._carry = False  # rank flag carried into a following `else`
-    i = 0
-
-    def emit(line, why):
-        if not model.allowed("MC-COLL-001", line):
-            findings.append(Finding("MC-COLL-001", model.path, line, why))
-
-    def mark_divergent():
-        for k, s in enumerate(scopes):
-            if s.get("rank"):
-                if k > 0:
-                    scopes[k - 1]["divergent_line"] = s["line"]
-                break
-
-    def peek_else(j):
-        return j < n and toks[j][0] == "else"
-
-    while i < n:
-        t, ln = toks[i]
-        if t in ("if", "while"):
-            inherited = False
-            if pending_if is not None and pending_if.get("else_carry"):
-                inherited = True
-            pending_if = None
-            j = i + 1
-            while j < n and toks[j][0] != "(":
-                j += 1
-            depth, cond = 0, []
-            while j < n:
-                tt = toks[j][0]
-                if tt == "(":
-                    depth += 1
-                    if depth >= 2:
-                        cond.append(tt)
-                elif tt == ")":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                    cond.append(tt)
-                elif depth >= 1:
-                    cond.append(tt)
-                j += 1
-            rank_dep = bool(RANK_COND_RE.search(" ".join(cond))) or inherited
-            k = j + 1
-            if k < n and toks[k][0] == "{":
-                pending_if = {"rank": rank_dep, "line": ln}
-                i = k  # let the '{' handler push the scope
-                continue
-            scopes.append({"kind": "ifstmt", "rank": rank_dep, "line": ln,
-                           "divergent_line": None, "bdepth": bdepth,
-                           "pdepth": pdepth})
-            i = k
-            continue
-        if t == "else":
-            carried = getattr(check_coll, "_carry", False)
-            check_coll._carry = False
-            k = i + 1
-            if peek_else(k):
-                i = k
-                continue
-            if k < n and toks[k][0] == "if":
-                pending_if = {"else_carry": carried}
-                i = k
-                continue
-            if k < n and toks[k][0] == "{":
-                pending_if = {"rank": carried, "line": ln}
-                i = k
-                continue
-            scopes.append({"kind": "ifstmt", "rank": carried, "line": ln,
-                           "divergent_line": None, "bdepth": bdepth,
-                           "pdepth": pdepth})
-            i = k
-            continue
-        if t == "{":
-            bdepth += 1
-            if pending_if is not None and "rank" in pending_if:
-                scopes.append({"kind": "if", "rank": pending_if["rank"],
-                               "line": pending_if["line"],
-                               "divergent_line": None, "bdepth": bdepth})
-            else:
-                scopes.append({"kind": "brace", "rank": False, "line": ln,
-                               "divergent_line": None, "bdepth": bdepth})
-            pending_if = None
-            i += 1
-            continue
-        if t == "}":
-            while scopes and scopes[-1]["kind"] == "ifstmt":
-                scopes.pop()  # malformed nesting guard
-            carry = False
-            if scopes and scopes[-1].get("bdepth") == bdepth:
-                popped = scopes.pop()
-                carry = popped["kind"] == "if" and popped["rank"]
-                # `if (a) if (b) { ... }`: the enclosing unbraced if is
-                # complete too (unless an else follows).
-                if not peek_else(i + 1):
-                    while (scopes and scopes[-1]["kind"] == "ifstmt"
-                           and scopes[-1]["bdepth"] == bdepth - 1):
-                        inner = scopes.pop()
-                        carry = carry or inner["rank"]
-            bdepth = max(0, bdepth - 1)
-            check_coll._carry = carry if peek_else(i + 1) else False
-            i += 1
-            continue
-        if t == "(":
-            pdepth += 1
-            i += 1
-            continue
-        if t == ")":
-            pdepth = max(0, pdepth - 1)
-            i += 1
-            continue
-        if t == ";":
-            carry = False
-            while (scopes and scopes[-1]["kind"] == "ifstmt"
-                   and scopes[-1]["bdepth"] == bdepth
-                   and scopes[-1]["pdepth"] == pdepth):
-                carry = carry or scopes.pop()["rank"]
-            check_coll._carry = carry if peek_else(i + 1) else False
-            i += 1
-            continue
-        if t in ("return", "throw"):
-            if any(s.get("rank") for s in scopes):
-                mark_divergent()
-            i += 1
-            continue
-        if t in COLLECTIVES and i + 1 < n and toks[i + 1][0] == "(":
-            prev = toks[i - 1][0] if i > 0 else ""
-            if prev != "::":  # skip out-of-class definitions
-                rank_scope = next((s for s in scopes if s.get("rank")), None)
-                div = next(
-                    (s for s in scopes if s.get("divergent_line") is not None),
-                    None)
-                if rank_scope is not None:
-                    emit(ln,
-                         f"collective '{t}' inside the rank-dependent branch "
-                         f"opened at line {rank_scope['line']}: not every "
-                         "rank executes it (deadlock)")
-                elif div is not None:
-                    emit(ln,
-                         f"collective '{t}' is unreachable on some ranks: "
-                         f"the rank-dependent branch at line "
-                         f"{div['divergent_line']} returns/throws before it")
-            i += 1
-            continue
-        i += 1
-
-
-# --------------------------------------------------------------------------
-# Pragma / region utilities (shared by MC-OMP-002 and MC-RED-003)
-# --------------------------------------------------------------------------
-
-PRAGMA_RE = re.compile(r"^[ \t]*#[ \t]*pragma[ \t]+omp\b.*$", re.MULTILINE)
-
-
-def pragmas(model):
-    """Logical `#pragma omp` directives: (start_offset, body_offset, text)
-    where body_offset is the first char after the directive (continuation
-    lines joined)."""
-    out = []
-    for m in PRAGMA_RE.finditer(model.cleaned):
-        start, end = m.start(), m.end()
-        text = m.group(0)
-        while text.rstrip().endswith("\\"):
-            nl = model.cleaned.find("\n", end)
-            if nl < 0:
-                break
-            nxt_end = model.cleaned.find("\n", nl + 1)
-            nxt_end = len(model.cleaned) if nxt_end < 0 else nxt_end
-            text = text.rstrip()[:-1] + " " + model.cleaned[nl + 1:nxt_end]
-            end = nxt_end
-        out.append((start, end, " ".join(text.split())))
-    return out
-
-
-def matching_brace(text, open_pos):
-    depth = 0
-    for i in range(open_pos, len(text)):
-        c = text[i]
-        if c == "{":
-            depth += 1
-        elif c == "}":
-            depth -= 1
-            if depth == 0:
-                return i
-    return len(text) - 1
-
-
-def statement_end(text, pos):
-    """Offset one past the `;` ending the statement starting at/after pos
-    (tracks nested parens/braces, e.g. lambdas in arguments)."""
-    depth = 0
-    for i in range(pos, len(text)):
-        c = text[i]
-        if c in "({[":
-            depth += 1
-        elif c in ")}]":
-            depth -= 1
-        elif c == ";" and depth <= 0:
-            return i + 1
-    return len(text)
-
-
-def construct_body(text, after):
-    """Span of the structured block following a pragma: the next `{`..`}`
-    if a brace comes before any `;`, else the single statement."""
-    i = after
-    while i < len(text) and text[i] in " \t\n":
-        i += 1
-    j = i
-    while j < len(text) and text[j] not in "{;":
-        j += 1
-    if j < len(text) and text[j] == "{":
-        return (j, matching_brace(text, j) + 1)
-    return (i, statement_end(text, i))
-
-
-CLAUSE_PRIVATE_RE = re.compile(
-    r"(?:firstprivate|lastprivate|private|linear)\s*\(([^)]*)\)")
-CLAUSE_REDUCTION_RE = re.compile(r"reduction\s*\(\s*[^:()]+:\s*([^)]*)\)")
-
-
-def clause_private_names(pragma_text):
-    names = set()
-    for m in CLAUSE_PRIVATE_RE.finditer(pragma_text):
-        names.update(x.strip() for x in m.group(1).split(",") if x.strip())
-    for m in CLAUSE_REDUCTION_RE.finditer(pragma_text):
-        names.update(x.strip() for x in m.group(1).split(",") if x.strip())
-    return names
-
-
-# --------------------------------------------------------------------------
-# MC-OMP-002
-# --------------------------------------------------------------------------
-
-DECL_RE = re.compile(
-    r"(?:^|[;{}()])\s*"
-    r"(?:const\s+|static\s+|constexpr\s+|volatile\s+|mutable\s+)*"
-    r"(?P<type>auto|unsigned(?:\s+long)*(?:\s+int)?|long(?:\s+long)?(?:\s+int)?"
-    r"|[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*(?:<[^;{}]*?>)?)"
-    r"(?:\s*[&*])*\s+"
-    r"(?P<name>[A-Za-z_]\w*)\s*(?=[=({;,])")
-
-BINDING_RE = re.compile(r"auto\s*&?\s*\[([^\]]+)\]")
-
-ASSIGN_OP_RE = re.compile(
-    r"<<=|>>=|\+=|-=|\*=|/=|%=|&=|\|=|\^=|(?<![<>!=+\-*/%&|^=])=(?![=])")
-
-INCDEC_RE = re.compile(
-    r"(\+\+|--)\s*([A-Za-z_]\w*)|([A-Za-z_]\w*)\s*(\+\+|--)")
-
-
-def declared_names(region_text):
-    names = set()
-    for m in DECL_RE.finditer(region_text):
-        if m.group("type") not in KEYWORDS_NOT_TYPES:
-            names.add(m.group("name"))
-    for m in BINDING_RE.finditer(region_text):
-        names.update(x.strip() for x in m.group(1).split(",") if x.strip())
-    return names
-
-
-def lvalue_base(text, op_pos):
-    """Walk left from an assignment operator to the base identifier of its
-    lvalue chain (`plan.ij`, `q_[i]`, `obj->field`). Returns (name, start)
-    or (None, op_pos)."""
-    i = op_pos - 1
-    while i >= 0 and text[i] in " \t\n":
-        i -= 1
-    # strip trailing index chains
-    while i >= 0:
-        if text[i] == "]":
-            depth = 0
-            while i >= 0:
-                if text[i] == "]":
-                    depth += 1
-                elif text[i] == "[":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                i -= 1
-            i -= 1
-            while i >= 0 and text[i] in " \t\n":
-                i -= 1
-            continue
-        break
-    name = None
-    while i >= 0:
-        m = None
-        j = i
-        while j >= 0 and (text[j].isalnum() or text[j] == "_"):
-            j -= 1
-        if j < i:
-            name = text[j + 1:i + 1]
-            i = j
-        else:
-            return (None, op_pos)
-        while i >= 0 and text[i] in " \t\n":
-            i -= 1
-        if i >= 1 and text[i - 1:i + 1] == "->":
-            i -= 2
-        elif i >= 0 and text[i] == ".":
-            i -= 1
-        elif i >= 1 and text[i - 1:i + 1] == "::":
-            i -= 2
-        else:
-            break
-        while i >= 0 and text[i] in " \t\n":
-            i -= 1
-        # continue walking to the chain's base
-    if name and (name[0].isalpha() or name[0] == "_"):
-        return (name, i + 1)
-    return (None, op_pos)
-
-
-def sanctioned_spans(model, region_start, region_end):
-    """Spans inside the region covered by master/single/critical bodies or
-    the statement under an `omp atomic`."""
-    spans = []
-    for start, end, text in pragmas(model):
-        if start < region_start or start >= region_end:
-            continue
-        if re.search(r"\bomp\s+(master|single|critical)\b", text):
-            spans.append(construct_body(model.cleaned, end))
-        elif re.search(r"\bomp\s+atomic\b", text):
-            spans.append((end, statement_end(model.cleaned, end)))
-    return spans
-
-
-def parallel_regions(model):
-    """(pragma_text, region_start, region_end) for every `omp parallel`
-    (including combined parallel-for) directive."""
-    out = []
-    for start, end, text in pragmas(model):
-        if re.search(r"\bomp\s+parallel\b", text):
-            body = construct_body(model.cleaned, end)
-            out.append((text, body[0], body[1]))
-    return out
-
-
-def blank_pragmas(model):
-    """model.cleaned with every `#pragma omp` directive's text replaced by
-    spaces (same length), so write scanning cannot match into directives."""
-    text = list(model.cleaned)
-    for start, end, _ in pragmas(model):
-        for i in range(start, end):
-            if text[i] != "\n":
-                text[i] = " "
-    return "".join(text)
-
-
-def check_omp(model, findings, scope_paths):
-    if scope_paths:
-        norm = model.path.replace(os.sep, "/")
-        if not any(s in norm for s in scope_paths):
-            return
-    text = blank_pragmas(model)
-    for pragma_text, rstart, rend in parallel_regions(model):
-        region = text[rstart:rend]
-        decls = declared_names(region)
-        privates = clause_private_names(pragma_text)
-        for _, _, ptext in pragmas(model):
-            privates |= clause_private_names(ptext)
-        spans = sanctioned_spans(model, rstart, rend)
-
-        def sanctioned(pos):
-            return any(s <= pos < e for s, e in spans)
-
-        def report(base, pos):
-            line = model.line_of(pos)
-            if base in decls or base in privates:
-                return
-            if sanctioned(pos) or model.allowed("MC-OMP-002", line):
-                return
-            findings.append(Finding(
-                "MC-OMP-002", model.path, line,
-                f"raw write to '{base}' (not declared in this parallel "
-                "region) -- route it through an access annotation type "
-                "(common/access.hpp) or an omp master/single/atomic "
-                "construct"))
-
-        for m in ASSIGN_OP_RE.finditer(region):
-            pos = rstart + m.start()
-            base, lstart = lvalue_base(text, pos)
-            if base is None or base in KEYWORDS_NOT_TYPES \
-                    or base in TYPE_KEYWORDS:
-                continue
-            if lstart < rstart:  # lvalue begins outside the region
-                continue
-            # Skip declarations-with-initializer: DECL_RE registered the
-            # name; redundant here but cheap.
-            report(base, pos)
-        for m in INCDEC_RE.finditer(region):
-            base = m.group(2) or m.group(3)
-            if base in KEYWORDS_NOT_TYPES or base in TYPE_KEYWORDS:
-                continue
-            report(base, rstart + m.start())
-
-
-# --------------------------------------------------------------------------
-# MC-RED-003
-# --------------------------------------------------------------------------
-
-def fp_declared(model, name):
-    return re.search(
-        rf"\b(?:double|float)\s+(?:[&*]\s*)?{re.escape(name)}\b",
-        model.cleaned) is not None
-
-
-def check_red(model, findings):
-    text = model.cleaned
-    for start, end, ptext in pragmas(model):
-        line = model.line_of(start)
-        for m in CLAUSE_REDUCTION_RE.finditer(ptext):
-            for name in (x.strip() for x in m.group(1).split(",")):
-                if name and fp_declared(model, name):
-                    if not model.allowed("MC-RED-003", line):
-                        findings.append(Finding(
-                            "MC-RED-003", model.path, line,
-                            f"floating-point reduction over '{name}' has no "
-                            "defined combination order; use the sanctioned "
-                            "ordered reduction helpers instead"))
-        if re.search(r"\bomp\s+atomic\b", ptext):
-            stmt_start = end
-            stmt = text[stmt_start:statement_end(text, stmt_start)]
-            am = ASSIGN_OP_RE.search(stmt)
-            im = INCDEC_RE.search(stmt)
-            base = None
-            if am:
-                base, _ = lvalue_base(text, stmt_start + am.start())
-            elif im:
-                base = im.group(2) or im.group(3)
-            if base and fp_declared(model, base):
-                aline = model.line_of(stmt_start)
-                if not model.allowed("MC-RED-003", aline):
-                    findings.append(Finding(
-                        "MC-RED-003", model.path, aline,
-                        f"omp atomic on floating-point '{base}' accumulates "
-                        "in schedule order; use the sanctioned ordered "
-                        "reduction helpers instead"))
-
-
-# --------------------------------------------------------------------------
-# MC-WIN-004
-# --------------------------------------------------------------------------
-
-def check_win(model, findings):
-    """One-sided accesses in a file with no fence anywhere: flag each one.
-
-    File granularity is deliberate: the fence is a collective epoch
-    boundary, so code that fences *somewhere* has an ordering story the
-    linter cannot judge locally, while a file with traffic and no fence at
-    all provably relies on a peer to order its accesses -- the bug class
-    this check exists for.
-    """
-    text = model.cleaned
-    if WIN_FENCE_RE.search(text):
-        return
-    for m in WIN_ACCESS_RE.finditer(text):
-        line = model.line_of(m.start())
-        if not model.allowed("MC-WIN-004", line):
-            findings.append(Finding(
-                "MC-WIN-004", model.path, line,
-                "one-sided window access with no fence anywhere in this "
-                "file; put/get visibility is ordered only by win_fence "
-                "epochs (win_acc is element-atomic but still needs a "
-                "closing fence before readers)"))
-
-
-# --------------------------------------------------------------------------
-# Driver
-# --------------------------------------------------------------------------
 
 def gather_files(paths):
     files = []
     for p in paths:
         if os.path.isdir(p):
             for root, _, names in os.walk(p):
+                if FIXTURE_DIR in os.path.abspath(root):
+                    continue
                 for nm in sorted(names):
                     if nm.endswith(SOURCE_EXTS):
                         files.append(os.path.join(root, nm))
         elif os.path.isfile(p):
             files.append(p)
         else:
-            print(f"mc-lint: no such file or directory: {p}", file=sys.stderr)
+            print(f"mc-lint: no such file or directory: {p}",
+                  file=sys.stderr)
             sys.exit(2)
     return files
 
 
-def build_model(path, engine, warned):
+def compdb_files(build_dir):
+    cc = os.path.join(build_dir, "compile_commands.json")
     try:
-        with open(path, "r", encoding="utf-8", errors="replace") as f:
-            text = f.read()
-    except OSError as e:
-        print(f"mc-lint: cannot read {path}: {e}", file=sys.stderr)
+        with open(cc, "r", encoding="utf-8") as f:
+            entries = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"mc-lint: cannot read {cc}: {e}", file=sys.stderr)
         sys.exit(2)
-    if engine in ("clang", "auto"):
-        try:
-            return model_from_clang(path, text)
-        except Exception as e:  # ImportError, LibclangError, parse errors
-            if engine == "clang":
-                print(f"mc-lint: clang engine unavailable ({e}); "
-                      "falling back to text engine", file=sys.stderr)
-            elif not warned:
-                warned.append(True)
-    return model_from_text(path, text)
+    out = []
+    for e in entries:
+        path = e.get("file", "")
+        if not path.endswith(SOURCE_EXTS):
+            continue
+        if not os.path.isabs(path):
+            path = os.path.join(e.get("directory", ""), path)
+        path = os.path.abspath(path)
+        if os.path.isfile(path):
+            out.append(path)
+    return out
+
+
+def load_ledger(path):
+    """[(entry_dict, hit_count_box)] -- entries validated, reasons
+    mandatory."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError:
+        return []
+    except ValueError as e:
+        print(f"mc-lint: malformed suppression ledger {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    entries = []
+    for i, e in enumerate(data.get("suppressions", [])):
+        if not e.get("reason", "").strip():
+            print(f"mc-lint: ledger entry #{i} ({e.get('check')} "
+                  f"{e.get('path')}) is missing its mandatory reason",
+                  file=sys.stderr)
+            sys.exit(2)
+        if not e.get("check") or not e.get("path"):
+            print(f"mc-lint: ledger entry #{i} needs 'check' and 'path'",
+                  file=sys.stderr)
+            sys.exit(2)
+        entries.append([e, 0])
+    return entries
+
+
+def apply_ledger(findings, ledger):
+    for f in findings:
+        rel = sarif._repo_rel(f.path, REPO_ROOT)
+        for ent in ledger:
+            e = ent[0]
+            if e["check"] != f.check:
+                continue
+            if e["path"] != rel:
+                continue
+            if e.get("contains") and e["contains"] not in f.message:
+                continue
+            f.suppression = {"kind": "ledger", "reason": e["reason"]}
+            ent[1] += 1
+            break
 
 
 def main(argv=None):
-    ap = argparse.ArgumentParser(prog="mc-lint", description=__doc__,
-                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("paths", nargs="*", default=["src"],
-                    help="files or directories to scan (default: src)")
+    ap = argparse.ArgumentParser(
+        prog="mc-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to scan "
+                         f"(default: {' '.join(DEFAULT_PATHS)})")
+    ap.add_argument("--compdb", metavar="BUILD_DIR",
+                    help="also lint every TU named in "
+                         "BUILD_DIR/compile_commands.json")
     ap.add_argument("--engine", choices=("auto", "clang", "text"),
                     default="auto",
-                    help="lexing front end (auto: clang.cindex if available)")
+                    help="lexing front end (auto: clang.cindex if "
+                         "available)")
     ap.add_argument("--checks", default=",".join(CHECKS),
                     help="comma-separated check ids to run")
     ap.add_argument("--omp-scope", default="src/",
                     help="path substrings MC-OMP-002 applies to "
                          "('' = every scanned file)")
+    ap.add_argument("--golden-sinks", default=None, metavar="REGEX",
+                    help="qualified-name regex of golden-trajectory-"
+                         "checked entry points for MC-FP-006")
+    ap.add_argument("--suppressions", default=DEFAULT_LEDGER,
+                    metavar="FILE",
+                    help="checked-in suppression ledger "
+                         "(default: tools/mc-lint/suppressions.json; "
+                         "'' disables)")
+    ap.add_argument("--sarif", metavar="FILE",
+                    help="write a SARIF 2.1.0 log")
+    ap.add_argument("--step-summary", metavar="FILE", default=None,
+                    help="append a rule-by-rule markdown table "
+                         "(default: $GITHUB_STEP_SUMMARY when set)")
     ap.add_argument("--json", action="store_true", help="JSON output")
+    ap.add_argument("--audit-allows", action="store_true",
+                    help="also flag stale allow directives and unused "
+                         "ledger entries")
     ap.add_argument("--list-checks", action="store_true")
     args = ap.parse_args(argv)
 
@@ -843,32 +229,96 @@ def main(argv=None):
         print(f"mc-lint: unknown checks: {', '.join(sorted(unknown))}",
               file=sys.stderr)
         return 2
-    scope_paths = [s.strip() for s in args.omp_scope.split(",") if s.strip()]
+    scope_paths = [s.strip() for s in args.omp_scope.split(",")
+                   if s.strip()]
+
+    paths = args.paths or [p for p in DEFAULT_PATHS
+                           if os.path.isdir(p)] or ["src"]
+    files = gather_files(paths)
+    if args.compdb:
+        files.extend(compdb_files(args.compdb))
+    seen, ordered = set(), []
+    for p in files:
+        key = os.path.abspath(p)
+        if key not in seen:
+            seen.add(key)
+            ordered.append(p)
 
     findings = []
     warned = []
-    for path in gather_files(args.paths or ["src"]):
+    models = {}
+    for path in ordered:
         model = build_model(path, args.engine, warned)
+        models[path] = model
         for line, msg in model.directive_errors:
-            findings.append(Finding("MC-LINT-DIRECTIVE", path, line, msg))
+            findings.append(Finding(DIRECTIVE_CHECK, path, line, msg))
         if "MC-COLL-001" in enabled:
-            check_coll(model, findings)
+            rules.check_coll(model, findings)
         if "MC-OMP-002" in enabled:
-            check_omp(model, findings, scope_paths)
+            rules.check_omp(model, findings, scope_paths)
         if "MC-RED-003" in enabled:
-            check_red(model, findings)
-        if "MC-WIN-004" in enabled:
-            check_win(model, findings)
+            rules.check_red(model, findings)
+
+    index = ProgramIndex(models, engine_name=args.engine)
+    if "MC-COLL-001" in enabled or "MC-SEQ-005" in enabled:
+        symmetric = interproc.check_coll_interproc(
+            index, findings,
+            enable_coll="MC-COLL-001" in enabled,
+            enable_seq="MC-SEQ-005" in enabled)
+        if symmetric:
+            # Rank-symmetric matched arms: every rank runs the same
+            # collective sequence, so the lexical findings inside are
+            # retracted.
+            findings = [f for f in findings
+                        if not (f.check == "MC-COLL-001"
+                                and (f.path, f.line) in symmetric)]
+    if "MC-WIN-004" in enabled:
+        interproc.check_win(index, findings)
+    if "MC-FP-006" in enabled:
+        interproc.check_fp(index, findings, args.golden_sinks)
+
+    ledger = load_ledger(args.suppressions) if args.suppressions else []
+    apply_ledger(findings, ledger)
+
+    if args.audit_allows:
+        for path in ordered:
+            for ln, check in models[path].stale_allows():
+                findings.append(Finding(
+                    DIRECTIVE_CHECK, path, ln,
+                    f"stale allow({check}) directive: it no longer "
+                    "suppresses any finding -- remove it"))
+        for ent, hits in ((e[0], e[1]) for e in ledger):
+            if hits == 0:
+                findings.append(Finding(
+                    DIRECTIVE_CHECK, args.suppressions, 1,
+                    f"stale ledger entry ({ent['check']} at "
+                    f"{ent['path']}): it no longer suppresses any "
+                    "finding -- remove it"))
 
     findings.sort(key=lambda f: (f.path, f.line, f.check))
+    live = [f for f in findings if not f.suppression]
+
+    if args.sarif:
+        sarif.write_sarif(args.sarif, findings, REPO_ROOT)
+    summary_path = args.step_summary or os.environ.get(
+        "GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as f:
+            f.write(sarif.step_summary_table(
+                findings, len(ordered), len(index.functions)) + "\n")
+
     if args.json:
         print(json.dumps([f.as_dict() for f in findings], indent=2))
     else:
         for f in findings:
             print(f)
-        if findings:
-            print(f"mc-lint: {len(findings)} finding(s)", file=sys.stderr)
-    return 1 if findings else 0
+        if live:
+            print(f"mc-lint: {len(live)} finding(s)", file=sys.stderr)
+        suppressed = len(findings) - len(live)
+        if suppressed:
+            print(f"mc-lint: {suppressed} ledger-suppressed finding(s)",
+                  file=sys.stderr)
+    return 1 if live else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,367 @@
+"""Lexical (single-function, single-file) mc-lint rules.
+
+These run on every scanned file independently of the whole-program index:
+
+  MC-COLL-001 (lexical half)  collective *directly* inside a rank-dependent
+              branch, or after a rank-dependent early exit in the same
+              scope. The interprocedural half (collectives reached through
+              helper calls) lives in interproc.py.
+  MC-OMP-002  raw shared-state writes inside omp parallel regions.
+  MC-RED-003  unordered floating-point accumulation (reduction clauses,
+              fp omp atomic).
+
+MC-WIN-004 is whole-program in v2 and lives entirely in interproc.py.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from engine import (ASSIGN_OP_RE_SRC, COLLECTIVES, Finding, KEYWORDS_NOT_TYPES,
+                    RANK_COND_RE, TYPE_KEYWORDS, blank_pragmas,
+                    clause_private_names, construct_body, fp_declared,
+                    pragmas, statement_end, tokenize)
+
+# --------------------------------------------------------------------------
+# MC-COLL-001 (lexical)
+# --------------------------------------------------------------------------
+
+
+def check_coll(model, findings):
+    toks = tokenize(model)
+    n = len(toks)
+    scopes = []
+    bdepth = 0
+    pdepth = 0
+    pending_if = None
+    check_coll._carry = False
+    i = 0
+
+    def emit(line, why):
+        if not model.allowed("MC-COLL-001", line):
+            findings.append(Finding("MC-COLL-001", model.path, line, why))
+
+    def mark_divergent():
+        for k, s in enumerate(scopes):
+            if s.get("rank"):
+                if k > 0:
+                    scopes[k - 1]["divergent_line"] = s["line"]
+                break
+
+    def peek_else(j):
+        return j < n and toks[j][0] == "else"
+
+    while i < n:
+        t, ln = toks[i]
+        if t in ("if", "while"):
+            inherited = False
+            if pending_if is not None and pending_if.get("else_carry"):
+                inherited = True
+            pending_if = None
+            j = i + 1
+            while j < n and toks[j][0] != "(":
+                j += 1
+            depth, cond = 0, []
+            while j < n:
+                tt = toks[j][0]
+                if tt == "(":
+                    depth += 1
+                    if depth >= 2:
+                        cond.append(tt)
+                elif tt == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                    cond.append(tt)
+                elif depth >= 1:
+                    cond.append(tt)
+                j += 1
+            rank_dep = bool(RANK_COND_RE.search(" ".join(cond))) or inherited
+            k = j + 1
+            if k < n and toks[k][0] == "{":
+                pending_if = {"rank": rank_dep, "line": ln}
+                i = k
+                continue
+            scopes.append({"kind": "ifstmt", "rank": rank_dep, "line": ln,
+                           "divergent_line": None, "bdepth": bdepth,
+                           "pdepth": pdepth})
+            i = k
+            continue
+        if t == "else":
+            carried = getattr(check_coll, "_carry", False)
+            check_coll._carry = False
+            k = i + 1
+            if peek_else(k):
+                i = k
+                continue
+            if k < n and toks[k][0] == "if":
+                pending_if = {"else_carry": carried}
+                i = k
+                continue
+            if k < n and toks[k][0] == "{":
+                pending_if = {"rank": carried, "line": ln}
+                i = k
+                continue
+            scopes.append({"kind": "ifstmt", "rank": carried, "line": ln,
+                           "divergent_line": None, "bdepth": bdepth,
+                           "pdepth": pdepth})
+            i = k
+            continue
+        if t == "{":
+            bdepth += 1
+            if pending_if is not None and "rank" in pending_if:
+                scopes.append({"kind": "if", "rank": pending_if["rank"],
+                               "line": pending_if["line"],
+                               "divergent_line": None, "bdepth": bdepth})
+            else:
+                scopes.append({"kind": "brace", "rank": False, "line": ln,
+                               "divergent_line": None, "bdepth": bdepth})
+            pending_if = None
+            i += 1
+            continue
+        if t == "}":
+            while scopes and scopes[-1]["kind"] == "ifstmt":
+                scopes.pop()  # malformed nesting guard
+            carry = False
+            if scopes and scopes[-1].get("bdepth") == bdepth:
+                popped = scopes.pop()
+                carry = popped["kind"] == "if" and popped["rank"]
+                if not peek_else(i + 1):
+                    while (scopes and scopes[-1]["kind"] == "ifstmt"
+                           and scopes[-1]["bdepth"] == bdepth - 1):
+                        inner = scopes.pop()
+                        carry = carry or inner["rank"]
+            bdepth = max(0, bdepth - 1)
+            check_coll._carry = carry if peek_else(i + 1) else False
+            i += 1
+            continue
+        if t == "(":
+            pdepth += 1
+            i += 1
+            continue
+        if t == ")":
+            pdepth = max(0, pdepth - 1)
+            i += 1
+            continue
+        if t == ";":
+            carry = False
+            while (scopes and scopes[-1]["kind"] == "ifstmt"
+                   and scopes[-1]["bdepth"] == bdepth
+                   and scopes[-1]["pdepth"] == pdepth):
+                carry = carry or scopes.pop()["rank"]
+            check_coll._carry = carry if peek_else(i + 1) else False
+            i += 1
+            continue
+        if t in ("return", "throw"):
+            if any(s.get("rank") for s in scopes):
+                mark_divergent()
+            i += 1
+            continue
+        if t in COLLECTIVES and i + 1 < n and toks[i + 1][0] == "(":
+            prev = toks[i - 1][0] if i > 0 else ""
+            if prev != "::":  # skip out-of-class definitions
+                rank_scope = next((s for s in scopes if s.get("rank")), None)
+                div = next(
+                    (s for s in scopes if s.get("divergent_line") is not None),
+                    None)
+                if rank_scope is not None:
+                    emit(ln,
+                         f"collective '{t}' inside the rank-dependent branch "
+                         f"opened at line {rank_scope['line']}: not every "
+                         "rank executes it (deadlock)")
+                elif div is not None:
+                    emit(ln,
+                         f"collective '{t}' is unreachable on some ranks: "
+                         f"the rank-dependent branch at line "
+                         f"{div['divergent_line']} returns/throws before it")
+            i += 1
+            continue
+        i += 1
+
+
+# --------------------------------------------------------------------------
+# MC-OMP-002
+# --------------------------------------------------------------------------
+
+DECL_RE = re.compile(
+    r"(?:^|[;{}()])\s*"
+    r"(?:const\s+|static\s+|constexpr\s+|volatile\s+|mutable\s+)*"
+    r"(?P<type>auto|unsigned(?:\s+long)*(?:\s+int)?|long(?:\s+long)?(?:\s+int)?"
+    r"|[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*(?:<[^;{}]*?>)?)"
+    r"(?:\s*[&*])*\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?=[=({;,])")
+
+BINDING_RE = re.compile(r"auto\s*&?\s*\[([^\]]+)\]")
+
+ASSIGN_OP_RE = re.compile(ASSIGN_OP_RE_SRC)
+
+INCDEC_RE = re.compile(
+    r"(\+\+|--)\s*([A-Za-z_]\w*)|([A-Za-z_]\w*)\s*(\+\+|--)")
+
+
+def declared_names(region_text):
+    names = set()
+    for m in DECL_RE.finditer(region_text):
+        if m.group("type") not in KEYWORDS_NOT_TYPES:
+            names.add(m.group("name"))
+    for m in BINDING_RE.finditer(region_text):
+        names.update(x.strip() for x in m.group(1).split(",") if x.strip())
+    return names
+
+
+def lvalue_base(text, op_pos):
+    """Walk left from an assignment operator to the base identifier of its
+    lvalue chain (`plan.ij`, `q_[i]`, `obj->field`). Returns (name, start)
+    or (None, op_pos)."""
+    i = op_pos - 1
+    while i >= 0 and text[i] in " \t\n":
+        i -= 1
+    while i >= 0:
+        if text[i] == "]":
+            depth = 0
+            while i >= 0:
+                if text[i] == "]":
+                    depth += 1
+                elif text[i] == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i -= 1
+            i -= 1
+            while i >= 0 and text[i] in " \t\n":
+                i -= 1
+            continue
+        break
+    name = None
+    while i >= 0:
+        j = i
+        while j >= 0 and (text[j].isalnum() or text[j] == "_"):
+            j -= 1
+        if j < i:
+            name = text[j + 1:i + 1]
+            i = j
+        else:
+            return (None, op_pos)
+        while i >= 0 and text[i] in " \t\n":
+            i -= 1
+        if i >= 1 and text[i - 1:i + 1] == "->":
+            i -= 2
+        elif i >= 0 and text[i] == ".":
+            i -= 1
+        elif i >= 1 and text[i - 1:i + 1] == "::":
+            i -= 2
+        else:
+            break
+        while i >= 0 and text[i] in " \t\n":
+            i -= 1
+    if name and (name[0].isalpha() or name[0] == "_"):
+        return (name, i + 1)
+    return (None, op_pos)
+
+
+def sanctioned_spans(model, region_start, region_end):
+    spans = []
+    for start, end, text in pragmas(model):
+        if start < region_start or start >= region_end:
+            continue
+        if re.search(r"\bomp\s+(master|single|critical)\b", text):
+            spans.append(construct_body(model.cleaned, end))
+        elif re.search(r"\bomp\s+atomic\b", text):
+            spans.append((end, statement_end(model.cleaned, end)))
+    return spans
+
+
+def parallel_regions(model):
+    out = []
+    for start, end, text in pragmas(model):
+        if re.search(r"\bomp\s+parallel\b", text):
+            body = construct_body(model.cleaned, end)
+            out.append((text, body[0], body[1]))
+    return out
+
+
+def check_omp(model, findings, scope_paths):
+    if scope_paths:
+        norm = model.path.replace(os.sep, "/")
+        if not any(s in norm for s in scope_paths):
+            return
+    text = blank_pragmas(model)
+    for pragma_text, rstart, rend in parallel_regions(model):
+        region = text[rstart:rend]
+        decls = declared_names(region)
+        privates = clause_private_names(pragma_text)
+        for _, _, ptext in pragmas(model):
+            privates |= clause_private_names(ptext)
+        spans = sanctioned_spans(model, rstart, rend)
+
+        def sanctioned(pos):
+            return any(s <= pos < e for s, e in spans)
+
+        def report(base, pos):
+            line = model.line_of(pos)
+            if base in decls or base in privates:
+                return
+            if sanctioned(pos) or model.allowed("MC-OMP-002", line):
+                return
+            findings.append(Finding(
+                "MC-OMP-002", model.path, line,
+                f"raw write to '{base}' (not declared in this parallel "
+                "region) -- route it through an access annotation type "
+                "(common/access.hpp) or an omp master/single/atomic "
+                "construct"))
+
+        for m in ASSIGN_OP_RE.finditer(region):
+            pos = rstart + m.start()
+            base, lstart = lvalue_base(text, pos)
+            if base is None or base in KEYWORDS_NOT_TYPES \
+                    or base in TYPE_KEYWORDS:
+                continue
+            if lstart < rstart:  # lvalue begins outside the region
+                continue
+            report(base, pos)
+        for m in INCDEC_RE.finditer(region):
+            base = m.group(2) or m.group(3)
+            if base in KEYWORDS_NOT_TYPES or base in TYPE_KEYWORDS:
+                continue
+            report(base, rstart + m.start())
+
+
+# --------------------------------------------------------------------------
+# MC-RED-003
+# --------------------------------------------------------------------------
+
+from engine import CLAUSE_REDUCTION_RE  # noqa: E402
+
+
+def check_red(model, findings):
+    text = model.cleaned
+    for start, end, ptext in pragmas(model):
+        line = model.line_of(start)
+        for m in CLAUSE_REDUCTION_RE.finditer(ptext):
+            for name in (x.strip() for x in m.group(1).split(",")):
+                if name and fp_declared(model, name):
+                    if not model.allowed("MC-RED-003", line):
+                        findings.append(Finding(
+                            "MC-RED-003", model.path, line,
+                            f"floating-point reduction over '{name}' has no "
+                            "defined combination order; use the sanctioned "
+                            "ordered reduction helpers instead"))
+        if re.search(r"\bomp\s+atomic\b", ptext):
+            stmt_start = end
+            stmt = text[stmt_start:statement_end(text, stmt_start)]
+            am = ASSIGN_OP_RE.search(stmt)
+            im = INCDEC_RE.search(stmt)
+            base = None
+            if am:
+                base, _ = lvalue_base(text, stmt_start + am.start())
+            elif im:
+                base = im.group(2) or im.group(3)
+            if base and fp_declared(model, base):
+                aline = model.line_of(stmt_start)
+                if not model.allowed("MC-RED-003", aline):
+                    findings.append(Finding(
+                        "MC-RED-003", model.path, aline,
+                        f"omp atomic on floating-point '{base}' accumulates "
+                        "in schedule order; use the sanctioned ordered "
+                        "reduction helpers instead"))

@@ -1,0 +1,148 @@
+"""SARIF 2.1.0 writer for mc-lint findings.
+
+One run, one driver, one rule object per check id. Ledger-suppressed
+findings are emitted with a `suppressions` entry (kind "external",
+justification = the ledger reason) so SARIF consumers show them struck
+through instead of silently dropping them; inline `// mc-lint: allow`
+directives drop findings before they exist and therefore never reach
+the log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from engine import CHECKS, DIRECTIVE_CHECK
+
+TOOL_VERSION = "2.0.0"
+
+SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+          "master/Schemata/sarif-schema-2.1.0.json")
+
+RULE_HELP = {
+    "MC-COLL-001": "Every rank must execute the same MPI collective "
+                   "sequence; a collective (direct or through any call "
+                   "chain) guarded by a rank-dependent branch deadlocks "
+                   "the ranks that never arrive.",
+    "MC-OMP-002": "Mutable state shared across an omp parallel region "
+                  "must go through the access annotation types or a "
+                  "sanctioned construct.",
+    "MC-RED-003": "Floating-point accumulation with unspecified "
+                  "combination order breaks bit-reproducible golden "
+                  "trajectories.",
+    "MC-WIN-004": "One-sided window traffic is ordered only by fence "
+                  "epochs: every put/get/acc needs a closing fence on "
+                  "every call path, and win_free must not interrupt an "
+                  "open epoch.",
+    "MC-SEQ-005": "Sibling branches reachable by different ranks must "
+                  "expand to identical collective sequences.",
+    "MC-FP-006": "Unordered FP accumulation must not flow into "
+                 "golden-trajectory-checked state through any call "
+                 "chain.",
+    DIRECTIVE_CHECK: "mc-lint suppression directives must be "
+                     "well-formed and carry a reason.",
+}
+
+
+def _repo_rel(path, repo_root):
+    ap = os.path.abspath(path)
+    root = os.path.abspath(repo_root)
+    if ap.startswith(root + os.sep):
+        rel = os.path.relpath(ap, root)
+    else:
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def sarif_log(findings, repo_root):
+    rule_ids = list(CHECKS) + [DIRECTIVE_CHECK]
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = []
+    for rid in rule_ids:
+        rules.append({
+            "id": rid,
+            "shortDescription": {
+                "text": CHECKS.get(rid, RULE_HELP[rid])},
+            "fullDescription": {"text": RULE_HELP[rid]},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results = []
+    for f in findings:
+        res = {
+            "ruleId": f.check,
+            "ruleIndex": rule_index.get(f.check, 0),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _repo_rel(f.path, repo_root),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": f.line},
+                },
+            }],
+        }
+        if f.suppression:
+            res["suppressions"] = [{
+                "kind": "external",
+                "justification": f.suppression.get("reason", ""),
+            }]
+        results.append(res)
+    return {
+        "$schema": SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "mc-lint",
+                "version": TOOL_VERSION,
+                "informationUri":
+                    "https://example.invalid/minichem-hf/tools/mc-lint",
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {
+                "SRCROOT": {
+                    "uri": "file://" + os.path.abspath(repo_root).replace(
+                        os.sep, "/") + "/",
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path, findings, repo_root):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(sarif_log(findings, repo_root), f, indent=2)
+        f.write("\n")
+
+
+def step_summary_table(findings, files_scanned, functions_indexed):
+    """Markdown rule-by-rule table for $GITHUB_STEP_SUMMARY."""
+    rows = []
+    counts = {}
+    for f in findings:
+        live, supp = counts.get(f.check, (0, 0))
+        if f.suppression:
+            counts[f.check] = (live, supp + 1)
+        else:
+            counts[f.check] = (live + 1, supp)
+    rows.append("### mc-lint (whole-program)")
+    rows.append("")
+    rows.append(f"{files_scanned} file(s) scanned, "
+                f"{functions_indexed} function(s) indexed.")
+    rows.append("")
+    rows.append("| rule | description | findings | suppressed |")
+    rows.append("| --- | --- | ---: | ---: |")
+    for rid in list(CHECKS) + [DIRECTIVE_CHECK]:
+        live, supp = counts.get(rid, (0, 0))
+        desc = CHECKS.get(rid, "suppression-directive hygiene")
+        rows.append(f"| {rid} | {desc} | {live} | {supp} |")
+    total_live = sum(c[0] for c in counts.values())
+    verdict = ("**PASS** -- no unsuppressed findings" if total_live == 0
+               else f"**FAIL** -- {total_live} unsuppressed finding(s)")
+    rows.append("")
+    rows.append(verdict)
+    rows.append("")
+    return "\n".join(rows)

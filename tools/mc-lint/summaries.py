@@ -1,0 +1,756 @@
+"""Whole-program source model: per-function summaries and the call graph.
+
+Every scanned file is reduced to a list of FunctionSummary objects. A
+summary is an ordered *event tree* of everything the protocol rules care
+about inside one function body:
+
+  ("coll", name, line)                 direct minimpi collective call
+  ("fence", win, line)                 win_fence / .fence() epoch boundary
+  ("win", op, win, line)               one-sided put/get/acc traffic
+  ("create", win, line)                window creation (collective)
+  ("free", win, line)                  win_free / ddi destroy (collective)
+  ("call", name, line)                 call to a possibly-project function
+  ("exit", line)                       return / throw
+  ("branch", line, cond, cond_calls, then_events, else_events)
+                                       if/while with nested event lists
+
+plus a flat list of unordered-FP-accumulation events (from `#pragma omp`
+scanning) and a `returns_rank` flag (some `return` expression mentions
+the rank), which lets rank-dependence propagate through predicate
+helpers like `bool is_master() { return rank_ == 0; }`.
+
+The ProgramIndex resolves call events by the last component of the
+callee name (C++ overload/ownership resolution is deliberately out of
+scope -- ambiguous names union their candidates) and memoizes the
+transitive facts the interprocedural rules consume: does a function
+(transitively) issue collectives, fence, or accumulate FP out of order,
+and what collective *sequence* does it expand to.
+
+Loops are linearized (a loop body contributes its events once) and both
+arms of a branch are kept; the rules decide how to combine them. This is
+a linearization of paths, not a path-sensitive dataflow -- deliberate:
+the protocols under check are themselves straight-line epoch sequences.
+"""
+
+from __future__ import annotations
+
+import re
+
+from engine import (COLLECTIVES, RANK_COND_RE, WIN_OPS, blank_pragmas,
+                    CLAUSE_REDUCTION_RE, fp_declared, pragmas,
+                    statement_end, tokenize_offsets)
+
+CONTROL_KEYWORDS = {
+    "if", "while", "for", "switch", "do", "else", "return", "throw",
+    "case", "default", "break", "continue", "goto", "try", "catch",
+    "sizeof", "alignof", "decltype", "static_assert", "new", "delete",
+    "using", "typedef", "template", "typename", "namespace", "operator",
+    "class", "struct", "union", "enum", "public", "private", "protected",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "co_return", "co_await", "co_yield", "noexcept", "alignas", "explicit",
+    "and", "or", "not", "defined",
+}
+
+FN_QUALIFIERS = {"const", "noexcept", "override", "final", "mutable",
+                 "&", "&&", "volatile", "try"}
+
+# Identifier-ish call names that are never project functions; skipping
+# them keeps the call graph (and ambiguity) small.
+CALL_NOISE = {
+    "assert", "printf", "fprintf", "snprintf", "memcpy", "memset",
+    "push_back", "emplace_back", "reserve", "resize", "size", "empty",
+    "begin", "end", "data", "clear", "insert", "erase", "find", "count",
+    "at", "front", "back", "str", "c_str", "substr", "append", "pop_back",
+    "min", "max", "abs", "sqrt", "exp", "pow", "move", "swap", "get",
+    "make_unique", "make_shared", "to_string", "stoi", "stod", "load",
+    "store", "fetch_add", "fetch_sub", "lock", "unlock", "wait",
+    "notify_all", "notify_one", "emplace", "first", "second", "value",
+    "has_value", "EXPECT_EQ", "EXPECT_NE", "EXPECT_TRUE", "EXPECT_FALSE",
+    "ASSERT_EQ", "ASSERT_NE", "ASSERT_TRUE", "ASSERT_FALSE", "EXPECT_LT",
+    "EXPECT_GT", "EXPECT_LE", "EXPECT_GE", "EXPECT_NEAR", "ASSERT_NEAR",
+    "EXPECT_THROW", "EXPECT_NO_THROW", "ASSERT_THROW", "EXPECT_DOUBLE_EQ",
+    "SCOPED_TRACE", "FAIL", "ADD_FAILURE",
+}
+
+WIN_PRIMITIVES = {"win_put": "put", "win_get": "get", "win_acc": "acc"}
+
+DDI_BASE_RE = re.compile(r"ddi", re.IGNORECASE)
+
+
+class FunctionSummary:
+    def __init__(self, name, qual, path, line, sig_line_span):
+        self.name = name          # last component, e.g. "build"
+        self.qual = qual          # as written, e.g. "DistFockBuilder::build"
+        self.path = path
+        self.line = line
+        self.sig_line_span = sig_line_span  # (first, last) line of the def
+        self.events = []          # event tree (see module docstring)
+        self.fp_events = []       # [(line, description)]
+        self.returns_rank = False
+
+    def __repr__(self):
+        return f"<fn {self.qual} {self.path}:{self.line}>"
+
+
+def _match_forward(toks, i, open_t, close_t):
+    """Index of the token matching toks[i] (an open_t)."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i][0]
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+def _name_before_paren(toks, i):
+    """Walk back from toks[i] == '(' to the (possibly qualified) name of
+    what is being called/declared. Returns (last_component, qualified,
+    start_index) or (None, None, i)."""
+    j = i - 1
+    parts = []
+    while j >= 0:
+        t = toks[j][0]
+        if re.fullmatch(r"[A-Za-z_]\w*", t):
+            parts.append(t)
+            j -= 1
+            if j >= 0 and toks[j][0] == "~":
+                parts[-1] = "~" + parts[-1]
+                j -= 1
+        else:
+            break
+        if j >= 0 and toks[j][0] == "::":
+            parts.append("::")
+            j -= 1
+            continue
+        break
+    if not parts or parts[0] == "::":
+        return (None, None, i)
+    qual = "".join(reversed(parts))
+    last = parts[0]
+    return (last, qual, j + 1)
+
+
+def _skip_template_args(toks, k):
+    """toks[k] == '<': best-effort skip of a template argument list."""
+    depth = 0
+    n = len(toks)
+    while k < n:
+        t = toks[k][0]
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return k + 1
+        elif t in (";", "{", "}"):
+            return k  # not a template list after all
+        k += 1
+    return k
+
+
+def _skip_fn_qualifiers(toks, k):
+    n = len(toks)
+    while k < n:
+        t = toks[k][0]
+        if t in FN_QUALIFIERS and t != "try":
+            k += 1
+            if t == "noexcept" and k < n and toks[k][0] == "(":
+                k = _match_forward(toks, k, "(", ")") + 1
+            continue
+        if t == "->":  # trailing return type
+            k += 1
+            while k < n and toks[k][0] not in ("{", ";", "=", ","):
+                if toks[k][0] == "<":
+                    k = _skip_template_args(toks, k)
+                else:
+                    k += 1
+            continue
+        break
+    return k
+
+
+def _skip_init_list(toks, k):
+    """toks[k] == ':' after a constructor's ')': return the index of the
+    body '{', or -1 if this does not parse as a member-init list."""
+    n = len(toks)
+    k += 1
+    while k < n:
+        # member or base name (possibly qualified / templated)
+        saw_name = False
+        while k < n:
+            t = toks[k][0]
+            if re.fullmatch(r"[A-Za-z_]\w*", t) or t == "::":
+                saw_name = True
+                k += 1
+            elif t == "<" and saw_name:
+                k = _skip_template_args(toks, k)
+            elif t == "." and k + 1 < n and toks[k + 1][0] == ".":
+                k += 1  # variadic '...'
+            else:
+                break
+        if not saw_name:
+            return -1
+        if k < n and toks[k][0] == "(":
+            k = _match_forward(toks, k, "(", ")") + 1
+        elif k < n and toks[k][0] == "{":
+            k = _match_forward(toks, k, "{", "}") + 1
+        else:
+            return -1
+        if k < n and toks[k][0] == ",":
+            k += 1
+            continue
+        if k < n and toks[k][0] == "{":
+            return k
+        return -1
+    return -1
+
+
+def extract_functions(model):
+    """FunctionSummary list for every function/method definition found in
+    the file. The scanner walks the pragma-blanked token stream; when it
+    recognizes `name ( params ) qualifiers { body }` it records the body
+    span, parses the body into an event tree, and resumes *after* the
+    body, so statement-level calls never masquerade as definitions."""
+    text = blank_pragmas(model)
+    toks = tokenize_offsets(text, model)
+    n = len(toks)
+    funcs = []
+    i = 0
+    while i < n:
+        t = toks[i][0]
+        if t != "(":
+            i += 1
+            continue
+        name, qual, _ = _name_before_paren(toks, i)
+        if name is None or name in CONTROL_KEYWORDS:
+            i = _match_forward(toks, i, "(", ")") + 1
+            continue
+        close = _match_forward(toks, i, "(", ")")
+        k = _skip_fn_qualifiers(toks, close + 1)
+        if k < n and toks[k][0] == ":":
+            body_open = _skip_init_list(toks, k)
+            if body_open < 0:
+                i = close + 1
+                continue
+            k = body_open
+        if k >= n or toks[k][0] != "{":
+            i = close + 1
+            continue
+        body_close = _match_forward(toks, k, "{", "}")
+        fn = FunctionSummary(
+            name, qual, model.path, toks[i][1],
+            (toks[i][1], toks[body_close][1]))
+        parser = _BodyParser(toks, model)
+        fn.events = parser.parse_stmts(k + 1, body_close)
+        fn.returns_rank = parser.returns_rank
+        _attach_fp_events(model, fn, toks[k][2], toks[body_close][2])
+        funcs.append(fn)
+        i = body_close + 1
+    return funcs
+
+
+def _attach_fp_events(model, fn, body_start, body_end):
+    """Unordered-FP-accumulation events inside this body span, detected
+    from the omp pragmas (same predicates as the lexical MC-RED-003)."""
+    import rules  # noqa: PLC0415 (cycle-free: rules does not import us)
+    for start, end, ptext in pragmas(model):
+        if not (body_start <= start < body_end):
+            continue
+        line = model.line_of(start)
+        for m in CLAUSE_REDUCTION_RE.finditer(ptext):
+            for nm in (x.strip() for x in m.group(1).split(",")):
+                if nm and fp_declared(model, nm):
+                    fn.fp_events.append(
+                        (line, f"fp reduction clause over '{nm}'"))
+        if re.search(r"\bomp\s+atomic\b", ptext):
+            stmt_start = end
+            stmt = model.cleaned[
+                stmt_start:statement_end(model.cleaned, stmt_start)]
+            am = rules.ASSIGN_OP_RE.search(stmt)
+            im = rules.INCDEC_RE.search(stmt)
+            base = None
+            if am:
+                base, _ = rules.lvalue_base(
+                    model.cleaned, stmt_start + am.start())
+            elif im:
+                base = im.group(2) or im.group(3)
+            if base and fp_declared(model, base):
+                fn.fp_events.append(
+                    (model.line_of(stmt_start),
+                     f"omp atomic on floating-point '{base}'"))
+
+
+class _BodyParser:
+    def __init__(self, toks, model):
+        self.toks = toks
+        self.model = model
+        self.returns_rank = False
+
+    def parse_stmts(self, i, end):
+        events = []
+        while i < end:
+            i = self.parse_stmt(i, end, events)
+        return events
+
+    def parse_stmt(self, i, end, out):
+        """Parse one statement starting at token i; append its events to
+        `out`; return the index just past it."""
+        toks = self.toks
+        if i >= end:
+            return end
+        t, ln, _ = toks[i]
+        if t == "{":
+            close = _match_forward(toks, i, "{", "}")
+            out.extend(self.parse_stmts(i + 1, min(close, end)))
+            return min(close, end) + 1
+        if t in ("if", "while"):
+            return self.parse_branch(i, end, out)
+        if t in ("for", "switch"):
+            j = i + 1
+            while j < end and toks[j][0] != "(":
+                j += 1
+            if j >= end:
+                return end
+            close = _match_forward(toks, j, "(", ")")
+            # condition/range expressions can contain calls worth seeing
+            self.scan_expr(j + 1, min(close, end), out)
+            return self.parse_stmt(close + 1, end, out)
+        if t == "do":
+            return self.parse_stmt(i + 1, end, out)
+        if t == "else":
+            # dangling else (shouldn't happen: parse_branch consumes it)
+            return self.parse_stmt(i + 1, end, out)
+        if t in ("return", "throw", "co_return"):
+            out.append(("exit", ln))
+            j = i + 1
+            expr = []
+            depth = 0
+            while j < end:
+                tt = toks[j][0]
+                if tt in "([{":
+                    depth += 1
+                elif tt in ")]}":
+                    depth -= 1
+                elif tt == ";" and depth <= 0:
+                    break
+                expr.append(tt)
+                j += 1
+            txt = " ".join(expr)
+            if RANK_COND_RE.search(txt):
+                self.returns_rank = True
+            self.scan_expr(i + 1, j, out)
+            return j + 1
+        # plain statement: scan to ';' at depth 0 (or a '{' opening a
+        # lambda/compound, which scan_expr descends through)
+        j = i
+        depth = 0
+        while j < end:
+            tt = toks[j][0]
+            if tt in "([{":
+                depth += 1
+            elif tt in ")]}":
+                depth -= 1
+            elif tt == ";" and depth <= 0:
+                break
+            j += 1
+        self.scan_expr(i, j, out)
+        return j + 1
+
+    def parse_branch(self, i, end, out):
+        toks = self.toks
+        kw, ln, _ = toks[i]
+        j = i + 1
+        constexpr_if = False
+        while j < end and toks[j][0] != "(":
+            if toks[j][0] == "constexpr":
+                constexpr_if = True
+            j += 1
+        if j >= end:
+            return end
+        close = _match_forward(toks, j, "(", ")")
+        cond_toks = [toks[k][0] for k in range(j + 1, min(close, end))]
+        cond = " ".join(cond_toks)
+        cond_calls = []
+        for k in range(j + 1, min(close, end) - 1):
+            nm = toks[k][0]
+            if (re.fullmatch(r"[A-Za-z_]\w*", nm)
+                    and toks[k + 1][0] == "("
+                    and nm not in CONTROL_KEYWORDS
+                    and nm not in CALL_NOISE):
+                cond_calls.append(nm)
+        then_events = []
+        k = self.parse_stmt(close + 1, end, then_events)
+        else_events = []
+        if kw == "if" and k < end and toks[k][0] == "else":
+            k = self.parse_stmt(k + 1, end, else_events)
+        if constexpr_if:
+            # compile-time dispatch: both arms exist in one binary only;
+            # treat as transparent, never rank-dependent.
+            out.extend(then_events)
+            out.extend(else_events)
+            return k
+        out.append(("branch", ln, cond, cond_calls, then_events,
+                    else_events))
+        return k
+
+    def scan_expr(self, i, end, out):
+        """Collect coll/win/fence/free/call events from an expression or
+        statement span (lambda bodies included transparently)."""
+        toks = self.toks
+        k = i
+        while k < end:
+            t, ln, _ = toks[k]
+            if not re.fullmatch(r"[A-Za-z_]\w*", t):
+                k += 1
+                continue
+            nxt = toks[k + 1][0] if k + 1 < end else ""
+            if nxt != "(":
+                k += 1
+                continue
+            prev = toks[k - 1][0] if k > 0 else ""
+            member = prev in (".", "->")
+            base = toks[k - 2][0] if member and k >= 2 else ""
+            if t in COLLECTIVES:
+                if prev != "::":  # skip out-of-class definitions
+                    out.append(("coll", t, ln))
+                k += 2
+                continue
+            if t in WIN_PRIMITIVES:
+                win = self.first_arg_name(k + 1, end)
+                out.append(("win", WIN_PRIMITIVES[t], win, ln))
+                k += 2
+                continue
+            if t == "win_fence":
+                out.append(("fence", self.first_arg_name(k + 1, end), ln))
+                k += 2
+                continue
+            if t == "win_free":
+                out.append(("free", self.first_arg_name(k + 1, end), ln))
+                k += 2
+                continue
+            if t == "win_create":
+                out.append(("create", self.lhs_name(k), ln))
+                k += 2
+                continue
+            if t == "fence" and member:
+                out.append(("fence", self.first_arg_name(k + 1, end), ln))
+                k += 2
+                continue
+            if member and DDI_BASE_RE.search(base):
+                if t in WIN_OPS:
+                    out.append(
+                        ("win", t, self.first_arg_name(k + 1, end), ln))
+                    k += 2
+                    continue
+                if t == "destroy":
+                    out.append(
+                        ("free", self.first_arg_name(k + 1, end), ln))
+                    k += 2
+                    continue
+                if t == "create":
+                    out.append(("create", self.lhs_name(k), ln))
+                    k += 2
+                    continue
+            if t in CONTROL_KEYWORDS or t in CALL_NOISE:
+                k += 2
+                continue
+            out.append(("call", t, ln))
+            k += 2
+        return out
+
+    def lhs_name(self, k):
+        """Assignment/init target of the expression whose call name sits
+        at token k: `Window w = ddi.create(...)` -> 'w' ('?' otherwise).
+        Window identity lives in the variable the handle is bound to,
+        not in the creation arguments."""
+        toks = self.toks
+        j = k - 1
+        while j >= 2 and toks[j][0] in (".", "->"):
+            j -= 2  # hop over each '<base> .' pair of the member chain
+        if (j >= 1 and toks[j][0] == "="
+                and re.fullmatch(r"[A-Za-z_]\w*", toks[j - 1][0])):
+            return toks[j - 1][0]
+        return "?"
+
+    def first_arg_name(self, open_idx, end):
+        """Base identifier of the first argument of the call whose '(' is
+        at open_idx ('?' when it is not a simple name)."""
+        toks = self.toks
+        k = open_idx + 1
+        depth = 0
+        name = None
+        while k < end:
+            t = toks[k][0]
+            if t in "([{":
+                depth += 1
+            elif t in ")]}":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif t == "," and depth == 0:
+                break
+            elif depth == 0 and re.fullmatch(r"[A-Za-z_]\w*", t):
+                name = t  # last identifier wins: handles *win_, this->w
+            k += 1
+        return name or "?"
+
+
+# --------------------------------------------------------------------------
+# Program index
+# --------------------------------------------------------------------------
+
+MAX_INLINE_DEPTH = 12
+
+
+def walk_events(events):
+    """Depth-first iterator over an event tree (branch arms included)."""
+    for ev in events:
+        yield ev
+        if ev[0] == "branch":
+            yield from walk_events(ev[4])
+            yield from walk_events(ev[5])
+
+
+class ProgramIndex:
+    def __init__(self, models, engine_name="text"):
+        self.models = dict(models)  # path -> SourceModel
+        self.engine_name = engine_name
+        self.functions = []
+        self.by_name = {}
+        for path in sorted(self.models):
+            for fn in extract_functions(self.models[path]):
+                self.functions.append(fn)
+                self.by_name.setdefault(fn.name, []).append(fn)
+        self._may_coll = {}
+        self._seq = {}
+        self._fence_down = {}
+        self._fp_down = {}
+        self._returns_rank = {}
+        self.callers = {}  # FunctionSummary -> set of caller summaries
+        for fn in self.functions:
+            for ev in walk_events(fn.events):
+                if ev[0] == "call":
+                    for callee in self.resolve(ev[1]):
+                        self.callers.setdefault(id(callee), set()).add(
+                            id(fn))
+        self._by_id = {id(f): f for f in self.functions}
+
+    def resolve(self, name):
+        """Candidate definitions for a call by last-component name."""
+        return self.by_name.get(name, [])
+
+    # -- transitive facts (memoized, cycle-safe) --
+
+    def _transitive(self, fn, cache, direct_fn, visiting=None):
+        key = id(fn)
+        if key in cache:
+            return cache[key]
+        if visiting is None:
+            visiting = set()
+        if key in visiting:
+            return None  # cycle: undecided at this level
+        visiting.add(key)
+        result = direct_fn(fn)
+        if result is None:
+            result = False
+            for ev in walk_events(fn.events):
+                if ev[0] != "call":
+                    continue
+                for callee in self.resolve(ev[1]):
+                    sub = self._transitive(callee, cache, direct_fn,
+                                           visiting)
+                    if sub:
+                        result = True
+                        break
+                if result:
+                    break
+        visiting.discard(key)
+        cache[key] = result
+        return result
+
+    def may_coll(self, fn):
+        """Does fn (transitively) issue any collective -- including the
+        window collectives fence/create/free?"""
+        def direct(f):
+            for ev in walk_events(f.events):
+                if ev[0] in ("coll", "fence", "create", "free"):
+                    return True
+            return None
+        return bool(self._transitive(fn, self._may_coll, direct))
+
+    def fences_down(self, fn):
+        """Does fn (transitively) execute a fence?"""
+        def direct(f):
+            for ev in walk_events(f.events):
+                if ev[0] == "fence":
+                    return True
+            return None
+        return bool(self._transitive(fn, self._fence_down, direct))
+
+    def fp_down(self, fn):
+        """Does fn (transitively) perform unordered FP accumulation?"""
+        def direct(f):
+            if f.fp_events:
+                return True
+            return None
+        return bool(self._transitive(fn, self._fp_down, direct))
+
+    def returns_rank_dep(self, fn):
+        """Does fn's return value (transitively) depend on the rank?"""
+        def direct(f):
+            if f.returns_rank:
+                return True
+            return None
+        return bool(self._transitive(fn, self._returns_rank, direct))
+
+    def coll_chain(self, fn, _visiting=None, _depth=0):
+        """One example call chain from fn to a collective, as
+        ['helper_a', 'helper_b', "barrier"] -- or None."""
+        if _visiting is None:
+            _visiting = set()
+        if id(fn) in _visiting or _depth > MAX_INLINE_DEPTH:
+            return None
+        _visiting.add(id(fn))
+        for ev in walk_events(fn.events):
+            if ev[0] == "coll":
+                return [fn.qual, f"{ev[1]}()"]
+            if ev[0] in ("fence", "create", "free"):
+                return [fn.qual, f"{ev[0]}()"]
+        for ev in walk_events(fn.events):
+            if ev[0] != "call":
+                continue
+            for callee in self.resolve(ev[1]):
+                sub = self.coll_chain(callee, _visiting, _depth + 1)
+                if sub:
+                    return [fn.qual] + sub
+        return None
+
+    def fp_chain(self, fn, _visiting=None, _depth=0):
+        """One example call chain from fn to an unordered FP accumulation:
+        (chain_names, fp_path, fp_line, fp_desc) -- or None."""
+        if _visiting is None:
+            _visiting = set()
+        if id(fn) in _visiting or _depth > MAX_INLINE_DEPTH:
+            return None
+        _visiting.add(id(fn))
+        if fn.fp_events:
+            line, desc = fn.fp_events[0]
+            return ([fn.qual], fn.path, line, desc)
+        for ev in walk_events(fn.events):
+            if ev[0] != "call":
+                continue
+            for callee in self.resolve(ev[1]):
+                sub = self.fp_chain(callee, _visiting, _depth + 1)
+                if sub:
+                    return ([fn.qual] + sub[0], sub[1], sub[2], sub[3])
+        return None
+
+    def coll_seq(self, fn, _visiting=None, _depth=0):
+        """Flattened collective sequence fn expands to. Branch nodes with
+        identical arm sequences contribute once; divergent arms
+        contribute the opaque marker '<div>'; unresolvable ambiguity
+        contributes '<ambig>'. Loops contribute their body once."""
+        key = id(fn)
+        if key in self._seq:
+            return self._seq[key]
+        if _visiting is None:
+            _visiting = set()
+        if key in _visiting or _depth > MAX_INLINE_DEPTH:
+            return ["<cycle>"]
+        _visiting.add(key)
+        seq = self.events_seq(fn.events, _visiting, _depth)
+        _visiting.discard(key)
+        self._seq[key] = seq
+        return seq
+
+    def events_seq(self, events, _visiting=None, _depth=0):
+        if _visiting is None:
+            _visiting = set()
+        seq = []
+        for ev in events:
+            kind = ev[0]
+            if kind == "coll":
+                seq.append(ev[1])
+            elif kind in ("fence", "create", "free"):
+                seq.append(kind)
+            elif kind == "call":
+                cands = self.resolve(ev[1])
+                if not cands:
+                    continue
+                subs = [self.coll_seq(c, _visiting, _depth + 1)
+                        for c in cands]
+                if all(s == subs[0] for s in subs):
+                    seq.extend(subs[0])
+                elif any(subs):
+                    seq.append("<ambig>")
+            elif kind == "branch":
+                t = self.events_seq(ev[4], _visiting, _depth)
+                e = self.events_seq(ev[5], _visiting, _depth)
+                if t == e:
+                    seq.extend(t)
+                elif t or e:
+                    seq.append("<div>")
+        return seq
+
+    def cond_is_rank_dep(self, cond, cond_calls):
+        if RANK_COND_RE.search(cond):
+            return True
+        for nm in cond_calls:
+            for cand in self.resolve(nm):
+                if self.returns_rank_dep(cand):
+                    return True
+        return False
+
+    def transitive_callers(self, fn):
+        """fn plus every function that can reach it through call edges."""
+        seen = {id(fn)}
+        stack = [id(fn)]
+        while stack:
+            cur = stack.pop()
+            for caller in self.callers.get(cur, ()):
+                if caller not in seen:
+                    seen.add(caller)
+                    stack.append(caller)
+        return [self._by_id[k] for k in seen]
+
+    def inline_stream(self, fn, _visiting=None, _depth=0):
+        """Linearized event stream of fn with resolved calls inlined.
+        Events originating in callees have their window names rewritten
+        to '?' (argument binding is out of scope), so the epoch machine
+        never misattributes a callee's traffic to a caller's window."""
+        if _visiting is None:
+            _visiting = set()
+        if id(fn) in _visiting or _depth > MAX_INLINE_DEPTH:
+            return []
+        _visiting.add(id(fn))
+        out = []
+
+        def emit(events):
+            for ev in events:
+                kind = ev[0]
+                if kind == "branch":
+                    emit(ev[4])
+                    emit(ev[5])
+                elif kind == "call":
+                    cands = self.resolve(ev[1])
+                    for cand in cands[:1]:  # one candidate's shape is
+                        # enough for epoch simulation
+                        for sev in self.inline_stream(cand, _visiting,
+                                                      _depth + 1):
+                            if sev[0] == "win":
+                                out.append(("win", sev[1], "?", sev[3]))
+                            else:
+                                out.append((sev[0], "?", sev[2]))
+                elif kind in ("win", "fence", "free", "create"):
+                    out.append(ev)
+                # coll/exit: irrelevant to the epoch machine
+
+        emit(fn.events)
+        _visiting.discard(id(fn))
+        return out

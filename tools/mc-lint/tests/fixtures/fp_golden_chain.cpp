@@ -1,0 +1,21 @@
+// Fixture: MC-FP-006 must fire at build()'s call into the chain -- the
+// golden-trajectory-checked entry point reaches an unordered FP
+// reduction two calls down (build -> contract_density ->
+// accumulate_block). The MC-RED-003 finding at the accumulation itself
+// also stands; FP-006 adds the *flow* into golden-checked state.
+void accumulate_block(double* sum, const double* x, int n) {
+  double local = 0.0;
+#pragma omp parallel for reduction(+ : local)
+  for (int i = 0; i < n; ++i) local += x[i];  // SEEDED: MC-RED-003
+  *sum += local;
+}
+
+void contract_density(double* sum, const double* x, int n) {
+  accumulate_block(sum, x, n);
+}
+
+double build(const double* x, int n) {
+  double f = 0.0;
+  contract_density(&f, x, n);  // SEEDED VIOLATION: MC-FP-006
+  return f;
+}

@@ -1,0 +1,22 @@
+// Fixture (pairs with interproc_coll_helpers.cpp): MC-COLL-001 must
+// fire *interprocedurally* exactly once. sync_ranks() looks harmless at
+// this call site, but two helper levels down (sync_ranks -> flush_caches
+// -> barrier) it issues a collective, and only rank 0 ever calls it: the
+// other ranks deadlock at their next sync point. Scanned as a pair with
+// the helpers TU by tools/mc-lint/tests/run_tests.py.
+struct Comm {
+  int rank() const;
+  void barrier();
+};
+
+namespace mc {
+
+void sync_ranks(Comm* comm);  // defined in interproc_coll_helpers.cpp
+
+void finish_iteration(Comm* comm) {
+  if (comm->rank() == 0) {
+    sync_ranks(comm);  // SEEDED VIOLATION: MC-COLL-001 (via flush_caches)
+  }
+}
+
+}  // namespace mc

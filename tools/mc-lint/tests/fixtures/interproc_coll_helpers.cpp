@@ -1,0 +1,20 @@
+// Fixture (pairs with interproc_coll_driver.cpp): a helper chain that
+// bottoms out in a collective. This TU is clean on its own -- nothing
+// here is rank-dependent. The deadlock lives at the rank-guarded call
+// site in the driver TU, two helper levels above the barrier.
+struct Comm {
+  int rank() const;
+  void barrier();
+};
+
+namespace mc {
+
+void flush_caches(Comm* comm) {
+  comm->barrier();  // level 2: the actual collective
+}
+
+void sync_ranks(Comm* comm) {
+  flush_caches(comm);  // level 1: plain forwarding
+}
+
+}  // namespace mc

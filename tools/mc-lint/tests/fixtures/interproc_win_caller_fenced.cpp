@@ -1,0 +1,25 @@
+// Fixture: the same helper-owned put as interproc_win_unfenced.cpp, but
+// the caller closes the epoch after the helper returns. MC-WIN-004 must
+// stay silent: a fence on *any* call path (here, the caller fencing on
+// the helper's behalf) gives the traffic its ordering story.
+#include <cstddef>
+
+namespace par {
+class Window {};
+class Ddi {
+ public:
+  void put(const Window&, std::size_t, const double*, std::size_t) {}
+  void fence(const Window&) {}
+};
+}  // namespace par
+
+void stage_block(par::Ddi& ddi, par::Window& w, const double* buf,
+                 std::size_t n) {
+  ddi.put(w, 0, buf, n);  // fenced by the caller below: fine
+}
+
+void drive(par::Ddi& ddi, par::Window& w, const double* buf,
+           std::size_t n) {
+  stage_block(ddi, w, buf, n);
+  ddi.fence(w);  // closes the epoch the helper opened
+}

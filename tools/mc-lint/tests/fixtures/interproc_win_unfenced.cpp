@@ -1,0 +1,25 @@
+// Fixture: MC-WIN-004 (unfenced chain) must fire exactly once -- the
+// one-sided put sits in a helper, and *nobody* on its call paths (the
+// helper itself, its callees, or its only caller) ever opens or closes
+// a fence epoch, so the traffic has no ordering story at all.
+#include <cstddef>
+
+namespace par {
+class Window {};
+class Ddi {
+ public:
+  void put(const Window&, std::size_t, const double*, std::size_t) {}
+  void fence(const Window&) {}
+};
+}  // namespace par
+
+void stage_block(par::Ddi& ddi, par::Window& w, const double* buf,
+                 std::size_t n) {
+  ddi.put(w, 0, buf, n);  // SEEDED VIOLATION: MC-WIN-004 (no fence anywhere)
+}
+
+void drive(par::Ddi& ddi, par::Window& w, const double* buf,
+           std::size_t n) {
+  stage_block(ddi, w, buf, n);
+  // no fence here either: the epoch is never closed on any path
+}

@@ -1,0 +1,19 @@
+// Fixture: MC-SEQ-005 must fire at the branch -- both sibling arms of
+// the rank test issue collectives, but *different* ones: rank 0 enters
+// bcast while every other rank sits in barrier, and the job interlocks.
+// The lexical MC-COLL-001 findings on each collective also stand (each
+// one really is skipped by some ranks), so this fixture carries three
+// findings in total.
+struct Comm {
+  int rank() const;
+  void barrier();
+  void bcast(double*, int, int);
+};
+
+void exchange(Comm* comm, double* buf) {
+  if (comm->rank() == 0) {    // SEEDED VIOLATION: MC-SEQ-005 (divergent)
+    comm->bcast(buf, 8, 0);   // SEEDED VIOLATION: MC-COLL-001
+  } else {
+    comm->barrier();          // SEEDED VIOLATION: MC-COLL-001
+  }
+}

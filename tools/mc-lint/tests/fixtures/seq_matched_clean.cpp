@@ -1,0 +1,22 @@
+// Fixture: a rank test whose sibling arms expand to the *same*
+// collective sequence (barrier then bcast on both sides -- rank 0 just
+// does extra rank-local work first). Every rank issues the identical
+// sequence whichever arm it takes, so the branch is rank-symmetric and
+// both MC-COLL-001 and MC-SEQ-005 must stay silent.
+struct Comm {
+  int rank() const;
+  void barrier();
+  void bcast(double*, int, int);
+  void log_line(const char*);
+};
+
+void exchange(Comm* comm, double* buf) {
+  if (comm->rank() == 0) {
+    comm->log_line("root collecting");  // rank-local: fine
+    comm->barrier();
+    comm->bcast(buf, 8, 0);
+  } else {
+    comm->barrier();
+    comm->bcast(buf, 8, 0);
+  }
+}

@@ -1,0 +1,27 @@
+// Fixture: MC-WIN-004's epoch state machine must fire exactly twice --
+// once for destroying the window while a put issued after the last
+// fence is still pending (the open epoch is never closed), and once for
+// the get that touches the window after its free.
+#include <cstddef>
+#include <string>
+
+namespace par {
+class Window {};
+class Ddi {
+ public:
+  Window create(const std::string&, std::size_t) { return Window{}; }
+  void put(const Window&, std::size_t, const double*, std::size_t) {}
+  void get(const Window&, std::size_t, double*, std::size_t) {}
+  void fence(const Window&) {}
+  void destroy(const Window&) {}
+};
+}  // namespace par
+
+void leak_epoch(par::Ddi& ddi, const double* src, double* dst) {
+  par::Window w = ddi.create("fixture:w", 8);
+  ddi.put(w, 0, src, 4);
+  ddi.fence(w);            // first epoch closed correctly
+  ddi.put(w, 4, src, 4);
+  ddi.destroy(w);          // SEEDED VIOLATION: win_free inside open epoch
+  ddi.get(w, 0, dst, 4);   // SEEDED VIOLATION: access after win_free
+}

@@ -1,0 +1,29 @@
+// Fixture: destroy-then-recreate under the same handle name (the
+// window-key-reuse pattern the par tests exercise on purpose). The epoch
+// machine must track the re-creation and stay silent: every access is
+// fenced, and the get targets the *fresh* window, not the freed one.
+#include <cstddef>
+#include <string>
+
+namespace par {
+class Window {};
+class Ddi {
+ public:
+  Window create(const std::string&, std::size_t) { return Window{}; }
+  void put(const Window&, std::size_t, const double*, std::size_t) {}
+  void get(const Window&, std::size_t, double*, std::size_t) {}
+  void fence(const Window&) {}
+  void destroy(const Window&) {}
+};
+}  // namespace par
+
+void reuse_key(par::Ddi& ddi, const double* src, double* dst) {
+  par::Window w = ddi.create("fixture:reuse", 8);
+  ddi.put(w, 0, src, 4);
+  ddi.fence(w);
+  ddi.destroy(w);          // epoch closed: clean free
+  par::Window w2 = ddi.create("fixture:reuse", 8);
+  ddi.get(w2, 0, dst, 4);  // fresh storage, not the freed window
+  ddi.fence(w2);
+  ddi.destroy(w2);
+}

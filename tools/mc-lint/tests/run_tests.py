@@ -1,6 +1,12 @@
 #!/usr/bin/env python3
-"""Self-test for mc-lint: every fixture's seeded violation fires exactly
-once (and nothing else fires on it), and the real tree is clean.
+"""Self-test for mc-lint v2: every fixture's seeded violation fires
+exactly as expected (single files and cross-TU groups), the real tree is
+clean, the suppression machinery (inline allows, the ledger, SARIF
+suppressions) behaves, and the SARIF log is structurally sound.
+
+Fixtures run under the text engine always, and under the clang engine
+too when clang.cindex + a loadable libclang are present -- both engines
+must report identical findings.
 
 Run from anywhere: paths are resolved relative to this file. Wired into
 ctest as `mc_lint_selftest` and into the CI lint job.
@@ -10,88 +16,256 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 MC_LINT = os.path.join(HERE, "..", "mc_lint.py")
 FIXTURES = os.path.join(HERE, "fixtures")
 REPO = os.path.abspath(os.path.join(HERE, "..", "..", ".."))
 
-# fixture -> list of expected (check, substring-of-message) findings.
+# fixture group -> list of expected (check, substring-of-message)
+# findings, in (path, line) order. Single-file groups are one fixture;
+# multi-file groups scan several TUs together so the call graph crosses
+# translation units.
 EXPECTED = {
-    "coll_rank_branch.cpp": [("MC-COLL-001", "rank-dependent branch")],
-    "coll_divergent_exit.cpp": [("MC-COLL-001", "unreachable on some ranks")],
-    "omp_raw_shared_write.cpp": [("MC-OMP-002", "tasks_done")],
-    "red_atomic_double.cpp": [("MC-RED-003", "total")],
-    "red_reduction_clause.cpp": [("MC-RED-003", "acc")],
-    "win_unfenced_access.cpp": [
-        ("MC-WIN-004", "no fence anywhere"),
-        ("MC-WIN-004", "no fence anywhere"),
+    ("coll_rank_branch.cpp",): [
+        ("MC-COLL-001", "rank-dependent branch")],
+    ("coll_divergent_exit.cpp",): [
+        ("MC-COLL-001", "unreachable on some ranks")],
+    ("omp_raw_shared_write.cpp",): [
+        ("MC-OMP-002", "tasks_done")],
+    ("red_atomic_double.cpp",): [
+        ("MC-RED-003", "total")],
+    ("red_reduction_clause.cpp",): [
+        ("MC-RED-003", "acc")],
+    ("win_unfenced_access.cpp",): [
+        ("MC-WIN-004", "no fence epoch anywhere"),
+        ("MC-WIN-004", "no fence epoch anywhere"),
     ],
-    "win_fenced_clean.cpp": [],
-    "clean.cpp": [],
+    ("win_fenced_clean.cpp",): [],
+    ("clean.cpp",): [],
+    # -- interprocedural (v2) --
+    ("interproc_coll_helpers.cpp", "interproc_coll_driver.cpp"): [
+        ("MC-COLL-001", "sync_ranks -> flush_caches -> barrier")],
+    ("interproc_coll_helpers.cpp",): [],  # clean without the driver TU
+    ("interproc_win_unfenced.cpp",): [
+        ("MC-WIN-004", "callers checked: drive")],
+    ("interproc_win_caller_fenced.cpp",): [],
+    ("win_free_open_epoch.cpp",): [
+        ("MC-WIN-004", "inside an open epoch"),
+        ("MC-WIN-004", "after its win_free"),
+    ],
+    ("win_recreate_clean.cpp",): [],
+    ("seq_divergent.cpp",): [
+        ("MC-SEQ-005", "divergent collective sequences"),
+        ("MC-COLL-001", "bcast"),
+        ("MC-COLL-001", "barrier"),
+    ],
+    ("seq_matched_clean.cpp",): [],
+    ("fp_golden_chain.cpp",): [
+        ("MC-RED-003", "local"),
+        ("MC-FP-006", "golden-trajectory-checked 'build'"),
+    ],
 }
 
 
-def run_lint(args):
+def clang_engine_available():
+    try:
+        from clang import cindex  # noqa: PLC0415
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def run_lint(args, ok_codes=(0, 1)):
     proc = subprocess.run(
-        [sys.executable, MC_LINT, "--json", *args],
+        [sys.executable, MC_LINT, *args],
         capture_output=True, text=True, check=False)
-    if proc.returncode not in (0, 1):
+    if proc.returncode not in ok_codes:
         raise SystemExit(
-            f"mc-lint crashed (exit {proc.returncode}):\n{proc.stderr}")
+            f"mc-lint exited {proc.returncode} (expected one of "
+            f"{ok_codes}):\n{proc.stderr}\n{proc.stdout}")
+    return proc
+
+
+def run_lint_json(args):
+    proc = run_lint(["--json", *args])
     return json.loads(proc.stdout), proc.returncode
 
 
-def main():
-    failures = []
-
-    for name, expected in sorted(EXPECTED.items()):
-        path = os.path.join(FIXTURES, name)
-        findings, rc = run_lint([path, "--omp-scope", "", "--engine", "text"])
+def check_fixtures(engine, failures):
+    for group, expected in sorted(EXPECTED.items()):
+        paths = [os.path.join(FIXTURES, name) for name in group]
+        findings, rc = run_lint_json(
+            [*paths, "--omp-scope", "", "--engine", engine])
+        label = "+".join(group) + f" [{engine}]"
         got = [(f["check"], f["message"]) for f in findings]
         if len(got) != len(expected):
             failures.append(
-                f"{name}: expected {len(expected)} finding(s), got "
+                f"{label}: expected {len(expected)} finding(s), got "
                 f"{len(got)}: {json.dumps(findings, indent=2)}")
             continue
         for (check, frag), (gcheck, gmsg) in zip(expected, got):
             if check != gcheck or frag not in gmsg:
                 failures.append(
-                    f"{name}: expected ({check}, *{frag}*), got "
+                    f"{label}: expected ({check}, *{frag}*), got "
                     f"({gcheck}, {gmsg})")
         if expected and rc != 1:
-            failures.append(f"{name}: expected exit 1, got {rc}")
+            failures.append(f"{label}: expected exit 1, got {rc}")
         if not expected and rc != 0:
-            failures.append(f"{name}: expected exit 0, got {rc}")
+            failures.append(f"{label}: expected exit 0, got {rc}")
 
+
+def check_tree(failures):
     # The real tree must be clean with the default scoping (MC-OMP-002
-    # applies to src/). tests/ rides along: its deliberately-divergent
-    # fault-injection collectives carry allow directives.
-    src = os.path.join(REPO, "src")
-    tests = os.path.join(REPO, "tests")
-    findings, rc = run_lint([src, tests, "--engine", "text"])
+    # applies to src/). tests/ and tools/ ride along: deliberately-
+    # divergent fault-injection collectives carry allow directives, and
+    # the lint fixtures are excluded from directory scans.
+    paths = [os.path.join(REPO, d) for d in ("src", "tests", "tools")]
+    findings, rc = run_lint_json([*paths, "--engine", "text"])
     if findings or rc != 0:
         failures.append(
             f"real tree not clean (exit {rc}): "
             f"{json.dumps(findings, indent=2)}")
+    # ... and stale-allow auditing over the tree must be clean too.
+    findings, rc = run_lint_json(
+        [*paths, "--engine", "text", "--audit-allows"])
+    if findings or rc != 0:
+        failures.append(
+            f"--audit-allows not clean over the tree (exit {rc}): "
+            f"{json.dumps(findings, indent=2)}")
 
-    # The allow directive requires a reason.
-    import tempfile
+
+def check_directives(failures):
     with tempfile.TemporaryDirectory() as td:
+        # An allow directive without a reason is itself a finding.
         bad = os.path.join(td, "bad_allow.cpp")
         with open(bad, "w") as f:
             f.write("// mc-lint: allow(MC-OMP-002)\nint x;\n")
-        findings, rc = run_lint([bad, "--omp-scope", ""])
+        findings, _ = run_lint_json([bad, "--omp-scope", ""])
         if not any(f["check"] == "MC-LINT-DIRECTIVE" for f in findings):
             failures.append(
                 "allow directive without a reason was not reported")
+
+        # A stale allow (suppressing nothing) is flagged by --audit-allows
+        # and only by it.
+        stale = os.path.join(td, "stale_allow.cpp")
+        with open(stale, "w") as f:
+            f.write("void f() {\n"
+                    "  // mc-lint: allow(MC-COLL-001): nothing here\n"
+                    "  int x = 0;\n"
+                    "  (void)x;\n"
+                    "}\n")
+        findings, rc = run_lint_json([stale, "--omp-scope", ""])
+        if findings or rc != 0:
+            failures.append(
+                f"stale allow flagged without --audit-allows: {findings}")
+        findings, rc = run_lint_json(
+            [stale, "--omp-scope", "", "--audit-allows"])
+        if not any(f["check"] == "MC-LINT-DIRECTIVE"
+                   and "stale allow" in f["message"] for f in findings):
+            failures.append(
+                "--audit-allows missed a stale allow directive")
+
+
+def check_ledger(failures):
+    fixture = os.path.join(FIXTURES, "coll_rank_branch.cpp")
+    rel = os.path.relpath(fixture, REPO).replace(os.sep, "/")
+    with tempfile.TemporaryDirectory() as td:
+        # A reasonless ledger entry is a hard configuration error.
+        bad = os.path.join(td, "bad_ledger.json")
+        with open(bad, "w") as f:
+            json.dump({"version": 1, "suppressions": [
+                {"check": "MC-COLL-001", "path": rel}]}, f)
+        run_lint([fixture, "--suppressions", bad], ok_codes=(2,))
+
+        # A reasoned entry suppresses the finding: exit 0, and the SARIF
+        # log still shows the result -- struck through with the
+        # justification -- instead of dropping it.
+        good = os.path.join(td, "ledger.json")
+        with open(good, "w") as f:
+            json.dump({"version": 1, "suppressions": [
+                {"check": "MC-COLL-001", "path": rel,
+                 "reason": "fixture: seeded violation"}]}, f)
+        sarif_path = os.path.join(td, "out.sarif")
+        proc = run_lint([fixture, "--suppressions", good,
+                         "--sarif", sarif_path], ok_codes=(0,))
+        if "suppressed" not in proc.stderr:
+            failures.append(
+                "ledger-suppressed finding not reported on stderr")
+        with open(sarif_path) as f:
+            log = json.load(f)
+        results = log["runs"][0]["results"]
+        if len(results) != 1:
+            failures.append(
+                f"suppressed SARIF log has {len(results)} results, "
+                "expected 1")
+        else:
+            supp = results[0].get("suppressions", [])
+            if (not supp or supp[0].get("kind") != "external"
+                    or "seeded" not in supp[0].get("justification", "")):
+                failures.append(
+                    f"SARIF suppression malformed: {results[0]}")
+
+        # An unused ledger entry is flagged under --audit-allows.
+        clean = os.path.join(FIXTURES, "clean.cpp")
+        findings, _ = run_lint_json(
+            [clean, "--suppressions", good, "--audit-allows"])
+        if not any("stale ledger entry" in f["message"] for f in findings):
+            failures.append("--audit-allows missed an unused ledger entry")
+
+
+def check_sarif_shape(failures):
+    fixture = os.path.join(FIXTURES, "win_free_open_epoch.cpp")
+    with tempfile.TemporaryDirectory() as td:
+        sarif_path = os.path.join(td, "out.sarif")
+        run_lint([fixture, "--sarif", sarif_path])
+        with open(sarif_path) as f:
+            log = json.load(f)
+        if log.get("version") != "2.1.0":
+            failures.append(f"SARIF version {log.get('version')}")
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        rule_ids = [r["id"] for r in driver["rules"]]
+        for rid in ("MC-COLL-001", "MC-WIN-004", "MC-SEQ-005",
+                    "MC-FP-006"):
+            if rid not in rule_ids:
+                failures.append(f"SARIF rules missing {rid}")
+        for res in run["results"]:
+            if res["ruleId"] != driver["rules"][res["ruleIndex"]]["id"]:
+                failures.append(f"SARIF ruleIndex mismatch: {res}")
+            loc = res["locations"][0]["physicalLocation"]
+            if loc["artifactLocation"].get("uriBaseId") != "SRCROOT":
+                failures.append(f"SARIF result not SRCROOT-based: {res}")
+        if "SRCROOT" not in run.get("originalUriBaseIds", {}):
+            failures.append("SARIF originalUriBaseIds missing SRCROOT")
+        if len(run["results"]) != 2:
+            failures.append(
+                f"SARIF has {len(run['results'])} results, expected 2")
+
+
+def main():
+    failures = []
+
+    engines = ["text"]
+    if clang_engine_available():
+        engines.append("clang")
+    for engine in engines:
+        check_fixtures(engine, failures)
+    check_tree(failures)
+    check_directives(failures)
+    check_ledger(failures)
+    check_sarif_shape(failures)
 
     if failures:
         print("mc-lint selftest FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"mc-lint selftest: {len(EXPECTED)} fixtures + tree scan OK")
+    print(f"mc-lint selftest: {len(EXPECTED)} fixture group(s) x "
+          f"{'+'.join(engines)} engine(s), tree scan, directive/ledger/"
+          "SARIF checks OK")
     return 0
 
 
