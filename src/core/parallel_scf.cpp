@@ -66,8 +66,22 @@ std::unique_ptr<scf::FockBuilder> make_builder(
 
 ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
                                    const ParallelScfConfig& config) {
+  return run_parallel_scf(mol, config, ParallelScfContext{});
+}
+
+ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
+                                   const ParallelScfConfig& config,
+                                   const ParallelScfContext& ctx) {
   MC_CHECK(config.nranks >= 1, "need at least one rank");
   MC_CHECK(config.nthreads >= 1, "need at least one thread per rank");
+  MC_CHECK(config.basis_per_atom.empty() ||
+               config.basis_per_atom.size() == mol.natoms(),
+           "basis_per_atom must name a basis for every atom");
+  MC_CHECK(ctx.has_setup() ||
+               (ctx.basis_set == nullptr && ctx.eri == nullptr &&
+                ctx.screening == nullptr),
+           "ParallelScfContext setup must be all-or-nothing (basis_set, "
+           "eri, and screening together)");
 
   const int nelec = mol.nelectrons(config.scf.charge);
   MC_CHECK(nelec > 0 && nelec % 2 == 0,
@@ -98,7 +112,7 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
   std::vector<obs::RankIterationMetrics> iter_metrics(
       static_cast<std::size_t>(config.nranks));
 
-  MemoryTracker::instance().reset();
+  if (ctx.exclusive) MemoryTracker::instance().reset();
   WallTimer wall;
 
   par::run_spmd(config.nranks, [&](par::Comm& comm) {
@@ -106,18 +120,43 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
     const int rank = comm.rank();
 
     // Every rank owns replicated copies of the geometry-derived data --
-    // exactly the replication pattern of the real GAMESS code.
-    auto bs = basis::BasisSet::build(mol, config.basis);
+    // exactly the replication pattern of the real GAMESS code. In warm
+    // (server) mode the setup instead arrives prebuilt and immutable from
+    // the caller's cache and is *shared* by all ranks: BasisSet, EriEngine,
+    // and Screening are read-only during builds, so sharing trades the
+    // replication fidelity for zero per-job setup cost.
+    std::unique_ptr<basis::BasisSet> own_bs;
+    std::unique_ptr<ints::EriEngine> own_eri;
+    std::unique_ptr<ints::Screening> own_screen;
+    if (!ctx.has_setup()) {
+      own_bs = std::make_unique<basis::BasisSet>(
+          config.basis_per_atom.empty()
+              ? basis::BasisSet::build(mol, config.basis)
+              : basis::BasisSet::build_mixed(mol, config.basis_per_atom));
+      own_eri = std::make_unique<ints::EriEngine>(*own_bs);
+      own_screen =
+          std::make_unique<ints::Screening>(*own_eri, config.schwarz_threshold);
+    }
+    const basis::BasisSet& bs = ctx.has_setup() ? *ctx.basis_set : *own_bs;
+    const ints::EriEngine& eri = ctx.has_setup() ? *ctx.eri : *own_eri;
+    const ints::Screening& screen =
+        ctx.has_setup() ? *ctx.screening : *own_screen;
     const std::size_t nbf = bs.nbf();
-    ints::EriEngine eri(bs);
-    ints::Screening screen(eri, config.schwarz_threshold);
     auto builder = make_builder(config, eri, screen, ddi);
 
     const la::Matrix s(ints::overlap_matrix(bs), "overlap");
     const la::Matrix h(ints::core_hamiltonian(bs, mol), "hcore");
     la::Matrix x = la::canonical_orthogonalizer(s, config.scf.lindep_tolerance);
 
-    la::Matrix d(scf::core_guess_density(h, x, nocc), "density");
+    la::Matrix d(nbf, nbf, "density");
+    if (ctx.seed_density != nullptr) {
+      MC_CHECK(ctx.seed_density->rows() == nbf &&
+                   ctx.seed_density->cols() == nbf,
+               "warm-start seed density has the wrong shape");
+      d.copy_values_from(*ctx.seed_density);
+    } else {
+      d.copy_values_from(scf::core_guess_density(h, x, nocc));
+    }
     la::Matrix g(nbf, nbf, "fock");
     // Incremental-build state (mirrors scf::run_scf; DESIGN.md section 9).
     // All of it is replicated and updated identically on every rank, so the
@@ -164,10 +203,10 @@ ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
       } else {
         d_delta.copy_values_from(d);
         d_delta -= d_last;
-        scf::FockContext ctx =
+        scf::FockContext fock_ctx =
             scf::FockContext::from_density(bs, d_delta, /*incremental=*/true);
-        ctx.threshold_scale = config.scf.incremental_threshold_scale;
-        builder->build(d_delta, g, ctx);
+        fock_ctx.threshold_scale = config.scf.incremental_threshold_scale;
+        builder->build(d_delta, g, fock_ctx);
         g.symmetrize();
         g_acc += g;
         ++builds_since_full;

@@ -9,6 +9,7 @@
 // the algorithm-comparison benchmarks are built on it.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "core/fock_private.hpp"
 #include "core/fock_shared.hpp"
 #include "core/memory_model.hpp"
+#include "ints/screening.hpp"
 #include "scf/scf_driver.hpp"
 
 namespace mc::core {
@@ -27,12 +29,46 @@ struct ParallelScfConfig {
   /// OpenMP threads per rank; forced to 1 for the MPI-only algorithm.
   int nthreads = 1;
   std::string basis = "STO-3G";
+  /// Mixed-basis entry point: when non-empty (size must equal
+  /// mol.natoms()), every rank builds BasisSet::build_mixed with this
+  /// per-atom assignment and `basis` is ignored. This is how the fuzz soak
+  /// and the job server replay the differential harness's per-atom basis
+  /// sampling through the full distributed SCF (ROADMAP PR-8 headroom).
+  std::vector<std::string> basis_per_atom;
   scf::ScfOptions scf;
   double schwarz_threshold = 1e-10;
   /// Algorithm-specific tuning (nthreads fields are overridden).
   SharedFockOptions shared_options;
   PrivateFockOptions private_options;
   DistFockOptions dist_options;
+};
+
+/// Optional warm inputs for a run, owned by the caller (the job server's
+/// warm caches). Everything here is immutable and internally thread-safe
+/// for concurrent reads, so one instance may back several concurrent
+/// worlds at once.
+struct ParallelScfContext {
+  /// Prebuilt basis/integral setup shared by every rank (replacing the
+  /// per-rank replicated construction). All three must be set together and
+  /// must match the config's basis assignment and Schwarz threshold --
+  /// they are keyed by exactly those in the server's setup cache.
+  std::shared_ptr<const basis::BasisSet> basis_set;
+  std::shared_ptr<const ints::EriEngine> eri;
+  std::shared_ptr<const ints::Screening> screening;
+  /// Warm-start seed: replaces the core-Hamiltonian guess as the
+  /// iteration-1 density on every rank (all ranks read the same matrix, so
+  /// the lockstep invariant holds trivially).
+  std::shared_ptr<const la::Matrix> seed_density;
+  /// True when this job owns the process-global trackers: the classic
+  /// one-shot mode resets MemoryTracker before running. The job server
+  /// passes false so concurrent jobs never clobber each other's
+  /// accounting (per-rank attribution is then co-mingled across worlds --
+  /// acceptable for serving, where the JobRecord carries the telemetry).
+  bool exclusive = true;
+
+  [[nodiscard]] bool has_setup() const {
+    return basis_set != nullptr && eri != nullptr && screening != nullptr;
+  }
 };
 
 struct ParallelScfResult {
@@ -56,5 +92,13 @@ struct ParallelScfResult {
 /// non-convergence is reported via result.scf.converged.
 ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
                                    const ParallelScfConfig& config);
+
+/// Warm-path variant: shared prebuilt setup and/or a seed density from
+/// `ctx` (see ParallelScfContext). The job server's submit path lands
+/// here; the two-argument overload forwards with a default (cold,
+/// exclusive) context.
+ParallelScfResult run_parallel_scf(const chem::Molecule& mol,
+                                   const ParallelScfConfig& config,
+                                   const ParallelScfContext& ctx);
 
 }  // namespace mc::core

@@ -233,6 +233,107 @@ void write_iteration_json(std::ostream& os, const IterationRecord& rec) {
   os << iteration_json(rec);
 }
 
+const char* job_outcome_name(JobOutcomeKind k) {
+  switch (k) {
+    case JobOutcomeKind::kConverged: return "converged";
+    case JobOutcomeKind::kUnconverged: return "unconverged";
+    case JobOutcomeKind::kRejected: return "rejected";
+    case JobOutcomeKind::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Minimal JSON string escape: job records carry caller-supplied labels
+/// (tenant names, abort messages) that may contain quotes or backslashes.
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_int(std::string& out, long v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%ld", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string job_record_json(const JobRecord& rec) {
+  std::string out;
+  out.reserve(384);
+  out += "{\"type\":\"scf_job\",\"job\":";
+  append_int(out, rec.job_id);
+  out += ",\"tenant\":";
+  append_escaped(out, rec.tenant);
+  out += ",\"molecule\":";
+  append_escaped(out, rec.molecule);
+  out += ",\"basis\":";
+  append_escaped(out, rec.basis);
+  out += ",\"algorithm\":";
+  append_escaped(out, rec.algorithm);
+  out += ",\"nranks\":";
+  append_int(out, rec.nranks);
+  out += ",\"nthreads\":";
+  append_int(out, rec.nthreads);
+  out += ",\"priority\":";
+  append_int(out, rec.priority);
+  out += ",\"world\":";
+  append_int(out, rec.world_id);
+  out += ",\"outcome\":\"";
+  out += job_outcome_name(rec.outcome);
+  out += "\",\"reject_reason\":";
+  append_escaped(out, rec.reject_reason);
+  out += ",\"submit_seconds\":";
+  append_double(out, rec.submit_seconds);
+  out += ",\"queue_wait_seconds\":";
+  append_double(out, rec.queue_wait_seconds);
+  out += ",\"run_seconds\":";
+  append_double(out, rec.run_seconds);
+  out += ",\"queue_depth_at_admission\":";
+  append_size(out, rec.queue_depth_at_admission);
+  out += ",\"setup_cache_hit\":";
+  out += rec.setup_cache_hit ? "true" : "false";
+  out += ",\"density_cache_hit\":";
+  out += rec.density_cache_hit ? "true" : "false";
+  out += ",\"energy\":";
+  append_double(out, rec.energy);
+  out += ",\"iterations\":";
+  append_int(out, rec.iterations);
+  out += "}";
+  return out;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double pos =
+      clamped / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
 ProfileSession::ProfileSession(const std::string& base_path)
     : metrics_path_(base_path + ".metrics.jsonl"),
       trace_path_(base_path + ".trace.json"),

@@ -152,6 +152,56 @@ struct IterationRecord {
 [[nodiscard]] std::string iteration_json(const IterationRecord& rec);
 void write_iteration_json(std::ostream& os, const IterationRecord& rec);
 
+// ---------------------------------------------------------------------------
+// Per-job serving telemetry (DESIGN.md section 15): the job server emits
+// one JobRecord JSON line per terminal job -- accepted or rejected -- to
+// its telemetry JSONL stream, and derives its shutdown summary (p50/p95
+// queue-wait and run latency, outcome counts, cache hit rates) from the
+// same records. This is the per-rank obs layer of PR 3 re-aimed at the
+// serving dimension: the unit of attribution is the job, not the rank.
+
+/// Terminal state of one job.
+enum class JobOutcomeKind : int {
+  kConverged = 0,
+  kUnconverged = 1,
+  kRejected = 2,   ///< refused at admission (never ran)
+  kAborted = 3,    ///< threw mid-run (e.g. an injected fault)
+};
+[[nodiscard]] const char* job_outcome_name(JobOutcomeKind k);
+
+/// One job's life, from admission decision to terminal state.
+struct JobRecord {
+  long job_id = 0;
+  std::string tenant;
+  std::string molecule;   ///< label only (e.g. "benzene", "graphene:8")
+  std::string basis;
+  std::string algorithm;
+  int nranks = 1;
+  int nthreads = 1;
+  int priority = 0;
+  int world_id = -1;      ///< pool world that ran it; -1 = never ran
+  JobOutcomeKind outcome = JobOutcomeKind::kRejected;
+  std::string reject_reason;  ///< admission refusal, or abort error text
+  /// Seconds from server start to submission (a steady, server-local
+  /// clock; JSONL consumers only ever difference these).
+  double submit_seconds = 0.0;
+  double queue_wait_seconds = 0.0;  ///< admission -> dispatch onto a world
+  double run_seconds = 0.0;         ///< dispatch -> terminal
+  std::size_t queue_depth_at_admission = 0;
+  bool setup_cache_hit = false;    ///< Schwarz/pair-list setup reused
+  bool density_cache_hit = false;  ///< warm-started from a cached density
+  double energy = 0.0;
+  int iterations = 0;
+};
+
+/// One record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string job_record_json(const JobRecord& rec);
+
+/// The p-th percentile (0 <= p <= 100) by linear interpolation between
+/// order statistics; 0 for an empty sample. Takes a copy: percentile
+/// selection reorders the values.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
 /// RAII profile session backing the SCF drivers' --profile=<base> flag:
 /// enables tracing + metrics (restoring the previous flags on
 /// destruction), resets both, streams iteration records to

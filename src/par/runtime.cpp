@@ -130,9 +130,17 @@ struct SharedState {
 }  // namespace detail
 
 namespace {
-// One job at a time per process (like one MPI_COMM_WORLD).
-std::atomic<bool> g_job_active{false};
+// Live SPMD worlds in this process. Historically exactly one job could be
+// active at a time (one MPI_COMM_WORLD); the job-server world pool
+// (src/par/world_pool.hpp) runs several worlds side by side, each the
+// analogue of a separate MPI communicator with its own SharedState. What
+// stays forbidden is *nesting*: a rank thread launching another world
+// would deadlock its own collectives, so that is detected per-thread.
+std::atomic<int> g_active_worlds{0};
+thread_local bool t_inside_spmd = false;
 }  // namespace
+
+int active_spmd_worlds() { return g_active_worlds.load(); }
 
 int Comm::size() const { return st_->nranks; }
 
@@ -436,15 +444,15 @@ void wake_all_mailboxes(detail::SharedState& st) {
 void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
   MC_CHECK(nranks >= 1, "run_spmd needs at least one rank");
   install_env_fault_plan_once();
-  bool expected = false;
-  MC_CHECK(g_job_active.compare_exchange_strong(expected, true),
-           "run_spmd: a job is already active (nested SPMD not supported)");
-  // RAII: release the job slot on *every* exit path. Before this guard, an
-  // exception between the acquire above and the manual store(false) (e.g. a
-  // std::thread constructor failing) left the flag set forever and every
-  // subsequent job died with "a job is already active".
+  MC_CHECK(!t_inside_spmd,
+           "run_spmd: called from inside a rank body (nested SPMD not "
+           "supported)");
+  g_active_worlds.fetch_add(1);
+  // RAII: release the world slot on *every* exit path. Before this guard, an
+  // exception between the acquire above and a manual decrement (e.g. a
+  // std::thread constructor failing) left the counter wedged forever.
   struct JobGuard {
-    ~JobGuard() { g_job_active.store(false); }
+    ~JobGuard() { g_active_worlds.fetch_sub(1); }
   } job_guard;
 
   detail::SharedState st(nranks);
@@ -452,6 +460,7 @@ void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(nranks));
 
   const auto rank_main = [&st, &body](int r) {
+      t_inside_spmd = true;  // nesting guard; dies with the rank thread
       MemoryTracker::set_current_rank(r);
       try {
         Comm comm(r, &st);

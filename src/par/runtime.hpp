@@ -59,9 +59,17 @@ class AbortableBarrier {
 /// The calling thread blocks. If any rank throws, the first exception is
 /// rethrown here after all ranks have unwound.
 ///
-/// Nested runs are not allowed (one "job" at a time), matching one MPI
-/// world per process.
+/// Concurrent worlds launched from *different host threads* are allowed --
+/// each run_spmd gets its own SharedState, like separate MPI communicators
+/// -- and are how the job-server world pool runs several Fock builds side
+/// by side (src/par/world_pool.hpp). What remains forbidden is nesting: a
+/// rank thread may not start another world (its collectives would
+/// deadlock), which is detected and rejected per-thread.
 void run_spmd(int nranks, const std::function<void(Comm&)>& body);
+
+/// Number of SPMD worlds currently live in this process (diagnostics and
+/// world-pool tests).
+[[nodiscard]] int active_spmd_worlds();
 
 namespace detail {
 struct SharedState;

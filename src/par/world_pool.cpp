@@ -1,0 +1,59 @@
+#include "par/world_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace mc::par {
+
+WorldPool::WorldPool(int nworlds, TaskSource source)
+    : source_(std::move(source)) {
+  MC_CHECK(nworlds >= 1, "WorldPool needs at least one world");
+  MC_CHECK(source_ != nullptr, "WorldPool needs a task source");
+  tasks_run_.reserve(static_cast<std::size_t>(nworlds));
+  for (int w = 0; w < nworlds; ++w) {
+    tasks_run_.push_back(std::make_unique<std::atomic<long>>(0));
+  }
+  threads_.reserve(static_cast<std::size_t>(nworlds));
+  for (int w = 0; w < nworlds; ++w) {
+    threads_.emplace_back([this, w] { world_main(w); });
+  }
+}
+
+WorldPool::~WorldPool() { join(); }
+
+void WorldPool::join() {
+  if (joined_) return;
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+}
+
+long WorldPool::tasks_run(int world) const {
+  return tasks_run_[static_cast<std::size_t>(world)]->load();
+}
+
+int WorldPool::worlds_used() const {
+  int used = 0;
+  for (const auto& c : tasks_run_) {
+    if (c->load() > 0) ++used;
+  }
+  return used;
+}
+
+void WorldPool::world_main(int world_id) {
+  for (;;) {
+    PooledTask task = source_(world_id);
+    if (!task) return;
+    try {
+      task();
+    } catch (...) {
+      // A pooled task owns its error handling (the job server records an
+      // aborted outcome inside the task); anything escaping here is a task
+      // bug, but it must not kill the pool thread.
+      tasks_failed_.fetch_add(1);
+    }
+    tasks_run_[static_cast<std::size_t>(world_id)]->fetch_add(1);
+  }
+}
+
+}  // namespace mc::par

@@ -1,0 +1,72 @@
+#pragma once
+// WorldPool: a fixed set of long-lived host threads, each of which runs
+// minimpi SPMD "worlds" one after another. Every pooled task typically
+// calls run_spmd internally, so several worlds -- several independent Fock
+// builds -- execute side by side, bounded by the pool width. This is the
+// world-pool lifecycle the SCF job server (src/serve) dispatches onto: the
+// spawn/fault machinery of run_spmd is exercised per job, not per pool
+// thread, so a fault-injected job tears down only its own world while the
+// pool thread survives to pull the next job.
+//
+// The pool deliberately does NOT own a queue. It pulls: each pool thread
+// repeatedly asks the TaskSource for the next task and runs it. Ordering
+// policy (priorities, admission control, tenant fairness) therefore lives
+// entirely in the source -- for the job server, serve::JobQueue -- and is
+// applied at dequeue time, which is what lets a high-priority job overtake
+// work that was admitted earlier.
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace mc::par {
+
+/// One unit of pool work. An empty function tells the pulling world thread
+/// to exit its loop (the source is drained and closed).
+using PooledTask = std::function<void()>;
+
+/// Blocking task source: called by pool thread `world_id` whenever it is
+/// idle. Blocks until work is available, and returns an empty PooledTask
+/// once the source is closed and drained. Must be thread-safe.
+using TaskSource = std::function<PooledTask(int world_id)>;
+
+class WorldPool {
+ public:
+  /// Starts `nworlds` pool threads immediately; each loops pulling from
+  /// `source`. Tasks must not throw -- a task that does is counted in
+  /// tasks_failed() and swallowed (the pool thread survives), because one
+  /// aborted world must never take the server down.
+  WorldPool(int nworlds, TaskSource source);
+  /// Joins (the source must already deliver empty tasks, or this blocks).
+  ~WorldPool();
+
+  WorldPool(const WorldPool&) = delete;
+  WorldPool& operator=(const WorldPool&) = delete;
+
+  /// Block until every pool thread has exited its pull loop.
+  void join();
+
+  [[nodiscard]] int nworlds() const {
+    return static_cast<int>(tasks_run_.size());
+  }
+  /// Tasks completed (including failed ones) by world `w`.
+  [[nodiscard]] long tasks_run(int world) const;
+  /// Worlds that ran at least one task -- the smoke tests assert the load
+  /// actually spread across the pool.
+  [[nodiscard]] int worlds_used() const;
+  /// Tasks that threw (a pooled task is expected to catch its own errors).
+  [[nodiscard]] long tasks_failed() const { return tasks_failed_.load(); }
+
+ private:
+  void world_main(int world_id);
+
+  TaskSource source_;
+  std::vector<std::unique_ptr<std::atomic<long>>> tasks_run_;
+  std::atomic<long> tasks_failed_{0};
+  std::vector<std::thread> threads_;
+  bool joined_ = false;
+};
+
+}  // namespace mc::par

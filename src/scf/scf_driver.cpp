@@ -39,7 +39,8 @@ la::Matrix core_guess_density(const la::Matrix& hcore, const la::Matrix& x,
 
 ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
                   FockBuilder& builder, const ScfOptions& options,
-                  const ScfCallbacks& callbacks) {
+                  const ScfCallbacks& callbacks,
+                  const la::Matrix* seed_density) {
   const int nelec = mol.nelectrons(options.charge);
   MC_CHECK(nelec > 0, "no electrons");
   MC_CHECK(nelec % 2 == 0,
@@ -56,7 +57,14 @@ ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
   const la::Matrix h = ints::core_hamiltonian(bs, mol);
   const la::Matrix x = la::canonical_orthogonalizer(s, options.lindep_tolerance);
 
-  la::Matrix d = core_guess_density(h, x, nocc);
+  la::Matrix d;
+  if (seed_density != nullptr) {
+    MC_CHECK(seed_density->rows() == nbf && seed_density->cols() == nbf,
+             "warm-start seed density has the wrong shape");
+    d = *seed_density;
+  } else {
+    d = core_guess_density(h, x, nocc);
+  }
   la::Matrix g(nbf, nbf);
   // Incremental-build state: the accumulated *symmetrized* skeleton
   // G_acc = sym(G(D_ref)) + sum sym(G(D_n - D_{n-1})) (symmetrization is

@@ -100,9 +100,17 @@ struct ScfCallbacks {
 
 /// Run a closed-shell restricted Hartree-Fock SCF.
 /// Throws mc::Error for open-shell electron counts.
+///
+/// `seed_density`: warm-start entry point (DESIGN.md section 15). When
+/// non-null it must be an nbf x nbf matrix; it replaces the core-Hamiltonian
+/// guess as the iteration-1 density. The job server seeds repeat
+/// (molecule, basis) requests from a previously converged density, cutting
+/// the iteration count; any symmetric density with the right trace works
+/// (the SCF fixed point does not depend on the starting guess).
 ScfResult run_scf(const chem::Molecule& mol, const basis::BasisSet& bs,
                   FockBuilder& builder, const ScfOptions& options = {},
-                  const ScfCallbacks& callbacks = {});
+                  const ScfCallbacks& callbacks = {},
+                  const la::Matrix* seed_density = nullptr);
 
 /// Superposition-free initial guess: diagonalize the core Hamiltonian.
 /// Returns the initial density. `x` is the orthogonalizer (X^T S X = 1).

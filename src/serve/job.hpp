@@ -1,0 +1,87 @@
+#pragma once
+// Job-facing types of the SCF job server (DESIGN.md section 15): what a
+// tenant submits, what admission control answers, and what a finished job
+// reports back. The wire-facing telemetry record lives in obs/metrics.hpp
+// (obs::JobRecord) -- this header is the in-process API surface.
+
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "core/memory_model.hpp"
+#include "obs/metrics.hpp"
+#include "scf/scf_driver.hpp"
+
+namespace mc::serve {
+
+/// One SCF job request. The server copies the spec at submission, so the
+/// caller may reuse or destroy it immediately.
+struct JobSpec {
+  /// Tenant name: the unit of admission fairness (per-tenant pending caps)
+  /// and a telemetry dimension.
+  std::string tenant = "default";
+  /// Higher runs sooner; ties dispatch in submission order. Priority is
+  /// applied at dequeue time, so a late high-priority job overtakes
+  /// already-queued normal work.
+  int priority = 0;
+  /// Human-readable molecule label for telemetry ("benzene", "graphene:8",
+  /// a fuzz-seed string, ...). Empty: the server substitutes "natoms=N".
+  std::string molecule_label;
+  chem::Molecule mol;
+  std::string basis = "STO-3G";
+  /// Non-empty: per-atom mixed basis assignment (overrides `basis`; size
+  /// must equal mol.natoms()).
+  std::vector<std::string> basis_per_atom;
+  int charge = 0;
+  core::ScfAlgorithm algorithm = core::ScfAlgorithm::kSharedFock;
+  int nranks = 1;
+  int nthreads = 1;
+  double schwarz_threshold = 1e-10;
+  /// SCF controls (tolerances, incremental policy, ...). profile_path must
+  /// stay empty: the global ProfileSession is one-at-a-time, which cannot
+  /// hold on a multi-tenant server, so profiled submissions are rejected.
+  scf::ScfOptions scf;
+
+  /// The label the telemetry record carries.
+  [[nodiscard]] std::string label() const {
+    return molecule_label.empty()
+               ? "natoms=" + std::to_string(mol.natoms())
+               : molecule_label;
+  }
+  /// The basis name as reported (mixed assignments collapse to "mixed").
+  [[nodiscard]] std::string basis_label() const {
+    if (basis_per_atom.empty()) return basis;
+    for (const std::string& b : basis_per_atom) {
+      if (b != basis_per_atom.front()) return "mixed";
+    }
+    return basis_per_atom.front();
+  }
+};
+
+/// Admission-control verdict, returned synchronously from submit().
+struct SubmitResult {
+  bool accepted = false;
+  /// Assigned even to rejected jobs (their telemetry record carries it).
+  long job_id = -1;
+  /// Why admission refused -- "queue full (depth 64)", "tenant 'x' has too
+  /// many pending jobs", spec validation text. Empty when accepted.
+  std::string reason;
+  /// Queue depth observed at the admission decision.
+  std::size_t queue_depth = 0;
+};
+
+/// Terminal report of one job, returned from wait()/shutdown paths.
+struct JobOutcome {
+  long job_id = -1;
+  obs::JobOutcomeKind outcome = obs::JobOutcomeKind::kRejected;
+  double energy = 0.0;
+  int iterations = 0;
+  bool setup_cache_hit = false;
+  bool density_cache_hit = false;
+  /// Abort error text or admission reject reason; empty otherwise.
+  std::string error;
+  double queue_wait_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+}  // namespace mc::serve

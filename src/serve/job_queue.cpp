@@ -1,0 +1,89 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mc::serve {
+
+namespace {
+
+/// std::push_heap comparator for a max-heap ordered by (priority desc,
+/// seq asc): `a < b` when b should dispatch first.
+bool dispatch_after(const QueuedJob& a, const QueuedJob& b) {
+  if (a.spec.priority != b.spec.priority) {
+    return a.spec.priority < b.spec.priority;
+  }
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+JobQueue::JobQueue(std::size_t max_depth, std::size_t max_pending_per_tenant)
+    : max_depth_(max_depth), max_per_tenant_(max_pending_per_tenant) {
+  MC_CHECK(max_depth_ >= 1, "JobQueue needs a positive depth bound");
+}
+
+JobQueue::Admit JobQueue::push(QueuedJob job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Admit a;
+  a.depth = heap_.size();
+  if (closed_) {
+    a.reason = "server is shutting down";
+    return a;
+  }
+  if (heap_.size() >= max_depth_) {
+    a.reason = "queue full (depth " + std::to_string(heap_.size()) + ")";
+    return a;
+  }
+  if (max_per_tenant_ > 0) {
+    const auto it = pending_per_tenant_.find(job.spec.tenant);
+    if (it != pending_per_tenant_.end() && it->second >= max_per_tenant_) {
+      a.reason = "tenant '" + job.spec.tenant + "' has " +
+                 std::to_string(it->second) + " jobs pending (cap " +
+                 std::to_string(max_per_tenant_) + ")";
+      return a;
+    }
+  }
+  job.seq = next_seq_++;
+  job.depth_at_admission = heap_.size() + 1;  // this job included
+  ++pending_per_tenant_[job.spec.tenant];
+  heap_.push_back(std::move(job));
+  std::push_heap(heap_.begin(), heap_.end(), dispatch_after);
+  a.accepted = true;
+  a.depth = heap_.size();
+  cv_.notify_one();
+  return a;
+}
+
+bool JobQueue::pop(QueuedJob& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !heap_.empty() || closed_; });
+  if (heap_.empty()) return false;  // closed and drained
+  std::pop_heap(heap_.begin(), heap_.end(), dispatch_after);
+  out = std::move(heap_.back());
+  heap_.pop_back();
+  auto it = pending_per_tenant_.find(out.spec.tenant);
+  if (it != pending_per_tenant_.end() && --(it->second) == 0) {
+    pending_per_tenant_.erase(it);
+  }
+  return true;
+}
+
+void JobQueue::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return heap_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+}  // namespace mc::serve

@@ -1,0 +1,71 @@
+#pragma once
+// Thread-safe bounded priority queue with admission control -- the intake
+// stage of the SCF job server (DESIGN.md section 15.2). Admission is
+// decided synchronously under the queue lock: a job is either admitted
+// (and will eventually reach a world) or rejected with a reason; there is
+// no unbounded buffering and no silent drop. Ordering is applied at
+// dequeue time: highest priority first, submission order within a
+// priority, so the pool always pulls the most urgent admitted job.
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace mc::serve {
+
+/// An admitted job plus the queue-side bookkeeping its telemetry needs.
+struct QueuedJob {
+  long id = -1;
+  JobSpec spec;
+  long seq = 0;  ///< admission order, the priority tiebreak
+  /// Queue depth observed at admission (this job included).
+  std::size_t depth_at_admission = 0;
+  /// Seconds since server start at admission (steady, server-local).
+  double admitted_seconds = 0.0;
+};
+
+class JobQueue {
+ public:
+  struct Admit {
+    bool accepted = false;
+    std::string reason;
+    std::size_t depth = 0;  ///< depth after the decision
+  };
+
+  /// `max_depth`: jobs waiting (not yet pulled by a world) above this are
+  /// rejected. `max_pending_per_tenant`: per-tenant ceiling on waiting
+  /// jobs; 0 disables the tenant cap.
+  JobQueue(std::size_t max_depth, std::size_t max_pending_per_tenant);
+
+  /// Admission control + enqueue. O(log n).
+  Admit push(QueuedJob job);
+
+  /// Blocks until a job is available or the queue is closed and drained.
+  /// Returns false only in the latter case (the world-pool exit signal).
+  bool pop(QueuedJob& out);
+
+  /// Stop admitting; wake blocked poppers once the backlog drains.
+  /// Already-admitted jobs are still delivered (graceful shutdown).
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  const std::size_t max_depth_;
+  const std::size_t max_per_tenant_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<QueuedJob> heap_;  // max-heap: (priority desc, seq asc)
+  std::map<std::string, std::size_t> pending_per_tenant_;
+  long next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mc::serve

@@ -1,0 +1,88 @@
+#include "serve/warm_cache.hpp"
+
+#include <cstring>
+
+namespace mc::serve {
+
+namespace {
+
+/// splitmix64 finalizer: the same mixing the fuzz Rng uses, chosen for
+/// cross-platform determinism (no libstdc++ hash dependence).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t string_hash(const std::string& s) {
+  std::uint64_t h = 0x53545221ULL;  // "STR!"
+  for (const char c : s) {
+    h = combine(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return combine(h, s.size());
+}
+
+}  // namespace
+
+std::uint64_t molecule_fingerprint(const chem::Molecule& mol) {
+  std::uint64_t h = 0x4d4f4c21ULL;  // "MOL!"
+  h = combine(h, mol.natoms());
+  for (const chem::Atom& a : mol.atoms()) {
+    h = combine(h, static_cast<std::uint64_t>(a.z));
+    for (const double c : a.xyz) h = combine(h, double_bits(c));
+  }
+  return h;
+}
+
+std::uint64_t setup_fingerprint(const chem::Molecule& mol,
+                                const std::string& basis,
+                                const std::vector<std::string>& basis_per_atom,
+                                double schwarz_threshold) {
+  std::uint64_t h = molecule_fingerprint(mol);
+  if (basis_per_atom.empty()) {
+    h = combine(h, string_hash(basis));
+  } else {
+    h = combine(h, 0x4d495845ULL);  // "MIXE": never aliases the uniform form
+    for (const std::string& b : basis_per_atom) h = combine(h, string_hash(b));
+  }
+  return combine(h, double_bits(schwarz_threshold));
+}
+
+std::uint64_t density_fingerprint(std::uint64_t setup_key, int charge) {
+  return combine(setup_key,
+                 static_cast<std::uint64_t>(static_cast<std::int64_t>(charge)));
+}
+
+ScfSetup build_setup(const chem::Molecule& mol, const std::string& basis,
+                     const std::vector<std::string>& basis_per_atom,
+                     double schwarz_threshold) {
+  ScfSetup setup;
+  auto bs = std::make_shared<const basis::BasisSet>(
+      basis_per_atom.empty() ? basis::BasisSet::build(mol, basis)
+                             : basis::BasisSet::build_mixed(mol,
+                                                            basis_per_atom));
+  auto eri = std::make_shared<const ints::EriEngine>(*bs);
+  auto screening =
+      std::make_shared<const ints::Screening>(*eri, schwarz_threshold);
+  // EriEngine references the BasisSet and Screening references the
+  // EriEngine; ScfSetup is only ever shared as a whole (the cache stores
+  // shared_ptr<const ScfSetup>), so the chain stays alive together.
+  setup.basis_set = std::move(bs);
+  setup.eri = std::move(eri);
+  setup.screening = std::move(screening);
+  return setup;
+}
+
+}  // namespace mc::serve

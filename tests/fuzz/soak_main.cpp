@@ -1,12 +1,18 @@
 // Long-haul fault-injected soak driver (DESIGN.md section 14).
 //
 //   fuzz_soak [--jobs N] [--seed S] [--replay JOB_SEED] [--replay-env]
-//             [--jsonl PATH] [--max-ranks R] [--fault-percent P]
+//             [--jsonl PATH] [--max-ranks R] [--fault-percent P] [--serve]
 //
-// Each job runs one randomized SCF (random molecule, basis, charge,
-// algorithm, rank/thread counts, incremental policy) through
-// run_parallel_scf, under a randomized MC_FAULT_* plan about
+// Each job runs one randomized SCF (random molecule, per-atom mixed
+// basis, charge, algorithm, rank/thread counts, incremental policy)
+// through run_parallel_scf, under a randomized MC_FAULT_* plan about
 // --fault-percent of the time (window verbs and delay mode included).
+// With --serve the job goes through the SCF job server's submit path
+// instead (admission -> queue -> pooled world -> run_parallel_scf), the
+// nightly serving-lane configuration: the fault plan is process-global,
+// so the soak keeps exactly one job in flight for deterministic fault
+// attribution, and an aborted job must come back as a clean kAborted
+// outcome while the server keeps serving.
 // Invariants asserted per job:
 //
 //   * no fault armed, or delay-only fault -> the job completes cleanly
@@ -30,6 +36,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +49,7 @@
 #include "par/fault_injection.hpp"
 #include "scf/scf_driver.hpp"
 #include "scf/serial_fock.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -51,7 +59,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--jobs N] [--seed S] [--replay JOB_SEED] [--replay-env]\n"
-      "          [--jsonl PATH] [--max-ranks R] [--fault-percent P]\n",
+      "          [--jsonl PATH] [--max-ranks R] [--fault-percent P] "
+      "[--serve]\n",
       argv0);
   return 2;
 }
@@ -74,6 +83,9 @@ JobConfig draw_job(const mc::fuzz::FuzzSample& sample, std::uint64_t job_seed,
   job.scf.nranks =
       1 + static_cast<int>(r.below(static_cast<std::uint64_t>(max_ranks)));
   job.scf.nthreads = 1 + static_cast<int>(r.below(3));
+  // Per-atom assignment straight from the generator: uniform samples are
+  // the all-same vector, mixed samples exercise build_mixed end to end.
+  job.scf.basis_per_atom = sample.basis_per_atom;
   job.scf.basis = sample.basis_per_atom.front();
   job.scf.schwarz_threshold = sample.schwarz_threshold;
   job.scf.scf.charge = sample.charge;
@@ -102,29 +114,72 @@ struct JobResult {
 };
 
 /// Independent single-process reference: serial builder, same molecule,
-/// basis, threshold, and SCF options.
+/// per-atom basis assignment, threshold, and SCF options.
 mc::scf::ScfResult reference_run(const mc::fuzz::FuzzSample& sample,
                                  const JobConfig& job) {
   const mc::basis::BasisSet bs =
-      mc::basis::BasisSet::build(sample.mol, job.scf.basis);
+      mc::basis::BasisSet::build_mixed(sample.mol, sample.basis_per_atom);
   const mc::ints::EriEngine eri(bs);
   const mc::ints::Screening screen(eri, job.scf.schwarz_threshold);
   mc::scf::SerialFockBuilder builder(eri, screen);
   return mc::scf::run_scf(sample.mol, bs, builder, job.scf.scf);
 }
 
-JobResult run_job(const mc::fuzz::FuzzSample& sample, const JobConfig& job) {
+/// Replay one job through the server's submit path. The caller keeps the
+/// server alive across jobs (warm caches and worlds persist, as in
+/// production serving) but submits one job at a time so the process-global
+/// fault plan is attributable to exactly this job.
+void run_served(mc::serve::ScfJobServer& server,
+                const mc::fuzz::FuzzSample& sample, const JobConfig& job,
+                bool& aborted, std::string& abort_what,
+                mc::core::ParallelScfResult& par, JobResult& res) {
+  mc::serve::JobSpec spec;
+  spec.molecule_label = sample.describe();
+  spec.mol = sample.mol;
+  spec.basis = job.scf.basis;
+  spec.basis_per_atom = job.scf.basis_per_atom;
+  spec.charge = sample.charge;
+  spec.algorithm = job.scf.algorithm;
+  spec.nranks = job.scf.nranks;
+  spec.nthreads = job.scf.nthreads;
+  spec.schwarz_threshold = job.scf.schwarz_threshold;
+  spec.scf = job.scf.scf;
+  const mc::serve::SubmitResult sub = server.submit(spec);
+  if (!sub.accepted) {
+    // The generator only emits servable specs; a rejection is a bug.
+    res.failures.push_back("server rejected soak job: " + sub.reason);
+    aborted = true;
+    abort_what = sub.reason;
+    return;
+  }
+  const mc::serve::JobOutcome out = server.wait(sub.job_id);
+  if (out.outcome == mc::obs::JobOutcomeKind::kAborted) {
+    aborted = true;
+    abort_what = out.error;
+    return;
+  }
+  par.scf.converged = out.outcome == mc::obs::JobOutcomeKind::kConverged;
+  par.scf.energy = out.energy;
+  par.scf.iterations = out.iterations;
+}
+
+JobResult run_job(const mc::fuzz::FuzzSample& sample, const JobConfig& job,
+                  mc::serve::ScfJobServer* server) {
   JobResult res;
   const bool hard_fault = job.fault.enabled() && job.fault.delay_ms == 0;
   mc::par::set_fault_plan(job.fault);
   bool aborted = false;
   std::string abort_what;
   mc::core::ParallelScfResult par;
-  try {
-    par = mc::core::run_parallel_scf(sample.mol, job.scf);
-  } catch (const std::exception& e) {
-    aborted = true;
-    abort_what = e.what();
+  if (server != nullptr) {
+    run_served(*server, sample, job, aborted, abort_what, par, res);
+  } else {
+    try {
+      par = mc::core::run_parallel_scf(sample.mol, job.scf);
+    } catch (const std::exception& e) {
+      aborted = true;
+      abort_what = e.what();
+    }
   }
   mc::par::clear_fault_plan();
 
@@ -188,6 +243,7 @@ int main(int argc, char** argv) {
   long jobs = 200;
   int max_ranks = 4;
   int fault_percent = 40;
+  bool serve_mode = false;
   std::string jsonl_path;
 
   if (const char* env = std::getenv("MC_FUZZ_SEED")) {
@@ -233,6 +289,8 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       fault_percent = static_cast<int>(std::strtol(v, nullptr, 10));
       if (fault_percent < 0 || fault_percent > 100) return usage(argv[0]);
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      serve_mode = true;
     } else {
       return usage(argv[0]);
     }
@@ -251,15 +309,28 @@ int main(int argc, char** argv) {
       return 2;
     }
     replay = true;
+    // Replay a serve-mode failure through the serve path (the replay
+    // command a serve-mode soak prints sets this variable).
+    if (std::getenv("MC_FUZZ_SERVE") != nullptr) serve_mode = true;
   }
 
-  // Soak samples stay uniform-basis (run_parallel_scf takes one basis
-  // name) and modest-sized: the differential harness owns the mixed-basis
-  // and cost-heavy corners, the soak owns volume and fault plans.
+  // Mixed per-atom bases flow through run_parallel_scf's basis_per_atom
+  // entry point; samples stay modest-sized because the soak owns volume
+  // and fault plans, not cost-heavy corners.
   mc::fuzz::GeneratorOptions gopt;
-  gopt.mixed_basis = false;
+  gopt.mixed_basis = true;
   gopt.max_nbf = 40;
   const mc::fuzz::MoleculeGenerator gen(gopt);
+
+  // Serve mode: one long-lived server for the whole soak (warm caches and
+  // pool worlds persist across jobs) submitted to one job at a time so
+  // every armed fault is attributable to the in-flight job.
+  std::unique_ptr<mc::serve::ScfJobServer> server;
+  if (serve_mode) {
+    mc::serve::ServerOptions sopt;
+    sopt.nworlds = 2;  // idle second world: shutdown must still be clean
+    server = std::make_unique<mc::serve::ScfJobServer>(sopt);
+  }
 
   std::ofstream jsonl;
   if (!jsonl_path.empty()) {
@@ -290,7 +361,7 @@ int main(int argc, char** argv) {
                  std::to_string(job.scf.nthreads);
       fault_desc = mc::par::fault_plan_env_string(job.fault);
       if (!fault_desc.empty()) describe += " fault{" + fault_desc + "}";
-      res = run_job(sample, job);
+      res = run_job(sample, job, server.get());
     } catch (const std::exception& e) {
       res.failures.push_back(std::string("job setup threw: ") + e.what());
     }
@@ -311,8 +382,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "  %s\n", f.c_str());
       }
       std::fprintf(stderr,
-                   "  replay: MC_FUZZ_SEED=%s ctest --test-dir build -R "
+                   "  replay: %sMC_FUZZ_SEED=%s ctest --test-dir build -R "
                    "fuzz_soak_replay\n",
+                   serve_mode ? "MC_FUZZ_SERVE=1 " : "",
                    mc::fuzz::format_seed(job_seed).c_str());
     } else if ((j + 1) % 50 == 0 || replay) {
       std::printf("job %ld/%ld ok (%s)\n", j + 1, total,
@@ -320,6 +392,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (server != nullptr) {
+    const mc::serve::ServerSummary s = server->shutdown();
+    std::printf(
+        "serve-mode summary: %ld submitted (%ld converged, %ld unconverged, "
+        "%ld aborted), setup cache %ld/%ld hits, density cache %ld/%ld "
+        "hits\n",
+        s.submitted, s.converged, s.unconverged, s.aborted,
+        s.setup_cache_hits, s.setup_cache_hits + s.setup_cache_misses,
+        s.density_cache_hits, s.density_cache_hits + s.density_cache_misses);
+  }
   std::printf("%ld/%ld soak jobs passed (master seed %s)\n", total - failed,
               total, mc::fuzz::format_seed(master_seed).c_str());
   return failed == 0 ? 0 : 1;

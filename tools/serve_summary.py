@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Render a serve-lane JobRecord JSONL stream as a markdown summary.
+
+The CI serving lane runs mchf-serve with --telemetry serve_jobs.jsonl and
+pipes this tool's output into $GITHUB_STEP_SUMMARY: an outcome/cache-rate
+overview plus a per-job table (capped, most recent first) so a red lane
+shows *which* job was rejected or aborted without downloading the
+artifact. Locally: tools/serve_summary.py serve_jobs.jsonl
+
+Exit code is 0 whenever the file parses; the lane's verdict comes from
+mchf-serve's own exit code and the serve-labeled ctest entries, not from
+rendering. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{n}: bad JSON line: {e}")
+            if rec.get("type") == "scf_job":
+                records.append(rec)
+    return records
+
+
+def rate(hits, total):
+    return f"{100.0 * hits / total:.0f}%" if total else "n/a"
+
+
+def render(records, max_rows):
+    out = []
+    total = len(records)
+    by_outcome = {}
+    for r in records:
+        by_outcome[r["outcome"]] = by_outcome.get(r["outcome"], 0) + 1
+    ran = [r for r in records if r["outcome"] != "rejected"]
+    setup_hits = sum(1 for r in ran if r.get("setup_cache_hit"))
+    density_hits = sum(1 for r in ran if r.get("density_cache_hit"))
+
+    out.append("### SCF serving lane")
+    out.append("")
+    out.append(
+        f"**{total} jobs**: "
+        + ", ".join(f"{v} {k}" for k, v in sorted(by_outcome.items()))
+    )
+    out.append("")
+    out.append(
+        f"Cache hit rate over {len(ran)} executed jobs: "
+        f"setup {rate(setup_hits, len(ran))} "
+        f"({setup_hits}/{len(ran)}), "
+        f"density {rate(density_hits, len(ran))} "
+        f"({density_hits}/{len(ran)})"
+    )
+    out.append("")
+    out.append(
+        "| job | tenant | molecule | outcome | world | wait (s) | run (s) "
+        "| iters | setup$ | density$ | detail |"
+    )
+    out.append("|--:|--|--|--|--:|--:|--:|--:|:-:|:-:|--|")
+    shown = records[-max_rows:]
+    for r in shown:
+        detail = r.get("reject_reason", "")
+        if r["outcome"] == "converged":
+            detail = f"E = {r.get('energy', 0.0):.6f}"
+        out.append(
+            "| {job} | {tenant} | {molecule} | {outcome} | {world} "
+            "| {wait:.3f} | {run:.3f} | {iters} | {s} | {d} | {detail} |".format(
+                job=r["job"],
+                tenant=r.get("tenant", ""),
+                molecule=r.get("molecule", ""),
+                outcome=r["outcome"],
+                world=r.get("world", -1),
+                wait=r.get("queue_wait_seconds", 0.0),
+                run=r.get("run_seconds", 0.0),
+                iters=r.get("iterations", 0),
+                s="x" if r.get("setup_cache_hit") else "",
+                d="x" if r.get("density_cache_hit") else "",
+                detail=detail,
+            )
+        )
+    if len(records) > len(shown):
+        out.append("")
+        out.append(f"_({len(records) - len(shown)} earlier jobs omitted)_")
+    return "\n".join(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("jsonl", help="JobRecord JSONL stream from mchf-serve")
+    ap.add_argument(
+        "--max-rows", type=int, default=50,
+        help="cap on per-job table rows (default 50, most recent kept)",
+    )
+    args = ap.parse_args()
+    records = load_records(args.jsonl)
+    if not records:
+        print(f"no scf_job records in {args.jsonl}", file=sys.stderr)
+        return 1
+    print(render(records, args.max_rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
